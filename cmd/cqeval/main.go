@@ -1,0 +1,110 @@
+// Command cqeval evaluates a conjunctive query against a tree.
+//
+// Usage:
+//
+//	cqeval -tree 'A(B,C(B))' -query 'Q(y) <- A(x), Child+(x, y), B(y)'
+//	cqeval -treefile doc.xml -query '...' [-explain] [-apq] [-xpath]
+//
+// Trees are given inline in term syntax (-tree) or loaded from a file
+// (-treefile; .xml files are parsed as XML, everything else as terms).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	cqtrees "repro"
+)
+
+func main() {
+	treeSrc := flag.String("tree", "", "tree in term syntax, e.g. A(B,C)")
+	treeFile := flag.String("treefile", "", "file holding the tree (.xml or term syntax)")
+	querySrc := flag.String("query", "", "conjunctive query, e.g. Q(y) <- A(x), Child(x, y)")
+	explain := flag.Bool("explain", false, "print the evaluation plan and classification")
+	apq := flag.Bool("apq", false, "also print the equivalent acyclic positive query (Thm 6.10)")
+	asXPath := flag.Bool("xpath", false, "also print equivalent XPath expressions (monadic queries)")
+	flag.Parse()
+
+	t, err := loadTree(*treeSrc, *treeFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *querySrc == "" {
+		log.Fatal("cqeval: -query is required")
+	}
+	q, err := cqtrees.ParseQuery(*querySrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *explain {
+		fmt.Println("plan:", cqtrees.PlanFor(q))
+	}
+	answers := cqtrees.EvaluateAll(t, q)
+	if len(q.Head) == 0 {
+		fmt.Println("satisfiable:", len(answers) > 0)
+	} else {
+		fmt.Printf("%d answer(s):\n", len(answers))
+		for _, tup := range answers {
+			parts := make([]string, len(tup))
+			for i, v := range tup {
+				parts[i] = describe(t, v)
+			}
+			fmt.Println("  ", strings.Join(parts, ", "))
+		}
+	}
+	if *apq {
+		a, err := cqtrees.ToAPQ(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nAPQ (%d disjuncts):\n%s\n", len(a.Disjuncts), a)
+	}
+	if *asXPath {
+		exprs, err := cqtrees.ToXPath(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nXPath:")
+		for _, e := range exprs {
+			fmt.Println("  ", e)
+		}
+	}
+}
+
+func loadTree(src, file string) (*cqtrees.Tree, error) {
+	switch {
+	case src != "" && file != "":
+		return nil, fmt.Errorf("cqeval: use -tree or -treefile, not both")
+	case src != "":
+		return cqtrees.ParseTree(src)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(file, ".xml") {
+			return cqtrees.ParseXML(f)
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return cqtrees.ParseTree(string(data))
+	default:
+		return nil, fmt.Errorf("cqeval: -tree or -treefile is required")
+	}
+}
+
+func describe(t *cqtrees.Tree, v cqtrees.NodeID) string {
+	labels := t.Labels(v)
+	name := "_"
+	if len(labels) > 0 {
+		name = strings.Join(labels, "|")
+	}
+	return fmt.Sprintf("%s#%d(depth %d)", name, v, t.Depth(v))
+}

@@ -1,0 +1,149 @@
+// Package cqtrees is the public API of this reproduction of "Conjunctive
+// Queries over Trees" (Gottlob, Koch, Schulz; PODS 2004 / JACM 53(2),
+// 2006). It re-exports the substrate types and wires the paper's results
+// into a small, documented surface:
+//
+//   - Trees: parse (term syntax or XML), build, or generate unranked
+//     labeled trees (ParseTree, ParseXML, NewTreeBuilder, ...).
+//   - Queries: parse datalog-style conjunctive queries over the axes
+//     Child, Child+, Child*, NextSibling, NextSibling+, NextSibling*,
+//     Following (ParseQuery).
+//   - Evaluation: Evaluate/EvaluateAll dispatch per the paper's
+//     dichotomy — Yannakakis for acyclic queries, the Theorem 3.5
+//     X-property algorithm for tractable signatures, MAC backtracking
+//     otherwise. Classify exposes the Theorem 1.1 / Table I dichotomy.
+//   - Expressiveness: ToAPQ translates any conjunctive query into an
+//     equivalent acyclic positive query (Theorem 6.10); ToXPath renders
+//     monadic APQs as Core-XPath expressions (Remark 6.1).
+//
+// Example:
+//
+//	t, _ := cqtrees.ParseTree("A(B,C(B))")
+//	q, _ := cqtrees.ParseQuery("Q(y) <- A(x), Child+(x, y), B(y)")
+//	fmt.Println(cqtrees.EvaluateAll(t, q)) // both B nodes
+package cqtrees
+
+import (
+	"io"
+
+	"repro/internal/axis"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+	"repro/internal/tree"
+	"repro/internal/xpath"
+)
+
+// Re-exported core types. Methods on these types are documented in the
+// internal packages; the aliases keep one import path for users.
+type (
+	// Tree is an unranked labeled tree (§2).
+	Tree = tree.Tree
+	// NodeID identifies a tree node.
+	NodeID = tree.NodeID
+	// TreeBuilder constructs trees top-down.
+	TreeBuilder = tree.Builder
+	// Query is a conjunctive query over trees (§2).
+	Query = cq.Query
+	// Var is a query variable.
+	Var = cq.Var
+	// Axis is a binary structure relation (Child, Child+, ..., Following).
+	Axis = axis.Axis
+	// APQ is an acyclic positive query: a union of acyclic CQs (§6).
+	APQ = rewrite.APQ
+	// Classification is a Theorem 1.1 dichotomy verdict.
+	Classification = core.Classification
+	// Plan describes the evaluation strategy chosen for a query.
+	Plan = core.Plan
+	// XPathExpr is a positive Core-XPath expression (Remark 6.1).
+	XPathExpr = xpath.Expr
+)
+
+// NilNode is the "no node" sentinel.
+const NilNode = tree.NilNode
+
+// Axes of the paper's set Ax.
+const (
+	Child           = axis.Child
+	ChildPlus       = axis.ChildPlus // Descendant
+	ChildStar       = axis.ChildStar // Descendant-or-self
+	NextSibling     = axis.NextSibling
+	NextSiblingPlus = axis.NextSiblingPlus // Following-sibling
+	NextSiblingStar = axis.NextSiblingStar
+	Following       = axis.Following
+)
+
+// ParseTree parses the term syntax for trees, e.g. "A(B,C(D|E))".
+func ParseTree(src string) (*Tree, error) { return tree.ParseTerm(src) }
+
+// MustParseTree panics on parse errors; for tests and examples.
+func MustParseTree(src string) *Tree { return tree.MustParseTerm(src) }
+
+// ParseXML reads an XML document as a tree (element names become labels).
+func ParseXML(r io.Reader) (*Tree, error) { return tree.ParseXML(r) }
+
+// NewTreeBuilder returns a builder with a size hint.
+func NewTreeBuilder(hint int) *TreeBuilder { return tree.NewBuilder(hint) }
+
+// ParseQuery parses the datalog-style rule notation, e.g.
+//
+//	Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z).
+func ParseQuery(src string) (*Query, error) { return cq.Parse(src) }
+
+// MustParseQuery panics on parse errors.
+func MustParseQuery(src string) *Query { return cq.MustParse(src) }
+
+// Evaluate decides Boolean satisfaction of q on t using the best
+// applicable algorithm (see PlanFor).
+func Evaluate(t *Tree, q *Query) bool {
+	return core.NewEngine().EvalBoolean(t, q)
+}
+
+// EvaluateAll enumerates the distinct answer tuples of q on t.
+func EvaluateAll(t *Tree, q *Query) [][]NodeID {
+	return core.NewEngine().EvalAll(t, q)
+}
+
+// EvaluateNodes answers a monadic (unary) query.
+func EvaluateNodes(t *Tree, q *Query) []NodeID {
+	return core.NewEngine().EvalMonadic(t, q)
+}
+
+// PlanFor explains which algorithm Evaluate would use for q and why.
+func PlanFor(q *Query) Plan { return core.NewEngine().PlanFor(q) }
+
+// Classify reports the complexity side of the signature per Theorem 1.1:
+// polynomial time iff all axes share an X-property order, NP-complete
+// otherwise, with the witnessing order or the relevant paper theorem.
+func Classify(axes []Axis) Classification { return core.Classify(axes) }
+
+// ClassifyQuery classifies the signature used by q.
+func ClassifyQuery(q *Query) Classification { return core.ClassifyQuery(q) }
+
+// TableI renders the paper's Table I (complexities of all one- and
+// two-axis signatures) as text.
+func TableI() string { return core.FormatTableI() }
+
+// ToAPQ translates q into an equivalent acyclic positive query over the
+// axes extended with Child+ and NextSibling+ (Theorem 6.10). The result
+// can be exponentially larger (Theorem 7.1 shows this is unavoidable).
+func ToAPQ(q *Query) (*APQ, error) {
+	return rewrite.TranslateCQ(q, rewrite.Options{})
+}
+
+// ToXPath renders a monadic conjunctive query as a union of positive
+// Core-XPath expressions via the APQ translation (Remark 6.1).
+func ToXPath(q *Query) ([]XPathExpr, error) {
+	apq, err := ToAPQ(q)
+	if err != nil {
+		return nil, err
+	}
+	return xpath.FromAPQ(apq)
+}
+
+// ParseXPath parses a Core-XPath expression, e.g.
+// "//A[child::B]/following::C".
+func ParseXPath(src string) (XPathExpr, error) { return xpath.Parse(src) }
+
+// EvaluateXPath evaluates an XPath expression from the root.
+func EvaluateXPath(t *Tree, e XPathExpr) []NodeID { return xpath.EvalFromRoot(t, e) }

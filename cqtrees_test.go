@@ -1,0 +1,108 @@
+package cqtrees
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	tr := MustParseTree("A(B,C(B))")
+	q := MustParseQuery("Q(y) <- A(x), Child+(x, y), B(y)")
+	got := EvaluateAll(tr, q)
+	if len(got) != 2 {
+		t.Fatalf("want 2 answers, got %v", got)
+	}
+	if !Evaluate(tr, q) {
+		t.Errorf("Boolean evaluation should hold")
+	}
+	nodes := EvaluateNodes(tr, q)
+	if len(nodes) != 2 {
+		t.Errorf("EvaluateNodes: %v", nodes)
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	c := Classify([]Axis{Child, Following})
+	if c.Complexity.String() != "NP-hard" {
+		t.Errorf("Classify({Child,Following}) = %v", c)
+	}
+	c2 := ClassifyQuery(MustParseQuery("Q() <- Child+(x, y), Child*(y, z)"))
+	if c2.Complexity.String() != "in P" {
+		t.Errorf("ClassifyQuery = %v", c2)
+	}
+	if !strings.Contains(TableI(), "NP-hard") {
+		t.Errorf("TableI output missing entries")
+	}
+}
+
+func TestPlanForFacade(t *testing.T) {
+	p := PlanFor(MustParseQuery("Q() <- A(x), Child(x, y)"))
+	if !strings.Contains(p.String(), "acyclic") {
+		t.Errorf("plan = %s", p)
+	}
+}
+
+func TestToAPQAndXPathFacade(t *testing.T) {
+	q := MustParseQuery("Q(z) <- S(x), Child+(x, y), NP(y), Child+(x, z), PP(z), Following(y, z)")
+	apq, err := ToAPQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apq.IsAcyclic() {
+		t.Errorf("APQ should be acyclic")
+	}
+	exprs, err := ToXPath(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exprs) == 0 {
+		t.Fatalf("no XPath expressions")
+	}
+	// Union of XPath answers equals the CQ answers on a sample tree.
+	tr := MustParseTree("S(NP(DT),VP(VB,PP(IN)),PP(IN))")
+	want := map[NodeID]bool{}
+	for _, v := range EvaluateNodes(tr, q) {
+		want[v] = true
+	}
+	got := map[NodeID]bool{}
+	for _, e := range exprs {
+		for _, v := range EvaluateXPath(tr, e) {
+			got[v] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("XPath union %v, CQ %v", got, want)
+	}
+}
+
+func TestParseXMLFacade(t *testing.T) {
+	tr, err := ParseXML(strings.NewReader("<a><b/><c><b/></c></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MustParseQuery("Q(y) <- a(x), Child+(x, y), b(y)")
+	if n := len(EvaluateNodes(tr, q)); n != 2 {
+		t.Errorf("want 2 b-descendants, got %d", n)
+	}
+}
+
+func TestXPathFacade(t *testing.T) {
+	tr := MustParseTree("A(B(D),C)")
+	e, err := ParseXPath("//B/child::D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(EvaluateXPath(tr, e)); n != 1 {
+		t.Errorf("want 1 D node, got %d", n)
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := NewTreeBuilder(3)
+	root := b.AddNode(NilNode, "A")
+	b.AddNode(root, "B")
+	tr := b.Build()
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,57 @@
+// Command quickstart demonstrates the public API end to end: build a
+// tree, run tractable and intractable conjunctive queries, inspect the
+// dichotomy classification, and translate a cyclic query to an acyclic
+// positive query and to XPath.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	cqtrees "repro"
+)
+
+func main() {
+	// An XML-ish document as a labeled tree.
+	t := cqtrees.MustParseTree("Lib(Shelf(Book(Title,Author),Book(Title)),Shelf(Book(Title,Author,Author)))")
+	fmt.Println("tree:", t)
+	fmt.Println("nodes:", t.Len())
+
+	// A monadic acyclic query: books with at least one author.
+	q1 := cqtrees.MustParseQuery("Q(b) <- Book(b), Child(b, a), Author(a)")
+	fmt.Println("\nquery 1:", q1)
+	fmt.Println("plan:   ", cqtrees.PlanFor(q1))
+	for _, v := range cqtrees.EvaluateNodes(t, q1) {
+		fmt.Printf("  node %d at depth %d\n", v, t.Depth(v))
+	}
+
+	// A cyclic query over an NP-hard signature: a Title and an Author
+	// under the same book, with the title before the author.
+	q2 := cqtrees.MustParseQuery(
+		"Q(b) <- Book(b), Child+(b, t), Title(t), Child+(b, a), Author(a), Following(t, a)")
+	fmt.Println("\nquery 2:", q2)
+	fmt.Println("plan:   ", cqtrees.PlanFor(q2))
+	fmt.Println("answers:", cqtrees.EvaluateAll(t, q2))
+
+	// The dichotomy (Theorem 1.1 / Table I).
+	fmt.Println("\nTable I — the tractability frontier:")
+	fmt.Print(cqtrees.TableI())
+
+	// Expressiveness (Theorem 6.10): q2 as an acyclic positive query.
+	apq, err := cqtrees.ToAPQ(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nq2 as an APQ (%d disjuncts, %d atoms total):\n", len(apq.Disjuncts), apq.Size())
+	fmt.Println(apq)
+
+	// ... and as XPath (Remark 6.1).
+	exprs, err := cqtrees.ToXPath(q2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nq2 as XPath:")
+	for _, e := range exprs {
+		fmt.Println("  ", e)
+	}
+}

@@ -1,0 +1,387 @@
+// Package axis implements the binary structure relations ("axes") of
+// "Conjunctive Queries over Trees" (§2): Child, Child+, Child*,
+// NextSibling, NextSibling+, NextSibling*, and Following, plus their
+// inverses, Self, and the order-extension relations of Example 4.5
+// (document order <pre and its successor relation Succ<pre).
+//
+// Every axis test is O(1) on top of the precomputed pre/post/BFLR
+// numbering of package tree. The package also records the order-inclusion
+// facts of §4 (which axes are subsets of which total order) and the
+// X-property facts of Theorem 4.1, which drive the dichotomy classifier in
+// package core.
+package axis
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Axis identifies one of the binary tree relations.
+//
+// Go note: this is the enum-with-exhaustive-switch encoding of what would
+// be a sum type elsewhere; every switch over Axis must carry a default
+// panic, and TestAxisSwitchExhaustive keeps the tables in sync.
+type Axis int
+
+// The paper's axis set Ax (§2) followed by extensions.
+const (
+	Child           Axis = iota // parent-to-child edge
+	ChildPlus                   // Descendant: transitive closure of Child
+	ChildStar                   // Descendant-or-self: refl.-trans. closure
+	NextSibling                 // immediate right sibling
+	NextSiblingPlus             // Following-sibling: transitive closure
+	NextSiblingStar             // refl.-trans. closure of NextSibling
+	Following                   // Eq. (1): after the subtree, in doc order
+
+	// Inverse axes (redundant per §1.1, provided for applications).
+	Parent
+	AncestorPlus // inverse of ChildPlus (XPath ancestor)
+	AncestorStar // inverse of ChildStar (XPath ancestor-or-self)
+	PrevSibling
+	PrevSiblingPlus // XPath preceding-sibling
+	PrevSiblingStar
+	Preceding // inverse of Following
+
+	// Extensions of Example 4.5: relations trivially X with respect to
+	// <pre that may be added to τ1 while retaining tractability.
+	Self
+	DocOrder     // <pre, strict document order
+	DocOrderSucc // Succ<pre: next node in document order
+
+	numAxes
+)
+
+// PaperAxes is the set Ax studied by the paper, in its canonical order.
+var PaperAxes = []Axis{
+	Child, ChildPlus, ChildStar,
+	NextSibling, NextSiblingPlus, NextSiblingStar,
+	Following,
+}
+
+// TableIAxes is the axis ordering of Table I of the paper.
+var TableIAxes = []Axis{
+	Child, ChildPlus, ChildStar,
+	NextSibling, NextSiblingPlus, NextSiblingStar,
+	Following,
+}
+
+var axisNames = [numAxes]string{
+	Child:           "Child",
+	ChildPlus:       "Child+",
+	ChildStar:       "Child*",
+	NextSibling:     "NextSibling",
+	NextSiblingPlus: "NextSibling+",
+	NextSiblingStar: "NextSibling*",
+	Following:       "Following",
+	Parent:          "Parent",
+	AncestorPlus:    "Ancestor+",
+	AncestorStar:    "Ancestor*",
+	PrevSibling:     "PrevSibling",
+	PrevSiblingPlus: "PrevSibling+",
+	PrevSiblingStar: "PrevSibling*",
+	Preceding:       "Preceding",
+	Self:            "Self",
+	DocOrder:        "DocOrder",
+	DocOrderSucc:    "DocOrderSucc",
+}
+
+// String returns the paper's name for the axis (e.g. "Child+").
+func (a Axis) String() string {
+	if a < 0 || a >= numAxes {
+		return fmt.Sprintf("Axis(%d)", int(a))
+	}
+	return axisNames[a]
+}
+
+// Valid reports whether a is a defined axis.
+func (a Axis) Valid() bool { return a >= 0 && a < numAxes }
+
+// All returns every defined axis.
+func All() []Axis {
+	out := make([]Axis, numAxes)
+	for i := range out {
+		out[i] = Axis(i)
+	}
+	return out
+}
+
+// byName maps every printable name (plus XPath aliases) to the axis.
+var byName = map[string]Axis{
+	"child": Child, "child+": ChildPlus, "child*": ChildStar,
+	"descendant": ChildPlus, "descendant-or-self": ChildStar,
+	"nextsibling": NextSibling, "nextsibling+": NextSiblingPlus,
+	"nextsibling*":      NextSiblingStar,
+	"following-sibling": NextSiblingPlus,
+	"following":         Following,
+	"parent":            Parent,
+	"ancestor+":         AncestorPlus, "ancestor": AncestorPlus,
+	"ancestor*": AncestorStar, "ancestor-or-self": AncestorStar,
+	"prevsibling": PrevSibling, "prevsibling+": PrevSiblingPlus,
+	"prevsibling*":      PrevSiblingStar,
+	"preceding-sibling": PrevSiblingPlus,
+	"preceding":         Preceding,
+	"self":              Self,
+	"docorder":          DocOrder, "docordersucc": DocOrderSucc,
+}
+
+// Parse resolves an axis name (the paper's names, case-insensitive, or the
+// XPath aliases descendant, following-sibling, ...).
+func Parse(name string) (Axis, error) {
+	a, ok := byName[lower(name)]
+	if !ok {
+		return 0, fmt.Errorf("axis: unknown axis %q", name)
+	}
+	return a, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(name string) Axis {
+	a, err := Parse(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// Inverse returns the axis b with b(u,v) ⇔ a(v,u).
+func (a Axis) Inverse() Axis {
+	switch a {
+	case Child:
+		return Parent
+	case ChildPlus:
+		return AncestorPlus
+	case ChildStar:
+		return AncestorStar
+	case NextSibling:
+		return PrevSibling
+	case NextSiblingPlus:
+		return PrevSiblingPlus
+	case NextSiblingStar:
+		return PrevSiblingStar
+	case Following:
+		return Preceding
+	case Parent:
+		return Child
+	case AncestorPlus:
+		return ChildPlus
+	case AncestorStar:
+		return ChildStar
+	case PrevSibling:
+		return NextSibling
+	case PrevSiblingPlus:
+		return NextSiblingPlus
+	case PrevSiblingStar:
+		return NextSiblingStar
+	case Preceding:
+		return Following
+	case Self:
+		return Self
+	case DocOrder, DocOrderSucc:
+		// The order extensions are only used in forward form; their
+		// inverses are not part of the studied signatures.
+		panic(fmt.Sprintf("axis: %v has no named inverse", a))
+	default:
+		panic(fmt.Sprintf("axis: Inverse of invalid axis %d", int(a)))
+	}
+}
+
+// Reflexive reports whether the axis relation contains all (v, v) pairs.
+func (a Axis) Reflexive() bool {
+	switch a {
+	case ChildStar, NextSiblingStar, AncestorStar, PrevSiblingStar, Self:
+		return true
+	case Child, ChildPlus, NextSibling, NextSiblingPlus, Following,
+		Parent, AncestorPlus, PrevSibling, PrevSiblingPlus, Preceding,
+		DocOrder, DocOrderSucc:
+		return false
+	default:
+		panic(fmt.Sprintf("axis: Reflexive of invalid axis %d", int(a)))
+	}
+}
+
+// Irreflexive reports whether the relation excludes every (v, v) pair.
+// (Non-reflexive axes here are all irreflexive.)
+func (a Axis) Irreflexive() bool { return !a.Reflexive() && a != Self }
+
+// Holds reports whether the axis relation contains (u, v) in t. O(1).
+func Holds(t *tree.Tree, a Axis, u, v tree.NodeID) bool {
+	switch a {
+	case Child:
+		return t.Parent(v) == u
+	case ChildPlus:
+		return t.IsAncestor(u, v)
+	case ChildStar:
+		return t.IsAncestorOrSelf(u, v)
+	case NextSibling:
+		return u != v && t.Parent(u) == t.Parent(v) && t.Parent(u) != tree.NilNode &&
+			t.SiblingIndex(v) == t.SiblingIndex(u)+1
+	case NextSiblingPlus:
+		return u != v && t.Parent(u) == t.Parent(v) && t.Parent(u) != tree.NilNode &&
+			t.SiblingIndex(v) > t.SiblingIndex(u)
+	case NextSiblingStar:
+		return u == v || (t.Parent(u) == t.Parent(v) && t.Parent(u) != tree.NilNode &&
+			t.SiblingIndex(v) > t.SiblingIndex(u))
+	case Following:
+		return t.Pre(v) > t.PreEnd(u)
+	case Parent, AncestorPlus, AncestorStar, PrevSibling, PrevSiblingPlus,
+		PrevSiblingStar, Preceding:
+		return Holds(t, a.Inverse(), v, u)
+	case Self:
+		return u == v
+	case DocOrder:
+		return t.Pre(u) < t.Pre(v)
+	case DocOrderSucc:
+		return t.Pre(v) == t.Pre(u)+1
+	default:
+		panic(fmt.Sprintf("axis: Holds of invalid axis %d", int(a)))
+	}
+}
+
+// ForEachSuccessor calls fn for every v with a(u, v), in pre-order,
+// stopping early if fn returns false. Enumeration costs O(#successors)
+// except for Following/Preceding/DocOrder which cost O(#successors) too
+// via the pre-order index.
+func ForEachSuccessor(t *tree.Tree, a Axis, u tree.NodeID, fn func(v tree.NodeID) bool) {
+	switch a {
+	case Child:
+		for _, c := range t.Children(u) {
+			if !fn(c) {
+				return
+			}
+		}
+	case ChildPlus:
+		for r := t.Pre(u) + 1; r <= t.PreEnd(u); r++ {
+			if !fn(t.ByPre(r)) {
+				return
+			}
+		}
+	case ChildStar:
+		for r := t.Pre(u); r <= t.PreEnd(u); r++ {
+			if !fn(t.ByPre(r)) {
+				return
+			}
+		}
+	case NextSibling:
+		if v := t.NextSibling(u); v != tree.NilNode {
+			fn(v)
+		}
+	case NextSiblingPlus:
+		for v := t.NextSibling(u); v != tree.NilNode; v = t.NextSibling(v) {
+			if !fn(v) {
+				return
+			}
+		}
+	case NextSiblingStar:
+		if !fn(u) {
+			return
+		}
+		for v := t.NextSibling(u); v != tree.NilNode; v = t.NextSibling(v) {
+			if !fn(v) {
+				return
+			}
+		}
+	case Following:
+		for r := t.PreEnd(u) + 1; r < int32(t.Len()); r++ {
+			if !fn(t.ByPre(r)) {
+				return
+			}
+		}
+	case Parent:
+		if p := t.Parent(u); p != tree.NilNode {
+			fn(p)
+		}
+	case AncestorPlus:
+		for p := t.Parent(u); p != tree.NilNode; p = t.Parent(p) {
+			if !fn(p) {
+				return
+			}
+		}
+	case AncestorStar:
+		for p := u; p != tree.NilNode; p = t.Parent(p) {
+			if !fn(p) {
+				return
+			}
+		}
+	case PrevSibling:
+		if v := t.PrevSibling(u); v != tree.NilNode {
+			fn(v)
+		}
+	case PrevSiblingPlus:
+		for v := t.PrevSibling(u); v != tree.NilNode; v = t.PrevSibling(v) {
+			if !fn(v) {
+				return
+			}
+		}
+	case PrevSiblingStar:
+		if !fn(u) {
+			return
+		}
+		for v := t.PrevSibling(u); v != tree.NilNode; v = t.PrevSibling(v) {
+			if !fn(v) {
+				return
+			}
+		}
+	case Preceding:
+		for r := int32(0); r < int32(t.Len()); r++ {
+			v := t.ByPre(r)
+			if Holds(t, Preceding, u, v) {
+				if !fn(v) {
+					return
+				}
+			}
+		}
+	case Self:
+		fn(u)
+	case DocOrder:
+		for r := t.Pre(u) + 1; r < int32(t.Len()); r++ {
+			if !fn(t.ByPre(r)) {
+				return
+			}
+		}
+	case DocOrderSucc:
+		if r := t.Pre(u) + 1; r < int32(t.Len()) {
+			fn(t.ByPre(r))
+		}
+	default:
+		panic(fmt.Sprintf("axis: ForEachSuccessor of invalid axis %d", int(a)))
+	}
+}
+
+// Pairs materializes the full relation {(u,v) | a(u,v)} of t, ordered by
+// (pre(u), pre(v)). Beware: transitive axes are Θ(n²) in the worst case;
+// this is meant for the paper-exact Horn-SAT encoding (Prop. 3.1), for
+// X-property brute-force checks and for tests.
+func Pairs(t *tree.Tree, a Axis) [][2]tree.NodeID {
+	var out [][2]tree.NodeID
+	for r := int32(0); r < int32(t.Len()); r++ {
+		u := t.ByPre(r)
+		ForEachSuccessor(t, a, u, func(v tree.NodeID) bool {
+			out = append(out, [2]tree.NodeID{u, v})
+			return true
+		})
+	}
+	return out
+}
+
+// Count returns |{(u,v) | a(u,v)}| without materializing pairs.
+func Count(t *tree.Tree, a Axis) int {
+	total := 0
+	for r := int32(0); r < int32(t.Len()); r++ {
+		ForEachSuccessor(t, a, t.ByPre(r), func(tree.NodeID) bool {
+			total++
+			return true
+		})
+	}
+	return total
+}

@@ -1,0 +1,259 @@
+package axis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+// refHolds is an independent, definition-level implementation of each axis
+// used to cross-check the O(1) implementations.
+func refHolds(t *tree.Tree, a Axis, u, v tree.NodeID) bool {
+	parentChain := func(x tree.NodeID) []tree.NodeID {
+		var out []tree.NodeID
+		for p := t.Parent(x); p != tree.NilNode; p = t.Parent(p) {
+			out = append(out, p)
+		}
+		return out
+	}
+	isAnc := func(x, y tree.NodeID) bool {
+		for _, p := range parentChain(y) {
+			if p == x {
+				return true
+			}
+		}
+		return false
+	}
+	sameParent := func() bool {
+		return t.Parent(u) != tree.NilNode && t.Parent(u) == t.Parent(v)
+	}
+	switch a {
+	case Child:
+		return t.Parent(v) == u
+	case ChildPlus:
+		return isAnc(u, v)
+	case ChildStar:
+		return u == v || isAnc(u, v)
+	case NextSibling:
+		return sameParent() && t.SiblingIndex(v) == t.SiblingIndex(u)+1
+	case NextSiblingPlus:
+		return sameParent() && t.SiblingIndex(v) > t.SiblingIndex(u)
+	case NextSiblingStar:
+		return u == v || (sameParent() && t.SiblingIndex(v) > t.SiblingIndex(u))
+	case Following:
+		// Eq. (1): ∃z1 ∃z2: Child*(z1,u) ∧ NextSibling+(z1,z2) ∧ Child*(z2,v).
+		for z1 := tree.NodeID(0); int(z1) < t.Len(); z1++ {
+			if !refHolds(t, ChildStar, z1, u) {
+				continue
+			}
+			for z2 := tree.NodeID(0); int(z2) < t.Len(); z2++ {
+				if refHolds(t, NextSiblingPlus, z1, z2) && refHolds(t, ChildStar, z2, v) {
+					return true
+				}
+			}
+		}
+		return false
+	case Parent, AncestorPlus, AncestorStar, PrevSibling, PrevSiblingPlus,
+		PrevSiblingStar, Preceding:
+		return refHolds(t, a.Inverse(), v, u)
+	case Self:
+		return u == v
+	case DocOrder:
+		return t.Pre(u) < t.Pre(v)
+	case DocOrderSucc:
+		return t.Pre(v) == t.Pre(u)+1
+	default:
+		panic("unknown axis in refHolds")
+	}
+}
+
+func TestHoldsAgainstDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		tr := tree.Random(rng, tree.DefaultRandomConfig(1+rng.Intn(30)))
+		for _, a := range All() {
+			for u := tree.NodeID(0); int(u) < tr.Len(); u++ {
+				for v := tree.NodeID(0); int(v) < tr.Len(); v++ {
+					got := Holds(tr, a, u, v)
+					want := refHolds(tr, a, u, v)
+					if got != want {
+						t.Fatalf("%v(%d,%d) on %s = %v, want %v", a, u, v, tr, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFollowingDecomposition(t *testing.T) {
+	// Property test of Eq. (1): the O(1) Following test equals the
+	// existential decomposition through Child* and NextSibling+.
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%25 + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := tree.Random(rng, tree.DefaultRandomConfig(n))
+		for u := tree.NodeID(0); int(u) < n; u++ {
+			for v := tree.NodeID(0); int(v) < n; v++ {
+				if Holds(tr, Following, u, v) != refHolds(tr, Following, u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForEachSuccessorAgreesWithHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := tree.Random(rng, tree.DefaultRandomConfig(40))
+	for _, a := range All() {
+		for u := tree.NodeID(0); int(u) < tr.Len(); u++ {
+			got := map[tree.NodeID]bool{}
+			prevPre := int32(-1)
+			ForEachSuccessor(tr, a, u, func(v tree.NodeID) bool {
+				if got[v] {
+					t.Fatalf("%v successors of %d: duplicate %d", a, u, v)
+				}
+				got[v] = true
+				if tr.Pre(v) <= prevPre && a != AncestorPlus && a != AncestorStar &&
+					a != PrevSibling && a != PrevSiblingPlus && a != PrevSiblingStar {
+					t.Fatalf("%v successors of %d not in pre-order", a, u)
+				}
+				prevPre = tr.Pre(v)
+				return true
+			})
+			for v := tree.NodeID(0); int(v) < tr.Len(); v++ {
+				if got[v] != Holds(tr, a, u, v) {
+					t.Fatalf("%v(%d,%d): enumeration %v, Holds %v", a, u, v, got[v], Holds(tr, a, u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSuccessorEarlyStop(t *testing.T) {
+	tr := tree.MustParseTerm("A(B,C,D,E)")
+	count := 0
+	ForEachSuccessor(tr, Child, tr.Root(), func(tree.NodeID) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestPairsAndCount(t *testing.T) {
+	tr := tree.MustParseTerm("A(B(D),C)")
+	// Child pairs: (A,B),(A,C),(B,D) = 3.
+	if got := Count(tr, Child); got != 3 {
+		t.Errorf("Count(Child) = %d, want 3", got)
+	}
+	if got := len(Pairs(tr, Child)); got != 3 {
+		t.Errorf("len(Pairs(Child)) = %d, want 3", got)
+	}
+	// Child* pairs: 4 self + 3 child + (A,D) = 8.
+	if got := Count(tr, ChildStar); got != 8 {
+		t.Errorf("Count(Child*) = %d, want 8", got)
+	}
+	// Following: B's subtree {B,D} precedes C: (B,C),(D,C) = 2.
+	if got := Count(tr, Following); got != 2 {
+		t.Errorf("Count(Following) = %d, want 2", got)
+	}
+}
+
+func TestInverseInvolution(t *testing.T) {
+	for _, a := range All() {
+		if a == DocOrder || a == DocOrderSucc {
+			continue
+		}
+		if got := a.Inverse().Inverse(); got != a {
+			t.Errorf("Inverse(Inverse(%v)) = %v", a, got)
+		}
+	}
+}
+
+func TestInversePanicsForOrderExtensions(t *testing.T) {
+	for _, a := range []Axis{DocOrder, DocOrderSucc} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Inverse(%v) should panic", a)
+				}
+			}()
+			a.Inverse()
+		}()
+	}
+}
+
+func TestParseNames(t *testing.T) {
+	cases := map[string]Axis{
+		"Child":              Child,
+		"child":              Child,
+		"Child+":             ChildPlus,
+		"Descendant":         ChildPlus,
+		"descendant-or-self": ChildStar,
+		"Child*":             ChildStar,
+		"NextSibling":        NextSibling,
+		"following-sibling":  NextSiblingPlus,
+		"NextSibling*":       NextSiblingStar,
+		"Following":          Following,
+		"Parent":             Parent,
+		"ancestor":           AncestorPlus,
+		"Self":               Self,
+	}
+	for name, want := range cases {
+		got, err := Parse(name)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := Parse("sideways"); err == nil {
+		t.Errorf("Parse(sideways) should fail")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if Child.String() != "Child" || ChildPlus.String() != "Child+" ||
+		NextSiblingStar.String() != "NextSibling*" || Following.String() != "Following" {
+		t.Errorf("axis names wrong: %v %v %v %v", Child, ChildPlus, NextSiblingStar, Following)
+	}
+	if Axis(99).String() == "" {
+		t.Errorf("out-of-range axis should still format")
+	}
+}
+
+func TestReflexivity(t *testing.T) {
+	reflexive := map[Axis]bool{
+		ChildStar: true, NextSiblingStar: true, AncestorStar: true,
+		PrevSiblingStar: true, Self: true,
+	}
+	for _, a := range All() {
+		if got := a.Reflexive(); got != reflexive[a] {
+			t.Errorf("Reflexive(%v) = %v", a, got)
+		}
+	}
+}
+
+func TestAxisSwitchExhaustive(t *testing.T) {
+	// Every axis must be handled by Holds, ForEachSuccessor, Reflexive and
+	// String without panicking — guards the enum-as-sum-type encoding.
+	tr := tree.MustParseTerm("A(B,C)")
+	for _, a := range All() {
+		_ = a.String()
+		_ = a.Reflexive()
+		_ = Holds(tr, a, 0, 1)
+		ForEachSuccessor(tr, a, 1, func(tree.NodeID) bool { return true })
+	}
+}
+
+func TestPaperAxesList(t *testing.T) {
+	if len(PaperAxes) != 7 {
+		t.Fatalf("PaperAxes has %d axes, want 7", len(PaperAxes))
+	}
+}

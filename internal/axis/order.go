@@ -1,0 +1,187 @@
+package axis
+
+import (
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Order identifies one of the three total orders on tree nodes studied in
+// §2 of the paper.
+type Order int
+
+const (
+	// PreOrder (≤pre) is depth-first left-to-right traversal order; for
+	// XML it coincides with document order (sequence of opening tags).
+	PreOrder Order = iota
+	// PostOrder (≤post) is bottom-up left-to-right traversal order
+	// (sequence of closing tags).
+	PostOrder
+	// BFLROrder (≤bflr) is breadth-first left-to-right traversal order.
+	BFLROrder
+
+	numOrders
+)
+
+// Orders lists all three total orders.
+var Orders = []Order{PreOrder, PostOrder, BFLROrder}
+
+// String returns the paper's name for the order.
+func (o Order) String() string {
+	switch o {
+	case PreOrder:
+		return "<pre"
+	case PostOrder:
+		return "<post"
+	case BFLROrder:
+		return "<bflr"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Rank returns the rank of v under the order in t.
+func (o Order) Rank(t *tree.Tree, v tree.NodeID) int32 {
+	switch o {
+	case PreOrder:
+		return t.Pre(v)
+	case PostOrder:
+		return t.Post(v)
+	case BFLROrder:
+		return t.BFLR(v)
+	default:
+		panic(fmt.Sprintf("axis: Rank of invalid order %d", int(o)))
+	}
+}
+
+// Less reports u < v under the order in t.
+func (o Order) Less(t *tree.Tree, u, v tree.NodeID) bool {
+	return o.Rank(t, u) < o.Rank(t, v)
+}
+
+// NodeAt returns the node with the given rank under the order.
+func (o Order) NodeAt(t *tree.Tree, rank int32) tree.NodeID {
+	switch o {
+	case PreOrder:
+		return t.ByPre(rank)
+	case PostOrder:
+		return t.ByPost(rank)
+	case BFLROrder:
+		return t.ByBFLR(rank)
+	default:
+		panic(fmt.Sprintf("axis: NodeAt of invalid order %d", int(o)))
+	}
+}
+
+// SubsetOfOrder reports the order-inclusion facts listed at the start of
+// §4 of the paper: whether R(u,v) ⇒ u < v under the order, for every tree.
+//
+//  1. every axis in Ax (and the order extensions) is a subset of ≤pre;
+//  2. Parent, Ancestor+, Ancestor*, Following, NextSibling, NextSibling+
+//     and NextSibling* are subsets of ≤post;
+//  3. Child, Child+, Child*, NextSibling, NextSibling+ and NextSibling*
+//     are subsets of ≤bflr.
+//
+// (For reflexive axes the inclusion is in the reflexive closure ≤.)
+func SubsetOfOrder(a Axis, o Order) bool {
+	switch o {
+	case PreOrder:
+		switch a {
+		case Child, ChildPlus, ChildStar, NextSibling, NextSiblingPlus,
+			NextSiblingStar, Following, Self, DocOrder, DocOrderSucc:
+			return true
+		case Parent, AncestorPlus, AncestorStar, PrevSibling,
+			PrevSiblingPlus, PrevSiblingStar, Preceding:
+			return false
+		}
+	case PostOrder:
+		switch a {
+		case Parent, AncestorPlus, AncestorStar, Following, NextSibling,
+			NextSiblingPlus, NextSiblingStar, Self:
+			return true
+		case Child, ChildPlus, ChildStar, PrevSibling, PrevSiblingPlus,
+			PrevSiblingStar, Preceding, DocOrder, DocOrderSucc:
+			return false
+		}
+	case BFLROrder:
+		switch a {
+		case Child, ChildPlus, ChildStar, NextSibling, NextSiblingPlus,
+			NextSiblingStar, Self:
+			return true
+		case Parent, AncestorPlus, AncestorStar, PrevSibling,
+			PrevSiblingPlus, PrevSiblingStar, Following, Preceding,
+			DocOrder, DocOrderSucc:
+			return false
+		}
+	}
+	panic(fmt.Sprintf("axis: SubsetOfOrder(%v, %v) out of range", a, o))
+}
+
+// HasXProperty reports the facts of Theorem 4.1 (plus Example 4.5 for the
+// order extensions): whether the axis has the X-property with respect to
+// the order on every tree. These are the *proved* facts; package xprop can
+// verify them on concrete trees.
+//
+//	(1) Child+ and Child* have the X-property w.r.t. <pre;
+//	(2) Following has the X-property w.r.t. <post;
+//	(3) Child, NextSibling, NextSibling* and NextSibling+ have the
+//	    X-property w.r.t. <bflr;
+//	(+) Self, DocOrder (<pre itself) and DocOrderSucc have the X-property
+//	    w.r.t. <pre (Example 4.5).
+func HasXProperty(a Axis, o Order) bool {
+	switch o {
+	case PreOrder:
+		switch a {
+		case ChildPlus, ChildStar, Self, DocOrder, DocOrderSucc:
+			return true
+		}
+		return false
+	case PostOrder:
+		switch a {
+		case Following, Self:
+			return true
+		}
+		return false
+	case BFLROrder:
+		switch a {
+		case Child, NextSibling, NextSiblingPlus, NextSiblingStar, Self:
+			return true
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("axis: HasXProperty of invalid order %d", int(o)))
+	}
+}
+
+// CommonXOrder returns an order with respect to which every axis in axes
+// has the X-property, if one exists. This is the tractability condition of
+// Theorem 1.1: the conjunctive queries over the signature are in P iff
+// such an order exists.
+func CommonXOrder(axes []Axis) (Order, bool) {
+	for _, o := range Orders {
+		all := true
+		for _, a := range axes {
+			if !HasXProperty(a, o) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return o, true
+		}
+	}
+	return 0, false
+}
+
+// MaximalTractableSets returns the subset-maximal sets of paper axes whose
+// conjunctive queries are tractable (§1.1): exactly
+//
+//	{Child, NextSibling, NextSibling*, NextSibling+},
+//	{Child*, Child+}, and {Following}.
+func MaximalTractableSets() [][]Axis {
+	return [][]Axis{
+		{Child, NextSibling, NextSiblingStar, NextSiblingPlus},
+		{ChildStar, ChildPlus},
+		{Following},
+	}
+}

@@ -1,0 +1,177 @@
+package axis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestSubsetOfOrderFacts(t *testing.T) {
+	// Verify the §4 inclusion facts on random trees: whenever
+	// SubsetOfOrder(a, o) holds, R(u,v) implies rank(u) <= rank(v)
+	// (strict for irreflexive axes).
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		tr := tree.Random(rng, tree.DefaultRandomConfig(1+rng.Intn(40)))
+		for _, a := range All() {
+			for _, o := range Orders {
+				if !SubsetOfOrder(a, o) {
+					continue
+				}
+				for _, p := range Pairs(tr, a) {
+					ru, rv := o.Rank(tr, p[0]), o.Rank(tr, p[1])
+					if ru > rv {
+						t.Fatalf("%v claimed ⊆ %v but (%d,%d) has ranks %d > %d on %s",
+							a, o, p[0], p[1], ru, rv, tr)
+					}
+					if a.Irreflexive() && ru == rv && p[0] != p[1] {
+						t.Fatalf("%v ⊆ %v: distinct pair with equal rank", a, o)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSubsetOfOrderNegativesHaveWitnesses(t *testing.T) {
+	// For paper axes where SubsetOfOrder is false, exhibit a tree where
+	// the inclusion fails — ensures the fact table is not over-cautious.
+	type neg struct {
+		a Axis
+		o Order
+	}
+	negs := []neg{
+		{Child, PostOrder},        // parent before child fails in post
+		{ChildPlus, PostOrder},    //
+		{ChildStar, PostOrder},    //
+		{Following, BFLROrder},    // following can be above in the tree
+		{Parent, PreOrder},        //
+		{AncestorPlus, BFLROrder}, //
+		{Preceding, PreOrder},     //
+		{PrevSibling, PreOrder},   //
+		{DocOrder, PostOrder},
+		{DocOrderSucc, BFLROrder},
+		{PrevSiblingPlus, PreOrder},
+	}
+	// A tree where Following goes "up": F(A(B),C): B's following
+	// includes C; bflr(C) > bflr(B)? C is at depth 1, B at depth 2:
+	// bflr(C) < bflr(B). So Following(B, C) violates bflr.
+	wit := tree.MustParseTerm("F(A(B),C)")
+	for _, ng := range negs {
+		if SubsetOfOrder(ng.a, ng.o) {
+			t.Errorf("fact table claims %v ⊆ %v", ng.a, ng.o)
+			continue
+		}
+		found := false
+		for _, p := range Pairs(wit, ng.a) {
+			if ng.o.Rank(wit, p[0]) > ng.o.Rank(wit, p[1]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Not all negatives have a witness on this one tree; try a
+			// deeper one.
+			wit2 := tree.MustParseTerm("R(A(B(C),D),E)")
+			for _, p := range Pairs(wit2, ng.a) {
+				if ng.o.Rank(wit2, p[0]) > ng.o.Rank(wit2, p[1]) {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no witness that %v ⊄ %v on sample trees", ng.a, ng.o)
+		}
+	}
+}
+
+func TestOrderRankAndNodeAt(t *testing.T) {
+	tr := tree.MustParseTerm("A(B(D,E),C)")
+	for _, o := range Orders {
+		for r := int32(0); r < int32(tr.Len()); r++ {
+			v := o.NodeAt(tr, r)
+			if o.Rank(tr, v) != r {
+				t.Errorf("%v: NodeAt/Rank mismatch at %d", o, r)
+			}
+		}
+	}
+	if !PreOrder.Less(tr, 0, 1) {
+		t.Errorf("root should be pre-first")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if PreOrder.String() != "<pre" || PostOrder.String() != "<post" || BFLROrder.String() != "<bflr" {
+		t.Errorf("order names wrong")
+	}
+}
+
+func TestCommonXOrder(t *testing.T) {
+	cases := []struct {
+		axes []Axis
+		want Order
+		ok   bool
+	}{
+		{[]Axis{Child}, BFLROrder, true},
+		{[]Axis{ChildPlus, ChildStar}, PreOrder, true},
+		{[]Axis{Following}, PostOrder, true},
+		{[]Axis{Child, NextSibling, NextSiblingPlus, NextSiblingStar}, BFLROrder, true},
+		{[]Axis{Child, ChildPlus}, 0, false},
+		{[]Axis{Child, Following}, 0, false},
+		{[]Axis{ChildStar, NextSibling}, 0, false},
+		{[]Axis{Following, NextSiblingStar}, 0, false},
+		{[]Axis{}, PreOrder, true}, // empty signature: any order
+	}
+	for _, tc := range cases {
+		o, ok := CommonXOrder(tc.axes)
+		if ok != tc.ok {
+			t.Errorf("CommonXOrder(%v) ok = %v, want %v", tc.axes, ok, tc.ok)
+			continue
+		}
+		if ok && o != tc.want {
+			t.Errorf("CommonXOrder(%v) = %v, want %v", tc.axes, o, tc.want)
+		}
+	}
+}
+
+func TestMaximalTractableSets(t *testing.T) {
+	sets := MaximalTractableSets()
+	if len(sets) != 3 {
+		t.Fatalf("want 3 maximal sets, got %d", len(sets))
+	}
+	// Each set must admit a common order...
+	for _, s := range sets {
+		if _, ok := CommonXOrder(s); !ok {
+			t.Errorf("maximal set %v has no common X order", s)
+		}
+	}
+	// ...and be maximal: adding any other paper axis breaks it.
+	for _, s := range sets {
+		in := map[Axis]bool{}
+		for _, a := range s {
+			in[a] = true
+		}
+		for _, extra := range PaperAxes {
+			if in[extra] {
+				continue
+			}
+			if _, ok := CommonXOrder(append(append([]Axis{}, s...), extra)); ok {
+				t.Errorf("set %v + %v still tractable; set not maximal", s, extra)
+			}
+		}
+	}
+	// The three sets are pairwise disjoint (§1.1).
+	seen := map[Axis]int{}
+	for _, s := range sets {
+		for _, a := range s {
+			seen[a]++
+		}
+	}
+	for a, c := range seen {
+		if c > 1 {
+			t.Errorf("axis %v appears in %d maximal sets", a, c)
+		}
+	}
+}

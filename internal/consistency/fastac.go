@@ -1,0 +1,509 @@
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// succUF is a deletion-only successor structure over ranks 0..n-1: find(r)
+// returns the smallest alive rank >= r, or n if none. Deleting rank r is
+// amortized near-constant (union-find with path halving).
+type succUF struct {
+	next []int32 // next[r] = r if alive, else a rank to the right
+}
+
+func newSuccUF(n int) *succUF {
+	u := &succUF{next: make([]int32, n+1)}
+	for i := range u.next {
+		u.next[i] = int32(i)
+	}
+	return u
+}
+
+func (u *succUF) find(r int32) int32 {
+	for u.next[r] != r {
+		u.next[r] = u.next[u.next[r]] // path halving
+		r = u.next[r]
+	}
+	return r
+}
+
+func (u *succUF) delete(r int32) { u.next[r] = u.find(r + 1) }
+
+// predUF is the mirror: find(r) returns the largest alive rank <= r, or -1.
+type predUF struct {
+	prev []int32 // index shifted by +1; prev[0] = 0 is the "none" sentinel
+}
+
+func newPredUF(n int) *predUF {
+	u := &predUF{prev: make([]int32, n+1)}
+	for i := range u.prev {
+		u.prev[i] = int32(i)
+	}
+	return u
+}
+
+func (u *predUF) find(r int32) int32 {
+	i := r + 1
+	for u.prev[i] != i {
+		u.prev[i] = u.prev[u.prev[i]]
+		i = u.prev[i]
+	}
+	return i - 1
+}
+
+func (u *predUF) delete(r int32) { u.prev[r+1] = u.findIdx(r) }
+
+func (u *predUF) findIdx(r int32) int32 {
+	i := r
+	for u.prev[i] != i {
+		u.prev[i] = u.prev[u.prev[i]]
+		i = u.prev[i]
+	}
+	return i
+}
+
+// sibOrder numbers nodes so that siblings are consecutive: nodes sorted by
+// (pre(parent), sibIndex); the root occupies rank 0. rangeOf gives the
+// half-open rank interval of parent p's children.
+type sibOrder struct {
+	rank  []int32 // node -> sibling-order rank
+	start []int32 // parent node -> first child rank (undefined if no kids)
+}
+
+func newSibOrder(t *tree.Tree) *sibOrder {
+	n := t.Len()
+	o := &sibOrder{rank: make([]int32, n), start: make([]int32, n)}
+	var r int32
+	if n > 0 {
+		o.rank[t.Root()] = r
+		r++
+	}
+	for pr := int32(0); pr < int32(n); pr++ {
+		p := t.ByPre(pr)
+		kids := t.Children(p)
+		if len(kids) == 0 {
+			continue
+		}
+		o.start[p] = r
+		for _, c := range kids {
+			o.rank[c] = r
+			r++
+		}
+	}
+	return o
+}
+
+// domain bundles a variable's alive set with its deletion-only indexes.
+type domain struct {
+	set      *NodeSet
+	byPre    *succUF // over pre ranks
+	byPreMax *predUF // over pre ranks (max alive <= r)
+	bySib    *succUF // over sibling-order ranks
+	bySibMax *predUF
+	byPreEnd *succUF // over preEnd-sorted positions (min alive preEnd)
+}
+
+// fastState carries the shared tree indexes of a FastAC run.
+type fastState struct {
+	t   *tree.Tree
+	n   int
+	sib *sibOrder
+	// preEnd order: positions sorted by (preEnd, pre); node at position i.
+	preEndNode []tree.NodeID
+	preEndPos  []int32 // node -> position
+	doms       []*domain
+}
+
+func (st *fastState) newDomain(s *NodeSet) *domain {
+	n := st.n
+	d := &domain{
+		set:      s,
+		byPre:    newSuccUF(n),
+		byPreMax: newPredUF(n),
+		bySib:    newSuccUF(n),
+		bySibMax: newPredUF(n),
+		byPreEnd: newSuccUF(n),
+	}
+	// Delete ranks of nodes not in s.
+	for v := 0; v < n; v++ {
+		if !s.Has(tree.NodeID(v)) {
+			d.deleteIndexes(st, tree.NodeID(v))
+		}
+	}
+	return d
+}
+
+func (d *domain) deleteIndexes(st *fastState, v tree.NodeID) {
+	pr := st.t.Pre(v)
+	d.byPre.delete(pr)
+	d.byPreMax.delete(pr)
+	sr := st.sib.rank[v]
+	d.bySib.delete(sr)
+	d.bySibMax.delete(sr)
+	d.byPreEnd.delete(st.preEndPos[v])
+}
+
+func (d *domain) remove(st *fastState, v tree.NodeID) {
+	d.set.Remove(v)
+	d.deleteIndexes(st, v)
+}
+
+// maxAlivePre returns the largest pre rank alive in d, or -1.
+func (d *domain) maxAlivePre(st *fastState) int32 { return d.byPreMax.find(int32(st.n) - 1) }
+
+// minAlivePreEnd returns the smallest preEnd value among alive nodes, or
+// n (one past any valid rank) if the domain is empty.
+func (d *domain) minAlivePreEnd(st *fastState) int32 {
+	pos := d.byPreEnd.find(0)
+	if pos >= int32(st.n) {
+		return int32(st.n)
+	}
+	return st.t.PreEnd(st.preEndNode[pos])
+}
+
+// hasAliveInPreRange reports whether some alive node has pre rank in
+// [lo, hi].
+func (d *domain) hasAliveInPreRange(lo, hi int32) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	r := d.byPre.find(lo)
+	return r <= hi
+}
+
+// hasAliveInSibRange reports whether some alive node has sibling-order
+// rank in [lo, hi].
+func (d *domain) hasAliveInSibRange(lo, hi int32) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	r := d.bySib.find(lo)
+	return r <= hi
+}
+
+// supportedFwd reports whether node v (a candidate for x in atom R(x,y))
+// has some support w in dy: ∃w ∈ dy: R(v,w).
+func (st *fastState) supportedFwd(a axis.Axis, v tree.NodeID, dy *domain) bool {
+	t := st.t
+	switch a {
+	case axis.Child:
+		for _, c := range t.Children(v) {
+			if dy.set.Has(c) {
+				return true
+			}
+		}
+		return false
+	case axis.ChildPlus:
+		return dy.hasAliveInPreRange(t.Pre(v)+1, t.PreEnd(v))
+	case axis.ChildStar:
+		return dy.hasAliveInPreRange(t.Pre(v), t.PreEnd(v))
+	case axis.NextSibling:
+		w := t.NextSibling(v)
+		return w != tree.NilNode && dy.set.Has(w)
+	case axis.NextSiblingPlus:
+		p := t.Parent(v)
+		if p == tree.NilNode {
+			return false
+		}
+		lo := st.sib.rank[v] + 1
+		hi := st.sib.start[p] + int32(t.NumChildren(p)) - 1
+		return dy.hasAliveInSibRange(lo, hi)
+	case axis.NextSiblingStar:
+		if dy.set.Has(v) {
+			return true
+		}
+		return st.supportedFwd(axis.NextSiblingPlus, v, dy)
+	case axis.Following:
+		return dy.maxAlivePre(st) > t.PreEnd(v)
+	case axis.Parent:
+		p := t.Parent(v)
+		return p != tree.NilNode && dy.set.Has(p)
+	case axis.AncestorPlus:
+		for p := t.Parent(v); p != tree.NilNode; p = t.Parent(p) {
+			if dy.set.Has(p) {
+				return true
+			}
+		}
+		return false
+	case axis.AncestorStar:
+		for p := v; p != tree.NilNode; p = t.Parent(p) {
+			if dy.set.Has(p) {
+				return true
+			}
+		}
+		return false
+	case axis.PrevSibling:
+		w := t.PrevSibling(v)
+		return w != tree.NilNode && dy.set.Has(w)
+	case axis.PrevSiblingPlus:
+		p := t.Parent(v)
+		if p == tree.NilNode {
+			return false
+		}
+		lo := st.sib.start[p]
+		hi := st.sib.rank[v] - 1
+		return hi >= lo && dy.bySibMax.find(hi) >= lo
+	case axis.PrevSiblingStar:
+		if dy.set.Has(v) {
+			return true
+		}
+		return st.supportedFwd(axis.PrevSiblingPlus, v, dy)
+	case axis.Preceding:
+		// Preceding(v,w) ⇔ Following(w,v) ⇔ pre(v) > preEnd(w).
+		return dy.minAlivePreEnd(st) < t.Pre(v)
+	case axis.Self:
+		return dy.set.Has(v)
+	case axis.DocOrder:
+		return dy.maxAlivePre(st) > t.Pre(v)
+	case axis.DocOrderSucc:
+		r := t.Pre(v) + 1
+		return r < int32(st.n) && dy.set.Has(t.ByPre(r))
+	default:
+		panic(fmt.Sprintf("consistency: supportedFwd of invalid axis %d", int(a)))
+	}
+}
+
+// supportedBwd reports whether node w (a candidate for y in atom R(x,y))
+// has some support v in dx: ∃v ∈ dx: R(v,w).
+func (st *fastState) supportedBwd(a axis.Axis, w tree.NodeID, dx *domain) bool {
+	t := st.t
+	switch a {
+	case axis.Child:
+		return st.supportedFwd(axis.Parent, w, dx)
+	case axis.ChildPlus:
+		return st.supportedFwd(axis.AncestorPlus, w, dx)
+	case axis.ChildStar:
+		return st.supportedFwd(axis.AncestorStar, w, dx)
+	case axis.NextSibling:
+		return st.supportedFwd(axis.PrevSibling, w, dx)
+	case axis.NextSiblingPlus:
+		return st.supportedFwd(axis.PrevSiblingPlus, w, dx)
+	case axis.NextSiblingStar:
+		return st.supportedFwd(axis.PrevSiblingStar, w, dx)
+	case axis.Following:
+		// ∃v: Following(v,w) ⇔ ∃v: preEnd(v) < pre(w).
+		return dx.minAlivePreEnd(st) < t.Pre(w)
+	case axis.Parent:
+		return st.supportedFwd(axis.Child, w, dx)
+	case axis.AncestorPlus:
+		return st.supportedFwd(axis.ChildPlus, w, dx)
+	case axis.AncestorStar:
+		return st.supportedFwd(axis.ChildStar, w, dx)
+	case axis.PrevSibling:
+		return st.supportedFwd(axis.NextSibling, w, dx)
+	case axis.PrevSiblingPlus:
+		return st.supportedFwd(axis.NextSiblingPlus, w, dx)
+	case axis.PrevSiblingStar:
+		return st.supportedFwd(axis.NextSiblingStar, w, dx)
+	case axis.Preceding:
+		// ∃v: Preceding(v,w) ⇔ ∃v: pre(v) > preEnd(w).
+		return dx.maxAlivePre(st) > t.PreEnd(w)
+	case axis.Self:
+		return dx.set.Has(w)
+	case axis.DocOrder:
+		// ∃v: pre(v) < pre(w) ⇔ min alive pre < pre(w).
+		return dx.byPre.find(0) < t.Pre(w)
+	case axis.DocOrderSucc:
+		r := t.Pre(w) - 1
+		return r >= 0 && dx.set.Has(t.ByPre(r))
+	default:
+		panic(fmt.Sprintf("consistency: supportedBwd of invalid axis %d", int(a)))
+	}
+}
+
+// FastAC computes the subset-maximal arc-consistent prevaluation of q on t
+// with an AC-3-style worklist over the label-filtered initial
+// prevaluation, reporting (nil, false) if some variable's set empties.
+// Unlike HornAC it never materializes axis relations: every support test
+// uses O(1)-ish order queries (plus O(children) for Child and O(depth) for
+// ancestor walks).
+func FastAC(t *tree.Tree, q *cq.Query) (*Prevaluation, bool) {
+	if q.NumVars() == 0 {
+		return &Prevaluation{}, true
+	}
+	if t.Len() == 0 {
+		return nil, false
+	}
+	return FastACFrom(t, q, NewPrevaluation(t, q))
+}
+
+// Stats reports work counters of a FastAC run, used by the ablation
+// benchmarks and the experiment harness.
+type Stats struct {
+	// Revisions counts atom revisions popped from the worklist.
+	Revisions int
+	// Removals counts candidate nodes pruned from domains.
+	Removals int
+	// Enqueues counts worklist (re-)insertions.
+	Enqueues int
+}
+
+// FastACFrom runs the FastAC worklist from the given initial prevaluation
+// (which it consumes and mutates). The result is the maximal
+// arc-consistent prevaluation contained in init.
+func FastACFrom(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, bool) {
+	p, _, ok := FastACFromStats(t, q, init)
+	return p, ok
+}
+
+// FastACFromStats is FastACFrom with work counters.
+func FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, Stats, bool) {
+	var stats Stats
+	n := t.Len()
+	if q.NumVars() == 0 {
+		return &Prevaluation{}, stats, true
+	}
+	if n == 0 {
+		return nil, stats, false
+	}
+	st := &fastState{t: t, n: n, sib: newSibOrder(t)}
+	// preEnd order: sort positions by (preEnd, pre) using counting by pre
+	// of a stable criterion — simple sort on int64 keys.
+	st.preEndNode = make([]tree.NodeID, n)
+	st.preEndPos = make([]int32, n)
+	order := make([]int64, n) // key = preEnd<<32 | pre, value implicit
+	for v := 0; v < n; v++ {
+		order[v] = int64(t.PreEnd(tree.NodeID(v)))<<32 | int64(t.Pre(tree.NodeID(v)))
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sortByKey(idx, order)
+	for pos, v := range idx {
+		st.preEndNode[pos] = tree.NodeID(v)
+		st.preEndPos[v] = int32(pos)
+	}
+
+	st.doms = make([]*domain, q.NumVars())
+	for x, s := range init.Sets {
+		st.doms[x] = st.newDomain(s)
+		if s.Empty() {
+			return nil, stats, false
+		}
+	}
+
+	// Worklist of atom indexes to (re-)revise.
+	inQueue := make([]bool, len(q.Atoms))
+	queue := make([]int, 0, len(q.Atoms))
+	for i := range q.Atoms {
+		queue = append(queue, i)
+		inQueue[i] = true
+	}
+	// atomsOf[x] = atoms touching variable x.
+	atomsOf := make([][]int, q.NumVars())
+	for i, at := range q.Atoms {
+		atomsOf[at.X] = append(atomsOf[at.X], i)
+		if at.Y != at.X {
+			atomsOf[at.Y] = append(atomsOf[at.Y], i)
+		}
+	}
+	enqueueTouching := func(x cq.Var) {
+		for _, i := range atomsOf[x] {
+			if !inQueue[i] {
+				inQueue[i] = true
+				queue = append(queue, i)
+				stats.Enqueues++
+			}
+		}
+	}
+
+	var removeBuf []tree.NodeID
+	for len(queue) > 0 {
+		ai := queue[0]
+		queue = queue[1:]
+		inQueue[ai] = false
+		stats.Revisions++
+		at := q.Atoms[ai]
+		dx, dy := st.doms[at.X], st.doms[at.Y]
+
+		// Forward: prune unsupported candidates of x.
+		removeBuf = removeBuf[:0]
+		dx.set.ForEach(func(v tree.NodeID) bool {
+			if !st.supportedFwd(at.Axis, v, dy) {
+				removeBuf = append(removeBuf, v)
+			}
+			return true
+		})
+		if len(removeBuf) > 0 {
+			stats.Removals += len(removeBuf)
+			for _, v := range removeBuf {
+				dx.remove(st, v)
+			}
+			if dx.set.Empty() {
+				return nil, stats, false
+			}
+			enqueueTouching(at.X)
+		}
+
+		// Backward: prune unsupported candidates of y.
+		removeBuf = removeBuf[:0]
+		dy.set.ForEach(func(w tree.NodeID) bool {
+			if !st.supportedBwd(at.Axis, w, dx) {
+				removeBuf = append(removeBuf, w)
+			}
+			return true
+		})
+		if len(removeBuf) > 0 {
+			stats.Removals += len(removeBuf)
+			for _, w := range removeBuf {
+				dy.remove(st, w)
+			}
+			if dy.set.Empty() {
+				return nil, stats, false
+			}
+			enqueueTouching(at.Y)
+		}
+	}
+
+	p := &Prevaluation{Sets: make([]*NodeSet, q.NumVars())}
+	for x, d := range st.doms {
+		p.Sets[x] = d.set
+	}
+	return p, stats, true
+}
+
+// sortByKey sorts idx by ascending key[idx[i]] (simple bottom-up merge
+// sort to stay allocation-predictable; n is a tree size).
+func sortByKey(idx []int32, key []int64) {
+	n := len(idx)
+	buf := make([]int32, n)
+	for width := 1; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := lo + width
+			hi := lo + 2*width
+			if mid > n {
+				mid = n
+			}
+			if hi > n {
+				hi = n
+			}
+			i, j, k := lo, mid, lo
+			for i < mid && j < hi {
+				if key[idx[i]] <= key[idx[j]] {
+					buf[k] = idx[i]
+					i++
+				} else {
+					buf[k] = idx[j]
+					j++
+				}
+				k++
+			}
+			for i < mid {
+				buf[k] = idx[i]
+				i++
+				k++
+			}
+			for j < hi {
+				buf[k] = idx[j]
+				j++
+				k++
+			}
+		}
+		copy(idx, buf)
+	}
+}

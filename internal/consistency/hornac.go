@@ -1,0 +1,116 @@
+package consistency
+
+import (
+	"repro/internal/axis"
+	"repro/internal/cq"
+	"repro/internal/hornsat"
+	"repro/internal/tree"
+)
+
+// HornAC computes the unique subset-maximal arc-consistent prevaluation of
+// q on t using the paper-exact Horn-SAT reduction of Proposition 3.1, and
+// reports (nil, false) if none exists (some variable's set would be empty).
+//
+// The propositional atoms are Remove(x, v); the clauses are
+//
+//	Remove(x,v) ← .                                    P(x) ∈ Q, ¬P^A(v)
+//	Remove(x,v) ← ∧{Remove(y,w) | R^A(v,w)}            R(x,y) ∈ Q, v ∈ A
+//	Remove(y,w) ← ∧{Remove(x,v) | R^A(v,w)}            R(x,y) ∈ Q, w ∈ A
+//
+// and Π(x) = {v | Remove(x,v) not derivable}. The program is solved by
+// linear-time unit resolution (package hornsat), so the whole computation
+// is O(‖A‖·|Q|) in the size of the program — note the program materializes
+// each axis relation, which is Θ(n²) pairs for transitive axes.
+func HornAC(t *tree.Tree, q *cq.Query) (*Prevaluation, bool) {
+	return HornACPinned(t, q, nil, nil)
+}
+
+// HornACPinned is HornAC extended with the singleton relations of the
+// tuple-membership construction below Theorem 3.5: for each pinned
+// variable vars[i], facts Remove(vars[i], v) are added for every node
+// v ≠ nodes[i].
+func HornACPinned(t *tree.Tree, q *cq.Query, vars []cq.Var, nodes []tree.NodeID) (*Prevaluation, bool) {
+	n := t.Len()
+	nv := q.NumVars()
+	prog := hornsat.NewProgram(nv*n, nv*n*2)
+	prog.NewAtoms(nv * n) // Remove(x, v) = x*n + v
+	atom := func(x cq.Var, v tree.NodeID) hornsat.AtomID {
+		return hornsat.AtomID(int(x)*n + int(v))
+	}
+
+	// Pin facts: Remove(x,v) for every node other than the pinned one.
+	for i, x := range vars {
+		for v := 0; v < n; v++ {
+			if tree.NodeID(v) != nodes[i] {
+				prog.AddClause(atom(x, tree.NodeID(v)))
+			}
+		}
+	}
+
+	// Unary facts: Remove(x,v) for every v lacking a required label.
+	for _, la := range q.Labels {
+		for v := 0; v < n; v++ {
+			if !t.HasLabel(tree.NodeID(v), la.Label) {
+				prog.AddClause(atom(la.X, tree.NodeID(v)))
+			}
+		}
+	}
+
+	// Binary clauses. For each atom R(x,y) and node v, the forward clause
+	// bodies enumerate successors of v under R; backward clauses enumerate
+	// predecessors of w (successors under the inverse axis).
+	var body []hornsat.AtomID
+	for _, at := range q.Atoms {
+		fwd, hasInv := at.Axis, true
+		var bwd axis.Axis
+		switch at.Axis {
+		case axis.DocOrder, axis.DocOrderSucc:
+			hasInv = false
+		default:
+			bwd = at.Axis.Inverse()
+		}
+		for v := 0; v < n; v++ {
+			vid := tree.NodeID(v)
+			body = body[:0]
+			axis.ForEachSuccessor(t, fwd, vid, func(w tree.NodeID) bool {
+				body = append(body, atom(at.Y, w))
+				return true
+			})
+			prog.AddClause(atom(at.X, vid), body...)
+		}
+		for w := 0; w < n; w++ {
+			wid := tree.NodeID(w)
+			body = body[:0]
+			if hasInv {
+				axis.ForEachSuccessor(t, bwd, wid, func(v tree.NodeID) bool {
+					body = append(body, atom(at.X, v))
+					return true
+				})
+			} else {
+				// Order extensions: enumerate predecessors directly.
+				for v := 0; v < n; v++ {
+					if axis.Holds(t, at.Axis, tree.NodeID(v), wid) {
+						body = append(body, atom(at.X, tree.NodeID(v)))
+					}
+				}
+			}
+			prog.AddClause(atom(at.Y, wid), body...)
+		}
+	}
+
+	removed := prog.Solve()
+	p := &Prevaluation{Sets: make([]*NodeSet, nv)}
+	for x := 0; x < nv; x++ {
+		s := NewNodeSet(n)
+		for v := 0; v < n; v++ {
+			if !removed[int(x)*n+v] {
+				s.Add(tree.NodeID(v))
+			}
+		}
+		if s.Empty() {
+			return nil, false
+		}
+		p.Sets[x] = s
+	}
+	return p, true
+}

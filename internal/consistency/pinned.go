@@ -1,0 +1,55 @@
+package consistency
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// Engine selects an arc-consistency implementation.
+type Engine int
+
+// The two implementations (see package doc).
+const (
+	EngineFast Engine = iota
+	EngineHorn
+)
+
+// Run dispatches to the selected engine.
+func Run(e Engine, t *tree.Tree, q *cq.Query) (*Prevaluation, bool) {
+	switch e {
+	case EngineFast:
+		return FastAC(t, q)
+	case EngineHorn:
+		return HornAC(t, q)
+	default:
+		panic(fmt.Sprintf("consistency: invalid engine %d", int(e)))
+	}
+}
+
+// PinnedAC computes the maximal arc-consistent prevaluation of q on t
+// subject to pinning vars[i] to the singleton {nodes[i]}. This realizes
+// the tuple-membership construction below Theorem 3.5: adding singleton
+// unary relations X_i = {a_i} for the pinned variables. The pins are
+// applied as initial-domain restrictions (for FastAC) or as extra Remove
+// facts (for HornAC) — both equivalent to the paper's added relations.
+func PinnedAC(e Engine, t *tree.Tree, q *cq.Query, vars []cq.Var, nodes []tree.NodeID) (*Prevaluation, bool) {
+	if len(vars) != len(nodes) {
+		panic(fmt.Sprintf("consistency: PinnedAC with %d vars, %d nodes", len(vars), len(nodes)))
+	}
+	switch e {
+	case EngineFast:
+		init := NewPrevaluation(t, q)
+		for i, x := range vars {
+			pin := NewNodeSet(t.Len())
+			pin.Add(nodes[i])
+			init.Sets[x].IntersectWith(pin)
+		}
+		return FastACFrom(t, q, init)
+	case EngineHorn:
+		return HornACPinned(t, q, vars, nodes)
+	default:
+		panic(fmt.Sprintf("consistency: invalid engine %d", int(e)))
+	}
+}

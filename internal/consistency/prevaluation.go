@@ -1,0 +1,278 @@
+// Package consistency implements prevaluations, arc-consistency and
+// minimum valuations (§3 of "Conjunctive Queries over Trees").
+//
+// A prevaluation Π assigns to each query variable a nonempty set of tree
+// nodes; it is arc-consistent if every node in every set has a "support"
+// in the set of each neighbouring variable along every binary atom, and
+// satisfies all unary atoms (Definition in §3). Proposition 3.1 computes
+// the unique subset-maximal arc-consistent prevaluation in O(‖A‖·|Q|) via
+// Horn-SAT; Lemma 3.4 extracts a consistent valuation by taking minima
+// with respect to an order for which the structure has the X-property.
+//
+// Two engines are provided and cross-checked by tests:
+//
+//   - HornAC: the paper-exact reduction to Horn-SAT (Prop. 3.1), solved by
+//     linear-time unit resolution. It materializes axis relations and is
+//     linear in ‖A‖ — but ‖A‖ itself is Θ(n²) for transitive axes.
+//   - FastAC: an AC-3-style worklist that never materializes relations;
+//     support tests are O(1)-ish per node using deletion-only successor
+//     structures over the pre-order / sibling-order numbering.
+package consistency
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// Valuation maps each query variable (by index) to a tree node.
+type Valuation []tree.NodeID
+
+// Consistent reports whether θ satisfies every atom of q on t (i.e. θ is a
+// satisfaction, §3).
+func Consistent(t *tree.Tree, q *cq.Query, theta Valuation) bool {
+	for _, la := range q.Labels {
+		if !t.HasLabel(theta[la.X], la.Label) {
+			return false
+		}
+	}
+	for _, at := range q.Atoms {
+		if !axis.Holds(t, at.Axis, theta[at.X], theta[at.Y]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeSet is a fixed-universe bitset over tree nodes with a cardinality
+// counter.
+type NodeSet struct {
+	words []uint64
+	n     int // universe size
+	count int
+}
+
+// NewNodeSet returns an empty set over a universe of n nodes.
+func NewNodeSet(n int) *NodeSet {
+	return &NodeSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// FullNodeSet returns the set of all n nodes.
+func FullNodeSet(n int) *NodeSet {
+	s := NewNodeSet(n)
+	for i := 0; i < n; i++ {
+		s.Add(tree.NodeID(i))
+	}
+	return s
+}
+
+// Has reports membership.
+func (s *NodeSet) Has(v tree.NodeID) bool {
+	return s.words[v>>6]&(1<<(uint(v)&63)) != 0
+}
+
+// Add inserts v.
+func (s *NodeSet) Add(v tree.NodeID) {
+	w, b := v>>6, uint64(1)<<(uint(v)&63)
+	if s.words[w]&b == 0 {
+		s.words[w] |= b
+		s.count++
+	}
+}
+
+// Remove deletes v.
+func (s *NodeSet) Remove(v tree.NodeID) {
+	w, b := v>>6, uint64(1)<<(uint(v)&63)
+	if s.words[w]&b != 0 {
+		s.words[w] &^= b
+		s.count--
+	}
+}
+
+// Len returns the cardinality.
+func (s *NodeSet) Len() int { return s.count }
+
+// Empty reports whether the set is empty.
+func (s *NodeSet) Empty() bool { return s.count == 0 }
+
+// Clone returns a copy.
+func (s *NodeSet) Clone() *NodeSet {
+	return &NodeSet{words: append([]uint64(nil), s.words...), n: s.n, count: s.count}
+}
+
+// IntersectWith removes every element not in o.
+func (s *NodeSet) IntersectWith(o *NodeSet) {
+	c := 0
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+		c += bits.OnesCount64(s.words[i])
+	}
+	s.count = c
+}
+
+// ForEach calls fn on every member in increasing NodeID order; stops early
+// if fn returns false.
+func (s *NodeSet) ForEach(fn func(v tree.NodeID) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(tree.NodeID(wi*64 + b)) {
+				return
+			}
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Members returns the members in increasing NodeID order.
+func (s *NodeSet) Members() []tree.NodeID {
+	out := make([]tree.NodeID, 0, s.count)
+	s.ForEach(func(v tree.NodeID) bool { out = append(out, v); return true })
+	return out
+}
+
+// Equal reports set equality.
+func (s *NodeSet) Equal(o *NodeSet) bool {
+	if s.count != o.count || s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Prevaluation assigns a NodeSet to each variable of a query.
+type Prevaluation struct {
+	Sets []*NodeSet // indexed by cq.Var
+}
+
+// NewPrevaluation returns the label-filtered initial prevaluation: each
+// variable's set is the set of nodes carrying all labels required by the
+// query's unary atoms for that variable (all nodes when unconstrained).
+func NewPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation {
+	n := t.Len()
+	p := &Prevaluation{Sets: make([]*NodeSet, q.NumVars())}
+	for x := range p.Sets {
+		p.Sets[x] = FullNodeSet(n)
+	}
+	for _, la := range q.Labels {
+		s := NewNodeSet(n)
+		for _, v := range t.NodesWithLabel(la.Label) {
+			s.Add(v)
+		}
+		p.Sets[la.X].IntersectWith(s)
+	}
+	return p
+}
+
+// Empty reports whether some variable's set is empty (no arc-consistent
+// prevaluation exists below this one).
+func (p *Prevaluation) Empty() bool {
+	for _, s := range p.Sets {
+		if s.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports element-wise equality (used to cross-check engines).
+func (p *Prevaluation) Equal(o *Prevaluation) bool {
+	if len(p.Sets) != len(o.Sets) {
+		return false
+	}
+	for i := range p.Sets {
+		if !p.Sets[i].Equal(o.Sets[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsArcConsistent verifies the arc-consistency conditions of §3 directly
+// (quadratic; used by tests and as an executable definition).
+func (p *Prevaluation) IsArcConsistent(t *tree.Tree, q *cq.Query) bool {
+	for _, la := range q.Labels {
+		ok := true
+		p.Sets[la.X].ForEach(func(v tree.NodeID) bool {
+			if !t.HasLabel(v, la.Label) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	for _, at := range q.Atoms {
+		sx, sy := p.Sets[at.X], p.Sets[at.Y]
+		ok := true
+		sx.ForEach(func(v tree.NodeID) bool {
+			found := false
+			sy.ForEach(func(w tree.NodeID) bool {
+				if axis.Holds(t, at.Axis, v, w) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		sy.ForEach(func(w tree.NodeID) bool {
+			found := false
+			sx.ForEach(func(v tree.NodeID) bool {
+				if axis.Holds(t, at.Axis, v, w) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimumValuation returns the minimum valuation in p with respect to the
+// order (Lemma 3.4): θ(x) is the <o-smallest node of Π(x). Panics if some
+// set is empty.
+func (p *Prevaluation) MinimumValuation(t *tree.Tree, o axis.Order) Valuation {
+	theta := make(Valuation, len(p.Sets))
+	for x, s := range p.Sets {
+		if s.Empty() {
+			panic(fmt.Sprintf("consistency: MinimumValuation with empty set for variable %d", x))
+		}
+		best := tree.NilNode
+		var bestRank int32
+		s.ForEach(func(v tree.NodeID) bool {
+			r := o.Rank(t, v)
+			if best == tree.NilNode || r < bestRank {
+				best, bestRank = v, r
+			}
+			return true
+		})
+		theta[x] = best
+	}
+	return theta
+}

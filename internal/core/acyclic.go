@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/axis"
+	"repro/internal/consistency"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// AcyclicEngine evaluates acyclic conjunctive queries (queries whose query
+// graph's undirected shadow is a forest) in the style of Yannakakis'
+// algorithm [Yannakakis 1981], cited in §1.1 as the reason APQs evaluate
+// particularly well: a bottom-up semijoin pass then a top-down pass make
+// the candidate sets globally consistent, after which answers enumerate
+// backtrack-free.
+//
+// Works on every tree structure and every acyclic query regardless of
+// signature — acyclicity, not the X-property, supplies tractability here.
+type AcyclicEngine struct{}
+
+// NewAcyclicEngine returns the engine (stateless).
+func NewAcyclicEngine() *AcyclicEngine { return &AcyclicEngine{} }
+
+// shadowForest is a rooted-forest view of an acyclic query graph.
+type shadowForest struct {
+	q     *cq.Query
+	roots []cq.Var
+	// For each variable: the atom linking it to its forest parent, and
+	// whether the atom points parent -> child (down) or child -> parent.
+	parent    []cq.Var
+	linkAtom  []int
+	linkDown  []bool // atom is R(parent, child)
+	children  [][]cq.Var
+	postorder []cq.Var
+}
+
+// buildShadowForest roots each component of the shadow; returns an error
+// if the query is not acyclic.
+func buildShadowForest(q *cq.Query) (*shadowForest, error) {
+	g := cq.NewGraph(q)
+	if !g.IsForest() {
+		return nil, fmt.Errorf("core: query is not acyclic: %s", q)
+	}
+	n := q.NumVars()
+	f := &shadowForest{
+		q:        q,
+		parent:   make([]cq.Var, n),
+		linkAtom: make([]int, n),
+		linkDown: make([]bool, n),
+		children: make([][]cq.Var, n),
+	}
+	for i := range f.parent {
+		f.parent[i] = cq.NilVar
+		f.linkAtom[i] = -1
+	}
+	visited := make([]bool, n)
+	for root := cq.Var(0); int(root) < n; root++ {
+		if visited[root] {
+			continue
+		}
+		f.roots = append(f.roots, root)
+		// BFS over the shadow.
+		queue := []cq.Var{root}
+		visited[root] = true
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Out(x) {
+				if !visited[e.To] {
+					visited[e.To] = true
+					f.parent[e.To] = x
+					f.linkAtom[e.To] = e.AtomIndex
+					f.linkDown[e.To] = true
+					f.children[x] = append(f.children[x], e.To)
+					queue = append(queue, e.To)
+				}
+			}
+			for _, e := range g.In(x) {
+				if !visited[e.From] {
+					visited[e.From] = true
+					f.parent[e.From] = x
+					f.linkAtom[e.From] = e.AtomIndex
+					f.linkDown[e.From] = false
+					f.children[x] = append(f.children[x], e.From)
+					queue = append(queue, e.From)
+				}
+			}
+		}
+	}
+	// Postorder: children before parents.
+	state := make([]byte, n)
+	var dfs func(x cq.Var)
+	dfs = func(x cq.Var) {
+		state[x] = 1
+		for _, c := range f.children[x] {
+			if state[c] == 0 {
+				dfs(c)
+			}
+		}
+		f.postorder = append(f.postorder, x)
+	}
+	for _, r := range f.roots {
+		dfs(r)
+	}
+	return f, nil
+}
+
+// atomHolds evaluates the linking atom between child c and its parent for
+// concrete nodes: vc at the child, vp at the parent.
+func (f *shadowForest) atomHolds(t *tree.Tree, c cq.Var, vp, vc tree.NodeID) bool {
+	at := f.q.Atoms[f.linkAtom[c]]
+	if f.linkDown[c] {
+		return axis.Holds(t, at.Axis, vp, vc)
+	}
+	return axis.Holds(t, at.Axis, vc, vp)
+}
+
+// reduce runs the two semijoin passes and returns the globally consistent
+// candidate sets, or ok=false if some set empties.
+func (e *AcyclicEngine) reduce(t *tree.Tree, q *cq.Query, f *shadowForest) ([]*consistency.NodeSet, bool) {
+	init := consistency.NewPrevaluation(t, q)
+	sets := init.Sets
+	// Bottom-up: prune parent candidates lacking a consistent child value.
+	for _, x := range f.postorder {
+		p := f.parent[x]
+		if p == cq.NilVar {
+			continue
+		}
+		if sets[x].Empty() {
+			return nil, false
+		}
+		var doomed []tree.NodeID
+		sets[p].ForEach(func(vp tree.NodeID) bool {
+			found := false
+			sets[x].ForEach(func(vc tree.NodeID) bool {
+				if f.atomHolds(t, x, vp, vc) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				doomed = append(doomed, vp)
+			}
+			return true
+		})
+		for _, v := range doomed {
+			sets[p].Remove(v)
+		}
+	}
+	// Top-down: prune child candidates lacking a consistent parent value.
+	for i := len(f.postorder) - 1; i >= 0; i-- {
+		x := f.postorder[i]
+		p := f.parent[x]
+		if p == cq.NilVar {
+			if sets[x].Empty() {
+				return nil, false
+			}
+			continue
+		}
+		var doomed []tree.NodeID
+		sets[x].ForEach(func(vc tree.NodeID) bool {
+			found := false
+			sets[p].ForEach(func(vp tree.NodeID) bool {
+				if f.atomHolds(t, x, vp, vc) {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				doomed = append(doomed, vc)
+			}
+			return true
+		})
+		for _, v := range doomed {
+			sets[x].Remove(v)
+		}
+		if sets[x].Empty() {
+			return nil, false
+		}
+	}
+	return sets, true
+}
+
+// EvalBoolean decides an acyclic query: satisfiable iff the semijoin
+// reduction leaves every candidate set nonempty.
+func (e *AcyclicEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
+	f, err := buildShadowForest(q)
+	if err != nil {
+		panic(err)
+	}
+	if q.NumVars() == 0 {
+		return true // empty conjunction
+	}
+	if t.Len() == 0 {
+		return false
+	}
+	_, ok := e.reduce(t, q, f)
+	return ok
+}
+
+// Satisfaction returns one consistent valuation, or nil.
+func (e *AcyclicEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
+	f, err := buildShadowForest(q)
+	if err != nil {
+		panic(err)
+	}
+	if q.NumVars() == 0 {
+		return consistency.Valuation{}
+	}
+	if t.Len() == 0 {
+		return nil
+	}
+	sets, ok := e.reduce(t, q, f)
+	if !ok {
+		return nil
+	}
+	theta := make(consistency.Valuation, q.NumVars())
+	for i := range theta {
+		theta[i] = tree.NilNode
+	}
+	// Assign top-down; after reduction every parent choice extends.
+	for i := len(f.postorder) - 1; i >= 0; i-- {
+		x := f.postorder[i]
+		p := f.parent[x]
+		if p == cq.NilVar {
+			sets[x].ForEach(func(v tree.NodeID) bool { theta[x] = v; return false })
+			continue
+		}
+		vp := theta[p]
+		sets[x].ForEach(func(vc tree.NodeID) bool {
+			if f.atomHolds(t, x, vp, vc) {
+				theta[x] = vc
+				return false
+			}
+			return true
+		})
+		if theta[x] == tree.NilNode {
+			panic("core: acyclic reduction left a parent value without child support")
+		}
+	}
+	return theta
+}
+
+// EvalAll enumerates the distinct head tuples of the query answer, in
+// lexicographic NodeID order. Enumeration is backtrack-free per component
+// after reduction; distinct head tuples are deduplicated.
+func (e *AcyclicEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	if len(q.Head) == 0 {
+		if e.EvalBoolean(t, q) {
+			return [][]tree.NodeID{{}}
+		}
+		return nil
+	}
+	f, err := buildShadowForest(q)
+	if err != nil {
+		panic(err)
+	}
+	if t.Len() == 0 {
+		return nil
+	}
+	sets, ok := e.reduce(t, q, f)
+	if !ok {
+		return nil
+	}
+	// Which forest components contain head variables?
+	comp := make([]int, q.NumVars())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var mark func(x cq.Var, c int)
+	mark = func(x cq.Var, c int) {
+		comp[x] = c
+		for _, ch := range f.children[x] {
+			mark(ch, c)
+		}
+	}
+	for ci, r := range f.roots {
+		mark(r, ci)
+	}
+	headComps := map[int]bool{}
+	for _, h := range q.Head {
+		headComps[comp[h]] = true
+	}
+	// Variables of head components in parent-before-child order.
+	var order []cq.Var
+	for i := len(f.postorder) - 1; i >= 0; i-- {
+		x := f.postorder[i]
+		if headComps[comp[x]] {
+			order = append(order, x)
+		}
+	}
+	theta := make(consistency.Valuation, q.NumVars())
+	seen := map[string]bool{}
+	var out [][]tree.NodeID
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(order) {
+			tuple := make([]tree.NodeID, len(q.Head))
+			key := make([]byte, 0, len(tuple)*4)
+			for j, h := range q.Head {
+				tuple[j] = theta[h]
+				v := theta[h]
+				key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				out = append(out, tuple)
+			}
+			return
+		}
+		x := order[i]
+		p := f.parent[x]
+		sets[x].ForEach(func(v tree.NodeID) bool {
+			if p != cq.NilVar && !f.atomHolds(t, x, theta[p], v) {
+				return true
+			}
+			theta[x] = v
+			rec(i + 1)
+			return true
+		})
+	}
+	rec(0)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/axis"
+	"repro/internal/consistency"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// BacktrackEngine is the general-purpose evaluator, complete for every
+// signature and every (cyclic) query. It performs depth-first search over
+// valuations, by default maintaining arc consistency (MAC) at every
+// assignment; with Propagate disabled it falls back to plain forward
+// checking. Worst-case exponential — unavoidable for the NP-complete
+// signatures of §5 unless P = NP; the benchmark harness uses this engine
+// to demonstrate the hardness side of the dichotomy empirically.
+type BacktrackEngine struct {
+	// MaxSteps bounds the number of search-node expansions (0 = no
+	// bound). When exceeded, evaluation panics with ErrSearchBudget —
+	// used by benchmarks to cap runaway cases.
+	MaxSteps int
+	// Propagate disables MAC when false (ablation benchmarks compare
+	// both modes).
+	Propagate bool
+
+	steps int
+}
+
+// NewBacktrackEngine returns an engine with MAC enabled and no step bound.
+func NewBacktrackEngine() *BacktrackEngine { return &BacktrackEngine{Propagate: true} }
+
+// Steps reports the number of search-node expansions of the last call —
+// the empirical hardness measure reported by the Table I benchmarks.
+func (e *BacktrackEngine) Steps() int { return e.steps }
+
+// searchOrder picks a static variable order: most-constrained (smallest
+// initial domain) first, tie-broken by degree in the query graph.
+func searchOrder(q *cq.Query, sets []*consistency.NodeSet) []cq.Var {
+	g := cq.NewGraph(q)
+	deg := make([]int, q.NumVars())
+	for x := 0; x < q.NumVars(); x++ {
+		deg[x] = g.OutDegree(cq.Var(x)) + g.InDegree(cq.Var(x))
+	}
+	order := make([]cq.Var, q.NumVars())
+	for i := range order {
+		order[i] = cq.Var(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if sets[a].Len() != sets[b].Len() {
+			return sets[a].Len() < sets[b].Len()
+		}
+		return deg[a] > deg[b]
+	})
+	return order
+}
+
+// run performs the search. emit is called with each full consistent
+// valuation found; returning false stops the search.
+func (e *BacktrackEngine) run(t *tree.Tree, q *cq.Query, emit func(consistency.Valuation) bool) {
+	e.steps = 0
+	if q.NumVars() == 0 {
+		emit(consistency.Valuation{})
+		return
+	}
+	if t.Len() == 0 {
+		return
+	}
+	p, ok := consistency.FastAC(t, q)
+	if !ok {
+		return
+	}
+	if e.Propagate {
+		e.runMAC(t, q, p, emit)
+		return
+	}
+	order := searchOrder(q, p.Sets)
+	// adjacency: atoms fully decided once both endpoints assigned; check
+	// each atom at the moment its later endpoint gets assigned.
+	pos := make([]int, q.NumVars()) // variable -> position in order
+	for i, x := range order {
+		pos[x] = i
+	}
+	type check struct {
+		at    cq.AxisAtom
+		other cq.Var
+	}
+	checksAt := make([][]check, q.NumVars())
+	for _, at := range q.Atoms {
+		later := at.X
+		if pos[at.Y] > pos[at.X] {
+			later = at.Y
+		}
+		other := at.X
+		if other == later {
+			other = at.Y
+		}
+		checksAt[later] = append(checksAt[later], check{at: at, other: other})
+	}
+	theta := make(consistency.Valuation, q.NumVars())
+	for i := range theta {
+		theta[i] = tree.NilNode
+	}
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == len(order) {
+			return emit(append(consistency.Valuation(nil), theta...))
+		}
+		x := order[i]
+		cont := true
+		p.Sets[x].ForEach(func(v tree.NodeID) bool {
+			e.steps++
+			if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+				panic(ErrSearchBudget)
+			}
+			okHere := true
+			for _, c := range checksAt[x] {
+				if theta[c.other] == tree.NilNode && c.other != x {
+					continue // other endpoint not yet assigned (can happen for self loops only)
+				}
+				u, w := theta[c.at.X], theta[c.at.Y]
+				if c.at.X == x {
+					u = v
+				}
+				if c.at.Y == x {
+					w = v
+				}
+				if !axis.Holds(t, c.at.Axis, u, w) {
+					okHere = false
+					break
+				}
+			}
+			if !okHere {
+				return true
+			}
+			theta[x] = v
+			if !dfs(i + 1) {
+				cont = false
+				theta[x] = tree.NilNode
+				return false
+			}
+			theta[x] = tree.NilNode
+			return true
+		})
+		return cont
+	}
+	dfs(0)
+}
+
+// runMAC searches with full arc-consistency maintenance: at each depth it
+// picks the unassigned variable with the smallest domain, and for each
+// candidate value re-runs arc consistency on a copy of the domains. When
+// every variable is a singleton, the minimum valuation of the (globally
+// arc-consistent, all-singleton) prevaluation is the satisfaction.
+func (e *BacktrackEngine) runMAC(t *tree.Tree, q *cq.Query, p *consistency.Prevaluation, emit func(consistency.Valuation) bool) {
+	var dfs func(cur *consistency.Prevaluation) bool
+	dfs = func(cur *consistency.Prevaluation) bool {
+		// Pick the smallest non-singleton domain.
+		pick := -1
+		for x, s := range cur.Sets {
+			if s.Len() > 1 && (pick == -1 || s.Len() < cur.Sets[pick].Len()) {
+				pick = x
+			}
+		}
+		if pick == -1 {
+			theta := make(consistency.Valuation, len(cur.Sets))
+			for x, s := range cur.Sets {
+				s.ForEach(func(v tree.NodeID) bool { theta[x] = v; return false })
+			}
+			// All-singleton arc-consistent prevaluations are consistent
+			// valuations by definition; verify defensively.
+			if !consistency.Consistent(t, q, theta) {
+				return true // spurious, keep searching siblings
+			}
+			return emit(theta)
+		}
+		cont := true
+		cur.Sets[pick].ForEach(func(v tree.NodeID) bool {
+			e.steps++
+			if e.MaxSteps > 0 && e.steps > e.MaxSteps {
+				panic(ErrSearchBudget)
+			}
+			next := &consistency.Prevaluation{Sets: make([]*consistency.NodeSet, len(cur.Sets))}
+			for x, s := range cur.Sets {
+				next.Sets[x] = s.Clone()
+			}
+			pin := consistency.NewNodeSet(t.Len())
+			pin.Add(v)
+			next.Sets[pick].IntersectWith(pin)
+			reduced, ok := consistency.FastACFrom(t, q, next)
+			if ok {
+				if !dfs(reduced) {
+					cont = false
+					return false
+				}
+			}
+			return true
+		})
+		return cont
+	}
+	dfs(p)
+}
+
+// ErrSearchBudget is panicked (and recovered by callers that set MaxSteps)
+// when the search exceeds its step budget.
+var ErrSearchBudget = searchBudgetError{}
+
+type searchBudgetError struct{}
+
+func (searchBudgetError) Error() string { return "core: backtracking search budget exceeded" }
+
+// EvalBoolean decides satisfiability of q on t.
+func (e *BacktrackEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
+	found := false
+	e.run(t, q, func(consistency.Valuation) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Satisfaction returns one satisfaction of all query variables, or nil.
+func (e *BacktrackEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
+	var out consistency.Valuation
+	e.run(t, q, func(v consistency.Valuation) bool {
+		out = v
+		return false
+	})
+	return out
+}
+
+// EvalAll enumerates the distinct head tuples of the answer.
+func (e *BacktrackEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	if len(q.Head) == 0 {
+		if e.EvalBoolean(t, q) {
+			return [][]tree.NodeID{{}}
+		}
+		return nil
+	}
+	seen := map[string]bool{}
+	var out [][]tree.NodeID
+	e.run(t, q, func(theta consistency.Valuation) bool {
+		tuple := make([]tree.NodeID, len(q.Head))
+		key := make([]byte, 0, len(tuple)*4)
+		for j, h := range q.Head {
+			tuple[j] = theta[h]
+			v := theta[h]
+			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		if !seen[string(key)] {
+			seen[string(key)] = true
+			out = append(out, tuple)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}

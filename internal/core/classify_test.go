@@ -1,0 +1,160 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/axis"
+)
+
+// wantTableI transcribes Table I of the paper: complexity and theorem for
+// each one- or two-axis signature, keyed by (row, col) in TableIAxes order.
+var wantTableI = map[[2]axis.Axis]struct {
+	c  Complexity
+	th string
+}{
+	{axis.Child, axis.Child}:                     {PTime, "Cor 4.4"},
+	{axis.Child, axis.ChildPlus}:                 {NPComplete, "Thm 5.1"},
+	{axis.Child, axis.ChildStar}:                 {NPComplete, "Thm 5.1"},
+	{axis.Child, axis.NextSibling}:               {PTime, "Cor 4.4"},
+	{axis.Child, axis.NextSiblingPlus}:           {PTime, "Cor 4.4"},
+	{axis.Child, axis.NextSiblingStar}:           {PTime, "Cor 4.4"},
+	{axis.Child, axis.Following}:                 {NPComplete, "Thm 5.2"},
+	{axis.ChildPlus, axis.ChildPlus}:             {PTime, "Cor 4.2"},
+	{axis.ChildPlus, axis.ChildStar}:             {PTime, "Cor 4.2"},
+	{axis.ChildPlus, axis.NextSibling}:           {NPComplete, "Thm 5.7"},
+	{axis.ChildPlus, axis.NextSiblingPlus}:       {NPComplete, "Thm 5.7"},
+	{axis.ChildPlus, axis.NextSiblingStar}:       {NPComplete, "Thm 5.7"},
+	{axis.ChildPlus, axis.Following}:             {NPComplete, "Thm 5.3"},
+	{axis.ChildStar, axis.ChildStar}:             {PTime, "Cor 4.2"},
+	{axis.ChildStar, axis.NextSibling}:           {NPComplete, "Thm 5.5"},
+	{axis.ChildStar, axis.NextSiblingPlus}:       {NPComplete, "Cor 5.4"},
+	{axis.ChildStar, axis.NextSiblingStar}:       {NPComplete, "Thm 5.6"},
+	{axis.ChildStar, axis.Following}:             {NPComplete, "Thm 5.3"},
+	{axis.NextSibling, axis.NextSibling}:         {PTime, "Cor 4.4"},
+	{axis.NextSibling, axis.NextSiblingPlus}:     {PTime, "Cor 4.4"},
+	{axis.NextSibling, axis.NextSiblingStar}:     {PTime, "Cor 4.4"},
+	{axis.NextSibling, axis.Following}:           {NPComplete, "Thm 5.8"},
+	{axis.NextSiblingPlus, axis.NextSiblingPlus}: {PTime, "Cor 4.4"},
+	{axis.NextSiblingPlus, axis.NextSiblingStar}: {PTime, "Cor 4.4"},
+	{axis.NextSiblingPlus, axis.Following}:       {NPComplete, "Thm 5.8"},
+	{axis.NextSiblingStar, axis.NextSiblingStar}: {PTime, "Cor 4.4"},
+	{axis.NextSiblingStar, axis.Following}:       {NPComplete, "Thm 5.8"},
+	{axis.Following, axis.Following}:             {PTime, "Cor 4.3"},
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	axes := axis.TableIAxes
+	count := 0
+	for i, row := range axes {
+		for j := i; j < len(axes); j++ {
+			col := axes[j]
+			want, ok := wantTableI[[2]axis.Axis{row, col}]
+			if !ok {
+				t.Fatalf("missing expectation for (%v, %v)", row, col)
+			}
+			got := TableICell(row, col)
+			if got.Complexity != want.c {
+				t.Errorf("Table I (%v, %v): %v, want %v", row, col, got.Complexity, want.c)
+			}
+			if got.Theorem != want.th {
+				t.Errorf("Table I (%v, %v): theorem %q, want %q", row, col, got.Theorem, want.th)
+			}
+			count++
+		}
+	}
+	if count != 28 {
+		t.Errorf("checked %d cells, want 28", count)
+	}
+}
+
+func TestTableIDichotomyCounts(t *testing.T) {
+	// 14 tractable and 14 NP-complete cells, per the paper.
+	var p, np int
+	for _, cell := range flattenTableI() {
+		switch cell.Complexity {
+		case PTime:
+			p++
+		case NPComplete:
+			np++
+		}
+	}
+	if p != 14 || np != 14 {
+		t.Errorf("P cells %d, NP cells %d; want 14 and 14", p, np)
+	}
+}
+
+func flattenTableI() []Classification {
+	var out []Classification
+	table := TableI()
+	for i := range table {
+		for j := i; j < len(table[i]); j++ {
+			out = append(out, table[i][j])
+		}
+	}
+	return out
+}
+
+func TestClassifyLargerSignatures(t *testing.T) {
+	cases := []struct {
+		axes []axis.Axis
+		want Complexity
+	}{
+		{[]axis.Axis{axis.Child, axis.NextSibling, axis.NextSiblingPlus, axis.NextSiblingStar}, PTime},
+		{[]axis.Axis{axis.ChildPlus, axis.ChildStar, axis.Child}, NPComplete},
+		{axis.PaperAxes, NPComplete},
+		{[]axis.Axis{}, PTime},
+		{[]axis.Axis{axis.ChildPlus, axis.ChildStar, axis.Self, axis.DocOrder, axis.DocOrderSucc}, PTime}, // Example 4.5 extension of τ1
+	}
+	for _, tc := range cases {
+		got := Classify(tc.axes)
+		if got.Complexity != tc.want {
+			t.Errorf("Classify(%v) = %v, want %v", tc.axes, got.Complexity, tc.want)
+		}
+	}
+}
+
+func TestClassificationString(t *testing.T) {
+	c := Classify([]axis.Axis{axis.Child, axis.Following})
+	s := c.String()
+	if !strings.Contains(s, "NP-hard") || !strings.Contains(s, "5.2") {
+		t.Errorf("Classification string %q", s)
+	}
+	p := Classify([]axis.Axis{axis.Following})
+	if !strings.Contains(p.String(), "in P") || !strings.Contains(p.String(), "<post") {
+		t.Errorf("Classification string %q", p.String())
+	}
+}
+
+func TestFormatTableI(t *testing.T) {
+	s := FormatTableI()
+	if !strings.Contains(s, "Following") {
+		t.Errorf("FormatTableI missing axis names:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 8 { // header + 7 rows
+		t.Errorf("FormatTableI has %d lines, want 8:\n%s", len(lines), s)
+	}
+}
+
+func TestClassifyTheorem11Consistency(t *testing.T) {
+	// Theorem 1.1: PTime iff a common X order exists — Classify must be
+	// exactly the CommonXOrder predicate over all subsets of paper axes.
+	n := len(axis.PaperAxes)
+	for mask := 0; mask < (1 << n); mask++ {
+		var axes []axis.Axis
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				axes = append(axes, axis.PaperAxes[i])
+			}
+		}
+		_, hasOrder := axis.CommonXOrder(axes)
+		got := Classify(axes)
+		if (got.Complexity == PTime) != hasOrder {
+			t.Errorf("Classify(%v) = %v but hasOrder = %v", axes, got.Complexity, hasOrder)
+		}
+		if got.Complexity == NPComplete && got.Theorem == "" {
+			t.Errorf("NP signature %v lacks a theorem citation", axes)
+		}
+	}
+}

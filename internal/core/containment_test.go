@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+)
+
+func TestContainmentAxisHierarchy(t *testing.T) {
+	// Child ⊆ Child+ ⊆ Child*; NextSibling ⊆ NS+ ⊆ NS*.
+	chains := [][]string{
+		{
+			"Q(x, y) <- Child(x, y)",
+			"Q(x, y) <- Child+(x, y)",
+			"Q(x, y) <- Child*(x, y)",
+		},
+		{
+			"Q(x, y) <- NextSibling(x, y)",
+			"Q(x, y) <- NextSibling+(x, y)",
+			"Q(x, y) <- NextSibling*(x, y)",
+		},
+	}
+	for _, chain := range chains {
+		for i := 0; i+1 < len(chain); i++ {
+			sub := cq.MustParse(chain[i])
+			super := cq.MustParse(chain[i+1])
+			if ce := CheckContainment(sub, super, 4, []string{"A"}); ce != nil {
+				t.Errorf("%s should be contained in %s; counterexample %s", chain[i], chain[i+1], ce)
+			}
+			if ce := CheckContainment(super, sub, 4, []string{"A"}); ce == nil {
+				t.Errorf("%s should NOT be contained in %s", chain[i+1], chain[i])
+			}
+		}
+	}
+}
+
+func TestContainmentFollowingVsNextSiblingPlus(t *testing.T) {
+	// NextSibling+ ⊆ Following but not conversely.
+	ns := cq.MustParse("Q(x, y) <- NextSibling+(x, y)")
+	f := cq.MustParse("Q(x, y) <- Following(x, y)")
+	if ce := CheckContainment(ns, f, 4, []string{"A"}); ce != nil {
+		t.Errorf("NS+ ⊆ Following violated: %s", ce)
+	}
+	ce := CheckContainment(f, ns, 4, []string{"A"})
+	if ce == nil {
+		t.Errorf("Following ⊄ NS+ needs a counterexample")
+	}
+}
+
+func TestContainmentWithLabels(t *testing.T) {
+	// Adding atoms only shrinks the answer set.
+	big := cq.MustParse("Q(y) <- Child+(x, y)")
+	small := cq.MustParse("Q(y) <- A(x), Child+(x, y), B(y)")
+	if ce := CheckContainment(small, big, 4, []string{"A", "B"}); ce != nil {
+		t.Errorf("more-constrained query must be contained: %s", ce)
+	}
+	if ce := CheckContainment(big, small, 4, []string{"A", "B"}); ce == nil {
+		t.Errorf("less-constrained query must not be contained")
+	}
+}
+
+func TestEquivalenceBothWays(t *testing.T) {
+	a := cq.MustParse("Q(y) <- Child(x, y), Child(x', y)")
+	// Converging Child atoms force x = x': equivalent to a single atom
+	// modulo the duplicated variable.
+	b := cq.MustParse("Q(y) <- Child(x, y)")
+	l, r := CheckEquivalence(a, b, 4, []string{"A"})
+	if l != nil || r != nil {
+		t.Errorf("queries should be equivalent: %v / %v", l, r)
+	}
+}
+
+func TestContainmentArityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	CheckContainment(cq.MustParse("Q(x) <- A(x)"), cq.MustParse("Q() <- A(x)"), 3, []string{"A"})
+}

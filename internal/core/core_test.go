@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/axis"
+	"repro/internal/consistency"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+func randomQuery(rng *rand.Rand, axes []axis.Axis, alphabet []string, nv, na, nl int) *cq.Query {
+	q := cq.New()
+	vars := make([]cq.Var, nv)
+	for i := range vars {
+		vars[i] = q.AddVar(string(rune('a' + i)))
+	}
+	for i := 0; i < na; i++ {
+		q.AddAtom(axes[rng.Intn(len(axes))], vars[rng.Intn(nv)], vars[rng.Intn(nv)])
+	}
+	for i := 0; i < nl; i++ {
+		q.AddLabel(alphabet[rng.Intn(len(alphabet))], vars[rng.Intn(nv)])
+	}
+	return q
+}
+
+func TestEngineMatchesOracleBoolean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	alphabet := []string{"A", "B"}
+	e := NewEngine()
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(9)
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes: n, MaxChildren: 3, Alphabet: alphabet, UnlabeledProb: 0.1,
+		})
+		q := randomQuery(rng, axis.PaperAxes, alphabet, 1+rng.Intn(3), rng.Intn(4), rng.Intn(3))
+		want := ReferenceEvalBoolean(tr, q)
+		if got := e.EvalBoolean(tr, q); got != want {
+			t.Fatalf("trial %d (%v): EvalBoolean = %v, want %v\nquery %s\ntree %s",
+				trial, e.PlanFor(q), got, want, q, tr)
+		}
+		// A returned satisfaction must actually satisfy the query.
+		if want {
+			theta := e.Satisfaction(tr, q)
+			if theta == nil {
+				t.Fatalf("trial %d: satisfiable but Satisfaction nil\nquery %s\ntree %s", trial, q, tr)
+			}
+			if !consistency.Consistent(tr, q, theta) {
+				t.Fatalf("trial %d: Satisfaction inconsistent\nquery %s\ntree %s", trial, q, tr)
+			}
+		}
+	}
+}
+
+func TestEngineMatchesOracleAnswers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	alphabet := []string{"A", "B"}
+	e := NewEngine()
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(8)
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes: n, MaxChildren: 3, Alphabet: alphabet,
+		})
+		nv := 1 + rng.Intn(3)
+		q := randomQuery(rng, axis.PaperAxes, alphabet, nv, rng.Intn(4), rng.Intn(2))
+		// Random head of arity 1..2.
+		arity := 1 + rng.Intn(2)
+		for i := 0; i < arity; i++ {
+			q.Head = append(q.Head, cq.Var(rng.Intn(nv)))
+		}
+		want := ReferenceEvalAll(tr, q)
+		got := e.EvalAll(tr, q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (%v): %d answers, want %d\nquery %s\ntree %s\ngot %v want %v",
+				trial, e.PlanFor(q), len(got), len(want), q, tr, got, want)
+		}
+		for i := range got {
+			for j := range got[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("trial %d: answer %d = %v, want %v\nquery %s\ntree %s",
+						trial, i, got[i], want[i], q, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestPolyEngineExhaustiveSmallTrees(t *testing.T) {
+	// Exhaustive check of the X-property engine on every tree with <= 4
+	// nodes over {A, B} for a fixed battery of tractable queries.
+	queries := []string{
+		"Q() <- A(x), Child+(x, y), B(y)",
+		"Q() <- Child*(x, y), Child+(y, z)",
+		"Q() <- A(x), Child+(x, y), Child+(x, z), B(y), B(z)",
+		"Q() <- Following(x, y), A(x), B(y)",
+		"Q() <- Following(x, y), Following(y, z)",
+		"Q() <- Child(x, y), NextSibling(y, z)",
+		"Q() <- NextSibling+(x, y), NextSibling*(y, z), Child(w, x)",
+		"Q() <- Child+(x, y), Child+(x, y)", // duplicate atom
+		"Q() <- Child*(x, x)",               // reflexive self-loop, always true
+	}
+	for _, src := range queries {
+		q := cq.MustParse(src)
+		pe, err := NewPolyEngineFor(q)
+		if err != nil {
+			t.Fatalf("query %s should be tractable: %v", src, err)
+		}
+		tree.EnumerateAll(4, []string{"A", "B"}, func(tr *tree.Tree) bool {
+			want := ReferenceEvalBoolean(tr, q)
+			if got := pe.EvalBoolean(tr, q); got != want {
+				t.Fatalf("%s on %s: poly %v, want %v", src, tr, got, want)
+			}
+			// Horn engine must agree too.
+			pe.SetAlgorithm(HornAC)
+			if got := pe.EvalBoolean(tr, q); got != want {
+				t.Fatalf("%s on %s: horn %v, want %v", src, tr, got, want)
+			}
+			pe.SetAlgorithm(FastAC)
+			return true
+		})
+	}
+}
+
+func TestPolyEngineRejectsIntractableSignature(t *testing.T) {
+	q := cq.MustParse("Q() <- Child(x, y), Following(y, z)")
+	if _, err := NewPolyEngineFor(q); err == nil {
+		t.Errorf("expected error for {Child, Following}")
+	}
+}
+
+func TestPolyEngineCheckTuple(t *testing.T) {
+	tr := tree.MustParseTerm("A(B,C(B))")
+	q := cq.MustParse("Q(y) <- A(x), Child+(x, y), B(y)")
+	pe, err := NewPolyEngineFor(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := tr.NodesWithLabel("B")
+	if len(bs) != 2 {
+		t.Fatal("expected 2 B nodes")
+	}
+	for _, b := range bs {
+		if !pe.CheckTuple(tr, q, []tree.NodeID{b}) {
+			t.Errorf("CheckTuple(%d) should hold", b)
+		}
+	}
+	c := tr.NodesWithLabel("C")[0]
+	if pe.CheckTuple(tr, q, []tree.NodeID{c}) {
+		t.Errorf("CheckTuple(C) should fail (label)")
+	}
+	root := tr.Root()
+	if pe.CheckTuple(tr, q, []tree.NodeID{root}) {
+		t.Errorf("CheckTuple(root) should fail")
+	}
+}
+
+func TestAcyclicEngineAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	alphabet := []string{"A", "B"}
+	ae := NewAcyclicEngine()
+	queries := []string{
+		"Q(x) <- A(x)",
+		"Q(y) <- A(x), Child(x, y)",
+		"Q(z) <- A(x), Child(x, y), B(y), Following(x, z)",
+		"Q(x, z) <- Child+(x, y), NextSibling(y, z)",
+		"Q() <- A(x), B(y)", // two components
+		"Q(x) <- A(x), B(y), Child(y, z)",
+	}
+	for _, src := range queries {
+		q := cq.MustParse(src)
+		for trial := 0; trial < 40; trial++ {
+			tr := tree.Random(rng, tree.RandomConfig{
+				Nodes: 1 + rng.Intn(10), MaxChildren: 3, Alphabet: alphabet,
+			})
+			want := ReferenceEvalAll(tr, q)
+			got := ae.EvalAll(tr, q)
+			if len(got) != len(want) {
+				t.Fatalf("%s on %s: %d answers, want %d (%v vs %v)", src, tr, len(got), len(want), got, want)
+			}
+			for i := range got {
+				for j := range got[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("%s on %s: answers differ", src, tr)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAcyclicEnginePanicsOnCyclicQuery(t *testing.T) {
+	q := cq.MustParse("Q() <- Child+(x, y), Child+(x, y)")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for non-acyclic query")
+		}
+	}()
+	NewAcyclicEngine().EvalBoolean(tree.MustParseTerm("A"), q)
+}
+
+func TestBacktrackBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := tree.Random(rng, tree.DefaultRandomConfig(60))
+	q := randomQuery(rng, axis.PaperAxes, []string{"A", "B", "C", "D", "E"}, 6, 9, 2)
+	be := NewBacktrackEngine()
+	be.MaxSteps = 5
+	defer func() {
+		if r := recover(); r != ErrSearchBudget {
+			// The query may be decided within budget; only a non-budget
+			// panic is a failure.
+			if r != nil {
+				t.Errorf("unexpected panic %v", r)
+			}
+		}
+	}()
+	be.EvalBoolean(tr, q)
+}
+
+func TestPlanSelection(t *testing.T) {
+	e := NewEngine()
+	cases := []struct {
+		src  string
+		want Strategy
+	}{
+		{"Q() <- A(x), Child(x, y)", StrategyAcyclic},
+		{"Q() <- Child+(x, y), Child*(x, z), Child+(y, z)", StrategyXProperty},
+		{"Q() <- Child(x, y), Child+(x, z), Child(y, z)", StrategyBacktrack},
+	}
+	for _, tc := range cases {
+		plan := e.PlanFor(cq.MustParse(tc.src))
+		if plan.Strategy != tc.want {
+			t.Errorf("PlanFor(%s) = %v, want %v", tc.src, plan.Strategy, tc.want)
+		}
+		if plan.String() == "" {
+			t.Errorf("empty plan string")
+		}
+	}
+}
+
+func TestEvalMonadic(t *testing.T) {
+	tr := tree.MustParseTerm("A(B,C(B),B)")
+	q := cq.MustParse("Q(y) <- Child+(x, y), B(y), A(x)")
+	got := NewEngine().EvalMonadic(tr, q)
+	want := tr.NodesWithLabel("B")
+	if len(got) != len(want) {
+		t.Fatalf("EvalMonadic = %v, want %v", got, want)
+	}
+}
+
+func TestMaximalSetsTractable(t *testing.T) {
+	if !maximalSetsAreTractable() {
+		t.Errorf("the §1.1 maximal sets must classify tractable")
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/consistency"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// Strategy names the algorithm an Engine selected for a query.
+type Strategy int
+
+// Strategies, in preference order.
+const (
+	// StrategyAcyclic: the query graph's shadow is a forest; Yannakakis
+	// semijoin evaluation (polynomial regardless of signature).
+	StrategyAcyclic Strategy = iota
+	// StrategyXProperty: the signature admits a common X-property order;
+	// arc-consistency + minimum valuation (Theorem 3.5).
+	StrategyXProperty
+	// StrategyBacktrack: general search (the signature side of the
+	// dichotomy is NP-complete; §5).
+	StrategyBacktrack
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAcyclic:
+		return "acyclic(Yannakakis)"
+	case StrategyXProperty:
+		return "x-property(Thm 3.5)"
+	case StrategyBacktrack:
+		return "backtracking"
+	default:
+		return "invalid"
+	}
+}
+
+// Plan explains how an Engine will evaluate a query.
+type Plan struct {
+	Strategy       Strategy
+	Classification Classification
+	QueryClass     cq.Class
+}
+
+// String renders a one-line plan description.
+func (p Plan) String() string {
+	return fmt.Sprintf("%s query over %s -> %s", p.QueryClass, p.Classification, p.Strategy)
+}
+
+// Engine is the top-level evaluator: it classifies each query (acyclicity
+// and signature tractability per Theorem 1.1) and dispatches to the best
+// applicable algorithm.
+type Engine struct {
+	acyclic   *AcyclicEngine
+	backtrack *BacktrackEngine
+}
+
+// NewEngine returns an Engine.
+func NewEngine() *Engine {
+	return &Engine{acyclic: NewAcyclicEngine(), backtrack: NewBacktrackEngine()}
+}
+
+// PlanFor explains the strategy chosen for q.
+func (e *Engine) PlanFor(q *cq.Query) Plan {
+	cls := ClassifyQuery(q)
+	qc := cq.Classify(q)
+	p := Plan{Classification: cls, QueryClass: qc}
+	switch {
+	case qc == cq.Acyclic:
+		p.Strategy = StrategyAcyclic
+	case cls.Complexity == PTime:
+		p.Strategy = StrategyXProperty
+	default:
+		p.Strategy = StrategyBacktrack
+	}
+	return p
+}
+
+// EvalBoolean decides whether q (viewed as Boolean) is satisfiable on t.
+func (e *Engine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
+	switch plan := e.PlanFor(q); plan.Strategy {
+	case StrategyAcyclic:
+		return e.acyclic.EvalBoolean(t, q)
+	case StrategyXProperty:
+		pe := &PolyEngine{order: plan.Classification.Order, alg: FastAC}
+		return pe.EvalBoolean(t, q)
+	case StrategyBacktrack:
+		return e.backtrack.EvalBoolean(t, q)
+	default:
+		panic("core: invalid strategy")
+	}
+}
+
+// Satisfaction returns a full consistent valuation, or nil if none exists.
+func (e *Engine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
+	switch plan := e.PlanFor(q); plan.Strategy {
+	case StrategyAcyclic:
+		return e.acyclic.Satisfaction(t, q)
+	case StrategyXProperty:
+		pe := &PolyEngine{order: plan.Classification.Order, alg: FastAC}
+		return pe.Satisfaction(t, q)
+	case StrategyBacktrack:
+		return e.backtrack.Satisfaction(t, q)
+	default:
+		panic("core: invalid strategy")
+	}
+}
+
+// EvalAll enumerates the distinct answer tuples of q on t (for Boolean
+// queries: one empty tuple if satisfiable).
+func (e *Engine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	switch plan := e.PlanFor(q); plan.Strategy {
+	case StrategyAcyclic:
+		return e.acyclic.EvalAll(t, q)
+	case StrategyXProperty:
+		pe := &PolyEngine{order: plan.Classification.Order, alg: FastAC}
+		return pe.EvalAll(t, q)
+	case StrategyBacktrack:
+		return e.backtrack.EvalAll(t, q)
+	default:
+		panic("core: invalid strategy")
+	}
+}
+
+// EvalMonadic returns the sorted node set answering a unary query; it
+// panics if q is not monadic.
+func (e *Engine) EvalMonadic(t *tree.Tree, q *cq.Query) []tree.NodeID {
+	if len(q.Head) != 1 {
+		panic(fmt.Sprintf("core: EvalMonadic on %d-ary query", len(q.Head)))
+	}
+	tuples := e.EvalAll(t, q)
+	out := make([]tree.NodeID, len(tuples))
+	for i, tp := range tuples {
+		out[i] = tp[0]
+	}
+	return out
+}
+
+// ReferenceEvalBoolean is a brute-force oracle used by the test suite: it
+// tries every valuation (|A|^|vars| of them). Only usable for tiny inputs.
+func ReferenceEvalBoolean(t *tree.Tree, q *cq.Query) bool {
+	nv := q.NumVars()
+	if nv == 0 {
+		return true
+	}
+	if t.Len() == 0 {
+		return false
+	}
+	theta := make(consistency.Valuation, nv)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == nv {
+			return consistency.Consistent(t, q, theta)
+		}
+		for v := 0; v < t.Len(); v++ {
+			theta[i] = tree.NodeID(v)
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// ReferenceEvalAll is the brute-force answer enumeration oracle.
+func ReferenceEvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	nv := q.NumVars()
+	if len(q.Head) == 0 {
+		if ReferenceEvalBoolean(t, q) {
+			return [][]tree.NodeID{{}}
+		}
+		return nil
+	}
+	seen := map[string]bool{}
+	var out [][]tree.NodeID
+	theta := make(consistency.Valuation, nv)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == nv {
+			if consistency.Consistent(t, q, theta) {
+				tuple := make([]tree.NodeID, len(q.Head))
+				key := ""
+				for j, h := range q.Head {
+					tuple[j] = theta[h]
+					key += fmt.Sprintf("%d,", theta[h])
+				}
+				if !seen[key] {
+					seen[key] = true
+					out = append(out, tuple)
+				}
+			}
+			return
+		}
+		for v := 0; v < t.Len(); v++ {
+			theta[i] = tree.NodeID(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sortTuples(out)
+	return out
+}
+
+func sortTuples(out [][]tree.NodeID) {
+	if len(out) < 2 {
+		return
+	}
+	// insertion sort; oracle inputs are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && lessTuple(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+func lessTuple(a, b []tree.NodeID) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
+
+// Verify that the classification facts agree with the proved maximal
+// tractable sets (§1.1) — executable documentation used by tests.
+func maximalSetsAreTractable() bool {
+	for _, set := range axis.MaximalTractableSets() {
+		if Classify(set).Complexity != PTime {
+			return false
+		}
+	}
+	return true
+}

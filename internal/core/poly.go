@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/consistency"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// ACAlgorithm selects the arc-consistency implementation used by the
+// polynomial-time engine.
+type ACAlgorithm int
+
+// Available arc-consistency engines (cross-checked in tests; compared in
+// the ablation benchmarks).
+const (
+	// FastAC is the optimized deletion-only worklist engine (default).
+	FastAC ACAlgorithm = iota
+	// HornAC is the paper-exact Horn-SAT reduction of Proposition 3.1.
+	HornAC
+)
+
+func runAC(alg ACAlgorithm, t *tree.Tree, q *cq.Query) (*consistency.Prevaluation, bool) {
+	switch alg {
+	case FastAC:
+		return consistency.FastAC(t, q)
+	case HornAC:
+		return consistency.HornAC(t, q)
+	default:
+		panic(fmt.Sprintf("core: invalid ACAlgorithm %d", int(alg)))
+	}
+}
+
+// PolyEngine evaluates conjunctive queries over a tractable signature via
+// Theorem 3.5: compute the subset-maximal arc-consistent prevaluation; the
+// query is satisfiable iff it exists, and the minimum valuation with
+// respect to the witnessing X-property order is then a satisfaction
+// (Lemma 3.4).
+//
+// PolyEngine is only sound for queries whose signature admits a common
+// X-property order; New*-constructors verify this.
+type PolyEngine struct {
+	order axis.Order
+	alg   ACAlgorithm
+}
+
+// NewPolyEngine returns a PolyEngine for queries over the given signature,
+// or an error if the signature is intractable (no common X-property order
+// exists — use the backtracking engine or rewrite to an APQ instead).
+func NewPolyEngine(axes []axis.Axis) (*PolyEngine, error) {
+	o, ok := axis.CommonXOrder(axes)
+	if !ok {
+		return nil, fmt.Errorf("core: no common X-property order for signature %v (NP-complete per Theorem 1.1)", axes)
+	}
+	return &PolyEngine{order: o, alg: FastAC}, nil
+}
+
+// NewPolyEngineFor returns a PolyEngine suitable for q's signature.
+func NewPolyEngineFor(q *cq.Query) (*PolyEngine, error) {
+	return NewPolyEngine(q.Signature())
+}
+
+// SetAlgorithm switches the arc-consistency implementation.
+func (e *PolyEngine) SetAlgorithm(alg ACAlgorithm) { e.alg = alg }
+
+// Order returns the X-property witnessing order used for minimum
+// valuations.
+func (e *PolyEngine) Order() axis.Order { return e.order }
+
+// EvalBoolean decides a Boolean query in time O(‖A‖·|Q|): true iff an
+// arc-consistent prevaluation exists (Theorem 3.5). Head variables, if
+// any, are ignored (the query is treated as its Boolean projection).
+func (e *PolyEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
+	_, ok := runAC(e.alg, t, q)
+	return ok
+}
+
+// Satisfaction returns a consistent valuation of all query variables (the
+// minimum valuation of the maximal arc-consistent prevaluation, Lemma
+// 3.4), or nil if the query is unsatisfiable on t.
+func (e *PolyEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
+	p, ok := runAC(e.alg, t, q)
+	if !ok {
+		return nil
+	}
+	if q.NumVars() == 0 {
+		return consistency.Valuation{}
+	}
+	theta := p.MinimumValuation(t, e.order)
+	return theta
+}
+
+// CheckTuple decides whether the tuple (one node per head variable) is in
+// the query answer, by the singleton-restriction argument below Theorem
+// 3.5: restrict each head variable's candidates to the given node and test
+// Boolean satisfiability.
+func (e *PolyEngine) CheckTuple(t *tree.Tree, q *cq.Query, tuple []tree.NodeID) bool {
+	if len(tuple) != len(q.Head) {
+		panic(fmt.Sprintf("core: CheckTuple arity %d, query arity %d", len(tuple), len(q.Head)))
+	}
+	_, ok := consistency.PinnedAC(e.consistencyEngine(), t, q, q.Head, tuple)
+	return ok
+}
+
+func (e *PolyEngine) consistencyEngine() consistency.Engine {
+	switch e.alg {
+	case FastAC:
+		return consistency.EngineFast
+	case HornAC:
+		return consistency.EngineHorn
+	default:
+		panic(fmt.Sprintf("core: invalid ACAlgorithm %d", int(e.alg)))
+	}
+}
+
+// EvalAll enumerates the full answer relation of a k-ary query: all
+// tuples 〈a1..ak〉 such that the query holds. Per the paper this costs
+// O(|A|^k · ‖A‖ · |Q|); the implementation prunes candidates to the
+// arc-consistent sets of the head variables before tuple checking.
+func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	if len(q.Head) == 0 {
+		if e.EvalBoolean(t, q) {
+			return [][]tree.NodeID{{}}
+		}
+		return nil
+	}
+	p, ok := runAC(e.alg, t, q)
+	if !ok {
+		return nil
+	}
+	candidates := make([][]tree.NodeID, len(q.Head))
+	for i, x := range q.Head {
+		candidates[i] = p.Sets[x].Members()
+	}
+	var out [][]tree.NodeID
+	tuple := make([]tree.NodeID, len(q.Head))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(tuple) {
+			if e.CheckTuple(t, q, tuple) {
+				out = append(out, append([]tree.NodeID(nil), tuple...))
+			}
+			return
+		}
+		for _, v := range candidates[i] {
+			tuple[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,212 @@
+package cq
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/axis"
+)
+
+func TestParseIntroQuery(t *testing.T) {
+	// The introduction's query: //A[B]/following::C.
+	q, err := Parse("Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumVars() != 3 {
+		t.Fatalf("NumVars = %d, want 3", q.NumVars())
+	}
+	if len(q.Head) != 1 || q.VarName(q.Head[0]) != "z" {
+		t.Fatalf("head wrong: %v", q.Head)
+	}
+	if len(q.Labels) != 3 || len(q.Atoms) != 2 {
+		t.Fatalf("atoms wrong: %d labels, %d binary", len(q.Labels), len(q.Atoms))
+	}
+	sig := q.Signature()
+	if len(sig) != 2 || sig[0] != axis.Child || sig[1] != axis.Following {
+		t.Fatalf("Signature = %v", sig)
+	}
+	if q.Size() != 5 {
+		t.Errorf("Size = %d, want 5", q.Size())
+	}
+}
+
+func TestParseFigure1Query(t *testing.T) {
+	// Fig. 1: Q(z) ← S(x), Descendant(x,y), NP(y), Descendant(x,z),
+	// PP(z), Following(y,z).
+	q := MustParse("Q(z) <- S(x), Descendant(x, y), NP(y), Descendant(x, z), PP(z), Following(y, z)")
+	if q.Size() != 6 {
+		t.Errorf("Size = %d, want 6", q.Size())
+	}
+	if Classify(q) != DirectedAcyclic {
+		t.Errorf("Fig. 1 query should be directed-acyclic (undirected cycle through x,y,z), got %v", Classify(q))
+	}
+}
+
+func TestParseBooleanQuery(t *testing.T) {
+	q := MustParse("Q() <- A(x), Child(x, y)")
+	if !q.IsBoolean() {
+		t.Errorf("should be Boolean")
+	}
+}
+
+func TestParseTrueBody(t *testing.T) {
+	q := MustParse("Q() <- true.")
+	if q.Size() != 0 {
+		t.Errorf("Size = %d", q.Size())
+	}
+}
+
+func TestParseChainShortcut(t *testing.T) {
+	q := MustParse("Q() <- Child^3(x, y)")
+	if len(q.Atoms) != 3 {
+		t.Fatalf("chain should expand to 3 atoms, got %d", len(q.Atoms))
+	}
+	if q.NumVars() != 4 {
+		t.Errorf("chain should add 2 fresh vars: NumVars = %d, want 4", q.NumVars())
+	}
+	// Chain endpoints connected: x ->..-> y via fresh vars.
+	g := NewGraph(q)
+	x, _ := q.VarByName("x")
+	y, _ := q.VarByName("y")
+	cur := x
+	for i := 0; i < 3; i++ {
+		out := g.Out(cur)
+		if len(out) != 1 {
+			t.Fatalf("chain var has %d out edges", len(out))
+		}
+		cur = out[0].To
+	}
+	if cur != y {
+		t.Errorf("chain does not end at y")
+	}
+}
+
+func TestParseXPathAliases(t *testing.T) {
+	q := MustParse("Q() <- descendant(x, y), following-sibling(y, z)")
+	sig := q.Signature()
+	if len(sig) != 2 || sig[0] != axis.ChildPlus || sig[1] != axis.NextSiblingPlus {
+		t.Errorf("Signature = %v", sig)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q <- A(x)",
+		"Q() <- Sideways(x, y)", // unknown axis in binary position
+		"Q() <- A(x,",
+		"Q() <- A()",
+		"Q() <- Child^0(x, y)",
+		"Q() <- A^2(x)",
+		"Q(x) <- A(x) trailing",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z).",
+		"Q() <- true.",
+		"Q(x, y) <- Child+(x, y).",
+	}
+	for _, src := range srcs {
+		q := MustParse(src)
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q.String(), err)
+		}
+		if q.String() != q2.String() {
+			t.Errorf("round trip: %q != %q", q.String(), q2.String())
+		}
+	}
+}
+
+func TestCloneAndSubstitute(t *testing.T) {
+	q := MustParse("Q(x) <- A(x), Child(x, y), B(y)")
+	c := q.Clone()
+	x, _ := c.VarByName("x")
+	y, _ := c.VarByName("y")
+	c.SubstituteVar(y, x)
+	if q.String() == c.String() {
+		t.Errorf("substitute should change the clone only")
+	}
+	for _, at := range c.Atoms {
+		if at.Y != x {
+			t.Errorf("substitution missed atom %v", at)
+		}
+	}
+	for _, la := range c.Labels {
+		if la.X != x {
+			t.Errorf("substitution missed label %v", la)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	q := New()
+	x := q.AddVar("x")
+	y := q.AddVar("y")
+	q.AddLabel("A", x)
+	q.AddLabel("A", x)
+	q.AddAtom(axis.Child, x, y)
+	q.AddAtom(axis.Child, x, y)
+	q.Dedup()
+	if len(q.Labels) != 1 || len(q.Atoms) != 1 {
+		t.Errorf("Dedup left %d labels, %d atoms", len(q.Labels), len(q.Atoms))
+	}
+}
+
+func TestFreshVar(t *testing.T) {
+	q := New()
+	q.AddVar("x")
+	v := q.FreshVar("x")
+	if q.VarName(v) == "x" {
+		t.Errorf("FreshVar returned colliding name")
+	}
+	if q.NumVars() != 2 {
+		t.Errorf("NumVars = %d", q.NumVars())
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	q := MustParse("Q(z) <- A(z), Child(w, z)")
+	// add an unused variable
+	q.AddVar("unused")
+	n := q.Normalize()
+	if n.NumVars() != 2 {
+		t.Errorf("Normalize kept %d vars, want 2", n.NumVars())
+	}
+	if !strings.Contains(n.String(), "x0") {
+		t.Errorf("Normalize should rename: %s", n)
+	}
+}
+
+func TestCanonicalKeyIgnoresAtomOrder(t *testing.T) {
+	a := MustParse("Q() <- A(x), B(y), Child(x, y)")
+	b := MustParse("Q() <- B(y), Child(x, y), A(x)")
+	// Note: variable numbering differs between a and b (x first vs y
+	// first), so normalize both.
+	an := a.Normalize().CanonicalKey()
+	bn := b.Normalize().CanonicalKey()
+	_ = an
+	_ = bn
+	// Same-ordered queries must agree:
+	c := MustParse("Q() <- A(x), Child(x, y), B(y)")
+	if a.CanonicalKey() != c.CanonicalKey() {
+		t.Errorf("CanonicalKey should ignore atom order:\n%s\n%s", a.CanonicalKey(), c.CanonicalKey())
+	}
+}
+
+func TestLabelsOf(t *testing.T) {
+	q := MustParse("Q() <- B(x), A(x), C(y)")
+	x, _ := q.VarByName("x")
+	got := q.LabelsOf(x)
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("LabelsOf = %v", got)
+	}
+}

@@ -1,0 +1,290 @@
+package cq
+
+import (
+	"repro/internal/axis"
+)
+
+// Graph is the query graph of a conjunctive query (§2): a directed
+// multigraph whose vertices are the query's variables, with a labeled
+// directed edge x --R--> y for every binary atom R(x, y). Node labels are
+// the unary atoms.
+type Graph struct {
+	q   *Query
+	out [][]Edge // out[x] = edges leaving x
+	in  [][]Edge // in[y]  = edges entering y
+}
+
+// Edge is one binary atom viewed as a graph edge. AtomIndex points back
+// into q.Atoms.
+type Edge struct {
+	Axis      axis.Axis
+	From, To  Var
+	AtomIndex int
+}
+
+// NewGraph builds the query graph of q.
+func NewGraph(q *Query) *Graph {
+	g := &Graph{
+		q:   q,
+		out: make([][]Edge, q.NumVars()),
+		in:  make([][]Edge, q.NumVars()),
+	}
+	for i, at := range q.Atoms {
+		e := Edge{Axis: at.Axis, From: at.X, To: at.Y, AtomIndex: i}
+		g.out[at.X] = append(g.out[at.X], e)
+		g.in[at.Y] = append(g.in[at.Y], e)
+	}
+	return g
+}
+
+// Out returns the edges leaving x.
+func (g *Graph) Out(x Var) []Edge { return g.out[x] }
+
+// In returns the edges entering y.
+func (g *Graph) In(y Var) []Edge { return g.in[y] }
+
+// OutDegree and InDegree return edge counts.
+func (g *Graph) OutDegree(x Var) int { return len(g.out[x]) }
+
+// InDegree returns the number of edges entering y.
+func (g *Graph) InDegree(y Var) int { return len(g.in[y]) }
+
+// DirectedCycle returns the variables of some directed cycle in the query
+// graph, in cycle order, or nil if the graph is a DAG. Self-loops R(x, x)
+// count as cycles of length 1.
+func (g *Graph) DirectedCycle() []Var {
+	n := g.q.NumVars()
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, n)
+	parentEdge := make([]Var, n)
+	for i := range parentEdge {
+		parentEdge[i] = NilVar
+	}
+	var cycle []Var
+	var dfs func(x Var) bool
+	dfs = func(x Var) bool {
+		color[x] = gray
+		for _, e := range g.out[x] {
+			switch color[e.To] {
+			case white:
+				parentEdge[e.To] = x
+				if dfs(e.To) {
+					return true
+				}
+			case gray:
+				// Found a cycle: walk back from x to e.To.
+				cycle = []Var{e.To}
+				for v := x; v != e.To; v = parentEdge[v] {
+					cycle = append(cycle, v)
+				}
+				// Reverse into cycle order e.To -> ... -> x.
+				for i, j := 1, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			case black:
+				// done
+			}
+		}
+		color[x] = black
+		return false
+	}
+	for x := Var(0); int(x) < n; x++ {
+		if color[x] == white && dfs(x) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// HasDirectedCycle reports whether the query graph contains a directed
+// cycle.
+func (g *Graph) HasDirectedCycle() bool { return g.DirectedCycle() != nil }
+
+// UndirectedCycleAtoms returns the atom indexes of some cycle in the
+// undirected shadow of the query graph (footnote 8), or nil if the shadow
+// is a forest. Parallel edges between the same pair of variables and
+// self-loops count as undirected cycles.
+func (g *Graph) UndirectedCycleAtoms() []int {
+	n := g.q.NumVars()
+	visited := make([]bool, n)
+	// parent info for walking back
+	parentVar := make([]Var, n)
+	parentAtom := make([]int, n)
+	for i := range parentVar {
+		parentVar[i] = NilVar
+		parentAtom[i] = -1
+	}
+	type step struct {
+		v        Var
+		fromAtom int // atom index used to enter v, -1 for roots
+	}
+	for root := Var(0); int(root) < n; root++ {
+		if visited[root] {
+			continue
+		}
+		stack := []step{{root, -1}}
+		visited[root] = true
+		for len(stack) > 0 {
+			s := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			neighbors := make([]Edge, 0, len(g.out[s.v])+len(g.in[s.v]))
+			neighbors = append(neighbors, g.out[s.v]...)
+			neighbors = append(neighbors, g.in[s.v]...)
+			for _, e := range neighbors {
+				w := e.To
+				if w == s.v {
+					w = e.From
+				}
+				if e.AtomIndex == s.fromAtom {
+					continue // don't reuse the tree edge we came in on
+				}
+				if e.From == e.To {
+					return []int{e.AtomIndex} // self-loop
+				}
+				if !visited[w] {
+					visited[w] = true
+					parentVar[w] = s.v
+					parentAtom[w] = e.AtomIndex
+					stack = append(stack, step{w, e.AtomIndex})
+					continue
+				}
+				// w already visited: undirected cycle. Reconstruct by
+				// walking both endpoints up to the root, collecting atoms.
+				atoms := []int{e.AtomIndex}
+				onPath := map[Var]int{} // var -> position in path from s.v
+				path := []Var{}
+				for v := s.v; v != NilVar; v = parentVar[v] {
+					onPath[v] = len(path)
+					path = append(path, v)
+				}
+				for v := w; ; v = parentVar[v] {
+					if _, ok := onPath[v]; ok {
+						// v is the meeting point; add atoms from s.v up to v.
+						for u := s.v; u != v; u = parentVar[u] {
+							atoms = append(atoms, parentAtom[u])
+						}
+						return atoms
+					}
+					atoms = append(atoms, parentAtom[v])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// IsForest reports whether the undirected shadow of the query graph is a
+// forest — the standard acyclicity notion for conjunctive queries with at
+// most binary relations (§6).
+func (g *Graph) IsForest() bool { return g.UndirectedCycleAtoms() == nil }
+
+// Class is the cyclicity classification of a query.
+type Class int
+
+// Classification values, from most to least restrictive.
+const (
+	// Acyclic: the undirected shadow is a forest (an ABCQ body, §7).
+	Acyclic Class = iota
+	// DirectedAcyclic: directed cycles absent but undirected cycles
+	// present (a DABCQ body that is not an ABCQ, §7).
+	DirectedAcyclic
+	// Cyclic: the query graph has a directed cycle.
+	Cyclic
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Acyclic:
+		return "acyclic"
+	case DirectedAcyclic:
+		return "directed-acyclic"
+	case Cyclic:
+		return "cyclic"
+	default:
+		return "invalid"
+	}
+}
+
+// Classify returns the cyclicity class of q.
+func Classify(q *Query) Class {
+	g := NewGraph(q)
+	if g.HasDirectedCycle() {
+		return Cyclic
+	}
+	if !g.IsForest() {
+		return DirectedAcyclic
+	}
+	return Acyclic
+}
+
+// TopoOrder returns the variables in a topological order of the query
+// graph (sources first), or nil if the graph has a directed cycle.
+func (g *Graph) TopoOrder() []Var {
+	n := g.q.NumVars()
+	indeg := make([]int, n)
+	for x := 0; x < n; x++ {
+		for _, e := range g.out[x] {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]Var, 0, n)
+	for x := Var(0); int(x) < n; x++ {
+		if indeg[x] == 0 {
+			queue = append(queue, x)
+		}
+	}
+	order := make([]Var, 0, n)
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		order = append(order, x)
+		for _, e := range g.out[x] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil
+	}
+	return order
+}
+
+// VariablePaths returns Π_Q (§7): the set of variable paths in the query
+// graph from in-degree-zero variables to out-degree-zero variables. It
+// requires the graph to be a DAG and panics otherwise (callers classify
+// first). Paths are returned as variable sequences.
+func (g *Graph) VariablePaths() [][]Var {
+	if g.HasDirectedCycle() {
+		panic("cq: VariablePaths on a cyclic query graph")
+	}
+	n := g.q.NumVars()
+	used := g.q.UsedVars()
+	var out [][]Var
+	var walk func(path []Var, v Var)
+	walk = func(path []Var, v Var) {
+		path = append(path, v)
+		if len(g.out[v]) == 0 {
+			cp := make([]Var, len(path))
+			copy(cp, path)
+			out = append(out, cp)
+			return
+		}
+		for _, e := range g.out[v] {
+			walk(path, e.To)
+		}
+	}
+	for v := Var(0); int(v) < n; v++ {
+		if used[v] && len(g.in[v]) == 0 {
+			walk(nil, v)
+		}
+	}
+	return out
+}

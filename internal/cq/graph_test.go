@@ -1,0 +1,165 @@
+package cq
+
+import (
+	"testing"
+
+	"repro/internal/axis"
+)
+
+func TestClassifyAcyclic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Class
+	}{
+		{"Q() <- Child(x, y), Child(y, z)", Acyclic},
+		{"Q() <- A(x)", Acyclic},
+		{"Q() <- true", Acyclic},
+		{"Q() <- Child(x, y), Child(x, z)", Acyclic}, // branching ok
+		{"Q() <- Child(x, z), Child(y, z)", Acyclic}, // v-structure: still a forest
+		{"Q() <- Child(x, y)", Acyclic},
+		{"Q() <- Child+(x, y), Child+(y, x)", Cyclic},                                 // directed 2-cycle
+		{"Q() <- Child*(x, x)", Cyclic},                                               // self loop
+		{"Q() <- Child(x, y), Child(y, z), Child+(x, z)", DirectedAcyclic},            // triangle
+		{"Q() <- S(x), Child+(x, y), Child+(x, z), Following(y, z)", DirectedAcyclic}, // Fig. 1
+	}
+	for _, tc := range cases {
+		q := MustParse(tc.src)
+		if got := Classify(q); got != tc.want {
+			t.Errorf("Classify(%s) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestTwoAtomsIntoSameVarIsTree(t *testing.T) {
+	// x -> z <- y is a tree in the undirected shadow (3 vars, 2 edges, no
+	// cycle) — double-check the classification above.
+	q := MustParse("Q() <- Child(x, z), Child(y, z)")
+	g := NewGraph(q)
+	if !g.IsForest() {
+		t.Errorf("v-structure should be a forest")
+	}
+	if Classify(q) != Acyclic {
+		t.Errorf("v-structure should classify acyclic")
+	}
+}
+
+func TestParallelAtomsFormUndirectedCycle(t *testing.T) {
+	q := MustParse("Q() <- Child+(x, y), Child*(x, y)")
+	g := NewGraph(q)
+	if g.IsForest() {
+		t.Errorf("parallel edges should form an undirected cycle")
+	}
+	atoms := g.UndirectedCycleAtoms()
+	if len(atoms) != 2 {
+		t.Errorf("parallel-edge cycle should have 2 atoms, got %v", atoms)
+	}
+	if Classify(q) != DirectedAcyclic {
+		t.Errorf("Classify = %v", Classify(q))
+	}
+}
+
+func TestDirectedCycleExtraction(t *testing.T) {
+	q := MustParse("Q() <- Child*(x, y), NextSibling*(y, z), Child*(z, x)")
+	g := NewGraph(q)
+	cyc := g.DirectedCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("cycle length %d, want 3", len(cyc))
+	}
+	// Verify it is a real cycle: consecutive vars connected by atoms.
+	for i := range cyc {
+		from, to := cyc[i], cyc[(i+1)%len(cyc)]
+		found := false
+		for _, e := range g.Out(from) {
+			if e.To == to {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no edge %v -> %v in extracted cycle", from, to)
+		}
+	}
+}
+
+func TestSelfLoopDirectedCycle(t *testing.T) {
+	q := MustParse("Q() <- Child+(x, x)")
+	g := NewGraph(q)
+	cyc := g.DirectedCycle()
+	if len(cyc) != 1 {
+		t.Errorf("self-loop cycle length %d, want 1", len(cyc))
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	q := MustParse("Q() <- Child(x, y), Child(y, z), Child(x, w)")
+	g := NewGraph(q)
+	order := g.TopoOrder()
+	if order == nil {
+		t.Fatal("TopoOrder returned nil for DAG")
+	}
+	pos := map[Var]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, at := range q.Atoms {
+		if pos[at.X] >= pos[at.Y] {
+			t.Errorf("topo order violates atom %v", at)
+		}
+	}
+	cyclic := MustParse("Q() <- Child(x, y), Child(y, x)")
+	if NewGraph(cyclic).TopoOrder() != nil {
+		t.Errorf("TopoOrder should be nil for cyclic graph")
+	}
+}
+
+func TestVariablePaths(t *testing.T) {
+	// x -> u -> y and x -> u -> v -> z (the example below Lemma 6.4's
+	// figure reference in §7: Π_Q = {xuy, xuvz}).
+	q := New()
+	x := q.AddVar("x")
+	u := q.AddVar("u")
+	y := q.AddVar("y")
+	v := q.AddVar("v")
+	z := q.AddVar("z")
+	q.AddAtom(axis.Child, x, u)
+	q.AddAtom(axis.Child, u, y)
+	q.AddAtom(axis.Child, u, v)
+	q.AddAtom(axis.Child, v, z)
+	g := NewGraph(q)
+	paths := g.VariablePaths()
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2: %v", len(paths), paths)
+	}
+	asString := func(p []Var) string {
+		s := ""
+		for _, vv := range p {
+			s += q.VarName(vv)
+		}
+		return s
+	}
+	got := map[string]bool{}
+	for _, p := range paths {
+		got[asString(p)] = true
+	}
+	if !got["xuy"] || !got["xuvz"] {
+		t.Errorf("paths = %v", got)
+	}
+}
+
+func TestVariablePathsPanicsOnCycle(t *testing.T) {
+	q := MustParse("Q() <- Child(x, y), Child(y, x)")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	NewGraph(q).VariablePaths()
+}
+
+func TestDegrees(t *testing.T) {
+	q := MustParse("Q() <- Child(x, y), Child(x, z), Child(w, x)")
+	g := NewGraph(q)
+	x, _ := q.VarByName("x")
+	if g.OutDegree(x) != 2 || g.InDegree(x) != 1 {
+		t.Errorf("degrees of x: out %d in %d", g.OutDegree(x), g.InDegree(x))
+	}
+}

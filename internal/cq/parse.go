@@ -1,0 +1,216 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"repro/internal/axis"
+)
+
+// Parse reads the paper's datalog-style rule notation:
+//
+//	Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z).
+//
+// Grammar:
+//
+//	query  := head ("<-" | ":-" | "←") body "."?
+//	head   := ident "(" [vars] ")"
+//	body   := "true" | atom ("," atom)*
+//	atom   := name "(" var ")"              unary label atom
+//	        | name ["^" int] "(" var "," var ")"   binary axis atom
+//	vars   := var ("," var)*
+//
+// Conventions follow the paper (§2): variable names start with a lower-case
+// letter; label and relation names start with an upper-case letter. A name
+// in binary position must parse as an axis (package axis names, including
+// "Child+", "NextSibling*", and the XPath aliases); "Child^3(x,y)" is the
+// chain shortcut χ³ of §5 and expands to a chain through fresh variables.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("cq: %w", err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) error(format string, args ...any) error {
+	return fmt.Errorf("offset %d: %s (near %q)", p.pos, fmt.Sprintf(format, args...), p.near())
+}
+
+func (p *parser) near() string {
+	end := p.pos + 12
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return p.src[p.pos:end]
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) eof() bool { p.skipSpace(); return p.pos >= len(p.src) }
+
+func (p *parser) tryConsume(tok string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) consume(tok string) error {
+	if !p.tryConsume(tok) {
+		return p.error("expected %q", tok)
+	}
+	return nil
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c == '\'' || c == '+' || c == '*' || c == '-' || c == '@' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.error("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := New()
+	// Head.
+	if _, err := p.ident(); err != nil { // head predicate name, ignored
+		return nil, err
+	}
+	if err := p.consume("("); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.tryConsume(")") {
+		for {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			q.Head = append(q.Head, q.AddVar(name))
+			p.skipSpace()
+			if p.tryConsume(")") {
+				break
+			}
+			if err := p.consume(","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.tryConsume("<-") && !p.tryConsume(":-") && !p.tryConsume("←") {
+		return nil, p.error(`expected "<-" or ":-"`)
+	}
+	// Body.
+	p.skipSpace()
+	if p.tryConsume("true") {
+		p.tryConsume(".")
+		if !p.eof() {
+			return nil, p.error("trailing input")
+		}
+		return q, nil
+	}
+	for {
+		if err := p.parseAtom(q); err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.tryConsume(",") {
+			continue
+		}
+		p.tryConsume(".")
+		if !p.eof() {
+			return nil, p.error("trailing input")
+		}
+		return q, nil
+	}
+}
+
+func (p *parser) parseAtom(q *Query) error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	power := 1
+	if p.tryConsume("^") {
+		numStart := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == numStart {
+			return p.error("expected integer after ^")
+		}
+		power, err = strconv.Atoi(p.src[numStart:p.pos])
+		if err != nil || power < 1 {
+			return p.error("bad chain power %q", p.src[numStart:p.pos])
+		}
+	}
+	if err := p.consume("("); err != nil {
+		return err
+	}
+	first, err := p.ident()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	if p.tryConsume(")") {
+		// Unary atom.
+		if power != 1 {
+			return p.error("chain power on unary atom %s", name)
+		}
+		q.AddLabel(name, q.AddVar(first))
+		return nil
+	}
+	if err := p.consume(","); err != nil {
+		return err
+	}
+	second, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.consume(")"); err != nil {
+		return err
+	}
+	ax, err := axis.Parse(name)
+	if err != nil {
+		return p.error("binary atom %s is not a known axis", name)
+	}
+	x, y := q.AddVar(first), q.AddVar(second)
+	if power == 1 {
+		q.AddAtom(ax, x, y)
+	} else {
+		q.AddChain(ax, x, y, power)
+	}
+	return nil
+}

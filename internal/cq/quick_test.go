@@ -1,0 +1,109 @@
+package cq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/axis"
+)
+
+// randomQuery builds a random query for property tests.
+func randomQuick(rng *rand.Rand) *Query {
+	q := New()
+	nv := 1 + rng.Intn(5)
+	vars := make([]Var, nv)
+	for i := range vars {
+		vars[i] = q.AddVar(fmt.Sprintf("v%d", i))
+	}
+	for i := 0; i < rng.Intn(6); i++ {
+		q.AddAtom(axis.PaperAxes[rng.Intn(len(axis.PaperAxes))],
+			vars[rng.Intn(nv)], vars[rng.Intn(nv)])
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		q.AddLabel(string(rune('A'+rng.Intn(3))), vars[rng.Intn(nv)])
+	}
+	if rng.Intn(2) == 0 {
+		q.SetHead(vars[rng.Intn(nv)])
+	}
+	return q
+}
+
+func TestQuickStringParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuick(rng)
+		back, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return back.String() == q.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuick(rng)
+		n1 := q.Normalize()
+		n2 := n1.Normalize()
+		return n1.CanonicalKey() == n2.CanonicalKey()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClassifyInvariantUnderNormalize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuick(rng)
+		return Classify(q) == Classify(q.Normalize())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneIndependence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuick(rng)
+		before := q.String()
+		c := q.Clone()
+		c.AddVar("zz_extra")
+		if c.NumVars() > 0 {
+			c.AddLabel("ZZ", Var(0))
+		}
+		return q.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSignatureSubsetOfPaperAxes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := randomQuick(rng)
+		for _, a := range q.Signature() {
+			found := false
+			for _, p := range axis.PaperAxes {
+				if a == p {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

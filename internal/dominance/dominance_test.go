@@ -1,0 +1,123 @@
+package dominance
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestSatisfiedBy(t *testing.T) {
+	// Tree: S(NP(DT,NN), VP(VB,NP(NN))).
+	tr := tree.MustParseTerm("S(NP(DT,NN),VP(VB,NP(NN)))")
+	p := (&Problem{}).Add(
+		Lab("x", "S"),
+		Dom("x", "y"),
+		Lab("y", "NP"),
+		Prec("y", "z"),
+		Lab("z", "VP"),
+	)
+	if !p.SatisfiedBy(tr) {
+		t.Errorf("constraints should be realized by the tree")
+	}
+	bad := (&Problem{}).Add(
+		Lab("x", "VP"),
+		Prec("x", "y"),
+		Lab("y", "NP"),
+		Imm("z", "y"),
+		Lab("z", "VP"),
+	)
+	// No NP after the VP.
+	if bad.SatisfiedBy(tr) {
+		t.Errorf("constraints should not be realized")
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	cs := []Constraint{Dom("a", "b"), Imm("a", "b"), Prec("a", "b"), Lab("a", "X")}
+	for _, c := range cs {
+		if c.String() == "" || c.String() == "invalid" {
+			t.Errorf("bad String for %#v", c)
+		}
+	}
+}
+
+func TestSolvedForms(t *testing.T) {
+	// A cyclic dominance problem: x and y dominate a common segment z,
+	// with x preceding w inside y — solved forms disambiguate the
+	// relative position of x and y.
+	p := (&Problem{}).Add(
+		Dom("x", "z"),
+		Dom("y", "z"),
+		Lab("x", "A"),
+		Lab("y", "B"),
+	)
+	apq, err := p.SolvedForms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apq.Disjuncts) == 0 {
+		t.Fatalf("satisfiable problem must have solved forms")
+	}
+	if !apq.IsAcyclic() {
+		t.Errorf("solved forms must be acyclic")
+	}
+	// Two common trees: A above B, B above A.
+	if !apq.EvalBoolean(tree.MustParseTerm("A(B(C))")) {
+		t.Errorf("A-above-B should realize the constraints")
+	}
+	if !apq.EvalBoolean(tree.MustParseTerm("B(A(C))")) {
+		t.Errorf("B-above-A should realize the constraints")
+	}
+	if apq.EvalBoolean(tree.MustParseTerm("R(A,B)")) {
+		t.Errorf("disjoint A and B cannot dominate a common node")
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	ok := (&Problem{}).Add(Dom("x", "y"), Lab("x", "A"), Lab("y", "B"))
+	sat, err := ok.Satisfiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Errorf("problem should be satisfiable")
+	}
+	// Unsatisfiable: x strictly precedes y and y dominates x — Following
+	// and Child* compose to a directed cycle through irreflexive axes.
+	bad := (&Problem{}).Add(Prec("x", "y"), Dom("y", "x"))
+	sat, err = bad.Satisfiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Errorf("precedence + converse dominance should be unsatisfiable")
+	}
+}
+
+func TestMultiSegmentPuzzle(t *testing.T) {
+	// A classic underspecification diamond: root dominates two scopes,
+	// both dominating the same hole.
+	p := (&Problem{}).Add(
+		Lab("root", "S"),
+		Dom("root", "sc1"), Lab("sc1", "Q1"),
+		Dom("root", "sc2"), Lab("sc2", "Q2"),
+		Dom("sc1", "hole"), Dom("sc2", "hole"), Lab("hole", "P"),
+	)
+	apq, err := p.SolvedForms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both scope orders are solved forms: Q1 over Q2 and Q2 over Q1.
+	q1OverQ2 := tree.MustParseTerm("S(Q1(Q2(P)))")
+	q2OverQ1 := tree.MustParseTerm("S(Q2(Q1(P)))")
+	if !apq.EvalBoolean(q1OverQ2) || !apq.EvalBoolean(q2OverQ1) {
+		t.Errorf("both scope readings must realize the constraints")
+	}
+	sat, err := p.Satisfiable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat {
+		t.Errorf("scope diamond should be satisfiable")
+	}
+}

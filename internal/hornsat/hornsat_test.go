@@ -1,0 +1,151 @@
+package hornsat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyProgram(t *testing.T) {
+	p := NewProgram(0, 0)
+	truth := p.Solve()
+	if len(truth) != 0 {
+		t.Errorf("empty program should have empty model")
+	}
+}
+
+func TestFactsPropagate(t *testing.T) {
+	p := NewProgram(4, 4)
+	a := p.NewAtom()
+	b := p.NewAtom()
+	c := p.NewAtom()
+	d := p.NewAtom()
+	p.AddClause(a)       // a.
+	p.AddClause(b, a)    // b <- a.
+	p.AddClause(c, a, b) // c <- a, b.
+	_ = d                // d underivable
+	truth := p.Solve()
+	if !truth[a] || !truth[b] || !truth[c] {
+		t.Errorf("a, b, c should be derived: %v", truth)
+	}
+	if truth[d] {
+		t.Errorf("d should not be derived")
+	}
+}
+
+func TestCycleWithoutFactsDerivesNothing(t *testing.T) {
+	p := NewProgram(2, 2)
+	a := p.NewAtom()
+	b := p.NewAtom()
+	p.AddClause(a, b)
+	p.AddClause(b, a)
+	truth := p.Solve()
+	if truth[a] || truth[b] {
+		t.Errorf("cyclic support without facts must derive nothing")
+	}
+}
+
+func TestDuplicateBodyAtoms(t *testing.T) {
+	p := NewProgram(2, 2)
+	a := p.NewAtom()
+	b := p.NewAtom()
+	p.AddClause(a)
+	p.AddClause(b, a, a) // duplicate literal: still fires once a holds
+	truth := p.Solve()
+	if !truth[b] {
+		t.Errorf("duplicate body literals mishandled")
+	}
+}
+
+func TestNewAtoms(t *testing.T) {
+	p := NewProgram(0, 0)
+	first := p.NewAtoms(5)
+	if first != 0 || p.NumAtoms() != 5 {
+		t.Errorf("NewAtoms: first %d, count %d", first, p.NumAtoms())
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	p := NewProgram(3, 3)
+	a := p.NewAtom()
+	b := p.NewAtom()
+	p.AddClause(a)
+	p.AddClause(b, a)
+	if p.NumClauses() != 2 {
+		t.Errorf("NumClauses = %d", p.NumClauses())
+	}
+	if p.Size() != 3 { // 2 clauses + 1 body literal
+		t.Errorf("Size = %d, want 3", p.Size())
+	}
+}
+
+func TestOutOfRangeAtomPanics(t *testing.T) {
+	p := NewProgram(1, 1)
+	a := p.NewAtom()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for out-of-range atom")
+		}
+	}()
+	p.AddClause(a, AtomID(7))
+}
+
+// refMinimalModel computes the minimal model by naive iteration.
+func refMinimalModel(numAtoms int, clauses [][]AtomID) []bool {
+	truth := make([]bool, numAtoms)
+	for changed := true; changed; {
+		changed = false
+		for _, cl := range clauses {
+			head, body := cl[0], cl[1:]
+			if truth[head] {
+				continue
+			}
+			all := true
+			for _, b := range body {
+				if !truth[b] {
+					all = false
+					break
+				}
+			}
+			if all {
+				truth[head] = true
+				changed = true
+			}
+		}
+	}
+	return truth
+}
+
+func TestQuickAgainstNaiveFixpoint(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		numClauses := rng.Intn(25)
+		p := NewProgram(n, numClauses)
+		p.NewAtoms(n)
+		var clauses [][]AtomID
+		for i := 0; i < numClauses; i++ {
+			head := AtomID(rng.Intn(n))
+			bodyLen := rng.Intn(4)
+			cl := []AtomID{head}
+			body := make([]AtomID, bodyLen)
+			for j := range body {
+				body[j] = AtomID(rng.Intn(n))
+			}
+			cl = append(cl, body...)
+			clauses = append(clauses, cl)
+			p.AddClause(head, body...)
+		}
+		got := p.Solve()
+		want := refMinimalModel(n, clauses)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

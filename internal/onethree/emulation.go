@@ -1,0 +1,177 @@
+package onethree
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// This file implements the transformation machinery the paper uses to
+// carry the Theorem 5.2 hardness construction to the remaining
+// signatures (Theorems 5.3–5.8):
+//
+//   - Eq. (1) / Cor. 5.4: Following(x,y) ≡
+//     ∃z1 z2: Child*(z1,x) ∧ NextSibling+(z1,z2) ∧ Child*(z2,y);
+//   - Thm. 5.5: Following′(x,y) := ∃z1 z2: Child*(z1,x) ∧
+//     NextSibling(z1,z2) ∧ Child*(z2,y) — a subrelation of Following that
+//     coincides with it on trees where every node is an only child or has
+//     its relevant siblings adjacent;
+//   - Thm. 5.6: Following with NextSibling* forced to advance via
+//     H-labeled separator nodes interleaved between adjacent siblings
+//     (Fig. 6): Following″(x,y) := ∃z1 z2 z3: Child*(z1,x) ∧
+//     NextSibling*(z1,z2) ∧ H(z2) ∧ NextSibling*(z2,z3) ∧ Child*(z3,y);
+//   - Thm. 5.7: edge subdivision of the data tree (every edge 〈u,w〉
+//     replaced by 〈u,v〉,〈v,w〉 with fresh v) so that Child+ can stand in
+//     for Child in gadget chains;
+//   - the multi-label elimination noted after Thm. 5.1: push extra labels
+//     down to fresh children so hardness holds for single-labeled trees.
+
+// RewriteFollowingAtoms replaces every Following(x, y) atom of q by the
+// three-atom pattern pat (one of the emulations above), returning a new
+// query over the corresponding signature. The pattern is selected by the
+// sibling axis to use; withH interleaves the H-separator hop of Thm 5.6.
+func RewriteFollowingAtoms(q *cq.Query, sibling axis.Axis, withH bool) *cq.Query {
+	out := q.Clone()
+	atoms := out.Atoms
+	out.Atoms = nil
+	for _, at := range atoms {
+		if at.Axis != axis.Following {
+			out.Atoms = append(out.Atoms, at)
+			continue
+		}
+		z1 := out.FreshVar("fz1")
+		out.AddAtom(axis.ChildStar, z1, at.X)
+		if withH {
+			z2 := out.FreshVar("fz2")
+			z3 := out.FreshVar("fz3")
+			out.AddAtom(sibling, z1, z2)
+			out.AddLabel("H", z2)
+			out.AddAtom(sibling, z2, z3)
+			out.AddAtom(axis.ChildStar, z3, at.Y)
+		} else {
+			z2 := out.FreshVar("fz2")
+			out.AddAtom(sibling, z1, z2)
+			out.AddAtom(axis.ChildStar, z2, at.Y)
+		}
+	}
+	return out
+}
+
+// InsertHSeparators returns a copy of t with an H-labeled leaf inserted
+// between every pair of adjacent siblings (the Fig. 6 tree
+// transformation for Theorem 5.6). Existing nodes keep their labels.
+func InsertHSeparators(t *tree.Tree) *tree.Tree {
+	b := tree.NewBuilder(2 * t.Len())
+	var rec func(v tree.NodeID, parent tree.NodeID)
+	rec = func(v tree.NodeID, parent tree.NodeID) {
+		id := b.AddNode(parent, t.Labels(v)...)
+		kids := t.Children(v)
+		for i, c := range kids {
+			if i > 0 {
+				b.AddNode(id, "H")
+			}
+			rec(c, id)
+		}
+	}
+	if t.Len() > 0 {
+		rec(t.Root(), tree.NilNode)
+	}
+	return b.Build()
+}
+
+// SubdivideEdges returns a copy of t in which every parent-child edge is
+// subdivided by a fresh unlabeled node (the Theorem 5.7 transformation):
+// a node at depth d in t sits at depth 2d in the result.
+func SubdivideEdges(t *tree.Tree) *tree.Tree {
+	b := tree.NewBuilder(2 * t.Len())
+	var rec func(v tree.NodeID, parent tree.NodeID)
+	rec = func(v tree.NodeID, parent tree.NodeID) {
+		attach := parent
+		if parent != tree.NilNode {
+			attach = b.AddNode(parent) // subdivision node
+		}
+		id := b.AddNode(attach, t.Labels(v)...)
+		for _, c := range t.Children(v) {
+			rec(c, id)
+		}
+	}
+	if t.Len() > 0 {
+		rec(t.Root(), tree.NilNode)
+	}
+	return b.Build()
+}
+
+// PushDownMultiLabels eliminates multi-labeled nodes (remark after the
+// proof of Theorem 5.1): each extra label beyond the first moves to a
+// fresh child carrying that label prefixed with "@". Queries over the
+// original tree are adapted with AdaptQueryToPushedLabels. The resulting
+// tree has at most one label per node.
+func PushDownMultiLabels(t *tree.Tree) *tree.Tree {
+	b := tree.NewBuilder(2 * t.Len())
+	var rec func(v tree.NodeID, parent tree.NodeID)
+	rec = func(v tree.NodeID, parent tree.NodeID) {
+		labels := t.Labels(v)
+		var first []string
+		if len(labels) > 0 {
+			first = labels[:1]
+		}
+		id := b.AddNode(parent, first...)
+		if len(labels) > 1 {
+			for _, extra := range labels[1:] {
+				b.AddNode(id, "@"+extra)
+			}
+		}
+		for _, c := range t.Children(v) {
+			rec(c, id)
+		}
+	}
+	if t.Len() > 0 {
+		rec(t.Root(), tree.NilNode)
+	}
+	return b.Build()
+}
+
+// AdaptQueryToPushedLabels rewrites a query to run against
+// PushDownMultiLabels(t) given the original t: for each unary atom L(x)
+// where L occurs anywhere in t as a non-first label, the atom is replaced
+// by Child(x, x') ∧ @L(x') (the label may now live on a child); atoms
+// whose label only ever occurs first are left alone. This preserves
+// satisfiability for the Theorem 5.1 construction, where the first label
+// is position-determined.
+func AdaptQueryToPushedLabels(t *tree.Tree, q *cq.Query) *cq.Query {
+	// Which labels occur as non-first labels somewhere?
+	pushed := map[string]bool{}
+	demoted := map[string]bool{} // labels that sometimes stay first
+	for v := tree.NodeID(0); int(v) < t.Len(); v++ {
+		for i, l := range t.Labels(v) {
+			if i == 0 {
+				demoted[l] = true
+			} else {
+				pushed[l] = true
+			}
+		}
+	}
+	out := q.Clone()
+	labels := out.Labels
+	out.Labels = nil
+	for _, la := range labels {
+		if pushed[la.Label] && !demoted[la.Label] {
+			// Always a pushed label: match via fresh child.
+			h := out.FreshVar("lab")
+			out.AddAtom(axis.Child, la.X, h)
+			out.AddLabel("@"+la.Label, h)
+			continue
+		}
+		if pushed[la.Label] && demoted[la.Label] {
+			// Mixed occurrence: not adaptable without disjunction; keep
+			// the direct atom — callers must avoid this case (the
+			// Theorem 5.1 tree is engineered so each label class is
+			// uniform). Panic to surface misuse.
+			panic(fmt.Sprintf("onethree: label %q occurs both first and pushed; query not adaptable", la.Label))
+		}
+		out.Labels = append(out.Labels, la)
+	}
+	return out
+}

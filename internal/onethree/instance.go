@@ -1,0 +1,156 @@
+// Package onethree implements the NP-hardness laboratory of §5 of
+// "Conjunctive Queries over Trees": the 1-in-3 3SAT problem (the source of
+// every reduction in the paper) and the reductions of Theorems 5.1–5.8,
+// which encode a 1-in-3 3SAT instance as a Boolean conjunctive query over
+// a fixed data tree for each intractable two-axis signature.
+//
+// All instances use positive literals only; 1-in-3 3SAT remains
+// NP-complete under that restriction [Schaefer 1978].
+package onethree
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Clause is an ordered triple of positive literals (variable indexes).
+// The paper's reductions depend on clause positions 1..3, so order matters.
+type Clause [3]int
+
+// Instance is a 1-in-3 3SAT instance over positive literals: is there a
+// truth assignment such that each clause has exactly one true literal?
+type Instance struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks structural sanity: three distinct in-range literals per
+// clause (the proofs of §5 assume no clause repeats a literal).
+func (ins *Instance) Validate() error {
+	for ci, c := range ins.Clauses {
+		for k := 0; k < 3; k++ {
+			if c[k] < 0 || c[k] >= ins.NumVars {
+				return fmt.Errorf("onethree: clause %d literal %d out of range", ci, k)
+			}
+			for l := k + 1; l < 3; l++ {
+				if c[k] == c[l] {
+					return fmt.Errorf("onethree: clause %d repeats literal %d", ci, c[k])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// String renders e.g. "(x0|x1|x2)&(x1|x3|x4)".
+func (ins *Instance) String() string {
+	parts := make([]string, len(ins.Clauses))
+	for i, c := range ins.Clauses {
+		parts[i] = fmt.Sprintf("(x%d|x%d|x%d)", c[0], c[1], c[2])
+	}
+	return strings.Join(parts, "&")
+}
+
+// Assignment maps variable index to truth value.
+type Assignment []bool
+
+// Satisfies reports whether exactly one literal of every clause is true.
+func (ins *Instance) Satisfies(a Assignment) bool {
+	if len(a) < ins.NumVars {
+		return false
+	}
+	for _, c := range ins.Clauses {
+		count := 0
+		for _, v := range c {
+			if a[v] {
+				count++
+			}
+		}
+		if count != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveBrute finds a satisfying assignment by exhaustive search (ground
+// truth for the reduction tests), or nil. Exponential in NumVars.
+func (ins *Instance) SolveBrute() Assignment {
+	if ins.NumVars > 25 {
+		panic("onethree: SolveBrute beyond 25 variables")
+	}
+	for mask := 0; mask < 1<<ins.NumVars; mask++ {
+		a := make(Assignment, ins.NumVars)
+		for i := 0; i < ins.NumVars; i++ {
+			a[i] = mask&(1<<i) != 0
+		}
+		if ins.Satisfies(a) {
+			return a
+		}
+	}
+	return nil
+}
+
+// Satisfiable reports brute-force satisfiability.
+func (ins *Instance) Satisfiable() bool { return ins.SolveBrute() != nil }
+
+// SelectorFromAssignment converts a satisfying assignment into the
+// solution mapping σ used in the proofs: σ(i) = position (1-based) of the
+// unique true literal of clause i. Returns nil if a is not a solution.
+func (ins *Instance) SelectorFromAssignment(a Assignment) []int {
+	if !ins.Satisfies(a) {
+		return nil
+	}
+	sel := make([]int, len(ins.Clauses))
+	for i, c := range ins.Clauses {
+		for k, v := range c {
+			if a[v] {
+				sel[i] = k + 1
+			}
+		}
+	}
+	return sel
+}
+
+// AssignmentFromSelector converts a selector σ into the induced truth
+// assignment (true iff selected in some clause); the result satisfies the
+// instance iff σ is a consistent selection.
+func (ins *Instance) AssignmentFromSelector(sel []int) Assignment {
+	a := make(Assignment, ins.NumVars)
+	for i, c := range ins.Clauses {
+		a[c[sel[i]-1]] = true
+	}
+	return a
+}
+
+// Random generates a random instance with the given clause count over
+// numVars variables (numVars >= 3).
+func Random(rng *rand.Rand, numVars, numClauses int) *Instance {
+	if numVars < 3 {
+		panic("onethree: Random needs numVars >= 3")
+	}
+	ins := &Instance{NumVars: numVars}
+	for i := 0; i < numClauses; i++ {
+		perm := rng.Perm(numVars)
+		ins.Clauses = append(ins.Clauses, Clause{perm[0], perm[1], perm[2]})
+	}
+	return ins
+}
+
+// Fixed well-known instances for tests and demos.
+
+// InstanceSatisfiable returns a small satisfiable instance:
+// clauses (0,1,2) and (2,3,4); x2=true satisfies both exactly once.
+func InstanceSatisfiable() *Instance {
+	return &Instance{NumVars: 5, Clauses: []Clause{{0, 1, 2}, {2, 3, 4}}}
+}
+
+// InstanceUnsatisfiable returns a small unsatisfiable instance: all four
+// clauses over {0,1,2,3} — any assignment gives some clause 0 or 2 true
+// literals.
+func InstanceUnsatisfiable() *Instance {
+	return &Instance{NumVars: 4, Clauses: []Clause{
+		{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3},
+	}}
+}

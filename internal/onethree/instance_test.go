@@ -1,0 +1,91 @@
+package onethree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := InstanceSatisfiable()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid instance rejected: %v", err)
+	}
+	bad := &Instance{NumVars: 3, Clauses: []Clause{{0, 0, 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("repeated literal accepted")
+	}
+	oob := &Instance{NumVars: 2, Clauses: []Clause{{0, 1, 2}}}
+	if err := oob.Validate(); err == nil {
+		t.Errorf("out-of-range literal accepted")
+	}
+}
+
+func TestKnownInstances(t *testing.T) {
+	if !InstanceSatisfiable().Satisfiable() {
+		t.Errorf("InstanceSatisfiable should be satisfiable")
+	}
+	if InstanceUnsatisfiable().Satisfiable() {
+		t.Errorf("InstanceUnsatisfiable should be unsatisfiable")
+	}
+}
+
+func TestSatisfiesSemantics(t *testing.T) {
+	ins := InstanceSatisfiable() // clauses (0,1,2), (2,3,4)
+	cases := []struct {
+		a    Assignment
+		want bool
+	}{
+		{Assignment{false, false, true, false, false}, true},   // x2 only
+		{Assignment{true, false, false, false, true}, true},    // x0, x4
+		{Assignment{true, true, false, false, true}, false},    // clause 0 has 2
+		{Assignment{false, false, false, false, false}, false}, // none
+		{Assignment{true, false, true, false, false}, false},   // clause 0 has 2
+	}
+	for _, tc := range cases {
+		if got := ins.Satisfies(tc.a); got != tc.want {
+			t.Errorf("Satisfies(%v) = %v, want %v", tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestSelectorRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ins := Random(rng, 4+rng.Intn(3), 1+rng.Intn(4))
+		a := ins.SolveBrute()
+		if a == nil {
+			return true
+		}
+		sel := ins.SelectorFromAssignment(a)
+		if sel == nil {
+			return false
+		}
+		back := ins.AssignmentFromSelector(sel)
+		return ins.Satisfies(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectorFromNonSolution(t *testing.T) {
+	ins := InstanceSatisfiable()
+	if sel := ins.SelectorFromAssignment(Assignment{true, true, true, true, true}); sel != nil {
+		t.Errorf("selector from non-solution should be nil")
+	}
+}
+
+func TestRandomInstancesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ins := Random(rng, 6, 10)
+	if err := ins.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ins.Clauses) != 10 || ins.NumVars != 6 {
+		t.Errorf("shape wrong")
+	}
+	if ins.String() == "" {
+		t.Errorf("empty String")
+	}
+}

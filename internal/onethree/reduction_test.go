@@ -1,0 +1,388 @@
+package onethree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/axis"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+func TestTheorem51TreeShape(t *testing.T) {
+	tr := Theorem51Tree()
+	if tr.Len() != 33 {
+		t.Fatalf("tree has %d nodes, want 33", tr.Len())
+	}
+	// X on the spine, Y at depths 3, 4, 5 (one per branch).
+	if len(tr.NodesWithLabel("X")) != 3 {
+		t.Errorf("want 3 X nodes")
+	}
+	ys := tr.NodesWithLabel("Y")
+	if len(ys) != 3 {
+		t.Fatalf("want 3 Y nodes")
+	}
+	depths := map[int32]bool{}
+	for _, y := range ys {
+		depths[tr.Depth(y)] = true
+	}
+	for _, d := range []int32{3, 4, 5} {
+		if !depths[d] {
+			t.Errorf("no Y node at depth %d", d)
+		}
+	}
+	// w[m,5+m] carries all three labels.
+	all3 := 0
+	tr.Walk(func(v tree.NodeID) bool {
+		if len(tr.Labels(v)) == 3 {
+			all3++
+		}
+		return true
+	})
+	if all3 != 3 {
+		t.Errorf("want 3 triple-labeled nodes, got %d", all3)
+	}
+}
+
+// completeChains extends a by-name valuation to chain helper variables by
+// walking Child atoms backward from assigned targets.
+func completeChains(t *tree.Tree, q *cq.Query, byName map[string]tree.NodeID) (consistency.Valuation, bool) {
+	theta := make(consistency.Valuation, q.NumVars())
+	assigned := make([]bool, q.NumVars())
+	for i := range theta {
+		theta[i] = tree.NilNode
+	}
+	for name, node := range byName {
+		v, ok := q.VarByName(name)
+		if !ok {
+			return nil, false
+		}
+		theta[v] = node
+		assigned[v] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, at := range q.Atoms {
+			if at.Axis != axis.Child {
+				continue
+			}
+			if assigned[at.Y] && !assigned[at.X] {
+				p := t.Parent(theta[at.Y])
+				if p == tree.NilNode {
+					return nil, false
+				}
+				theta[at.X] = p
+				assigned[at.X] = true
+				changed = true
+			}
+		}
+	}
+	for i := range theta {
+		if !assigned[i] {
+			return nil, false
+		}
+	}
+	return theta, true
+}
+
+func TestTheorem51ForwardDirection(t *testing.T) {
+	// Every 1-in-3 solution must induce a satisfaction of the query
+	// (the proof's "⇒" construction, checked literally).
+	tr := Theorem51Tree()
+	rng := rand.New(rand.NewSource(21))
+	checked := 0
+	for trial := 0; trial < 40 && checked < 12; trial++ {
+		ins := Random(rng, 4+rng.Intn(3), 1+rng.Intn(3))
+		a := ins.SolveBrute()
+		if a == nil {
+			continue
+		}
+		checked++
+		sel := ins.SelectorFromAssignment(a)
+		for _, star := range []bool{false, true} {
+			q := Theorem51Query(ins, star)
+			byName, ok := Theorem51Valuation(tr, q, ins, sel)
+			if !ok {
+				t.Fatalf("valuation construction failed for %s", ins)
+			}
+			theta, ok := completeChains(tr, q, byName)
+			if !ok {
+				t.Fatalf("chain completion failed for %s", ins)
+			}
+			if !consistency.Consistent(tr, q, theta) {
+				t.Fatalf("constructed valuation not a satisfaction (star=%v)\ninstance %s\nquery %s",
+					star, ins, q)
+			}
+		}
+	}
+	if checked < 5 {
+		t.Fatalf("too few satisfiable instances checked: %d", checked)
+	}
+}
+
+func TestTheorem51Equivalence(t *testing.T) {
+	// End-to-end: the query is satisfiable iff the instance is.
+	tr := Theorem51Tree()
+	engine := core.NewBacktrackEngine()
+	rng := rand.New(rand.NewSource(33))
+	instances := []*Instance{
+		InstanceSatisfiable(),
+		InstanceUnsatisfiable(),
+		{NumVars: 3, Clauses: []Clause{{0, 1, 2}}},
+		{NumVars: 4, Clauses: []Clause{{0, 1, 2}, {1, 2, 3}}},
+		{NumVars: 4, Clauses: []Clause{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}}},
+	}
+	for trial := 0; trial < 6; trial++ {
+		instances = append(instances, Random(rng, 4, 2+rng.Intn(2)))
+	}
+	for _, ins := range instances {
+		want := ins.Satisfiable()
+		for _, star := range []bool{false, true} {
+			q := Theorem51Query(ins, star)
+			got := engine.EvalBoolean(tr, q)
+			if got != want {
+				t.Fatalf("Theorem 5.1 (star=%v): query satisfiable = %v, instance satisfiable = %v\ninstance %s",
+					star, got, want, ins)
+			}
+		}
+	}
+}
+
+func TestTheorem51QueryComplexityTreeFixed(t *testing.T) {
+	// The data tree must not depend on the instance (query complexity).
+	a := Theorem51Tree()
+	b := Theorem51Tree()
+	if !a.Equal(b) {
+		t.Errorf("Theorem 5.1 tree not deterministic")
+	}
+	q1 := Theorem51Query(InstanceSatisfiable(), false)
+	q2 := Theorem51Query(InstanceUnsatisfiable(), false)
+	if q1.Size() == q2.Size() {
+		// Sizes usually differ; what matters is queries grow, tree fixed.
+		t.Logf("query sizes equal by coincidence: %d", q1.Size())
+	}
+}
+
+func TestTheorem52GadgetMargins(t *testing.T) {
+	if _, err := BuildTheorem52(); err != nil {
+		t.Fatalf("gadget margin validation failed: %v", err)
+	}
+}
+
+func TestTheorem52NANDStructure(t *testing.T) {
+	// Both our computed table and the paper's Table II decompose as
+	// base + rowOffset(k) + colOffset(l): check rows and columns differ
+	// by constants.
+	check := func(name string, tab [3][3]int) {
+		t.Helper()
+		for r := 1; r < 3; r++ {
+			d0 := tab[r][0] - tab[r-1][0]
+			for c := 1; c < 3; c++ {
+				if tab[r][c]-tab[r-1][c] != d0 {
+					t.Errorf("%s: row difference not constant", name)
+				}
+			}
+		}
+		for c := 1; c < 3; c++ {
+			d0 := tab[0][c] - tab[0][c-1]
+			for r := 1; r < 3; r++ {
+				if tab[r][c]-tab[r][c-1] != d0 {
+					t.Errorf("%s: column difference not constant", name)
+				}
+			}
+		}
+	}
+	check("Table II (paper)", PaperNANDTable)
+	g := MustBuildTheorem52()
+	check("computed NAND table", g.NANDTable())
+}
+
+func TestTheorem52Equivalence(t *testing.T) {
+	// End-to-end: satisfiable iff the 1-in-3 instance is. Uses small
+	// instances; the gadget query has 2 + (aux) variables per constraint
+	// so the backtracking engine handles it.
+	g := MustBuildTheorem52()
+	engine := core.NewBacktrackEngine()
+	rng := rand.New(rand.NewSource(44))
+	instances := []*Instance{
+		{NumVars: 3, Clauses: []Clause{{0, 1, 2}}},
+		InstanceSatisfiable(),
+		{NumVars: 4, Clauses: []Clause{{0, 1, 2}, {1, 2, 3}}},
+		{NumVars: 4, Clauses: []Clause{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}},
+	}
+	for trial := 0; trial < 5; trial++ {
+		instances = append(instances, Random(rng, 4, 2))
+	}
+	for _, ins := range instances {
+		want := ins.Satisfiable()
+		q := g.Theorem52Query(ins)
+		got := engine.EvalBoolean(g.Tree, q)
+		if got != want {
+			t.Fatalf("Theorem 5.2: query satisfiable = %v, instance satisfiable = %v\ninstance %s",
+				got, want, ins)
+		}
+	}
+}
+
+func TestTheorem52SignatureIsChildFollowing(t *testing.T) {
+	g := MustBuildTheorem52()
+	q := g.Theorem52Query(InstanceSatisfiable())
+	sig := q.Signature()
+	if len(sig) != 2 || sig[0] != axis.Child || sig[1] != axis.Following {
+		t.Fatalf("signature = %v, want {Child, Following}", sig)
+	}
+	if core.Classify(sig).Complexity != core.NPComplete {
+		t.Errorf("τ6 should classify NP-complete")
+	}
+}
+
+func TestTheorem52ComputedTableLocked(t *testing.T) {
+	// Lock the machine-computed distances for the committed geometry
+	// (rowSize = 2): base 4 with row offsets {0,4,7} and column offsets
+	// {0,4,7}. A change here means the gadget tree changed.
+	g := MustBuildTheorem52()
+	want := [3][3]int{{4, 8, 11}, {8, 12, 15}, {11, 15, 18}}
+	if g.NANDTable() != want {
+		t.Errorf("computed NAND table %v, want %v", g.NANDTable(), want)
+	}
+}
+
+func TestTheorem52Deterministic(t *testing.T) {
+	a := MustBuildTheorem52()
+	b := MustBuildTheorem52()
+	if !a.Tree.Equal(b.Tree) {
+		t.Errorf("gadget tree not deterministic")
+	}
+	if a.D != b.D {
+		t.Errorf("NAND tables differ across builds")
+	}
+}
+
+func TestTheorem52RoomRank(t *testing.T) {
+	g := MustBuildTheorem52()
+	for side := 0; side <= 1; side++ {
+		seen := 0
+		for v := tree.NodeID(0); int(v) < g.Tree.Len(); v++ {
+			if rank, ok := g.RoomRank(side, v); ok {
+				if rank < 1 || rank > 3 {
+					t.Errorf("rank %d out of range", rank)
+				}
+				seen++
+			}
+		}
+		if seen != 3 {
+			t.Errorf("side %d: %d rooms, want 3", side, seen)
+		}
+	}
+}
+
+func TestMaxFollowingChain(t *testing.T) {
+	// Flat tree: root with 5 leaves — chain between first and last leaf
+	// passes through the 3 middle leaves: max chain = 4 steps.
+	tr := tree.MustParseTerm("R(a,b,c,d,e)")
+	kids := tr.Children(tr.Root())
+	if got := MaxFollowingChain(tr, kids[0], kids[4]); got != 4 {
+		t.Errorf("flat chain = %d, want 4", got)
+	}
+	if got := MaxFollowingChain(tr, kids[4], kids[0]); got != -1 {
+		t.Errorf("backward chain = %d, want -1", got)
+	}
+	if got := MaxFollowingChain(tr, kids[0], kids[1]); got != 1 {
+		t.Errorf("adjacent chain = %d, want 1", got)
+	}
+	// Nested: subtree contents are not usable after their root.
+	tr2 := tree.MustParseTerm("R(a(x,y),b)")
+	a := tr2.Children(tr2.Root())[0]
+	bnode := tr2.Children(tr2.Root())[1]
+	if got := MaxFollowingChain(tr2, a, bnode); got != 1 {
+		t.Errorf("nested chain = %d, want 1", got)
+	}
+	x := tr2.Children(a)[0]
+	if got := MaxFollowingChain(tr2, x, bnode); got != 2 {
+		t.Errorf("from x = %d, want 2 (x->y->b)", got)
+	}
+}
+
+func TestEmulationTransforms(t *testing.T) {
+	// Following' (Thm 5.5 / Cor 5.4): rewriting Following atoms through
+	// NextSibling+ preserves semantics on every tree (Eq. (1)).
+	rng := rand.New(rand.NewSource(7))
+	engine := core.NewBacktrackEngine()
+	for trial := 0; trial < 30; trial++ {
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes: 1 + rng.Intn(10), MaxChildren: 3,
+			Alphabet: []string{"A", "B"},
+		})
+		q := cq.MustParse("Q() <- A(x), Following(x, y), B(y)")
+		want := engine.EvalBoolean(tr, q)
+		got := engine.EvalBoolean(tr, RewriteFollowingAtoms(q, axis.NextSiblingPlus, false))
+		if got != want {
+			t.Fatalf("NS+ emulation differs on %s", tr)
+		}
+	}
+}
+
+func TestHSeparatorEmulation(t *testing.T) {
+	// On an H-separated tree, the NextSibling*-with-H pattern equals
+	// Following between original (non-H) nodes.
+	rng := rand.New(rand.NewSource(9))
+	engine := core.NewBacktrackEngine()
+	for trial := 0; trial < 20; trial++ {
+		orig := tree.Random(rng, tree.RandomConfig{
+			Nodes: 1 + rng.Intn(8), MaxChildren: 3,
+			Alphabet: []string{"A", "B"},
+		})
+		sep := InsertHSeparators(orig)
+		q := cq.MustParse("Q() <- A(x), Following(x, y), B(y)")
+		want := engine.EvalBoolean(sep, q)
+		got := engine.EvalBoolean(sep, RewriteFollowingAtoms(q, axis.NextSiblingStar, true))
+		if got != want {
+			t.Fatalf("H emulation differs on %s", sep)
+		}
+	}
+}
+
+func TestSubdivideEdges(t *testing.T) {
+	orig := tree.MustParseTerm("A(B(C),D)")
+	sub := SubdivideEdges(orig)
+	if sub.Len() != orig.Len()*2-1 {
+		t.Fatalf("subdivided size %d, want %d", sub.Len(), orig.Len()*2-1)
+	}
+	// Depth of B doubles: 1 -> 2.
+	bNode := sub.NodesWithLabel("B")[0]
+	if sub.Depth(bNode) != 2 {
+		t.Errorf("depth of B = %d, want 2", sub.Depth(bNode))
+	}
+	cNode := sub.NodesWithLabel("C")[0]
+	if sub.Depth(cNode) != 4 {
+		t.Errorf("depth of C = %d, want 4", sub.Depth(cNode))
+	}
+}
+
+func TestPushDownMultiLabels(t *testing.T) {
+	tr := Theorem51Tree()
+	single := PushDownMultiLabels(tr)
+	single.Walk(func(v tree.NodeID) bool {
+		if len(single.Labels(v)) > 1 {
+			t.Fatalf("node %d still multi-labeled: %v", v, single.Labels(v))
+		}
+		return true
+	})
+	if single.Len() <= tr.Len() {
+		t.Errorf("push-down should add nodes")
+	}
+}
+
+func TestInsertHSeparators(t *testing.T) {
+	tr := tree.MustParseTerm("A(B,C,D)")
+	sep := InsertHSeparators(tr)
+	// Two H nodes inserted between the three siblings.
+	if got := len(sep.NodesWithLabel("H")); got != 2 {
+		t.Errorf("H nodes = %d, want 2", got)
+	}
+	if sep.Len() != 6 {
+		t.Errorf("Len = %d, want 6", sep.Len())
+	}
+}

@@ -1,0 +1,160 @@
+package onethree
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// Theorem 5.1: conjunctive queries over τ4 = (Labels, Child, Child+) and
+// τ5 = (Labels, Child, Child*) are NP-complete with respect to query
+// complexity. The reduction from 1-in-3 3SAT (positive literals) maps
+// every instance to a Boolean conjunctive query against the FIXED data
+// tree of Fig. 4:
+//
+//	v1(X) ─ v2(X) ─ v3(X) ─┬─ branch 1: w[1,1] … w[1,10]
+//	                       ├─ branch 2: w[2,1] … w[2,10]
+//	                       └─ branch 3: w[3,1] … w[3,10]
+//
+// where branch m is a chain hanging under v3 (so w[m,j] has depth 2+j),
+// w[m,m] carries label Y, w[m,j] for j in 4..10 carries both labels Lk'
+// with k' ≠ m, and w[m,5+m] additionally carries Lm.
+//
+// The query has, per clause i, variables x_i, y_i with
+// X(x_i), Y(y_i), Child³(x_i, y_i); and for every pair of clauses i ≠ j
+// whose k-th literal of C_i equals the l-th literal of C_j, a variable
+// z_{k,l,i,j} with Lk(z), Child◦(y_i, z), Child^{8+k−l}(x_j, z), where ◦
+// is + on τ4 and * on τ5.
+
+// Theorem51Tree builds the fixed data tree of Fig. 4. It is independent
+// of the instance (query complexity: only the query grows).
+func Theorem51Tree() *tree.Tree {
+	b := tree.NewBuilder(3 + 3*10)
+	v1 := b.AddNode(tree.NilNode, "X")
+	v2 := b.AddNode(v1, "X")
+	v3 := b.AddNode(v2, "X")
+	for m := 1; m <= 3; m++ {
+		parent := v3
+		for j := 1; j <= 10; j++ {
+			labels := w51Labels(m, j)
+			parent = b.AddNode(parent, labels...)
+		}
+	}
+	return b.Build()
+}
+
+// w51Labels returns the label set of node w[m,j].
+func w51Labels(m, j int) []string {
+	var labels []string
+	if j == m {
+		labels = append(labels, "Y")
+	}
+	if j >= 4 && j <= 10 {
+		for k := 1; k <= 3; k++ {
+			if k != m || j == 5+m {
+				labels = append(labels, fmt.Sprintf("L%d", k))
+			}
+		}
+	}
+	return labels
+}
+
+// Theorem51Query builds the Boolean conjunctive query encoding ins over
+// the Fig. 4 tree. If star is true the Child* axis is used for the
+// y-to-z atoms (τ5); otherwise Child+ (τ4).
+func Theorem51Query(ins *Instance, star bool) *cq.Query {
+	if err := ins.Validate(); err != nil {
+		panic(err)
+	}
+	closure := axis.ChildPlus
+	if star {
+		closure = axis.ChildStar
+	}
+	q := cq.New()
+	xs := make([]cq.Var, len(ins.Clauses))
+	ys := make([]cq.Var, len(ins.Clauses))
+	for i := range ins.Clauses {
+		xs[i] = q.AddVar(fmt.Sprintf("x%d", i))
+		ys[i] = q.AddVar(fmt.Sprintf("y%d", i))
+		q.AddLabel("X", xs[i])
+		q.AddLabel("Y", ys[i])
+		q.AddChain(axis.Child, xs[i], ys[i], 3)
+	}
+	for i, ci := range ins.Clauses {
+		for j, cj := range ins.Clauses {
+			if i == j {
+				continue
+			}
+			for k := 1; k <= 3; k++ {
+				for l := 1; l <= 3; l++ {
+					if ci[k-1] != cj[l-1] {
+						continue
+					}
+					z := q.AddVar(fmt.Sprintf("z_%d_%d_%d_%d", k, l, i, j))
+					q.AddLabel(fmt.Sprintf("L%d", k), z)
+					q.AddAtom(closure, ys[i], z)
+					q.AddChain(axis.Child, xs[j], z, 8+k-l)
+				}
+			}
+		}
+	}
+	return q
+}
+
+// Theorem51Valuation converts a 1-in-3 selector (σ(i) = 1-based position
+// of the true literal of clause i) into the satisfaction θ constructed in
+// the proof's "⇒" direction, mapping query variable names to nodes:
+//
+//	θ(x_i) = v_{σ(i)},  θ(y_i) = w[σ(i), σ(i)],
+//	θ(z_{k,l,i,j}) = w[σ(i), 5+k−l+σ(j)].
+//
+// Used by tests to validate the reduction constructively. Chain-shortcut
+// helper variables are resolved by walking the Child chains.
+func Theorem51Valuation(t *tree.Tree, q *cq.Query, ins *Instance, sel []int) (map[string]tree.NodeID, bool) {
+	if len(sel) != len(ins.Clauses) {
+		return nil, false
+	}
+	v := make([]tree.NodeID, 4)   // v[1..3]
+	w := make([][]tree.NodeID, 4) // w[m][1..10]
+	v[1] = t.Root()
+	v[2] = t.Children(v[1])[0]
+	v[3] = t.Children(v[2])[0]
+	for m := 1; m <= 3; m++ {
+		w[m] = make([]tree.NodeID, 11)
+		cur := t.Children(v[3])[m-1]
+		for j := 1; j <= 10; j++ {
+			w[m][j] = cur
+			if j < 10 {
+				cur = t.Children(cur)[0]
+			}
+		}
+	}
+	theta := map[string]tree.NodeID{}
+	for i := range ins.Clauses {
+		s := sel[i]
+		theta[fmt.Sprintf("x%d", i)] = v[s]
+		theta[fmt.Sprintf("y%d", i)] = w[s][s]
+	}
+	for i, ci := range ins.Clauses {
+		for j, cj := range ins.Clauses {
+			if i == j {
+				continue
+			}
+			for k := 1; k <= 3; k++ {
+				for l := 1; l <= 3; l++ {
+					if ci[k-1] != cj[l-1] {
+						continue
+					}
+					idx := 5 + k - l + sel[j]
+					if idx < 1 || idx > 10 {
+						return nil, false
+					}
+					theta[fmt.Sprintf("z_%d_%d_%d_%d", k, l, i, j)] = w[sel[i]][idx]
+				}
+			}
+		}
+	}
+	return theta, true
+}

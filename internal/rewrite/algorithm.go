@@ -1,0 +1,308 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+)
+
+// Options configures the CQ→APQ rewriting algorithm.
+type Options struct {
+	// Lifters is the join-lifter table; defaults to Theorem66Lifters.
+	Lifters map[[2]axis.Axis]Lifter
+	// MaxQueries bounds the total number of conjunctive queries processed
+	// (the paper's bound is k^{|V|·|E|}; the default is 1<<20).
+	MaxQueries int
+}
+
+func (o *Options) defaults() {
+	if o.Lifters == nil {
+		o.Lifters = Theorem66Lifters()
+	}
+	if o.MaxQueries == 0 {
+		o.MaxQueries = 1 << 20
+	}
+}
+
+// RewriteToAPQ implements the algorithm of Lemma 6.5: starting from
+// {q}, repeatedly (1) drop or collapse directed cycles (Lemma 6.4),
+// (2) pick a bottommost variable z on an undirected cycle and replace a
+// pair of atoms R(x,z), S(y,z) using the join lifter ψ_{R,S}, branching
+// into one query per conjunct, until every remaining query graph is a
+// forest. The result is an APQ equivalent to q.
+//
+// The default lifter table covers signatures without Following (Theorem
+// 6.6); use TranslateCQ for arbitrary signatures (Theorem 6.10).
+func RewriteToAPQ(q *cq.Query, opts Options) (*APQ, error) {
+	opts.defaults()
+	for _, a := range q.Signature() {
+		found := false
+		for key := range opts.Lifters {
+			if key[0] == a || key[1] == a {
+				found = true
+				break
+			}
+		}
+		if !found && len(q.Atoms) > 0 {
+			return nil, fmt.Errorf("rewrite: no lifters available for axis %v; preprocess with TranslateCQ", a)
+		}
+	}
+
+	work := []*cq.Query{q.Clone()}
+	var result []*cq.Query
+	seenResult := map[string]bool{}
+	processed := 0
+	for len(work) > 0 {
+		processed++
+		if processed > opts.MaxQueries {
+			return nil, fmt.Errorf("rewrite: exceeded MaxQueries = %d", opts.MaxQueries)
+		}
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		cur.Dedup()
+
+		// Steps (2)-(3): directed cycles.
+		sat, changed := eliminateDirectedCycles(cur)
+		if !sat {
+			continue // unsatisfiable disjunct dropped
+		}
+		if changed {
+			work = append(work, cur)
+			continue
+		}
+
+		g := cq.NewGraph(cur)
+		cycleAtoms := g.UndirectedCycleAtoms()
+		if cycleAtoms == nil {
+			n := cur.Normalize()
+			key := n.CanonicalKey()
+			if !seenResult[key] {
+				seenResult[key] = true
+				result = append(result, n)
+			}
+			continue
+		}
+
+		// Step (4): choose z = topologically last variable on the cycle;
+		// both incident cycle atoms enter z.
+		inAtoms, err := bottomPair(cur, g, cycleAtoms)
+		if err != nil {
+			return nil, err
+		}
+		r := cur.Atoms[inAtoms[0]]
+		s := cur.Atoms[inAtoms[1]]
+		lifter, ok := opts.Lifters[[2]axis.Axis{r.Axis, s.Axis}]
+		if !ok {
+			return nil, fmt.Errorf("rewrite: no lifter for pair (%v, %v)", r.Axis, s.Axis)
+		}
+		for _, branch := range applyLifter(cur, inAtoms[0], inAtoms[1], lifter) {
+			work = append(work, branch)
+		}
+	}
+	return &APQ{Disjuncts: result}, nil
+}
+
+// eliminateDirectedCycles applies Lemma 6.4 once: if the query graph has
+// a directed cycle through an irreflexive axis the query is unsatisfiable
+// (returns sat = false); a cycle of reflexive axes collapses its
+// variables. Returns changed = true if a collapse happened.
+func eliminateDirectedCycles(q *cq.Query) (sat, changed bool) {
+	g := cq.NewGraph(q)
+	cycle := g.DirectedCycle()
+	if cycle == nil {
+		return true, false
+	}
+	// Which atoms lie on the cycle? Walk consecutive pairs.
+	onCycle := map[int]bool{}
+	for i := range cycle {
+		from, to := cycle[i], cycle[(i+1)%len(cycle)]
+		for _, e := range g.Out(from) {
+			if e.To == to {
+				if e.Axis != axis.ChildStar && e.Axis != axis.NextSiblingStar && e.Axis != axis.Self {
+					return false, false
+				}
+				onCycle[e.AtomIndex] = true
+				break
+			}
+		}
+	}
+	// Collapse all cycle variables into cycle[0].
+	keep := cycle[0]
+	for _, v := range cycle[1:] {
+		q.SubstituteVar(v, keep)
+	}
+	// Remove the now-reflexive closure self-loops R*(v, v).
+	var kept []cq.AxisAtom
+	for _, at := range q.Atoms {
+		if at.X == at.Y && (at.Axis == axis.ChildStar || at.Axis == axis.NextSiblingStar || at.Axis == axis.Self) {
+			continue
+		}
+		kept = append(kept, at)
+	}
+	q.Atoms = kept
+	return true, true
+}
+
+// bottomPair picks the variable z on the given undirected cycle that has
+// no directed path to another cycle variable (the topologically last one)
+// and returns two cycle atoms entering z.
+func bottomPair(q *cq.Query, g *cq.Graph, cycleAtoms []int) ([2]int, error) {
+	topo := g.TopoOrder()
+	if topo == nil {
+		return [2]int{}, fmt.Errorf("rewrite: directed cycle remained before lifting")
+	}
+	pos := make([]int, q.NumVars())
+	for i, v := range topo {
+		pos[v] = i
+	}
+	cycleVars := map[cq.Var]bool{}
+	for _, ai := range cycleAtoms {
+		cycleVars[q.Atoms[ai].X] = true
+		cycleVars[q.Atoms[ai].Y] = true
+	}
+	z := cq.NilVar
+	for v := range cycleVars {
+		if z == cq.NilVar || pos[v] > pos[z] {
+			z = v
+		}
+	}
+	var entering []int
+	for _, ai := range cycleAtoms {
+		if q.Atoms[ai].Y == z {
+			entering = append(entering, ai)
+		}
+	}
+	if len(entering) < 2 {
+		// Self-loop on the cycle (R(z,z)): treat both cycle incidences.
+		for _, ai := range cycleAtoms {
+			if q.Atoms[ai].X == z && q.Atoms[ai].Y == z {
+				entering = append(entering, ai)
+			}
+		}
+	}
+	if len(entering) < 2 {
+		return [2]int{}, fmt.Errorf("rewrite: bottom cycle variable has %d entering cycle atoms", len(entering))
+	}
+	return [2]int{entering[0], entering[1]}, nil
+}
+
+// applyLifter replaces atoms ai (R(x,z)) and bi (S(y,z)) of q with each
+// conjunct of the lifter, returning one branch query per conjunct.
+func applyLifter(q *cq.Query, ai, bi int, l Lifter) []*cq.Query {
+	x, z := q.Atoms[ai].X, q.Atoms[ai].Y
+	y := q.Atoms[bi].X
+	var out []*cq.Query
+	for _, conj := range l.Conjuncts {
+		branch := q.Clone()
+		// Remove both atoms (higher index first).
+		hi, lo := ai, bi
+		if hi < lo {
+			hi, lo = lo, hi
+		}
+		branch.Atoms = append(branch.Atoms[:hi], branch.Atoms[hi+1:]...)
+		branch.Atoms = append(branch.Atoms[:lo], branch.Atoms[lo+1:]...)
+		var fresh cq.Var = cq.NilVar
+		resolve := func(a Arg) cq.Var {
+			switch a {
+			case ArgX:
+				return x
+			case ArgY:
+				return y
+			case ArgZ:
+				return z
+			case ArgFresh:
+				if fresh == cq.NilVar {
+					fresh = branch.FreshVar("w")
+				}
+				return fresh
+			default:
+				panic("rewrite: bad Arg")
+			}
+		}
+		for _, p := range conj {
+			if p.IsEquality {
+				a, b := resolve(p.A), resolve(p.B)
+				// Substitute the second by the first (the paper replaces
+				// each occurrence of w by v for an equality v = w).
+				branch.SubstituteVar(b, a)
+			} else {
+				branch.AddAtom(p.Axis, resolve(p.A), resolve(p.B))
+			}
+		}
+		branch.Dedup()
+		out = append(out, branch)
+	}
+	return out
+}
+
+// TranslateCQ implements Theorem 6.10: any CQ over Ax is rewritten into
+// an equivalent APQ over the signature extended with Child+ and
+// NextSibling+. The pipeline:
+//
+//  1. replace every Following atom by Eq. (1): Child*(z1,x) ∧
+//     NextSibling+(z1,z2) ∧ Child*(z2,y) with fresh z1, z2;
+//  2. expand every Child* atom into the union Child+(x,y) ∨ x=y (2^n
+//     branches for n Child* atoms);
+//  3. run the Lemma 6.5 algorithm with the Theorem 6.6 lifters on each
+//     branch and take the union.
+func TranslateCQ(q *cq.Query, opts Options) (*APQ, error) {
+	opts.defaults()
+	step1 := RewriteFollowingEq1(q)
+	branches := ExpandChildStar(step1)
+	var all []*cq.Query
+	seen := map[string]bool{}
+	for _, b := range branches {
+		apq, err := RewriteToAPQ(b, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range apq.Disjuncts {
+			key := d.CanonicalKey()
+			if !seen[key] {
+				seen[key] = true
+				all = append(all, d)
+			}
+		}
+	}
+	return &APQ{Disjuncts: all}, nil
+}
+
+// RewriteFollowingEq1 replaces every Following atom by the Eq. (1)
+// pattern over Child* and NextSibling+.
+func RewriteFollowingEq1(q *cq.Query) *cq.Query {
+	out := q.Clone()
+	atoms := out.Atoms
+	out.Atoms = nil
+	for _, at := range atoms {
+		if at.Axis != axis.Following {
+			out.Atoms = append(out.Atoms, at)
+			continue
+		}
+		z1 := out.FreshVar("eq1a")
+		z2 := out.FreshVar("eq1b")
+		out.AddAtom(axis.ChildStar, z1, at.X)
+		out.AddAtom(axis.NextSiblingPlus, z1, z2)
+		out.AddAtom(axis.ChildStar, z2, at.Y)
+	}
+	return out
+}
+
+// ExpandChildStar replaces each Child*(x,y) atom by either Child+(x,y) or
+// the substitution y := x, yielding up to 2^n branch queries (the binary
+// expansion in the proof of Theorem 6.10).
+func ExpandChildStar(q *cq.Query) []*cq.Query {
+	// Find the first Child* atom; recurse on both branches.
+	for i, at := range q.Atoms {
+		if at.Axis != axis.ChildStar {
+			continue
+		}
+		plus := q.Clone()
+		plus.Atoms[i].Axis = axis.ChildPlus
+		merged := q.Clone()
+		merged.Atoms = append(merged.Atoms[:i], merged.Atoms[i+1:]...)
+		merged.SubstituteVar(at.Y, at.X)
+		return append(ExpandChildStar(plus), ExpandChildStar(merged)...)
+	}
+	return []*cq.Query{q}
+}

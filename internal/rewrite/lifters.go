@@ -1,0 +1,291 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/tree"
+)
+
+// Arg identifies a position in a join-lifter formula ψ(x, y, z); Fresh is
+// an extension (not used by the paper's Definition 6.2 forms) allowing
+// corrected lifters with one auxiliary variable.
+type Arg int
+
+// Lifter formula arguments.
+const (
+	ArgX Arg = iota
+	ArgY
+	ArgZ
+	ArgFresh
+)
+
+func (a Arg) String() string {
+	switch a {
+	case ArgX:
+		return "x"
+	case ArgY:
+		return "y"
+	case ArgZ:
+		return "z"
+	case ArgFresh:
+		return "w"
+	default:
+		return fmt.Sprintf("Arg(%d)", int(a))
+	}
+}
+
+// Part is one literal of a lifter conjunct: either a binary axis atom
+// P(A, B) or an equality A = B (Axis is ignored for equalities).
+type Part struct {
+	IsEquality bool
+	Axis       axis.Axis
+	A, B       Arg
+}
+
+// Conjunct is a conjunction of parts; a lifter formula is a disjunction
+// of conjuncts (DNF, Definition 6.2).
+type Conjunct []Part
+
+// Lifter is a join lifter candidate ψ_{R,S} for φ_{R,S}(x,y,z) =
+// R(x,z) ∧ S(y,z).
+type Lifter struct {
+	R, S      axis.Axis
+	Conjuncts []Conjunct
+	// Source documents provenance: "Thm 6.6", "Thm 6.9", "corrected".
+	Source string
+}
+
+func atom(a axis.Axis, x, y Arg) Part { return Part{Axis: a, A: x, B: y} }
+func eq(x, y Arg) Part                { return Part{IsEquality: true, A: x, B: y} }
+
+// String renders ψ in the paper's notation.
+func (l Lifter) String() string {
+	s := fmt.Sprintf("ψ_{%v,%v}(x,y,z) = ", l.R, l.S)
+	for i, c := range l.Conjuncts {
+		if i > 0 {
+			s += " ∨ "
+		}
+		s += "("
+		for j, p := range c {
+			if j > 0 {
+				s += " ∧ "
+			}
+			if p.IsEquality {
+				s += fmt.Sprintf("%v = %v", p.A, p.B)
+			} else {
+				s += fmt.Sprintf("%v(%v, %v)", p.Axis, p.A, p.B)
+			}
+		}
+		s += ")"
+	}
+	return s
+}
+
+// Holds evaluates φ_{R,S} on concrete nodes.
+func phiHolds(t *tree.Tree, r, s axis.Axis, x, y, z tree.NodeID) bool {
+	return axis.Holds(t, r, x, z) && axis.Holds(t, s, y, z)
+}
+
+// Holds evaluates ψ on concrete nodes; conjuncts with a Fresh argument
+// existentially quantify it over all nodes.
+func (l Lifter) Holds(t *tree.Tree, x, y, z tree.NodeID) bool {
+	assign := func(a Arg, w tree.NodeID) tree.NodeID {
+		switch a {
+		case ArgX:
+			return x
+		case ArgY:
+			return y
+		case ArgZ:
+			return z
+		case ArgFresh:
+			return w
+		default:
+			panic("rewrite: bad Arg")
+		}
+	}
+	evalConj := func(c Conjunct, w tree.NodeID) bool {
+		for _, p := range c {
+			a, b := assign(p.A, w), assign(p.B, w)
+			if p.IsEquality {
+				if a != b {
+					return false
+				}
+			} else if !axis.Holds(t, p.Axis, a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range l.Conjuncts {
+		needsFresh := false
+		for _, p := range c {
+			if p.A == ArgFresh || p.B == ArgFresh {
+				needsFresh = true
+			}
+		}
+		if !needsFresh {
+			if evalConj(c, tree.NilNode) {
+				return true
+			}
+			continue
+		}
+		for w := tree.NodeID(0); int(w) < t.Len(); w++ {
+			if evalConj(c, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Verify exhaustively checks Definition 6.2(2): ψ ≡ φ on every tree with
+// up to maxNodes nodes over a small alphabet, returning a counterexample
+// description or "" if none found.
+func (l Lifter) Verify(maxNodes int) string {
+	var failure string
+	tree.EnumerateAll(maxNodes, []string{"A"}, func(t *tree.Tree) bool {
+		n := tree.NodeID(t.Len())
+		for x := tree.NodeID(0); x < n; x++ {
+			for y := tree.NodeID(0); y < n; y++ {
+				for z := tree.NodeID(0); z < n; z++ {
+					phi := phiHolds(t, l.R, l.S, x, y, z)
+					psi := l.Holds(t, x, y, z)
+					if phi != psi {
+						failure = fmt.Sprintf("%v: on %s with x=%d y=%d z=%d: φ=%v ψ=%v",
+							l, t, x, y, z, phi, psi)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return failure
+}
+
+// Theorem66Lifters returns the verified lifter table of Theorem 6.6 for
+// all pairs over {Child, Child*, Child+, NextSibling, NextSibling*,
+// NextSibling+}. Each entry is exactly the paper's formula.
+func Theorem66Lifters() map[[2]axis.Axis]Lifter {
+	out := map[[2]axis.Axis]Lifter{}
+	add := func(r, s axis.Axis, cs ...Conjunct) {
+		out[[2]axis.Axis{r, s}] = Lifter{R: r, S: s, Conjuncts: cs, Source: "Thm 6.6"}
+	}
+	chFam := func(base, plus, star axis.Axis) {
+		// R = S = base: R(x,z) ∧ x=y.
+		add(base, base, Conjunct{atom(base, ArgX, ArgZ), eq(ArgX, ArgY)})
+		// R = S = star: (R(x,z) ∧ R(y,x)) ∨ (R(x,y) ∧ R(y,z)).
+		add(star, star,
+			Conjunct{atom(star, ArgX, ArgZ), atom(star, ArgY, ArgX)},
+			Conjunct{atom(star, ArgX, ArgY), atom(star, ArgY, ArgZ)})
+		// R = S = plus: two orders plus equality.
+		add(plus, plus,
+			Conjunct{atom(plus, ArgX, ArgZ), atom(plus, ArgY, ArgX)},
+			Conjunct{atom(plus, ArgX, ArgY), atom(plus, ArgY, ArgZ)},
+			Conjunct{atom(plus, ArgX, ArgZ), eq(ArgX, ArgY)})
+		// R = base, S = star: (R(x,z) ∧ y=z) ∨ (R(x,z) ∧ S(y,x)).
+		add(base, star,
+			Conjunct{atom(base, ArgX, ArgZ), eq(ArgY, ArgZ)},
+			Conjunct{atom(base, ArgX, ArgZ), atom(star, ArgY, ArgX)})
+		// R = base, S = plus: (R(x,z) ∧ x=y) ∨ (R(x,z) ∧ S(y,x)).
+		add(base, plus,
+			Conjunct{atom(base, ArgX, ArgZ), eq(ArgX, ArgY)},
+			Conjunct{atom(base, ArgX, ArgZ), atom(plus, ArgY, ArgX)})
+		// R = plus, S = star: three disjuncts.
+		add(plus, star,
+			Conjunct{atom(plus, ArgX, ArgZ), eq(ArgY, ArgZ)},
+			Conjunct{atom(plus, ArgX, ArgZ), atom(star, ArgY, ArgX)},
+			Conjunct{atom(plus, ArgY, ArgZ), atom(star, ArgX, ArgY)})
+	}
+	chFam(axis.Child, axis.ChildPlus, axis.ChildStar)
+	chFam(axis.NextSibling, axis.NextSiblingPlus, axis.NextSiblingStar)
+
+	// R in the NextSibling family, S in {Child, Child+}: R(x,z) ∧ S(y,x).
+	for _, r := range []axis.Axis{axis.NextSibling, axis.NextSiblingStar, axis.NextSiblingPlus} {
+		for _, s := range []axis.Axis{axis.Child, axis.ChildPlus} {
+			add(r, s, Conjunct{atom(r, ArgX, ArgZ), atom(s, ArgY, ArgX)})
+		}
+		// S = Child*: (R(x,z) ∧ y=z) ∨ (R(x,z) ∧ Child+(y,x)).
+		add(r, axis.ChildStar,
+			Conjunct{atom(r, ArgX, ArgZ), eq(ArgY, ArgZ)},
+			Conjunct{atom(r, ArgX, ArgZ), atom(axis.ChildPlus, ArgY, ArgX)})
+	}
+
+	// Remaining pairs by the symmetric rule ψ_{R,S}(x,y,z) = ψ_{S,R}(y,x,z).
+	family := []axis.Axis{
+		axis.Child, axis.ChildPlus, axis.ChildStar,
+		axis.NextSibling, axis.NextSiblingPlus, axis.NextSiblingStar,
+	}
+	for _, r := range family {
+		for _, s := range family {
+			if _, ok := out[[2]axis.Axis{r, s}]; ok {
+				continue
+			}
+			base, ok := out[[2]axis.Axis{s, r}]
+			if !ok {
+				panic(fmt.Sprintf("rewrite: missing lifter for (%v,%v) and (%v,%v)", r, s, s, r))
+			}
+			out[[2]axis.Axis{r, s}] = Lifter{R: r, S: s, Conjuncts: swapXY(base.Conjuncts), Source: base.Source + " (swapped)"}
+		}
+	}
+	return out
+}
+
+func swapXY(cs []Conjunct) []Conjunct {
+	swap := func(a Arg) Arg {
+		switch a {
+		case ArgX:
+			return ArgY
+		case ArgY:
+			return ArgX
+		default:
+			return a
+		}
+	}
+	out := make([]Conjunct, len(cs))
+	for i, c := range cs {
+		nc := make(Conjunct, len(c))
+		for j, p := range c {
+			nc[j] = Part{IsEquality: p.IsEquality, Axis: p.Axis, A: swap(p.A), B: swap(p.B)}
+		}
+		out[i] = nc
+	}
+	return out
+}
+
+// Theorem69Lifters returns the lifter formulas of Theorem 6.9 (S =
+// Following) exactly as printed in the paper. NOTE (documented erratum,
+// see EXPERIMENTS.md): under the standard Following semantics of Eq. (1),
+// machine verification finds counterexamples for these entries (they miss
+// the case where y lies inside the subtree of x or of an intermediate
+// sibling, and ψ_{Child,Following}'s first disjunct is unsound). They are
+// provided for reference and for the erratum-documenting tests; the sound
+// rewriting pipeline for queries with Following is TranslateCQ (Theorem
+// 6.10), which eliminates Following before lifting.
+func Theorem69Lifters() map[[2]axis.Axis]Lifter {
+	out := map[[2]axis.Axis]Lifter{}
+	add := func(r axis.Axis, cs ...Conjunct) {
+		out[[2]axis.Axis{r, axis.Following}] = Lifter{R: r, S: axis.Following, Conjuncts: cs, Source: "Thm 6.9 (as printed)"}
+	}
+	F := axis.Following
+	add(axis.NextSibling,
+		Conjunct{atom(axis.NextSibling, ArgX, ArgZ), eq(ArgX, ArgY)},
+		Conjunct{atom(axis.NextSibling, ArgX, ArgZ), atom(F, ArgY, ArgX)})
+	add(axis.NextSiblingPlus,
+		Conjunct{atom(axis.NextSiblingPlus, ArgX, ArgZ), eq(ArgX, ArgY)},
+		Conjunct{atom(axis.NextSiblingPlus, ArgX, ArgZ), atom(F, ArgY, ArgX)},
+		Conjunct{atom(axis.NextSiblingPlus, ArgX, ArgY), atom(axis.NextSiblingPlus, ArgY, ArgZ)})
+	add(axis.NextSiblingStar,
+		Conjunct{atom(axis.NextSiblingStar, ArgX, ArgZ), atom(F, ArgY, ArgX)},
+		Conjunct{atom(axis.NextSiblingStar, ArgX, ArgY), atom(axis.NextSiblingPlus, ArgY, ArgZ)})
+	add(axis.Child,
+		Conjunct{atom(axis.Child, ArgX, ArgZ), eq(ArgX, ArgY)},
+		Conjunct{atom(axis.Child, ArgX, ArgZ), atom(F, ArgY, ArgX)},
+		Conjunct{atom(axis.Child, ArgX, ArgY), atom(axis.NextSiblingPlus, ArgY, ArgZ)})
+	add(F,
+		Conjunct{atom(F, ArgX, ArgZ), eq(ArgX, ArgY)},
+		Conjunct{atom(F, ArgX, ArgZ), atom(F, ArgY, ArgX)},
+		Conjunct{atom(F, ArgX, ArgY), atom(F, ArgY, ArgZ)})
+	return out
+}

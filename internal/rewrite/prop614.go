@@ -1,0 +1,52 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+)
+
+// LinearRewrite implements Proposition 6.14: every CQ[Child, NextSibling]
+// rewrites into an equivalent acyclic conjunctive query (a single CQ, not
+// a union) in linear time. The signature's axes are functional (each node
+// has at most one parent, one previous sibling, one next sibling), so
+// every join lifter for the signature has a single conjunct and the
+// Lemma 6.5 algorithm never branches.
+//
+// Returns nil if the query is unsatisfiable on every tree (a directed
+// cycle over the irreflexive axes).
+func LinearRewrite(q *cq.Query) (*cq.Query, error) {
+	for _, a := range q.Signature() {
+		if a != axis.Child && a != axis.NextSibling {
+			return nil, fmt.Errorf("rewrite: LinearRewrite requires signature ⊆ {Child, NextSibling}, got %v", a)
+		}
+	}
+	apq, err := RewriteToAPQ(q, Options{})
+	if err != nil {
+		return nil, err
+	}
+	switch len(apq.Disjuncts) {
+	case 0:
+		return nil, nil // unsatisfiable
+	case 1:
+		return apq.Disjuncts[0], nil
+	default:
+		return nil, fmt.Errorf("rewrite: LinearRewrite branched into %d disjuncts; lifter table violates functionality", len(apq.Disjuncts))
+	}
+}
+
+// IntroQuery returns the running example of the introduction and of
+// Fig. 8: the conjunctive-query form of //A[B]/following::C,
+//
+//	Q(z) ← A(x), Child(x, y), B(y), Following(x, z), C(z).
+func IntroQuery() *cq.Query {
+	return cq.MustParse("Q(z) <- A(x), Child(x, y), B(y), Following(x, z), C(z)")
+}
+
+// Figure1Query returns the treebank query of Fig. 1:
+//
+//	Q(z) ← S(x), Child+(x, y), NP(y), Child+(x, z), PP(z), Following(y, z).
+func Figure1Query() *cq.Query {
+	return cq.MustParse("Q(z) <- S(x), Child+(x, y), NP(y), Child+(x, z), PP(z), Following(y, z)")
+}

@@ -1,0 +1,400 @@
+package rewrite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/axis"
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+func TestTheorem66LiftersVerify(t *testing.T) {
+	// Machine-check Definition 6.2 equivalence for every Theorem 6.6
+	// lifter on all trees with up to 5 nodes.
+	if testing.Short() {
+		t.Skip("exhaustive lifter verification")
+	}
+	for pair, l := range Theorem66Lifters() {
+		if msg := l.Verify(5); msg != "" {
+			t.Errorf("lifter (%v, %v) fails: %s", pair[0], pair[1], msg)
+		}
+	}
+}
+
+func TestTheorem66LiftersComplete(t *testing.T) {
+	lifters := Theorem66Lifters()
+	family := []axis.Axis{
+		axis.Child, axis.ChildPlus, axis.ChildStar,
+		axis.NextSibling, axis.NextSiblingPlus, axis.NextSiblingStar,
+	}
+	for _, r := range family {
+		for _, s := range family {
+			if _, ok := lifters[[2]axis.Axis{r, s}]; !ok {
+				t.Errorf("missing lifter (%v, %v)", r, s)
+			}
+		}
+	}
+	if len(lifters) != 36 {
+		t.Errorf("lifter table has %d entries, want 36", len(lifters))
+	}
+}
+
+func TestTheorem69LiftersErratum(t *testing.T) {
+	// Documented finding: the Theorem 6.9 lifter formulas, as printed,
+	// are NOT equivalences under the Eq. (1) Following semantics — they
+	// miss the case where y lies inside the subtree of x (or of an
+	// intermediate sibling). This test pins the counterexamples down so
+	// the erratum note in EXPERIMENTS.md stays accurate. If this test
+	// ever fails, the table became correct and the note must be removed.
+	broken := 0
+	for pair, l := range Theorem69Lifters() {
+		if msg := l.Verify(4); msg != "" {
+			broken++
+			t.Logf("counterexample for (%v, %v): %s", pair[0], pair[1], msg)
+		}
+	}
+	if broken == 0 {
+		t.Errorf("expected the printed Theorem 6.9 lifters to fail machine verification; update the erratum note")
+	}
+}
+
+// equivalentOnSmallTrees exhaustively compares q and its APQ on all trees
+// up to maxNodes over alphabet.
+func equivalentOnSmallTrees(t *testing.T, q *cq.Query, a *APQ, maxNodes int, alphabet []string) {
+	t.Helper()
+	be := core.NewBacktrackEngine()
+	tree.EnumerateAll(maxNodes, alphabet, func(tr *tree.Tree) bool {
+		want := be.EvalBoolean(tr, q)
+		got := a.EvalBoolean(tr)
+		if want != got {
+			t.Fatalf("APQ differs on %s: CQ %v, APQ %v\nCQ: %s\nAPQ: %s", tr, want, got, q, a)
+		}
+		return true
+	})
+}
+
+func TestRewriteAlreadyAcyclic(t *testing.T) {
+	q := cq.MustParse("Q() <- A(x), Child(x, y), B(y)")
+	apq, err := RewriteToAPQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apq.Disjuncts) != 1 {
+		t.Fatalf("want 1 disjunct, got %d", len(apq.Disjuncts))
+	}
+	equivalentOnSmallTrees(t, q, apq, 4, []string{"A", "B"})
+}
+
+func TestRewriteExample67(t *testing.T) {
+	// Example 6.7: Q0(x,y) ← Child*(x,y) ∧ NextSibling*(x,y) is
+	// equivalent to {Q(x,x) ← Node(x)}.
+	q := cq.MustParse("Q(x, y) <- Child*(x, y), NextSibling*(x, y)")
+	apq, err := RewriteToAPQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apq.IsAcyclic() {
+		t.Fatalf("APQ not acyclic: %s", apq)
+	}
+	// Semantics: answers are exactly the pairs (v, v).
+	tr := tree.MustParseTerm("A(B(C),D)")
+	got := apq.EvalAll(tr)
+	if len(got) != tr.Len() {
+		t.Fatalf("want %d diagonal answers, got %d: %v", tr.Len(), len(got), got)
+	}
+	for _, tup := range got {
+		if tup[0] != tup[1] {
+			t.Errorf("non-diagonal answer %v", tup)
+		}
+	}
+}
+
+func TestRewriteDirectedCycleUnsat(t *testing.T) {
+	q := cq.MustParse("Q() <- Child+(x, y), Child+(y, x)")
+	apq, err := RewriteToAPQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apq.Disjuncts) != 0 {
+		t.Fatalf("cyclic-unsat query should give empty APQ, got %s", apq)
+	}
+}
+
+func TestRewriteReflexiveCycleCollapse(t *testing.T) {
+	q := cq.MustParse("Q() <- Child*(x, y), NextSibling*(y, x), A(x), B(y)")
+	apq, err := RewriteToAPQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle collapses to a single variable with labels A and B.
+	equivalentOnSmallTrees(t, q, apq, 4, []string{"A", "B"})
+}
+
+func TestRewriteRandomCyclicQueries(t *testing.T) {
+	// Random cyclic queries over the Theorem 6.6 family: rewritten APQ
+	// must be acyclic and equivalent on random trees.
+	family := []axis.Axis{
+		axis.Child, axis.ChildPlus, axis.ChildStar,
+		axis.NextSibling, axis.NextSiblingPlus, axis.NextSiblingStar,
+	}
+	rng := rand.New(rand.NewSource(61))
+	be := core.NewBacktrackEngine()
+	for trial := 0; trial < 25; trial++ {
+		q := cq.New()
+		nv := 3 + rng.Intn(2)
+		vars := make([]cq.Var, nv)
+		for i := range vars {
+			vars[i] = q.AddVar(string(rune('a' + i)))
+		}
+		na := 3 + rng.Intn(3)
+		for i := 0; i < na; i++ {
+			x := vars[rng.Intn(nv)]
+			y := vars[rng.Intn(nv)]
+			q.AddAtom(family[rng.Intn(len(family))], x, y)
+		}
+		if rng.Intn(2) == 0 {
+			q.AddLabel("A", vars[rng.Intn(nv)])
+		}
+		apq, err := RewriteToAPQ(q, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nquery %s", trial, err, q)
+		}
+		if !apq.IsAcyclic() {
+			t.Fatalf("trial %d: result not acyclic\n%s", trial, apq)
+		}
+		for sub := 0; sub < 12; sub++ {
+			tr := tree.Random(rng, tree.RandomConfig{
+				Nodes: 1 + rng.Intn(9), MaxChildren: 3,
+				Alphabet: []string{"A", "B"},
+			})
+			want := be.EvalBoolean(tr, q)
+			got := apq.EvalBoolean(tr)
+			if want != got {
+				t.Fatalf("trial %d: differs on %s: CQ %v APQ %v\nCQ: %s\nAPQ: %s",
+					trial, tr, want, got, q, apq)
+			}
+		}
+	}
+}
+
+func TestTranslateCQWithFollowing(t *testing.T) {
+	// Theorem 6.10 pipeline on the intro query (Fig. 8's subject).
+	q := IntroQuery()
+	apq, err := TranslateCQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apq.IsAcyclic() {
+		t.Fatalf("not acyclic:\n%s", apq)
+	}
+	rng := rand.New(rand.NewSource(15))
+	be := core.NewBacktrackEngine()
+	for trial := 0; trial < 30; trial++ {
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes: 1 + rng.Intn(12), MaxChildren: 3,
+			Alphabet: []string{"A", "B", "C"},
+		})
+		want := be.EvalAll(tr, q)
+		got := apq.EvalAll(tr)
+		if len(want) != len(got) {
+			t.Fatalf("answer count differs on %s: %v vs %v", tr, want, got)
+		}
+		for i := range want {
+			if want[i][0] != got[i][0] {
+				t.Fatalf("answers differ on %s", tr)
+			}
+		}
+	}
+}
+
+func TestTranslateCQFigure1(t *testing.T) {
+	// The (cyclic) Fig. 1 treebank query translates to an equivalent APQ.
+	q := Figure1Query()
+	apq, err := TranslateCQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !apq.IsAcyclic() {
+		t.Fatal("not acyclic")
+	}
+	rng := rand.New(rand.NewSource(27))
+	be := core.NewBacktrackEngine()
+	for trial := 0; trial < 15; trial++ {
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes: 1 + rng.Intn(12), MaxChildren: 3,
+			Alphabet: []string{"S", "NP", "PP"},
+		})
+		want := be.EvalAll(tr, q)
+		got := apq.EvalAll(tr)
+		if len(want) != len(got) {
+			t.Fatalf("answer count differs on %s", tr)
+		}
+	}
+}
+
+func TestExpandChildStar(t *testing.T) {
+	q := cq.MustParse("Q() <- Child*(x, y), Child*(y, z)")
+	branches := ExpandChildStar(q)
+	if len(branches) != 4 {
+		t.Fatalf("want 4 branches, got %d", len(branches))
+	}
+	for _, b := range branches {
+		for _, at := range b.Atoms {
+			if at.Axis == axis.ChildStar {
+				t.Errorf("branch still has Child*: %s", b)
+			}
+		}
+	}
+}
+
+func TestRewriteFollowingEq1(t *testing.T) {
+	q := cq.MustParse("Q() <- Following(x, y)")
+	r := RewriteFollowingEq1(q)
+	if len(r.Atoms) != 3 {
+		t.Fatalf("want 3 atoms, got %d", len(r.Atoms))
+	}
+	sig := r.Signature()
+	if len(sig) != 2 || sig[0] != axis.ChildStar || sig[1] != axis.NextSiblingPlus {
+		t.Errorf("signature = %v", sig)
+	}
+	// Semantics preserved (Eq. (1)).
+	be := core.NewBacktrackEngine()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		tr := tree.Random(rng, tree.DefaultRandomConfig(1+rng.Intn(10)))
+		if be.EvalBoolean(tr, q) != be.EvalBoolean(tr, r) {
+			t.Fatalf("Eq.(1) rewrite differs on %s", tr)
+		}
+	}
+}
+
+func TestLinearRewrite(t *testing.T) {
+	// A cyclic CQ[Child, NextSibling]: converging Child and NextSibling.
+	q := cq.MustParse("Q() <- A(x), Child(x, z), NextSibling(y, z), B(y), C(z)")
+	r, err := LinearRewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("query is satisfiable, rewrite returned nil")
+	}
+	if cq.Classify(r) != cq.Acyclic {
+		t.Fatalf("result not acyclic: %s", r)
+	}
+	be := core.NewBacktrackEngine()
+	tree.EnumerateAll(4, []string{"A", "B", "C"}, func(tr *tree.Tree) bool {
+		if be.EvalBoolean(tr, q) != be.EvalBoolean(tr, r) {
+			t.Fatalf("LinearRewrite differs on %s", tr)
+		}
+		return true
+	})
+}
+
+func TestLinearRewriteUnsat(t *testing.T) {
+	q := cq.MustParse("Q() <- Child(x, y), Child(y, x)")
+	r, err := LinearRewrite(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != nil {
+		t.Fatalf("directed Child cycle should be unsatisfiable, got %s", r)
+	}
+}
+
+func TestLinearRewriteRejectsOtherAxes(t *testing.T) {
+	q := cq.MustParse("Q() <- Child+(x, y)")
+	if _, err := LinearRewrite(q); err == nil {
+		t.Errorf("expected signature error")
+	}
+}
+
+func TestRewriteMergesDuplicateParents(t *testing.T) {
+	// Child(x,z), Child(y,z) must merge x and y (unique parent).
+	q := cq.MustParse("Q() <- A(x), B(y), Child(x, z), Child(y, z)")
+	apq, err := RewriteToAPQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	equivalentOnSmallTrees(t, q, apq, 4, []string{"A", "B"})
+	// On trees where no node has both labels, the query must be false.
+	tr := tree.MustParseTerm("A(B(C))")
+	if apq.EvalBoolean(tr) {
+		t.Errorf("merged query should require a node labeled both A and B")
+	}
+	multi := tree.MustParseTerm("A|B(C)")
+	if !apq.EvalBoolean(multi) {
+		t.Errorf("multi-labeled parent should satisfy the query")
+	}
+}
+
+func TestDisjunctsContainedInOriginal(t *testing.T) {
+	// Soundness of the rewriting, checked through the containment lens:
+	// every APQ disjunct is contained in the original query, and the
+	// original is contained in the union (verified by the equivalence
+	// tests above); here we check the per-disjunct direction exhaustively
+	// on small trees.
+	q := cq.MustParse("Q(z) <- Child+(x, z), Child+(y, z), A(x), B(y)")
+	apq, err := RewriteToAPQ(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range apq.Disjuncts {
+		if ce := core.CheckContainment(d, q, 4, []string{"A", "B"}); ce != nil {
+			t.Errorf("disjunct %d not contained in the original: %s\n%s", i, ce, d)
+		}
+	}
+}
+
+func TestAcyclicQueriesAreFixedPoints(t *testing.T) {
+	// An already-acyclic query over the 6.6 family passes through the
+	// algorithm with its semantics intact and exactly one disjunct.
+	srcs := []string{
+		"Q(y) <- A(x), Child(x, y)",
+		"Q() <- Child+(x, y), NextSibling(y, z), B(z)",
+		"Q(x) <- NextSibling*(x, y), Child(y, z)",
+	}
+	for _, src := range srcs {
+		q := cq.MustParse(src)
+		apq, err := RewriteToAPQ(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(apq.Disjuncts) != 1 {
+			t.Errorf("%s: %d disjuncts, want 1", src, len(apq.Disjuncts))
+		}
+		l, r := core.CheckEquivalence(apq.Disjuncts[0], q, 4, []string{"A", "B"})
+		if l != nil || r != nil {
+			t.Errorf("%s: fixed point not equivalent (%v / %v)", src, l, r)
+		}
+	}
+}
+
+func TestAPQString(t *testing.T) {
+	empty := &APQ{}
+	if !strings.Contains(empty.String(), "unsatisfiable") {
+		t.Errorf("empty APQ string: %s", empty.String())
+	}
+}
+
+func TestRewriteBlowupBounded(t *testing.T) {
+	opts := Options{MaxQueries: 10}
+	// A query dense enough to exceed a tiny budget.
+	q := cq.New()
+	vars := make([]cq.Var, 4)
+	for i := range vars {
+		vars[i] = q.AddVar(string(rune('a' + i)))
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				q.AddAtom(axis.ChildStar, vars[i], vars[j])
+			}
+		}
+	}
+	if _, err := RewriteToAPQ(q, opts); err == nil {
+		t.Skip("budget not exceeded; acceptable (query collapsed quickly)")
+	}
+}

@@ -1,0 +1,345 @@
+// Package succinct implements the succinctness study of §7 of
+// "Conjunctive Queries over Trees": the n-diamond queries Dn (Fig. 9a),
+// the scattered path-structure families PS(n, p) (Fig. 9b), the
+// label-path machinery and separating-model construction of Lemma 7.3
+// (Fig. 12 / Example 7.8), and the faithful-simplification transformations
+// of Lemmas 7.4 and 7.7.
+//
+// Theorem 7.1 (no polynomial-size APQ family is equivalent to (Dn)) is a
+// nonexistence statement; the experiment harness reproduces its measurable
+// consequences: Dn holds on all 2ⁿ structures of PS(n, p), each ABCQ
+// disjunct covers only a fraction of them, and the Theorem 6.6 translation
+// of Dn blows up exponentially.
+package succinct
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// Diamond returns the n-diamond Boolean query Dn (Fig. 9a):
+//
+//	Dn ← Y1(y1) ∧ ⋀_{i=1..n} ( Child+(y_i, x_i) ∧ X_i(x_i) ∧
+//	     Child+(x_i, y_{i+1}) ∧ Child+(y_i, x'_i) ∧ X'_i(x'_i) ∧
+//	     Child+(x'_i, y_{i+1}) ∧ Y_{i+1}(y_{i+1}) )
+//
+// Its size is 7n+1 atoms; its query graph is a chain of n diamonds
+// (directed-acyclic but not acyclic).
+func Diamond(n int) *cq.Query {
+	if n < 1 {
+		panic("succinct: Diamond needs n >= 1")
+	}
+	q := cq.New()
+	ys := make([]cq.Var, n+1)
+	for i := 0; i <= n; i++ {
+		ys[i] = q.AddVar(fmt.Sprintf("y%d", i+1))
+	}
+	q.AddLabel("Y1", ys[0])
+	for i := 1; i <= n; i++ {
+		x := q.AddVar(fmt.Sprintf("x%d", i))
+		xp := q.AddVar(fmt.Sprintf("x'%d", i))
+		q.AddAtom(axis.ChildPlus, ys[i-1], x)
+		q.AddLabel(fmt.Sprintf("X%d", i), x)
+		q.AddAtom(axis.ChildPlus, x, ys[i])
+		q.AddAtom(axis.ChildPlus, ys[i-1], xp)
+		q.AddLabel(fmt.Sprintf("X'%d", i), xp)
+		q.AddAtom(axis.ChildPlus, xp, ys[i])
+		q.AddLabel(fmt.Sprintf("Y%d", i+1), ys[i])
+	}
+	return q
+}
+
+// DiamondAlphabet returns Σ = {X1..Xn, X'1..X'n, Y1..Yn+1}.
+func DiamondAlphabet(n int) []string {
+	var out []string
+	for i := 1; i <= n; i++ {
+		out = append(out, fmt.Sprintf("X%d", i), fmt.Sprintf("X'%d", i))
+	}
+	for i := 1; i <= n+1; i++ {
+		out = append(out, fmt.Sprintf("Y%d", i))
+	}
+	return out
+}
+
+// PathStructure builds one member of PS(n, p): the path structure
+//
+//	s.Y1.s.(A_1).s.Y2.s.(A_2). … .s.Yn.s.(A_n).s.Yn+1.s
+//
+// where s is a run of p unlabeled nodes and block A_i is X_i.s.X'_i if
+// choices has bit i-1 clear and X'_i.s.X_i if set. The result is a
+// p-scattered path structure (for p at least the query size of interest).
+func PathStructure(n int, p int, choices uint) *tree.Tree {
+	var labels []string
+	spacer := func() {
+		for i := 0; i < p; i++ {
+			labels = append(labels, "")
+		}
+	}
+	spacer()
+	for i := 1; i <= n; i++ {
+		labels = append(labels, fmt.Sprintf("Y%d", i))
+		spacer()
+		a, b := fmt.Sprintf("X%d", i), fmt.Sprintf("X'%d", i)
+		if choices&(1<<(i-1)) != 0 {
+			a, b = b, a
+		}
+		labels = append(labels, a)
+		spacer()
+		labels = append(labels, b)
+		spacer()
+	}
+	labels = append(labels, fmt.Sprintf("Y%d", n+1))
+	spacer()
+	return tree.PathOfLabels(labels...)
+}
+
+// PathStructures enumerates all 2^n members of PS(n, p), calling fn on
+// each with its choice bitmask; stops early if fn returns false.
+func PathStructures(n, p int, fn func(choices uint, t *tree.Tree) bool) {
+	for c := uint(0); c < 1<<uint(n); c++ {
+		if !fn(c, PathStructure(n, p, c)) {
+			return
+		}
+	}
+}
+
+// IsPathStructure reports whether t is a path structure (§7): the Child
+// graph is a single downward path.
+func IsPathStructure(t *tree.Tree) bool {
+	if t.Len() == 0 {
+		return false
+	}
+	for v := tree.NodeID(0); int(v) < t.Len(); v++ {
+		if t.NumChildren(v) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsKScattered reports whether the path structure t is k-scattered:
+// at least k nodes, at most one label per node, no label repeated, and
+// every labeled node at distance >= k from every other labeled node and
+// from both endpoints.
+func IsKScattered(t *tree.Tree, k int) bool {
+	if !IsPathStructure(t) || t.Len() < k {
+		return false
+	}
+	seen := map[string]bool{}
+	var labeledDepths []int
+	for v := tree.NodeID(0); int(v) < t.Len(); v++ {
+		ls := t.Labels(v)
+		if len(ls) > 1 {
+			return false
+		}
+		if len(ls) == 1 {
+			if seen[ls[0]] {
+				return false
+			}
+			seen[ls[0]] = true
+			labeledDepths = append(labeledDepths, int(t.Depth(v)))
+		}
+	}
+	sort.Ints(labeledDepths)
+	last := t.Len() - 1
+	for i, d := range labeledDepths {
+		if d < k || last-d < k {
+			return false
+		}
+		if i > 0 && d-labeledDepths[i-1] < k {
+			return false
+		}
+	}
+	return true
+}
+
+// LabelPath is the label sequence along a variable path (one entry per
+// variable; entries may be empty or hold several labels).
+type LabelPath [][]string
+
+// String renders e.g. "Y1.X1.Y2".
+func (lp LabelPath) String() string {
+	parts := make([]string, len(lp))
+	for i, ls := range lp {
+		if len(ls) == 0 {
+			parts[i] = "_"
+		} else {
+			parts[i] = strings.Join(ls, "|")
+		}
+	}
+	return strings.Join(parts, ".")
+}
+
+// VariableLabelPaths returns LP(Π_Q): the label paths of all variable
+// paths of the (directed-acyclic) query graph of q.
+func VariableLabelPaths(q *cq.Query) []LabelPath {
+	g := cq.NewGraph(q)
+	paths := g.VariablePaths()
+	out := make([]LabelPath, len(paths))
+	for i, p := range paths {
+		lp := make(LabelPath, len(p))
+		for j, v := range p {
+			lp[j] = q.LabelsOf(v)
+		}
+		out[i] = lp
+	}
+	return out
+}
+
+// pathContainsAll reports whether every label of want occurs somewhere in
+// the label path.
+func pathContainsAll(lp LabelPath, want []string) bool {
+	for _, w := range want {
+		found := false
+		for _, ls := range lp {
+			for _, l := range ls {
+				if l == w {
+					found = true
+				}
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// pathContainsAny reports whether some label of set occurs in the path.
+func pathContainsAny(lp LabelPath, set []string) bool {
+	for _, ls := range lp {
+		for _, l := range ls {
+			for _, s := range set {
+				if l == s {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// SeparatingModel implements the construction in the proof of Lemma 7.3:
+// given the label paths of a query Q and the label sequence E1, ..., Em,
+// it builds the path structure
+//
+//	M = LC(¬E1) . LC(E1 ∧ ¬E2) . … . LC(E1 ∧ … ∧ E_{m-1} ∧ ¬E_m)
+//
+// where LC(cond) concatenates (in lexicographic order) the label paths of
+// Q that satisfy cond. Q is true on M; any DABCQ with a variable path
+// containing all of E1..Em is false on M (Lemma 7.3).
+func SeparatingModel(labelPaths []LabelPath, es []string) *tree.Tree {
+	var segments []LabelPath
+	for i := range es {
+		need := es[:i]
+		var group []LabelPath
+		for _, lp := range labelPaths {
+			if pathContainsAll(lp, need) && !pathContainsAny(lp, es[i:i+1]) {
+				group = append(group, lp)
+			}
+		}
+		sort.Slice(group, func(a, b int) bool { return group[a].String() < group[b].String() })
+		segments = append(segments, group...)
+	}
+	// Concatenate into a single path structure.
+	var nodeLabels [][]string
+	for _, lp := range segments {
+		for _, ls := range lp {
+			nodeLabels = append(nodeLabels, ls)
+		}
+	}
+	if len(nodeLabels) == 0 {
+		nodeLabels = [][]string{nil}
+	}
+	return tree.Path(nodeLabels...)
+}
+
+// CoverageProfile reports, for each disjunct of an APQ claimed equivalent
+// to Dn, how many of the 2^n structures of PS(n, p) it satisfies — the
+// quantity at the heart of the Theorem 7.1 counting argument: a
+// polynomial-size APQ would need some single ABCQ true on at least
+// 2^(n - log p(n)) structures, which Lemmas 7.2/7.3 rule out.
+type CoverageProfile struct {
+	N            int
+	Structures   int   // 2^n
+	PerDisjunct  []int // structures satisfied by each disjunct
+	UnionCovered int   // structures satisfied by at least one disjunct
+}
+
+// MaxSingleCoverage returns the largest per-disjunct coverage.
+func (c CoverageProfile) MaxSingleCoverage() int {
+	best := 0
+	for _, v := range c.PerDisjunct {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// MeasureCoverage evaluates each disjunct on every PS(n, p) member.
+// eval must decide a Boolean conjunctive query on a tree (injected to
+// avoid an import cycle with the engines).
+func MeasureCoverage(n, p int, disjuncts []*cq.Query, eval func(*tree.Tree, *cq.Query) bool) CoverageProfile {
+	prof := CoverageProfile{
+		N:           n,
+		Structures:  1 << uint(n),
+		PerDisjunct: make([]int, len(disjuncts)),
+	}
+	PathStructures(n, p, func(c uint, t *tree.Tree) bool {
+		covered := false
+		for i, d := range disjuncts {
+			if eval(t, d) {
+				prof.PerDisjunct[i]++
+				covered = true
+			}
+		}
+		if covered {
+			prof.UnionCovered++
+		}
+		return true
+	})
+	return prof
+}
+
+// Example78Query returns the ABCQ Q of Fig. 12(b): a tree-shaped query
+// over Child+ whose variable paths have label paths
+//
+//	Y1.X1.Y2.X2.Y3,  Y1.X1.Y2.X'2.Y3,  Y1.X'1.Y2.X2.Y3
+//
+// — no path contains both X'1 and X'2, while D2 has such a path.
+func Example78Query() *cq.Query {
+	q := cq.New()
+	add := func(name, label string) cq.Var {
+		v := q.AddVar(name)
+		q.AddLabel(label, v)
+		return v
+	}
+	a := add("a", "Y1")
+	b := add("b", "X1")
+	c := add("c", "Y2")
+	d := add("d", "X2")
+	e := add("e", "Y3")
+	f := add("f", "X'2")
+	g := add("g", "Y3")
+	h := add("h", "X'1")
+	i := add("i", "Y2")
+	j := add("j", "X2")
+	k := add("k", "Y3")
+	q.AddAtom(axis.ChildPlus, a, b)
+	q.AddAtom(axis.ChildPlus, b, c)
+	q.AddAtom(axis.ChildPlus, c, d)
+	q.AddAtom(axis.ChildPlus, d, e)
+	q.AddAtom(axis.ChildPlus, c, f)
+	q.AddAtom(axis.ChildPlus, f, g)
+	q.AddAtom(axis.ChildPlus, a, h)
+	q.AddAtom(axis.ChildPlus, h, i)
+	q.AddAtom(axis.ChildPlus, i, j)
+	q.AddAtom(axis.ChildPlus, j, k)
+	return q
+}

@@ -1,0 +1,332 @@
+package succinct
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+	"repro/internal/tree"
+)
+
+func TestDiamondShape(t *testing.T) {
+	for n := 1; n <= 4; n++ {
+		d := Diamond(n)
+		if d.Size() != 7*n+1 {
+			t.Errorf("|D%d| = %d, want %d", n, d.Size(), 7*n+1)
+		}
+		if cq.Classify(d) != cq.DirectedAcyclic {
+			t.Errorf("D%d should be directed-acyclic, got %v", n, cq.Classify(d))
+		}
+		if !d.IsBoolean() {
+			t.Errorf("D%d should be Boolean", n)
+		}
+	}
+}
+
+func TestPathStructureShape(t *testing.T) {
+	ps := PathStructure(2, 3, 0)
+	if !IsPathStructure(ps) {
+		t.Fatal("not a path structure")
+	}
+	// Layout: s Y1 s X1 s X'1 s Y2 s X2 s X'2 s Y3 s with |s| = 3:
+	// 7 labeled nodes + 8 spacers of 3 = 31 nodes.
+	if ps.Len() != 31 {
+		t.Errorf("Len = %d, want 31", ps.Len())
+	}
+	if !IsKScattered(ps, 3) {
+		t.Errorf("PS(2,3) member should be 3-scattered")
+	}
+	if IsKScattered(ps, 4) {
+		t.Errorf("should not be 4-scattered")
+	}
+}
+
+func TestPathStructureChoices(t *testing.T) {
+	// Bit i flips the order of Xi and X'i.
+	a := PathStructure(1, 2, 0)
+	b := PathStructure(1, 2, 1)
+	posOf := func(tr *tree.Tree, label string) int32 {
+		nodes := tr.NodesWithLabel(label)
+		if len(nodes) != 1 {
+			t.Fatalf("label %s occurs %d times", label, len(nodes))
+		}
+		return tr.Depth(nodes[0])
+	}
+	if posOf(a, "X1") > posOf(a, "X'1") {
+		t.Errorf("choices=0 should put X1 first")
+	}
+	if posOf(b, "X1") < posOf(b, "X'1") {
+		t.Errorf("choices=1 should put X'1 first")
+	}
+}
+
+func TestDiamondTrueOnAllPathStructures(t *testing.T) {
+	// Dn is true on each of the 2^n structures of PS(n, p) (proof of
+	// Theorem 7.1).
+	engine := core.NewBacktrackEngine()
+	for n := 1; n <= 3; n++ {
+		d := Diamond(n)
+		PathStructures(n, 2, func(c uint, tr *tree.Tree) bool {
+			if !engine.EvalBoolean(tr, d) {
+				t.Fatalf("D%d false on PS member %b", n, c)
+			}
+			return true
+		})
+	}
+}
+
+func TestDiamondFalseOnShuffledStructure(t *testing.T) {
+	// A path missing one diamond label breaks Dn.
+	d := Diamond(2)
+	broken := tree.PathOfLabels("Y1", "X1", "Y2", "X2", "Y3") // no X'1, X'2
+	engine := core.NewBacktrackEngine()
+	if engine.EvalBoolean(broken, d) {
+		t.Errorf("D2 should be false without X' labels")
+	}
+}
+
+func TestSeparatingModelExample78(t *testing.T) {
+	// Fig. 12 / Example 7.8: M = LC(¬X'1).LC(X'1 ∧ ¬X'2) separates the
+	// tree-shaped Q from D2: Q true on M, D2 false on M.
+	q := Example78Query()
+	if cq.Classify(q) != cq.Acyclic {
+		t.Fatalf("Example 7.8 query should be acyclic")
+	}
+	lps := VariableLabelPaths(q)
+	if len(lps) != 3 {
+		t.Fatalf("want 3 label paths, got %d: %v", len(lps), lps)
+	}
+	m := SeparatingModel(lps, []string{"X'1", "X'2"})
+	if !IsPathStructure(m) {
+		t.Fatal("M not a path structure")
+	}
+	// M is the concatenation of all three 5-node label paths.
+	if m.Len() != 15 {
+		t.Errorf("len(M) = %d, want 15", m.Len())
+	}
+	engine := core.NewBacktrackEngine()
+	if !engine.EvalBoolean(m, q) {
+		t.Errorf("Q should be true on M")
+	}
+	if engine.EvalBoolean(m, Diamond(2)) {
+		t.Errorf("D2 should be false on M (unique X'1 below unique X'2)")
+	}
+	// The paper's witness detail: the unique X'1 occurrence in M is a
+	// descendant of the unique X'2 occurrence.
+	x1 := m.NodesWithLabel("X'1")
+	x2 := m.NodesWithLabel("X'2")
+	if len(x1) != 1 || len(x2) != 1 {
+		t.Fatalf("X'1 × %d, X'2 × %d; want 1 each", len(x1), len(x2))
+	}
+	if !m.IsAncestor(x2[0], x1[0]) {
+		t.Errorf("X'1 should be below X'2 in M")
+	}
+}
+
+func TestSeparatingModelGeneral(t *testing.T) {
+	// Lemma 7.3 general property on the diamond family: for every n and
+	// choice set Λ = {E1..En} with Ei ∈ {Xi, X'i}, the separating model
+	// built from an APQ disjunct lacking a Λ-covering path kills Dn.
+	engine := core.NewBacktrackEngine()
+	q := Example78Query()
+	lps := VariableLabelPaths(q)
+	for _, es := range [][]string{{"X'1", "X'2"}, {"X1", "X'2"}} {
+		hasCover := false
+		for _, lp := range lps {
+			if pathContainsAll(lp, es) {
+				hasCover = true
+			}
+		}
+		m := SeparatingModel(lps, es)
+		if hasCover {
+			continue // construction only meaningful without a covering path
+		}
+		if !engine.EvalBoolean(m, q) {
+			t.Errorf("Q false on its own separating model for %v", es)
+		}
+	}
+}
+
+func TestDiamondAPQBlowup(t *testing.T) {
+	// Measurable consequence of Theorem 7.1: rewriting Dn with the
+	// Theorem 6.6 lifters produces APQs whose size grows exponentially.
+	sizes := make([]int, 0, 3)
+	for n := 1; n <= 3; n++ {
+		apq, err := rewrite.RewriteToAPQ(Diamond(n), rewrite.Options{})
+		if err != nil {
+			t.Fatalf("D%d: %v", n, err)
+		}
+		if !apq.IsAcyclic() {
+			t.Fatalf("D%d APQ not acyclic", n)
+		}
+		sizes = append(sizes, apq.Size())
+	}
+	if !(sizes[0] < sizes[1] && sizes[1] < sizes[2]) {
+		t.Fatalf("APQ sizes not growing: %v", sizes)
+	}
+	// Growth factor at least 2 per extra diamond.
+	if sizes[2] < 2*sizes[1] || sizes[1] < 2*sizes[0] {
+		t.Errorf("expected ≥2x growth per diamond: %v", sizes)
+	}
+}
+
+func TestDiamondAPQEquivalence(t *testing.T) {
+	// The rewritten APQ for D1, D2 agrees with the diamond on the path
+	// structures and on random trees.
+	engine := core.NewBacktrackEngine()
+	for n := 1; n <= 2; n++ {
+		d := Diamond(n)
+		apq, err := rewrite.RewriteToAPQ(d, rewrite.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		PathStructures(n, 1, func(c uint, tr *tree.Tree) bool {
+			if !apq.EvalBoolean(tr) {
+				t.Fatalf("APQ(D%d) false on PS member %b", n, c)
+			}
+			return true
+		})
+		rng := rand.New(rand.NewSource(int64(n)))
+		for trial := 0; trial < 10; trial++ {
+			tr := tree.Random(rng, tree.RandomConfig{
+				Nodes: 1 + rng.Intn(10), MaxChildren: 2,
+				Alphabet: DiamondAlphabet(n),
+			})
+			if engine.EvalBoolean(tr, d) != apq.EvalBoolean(tr) {
+				t.Fatalf("APQ(D%d) differs on %s", n, tr)
+			}
+		}
+	}
+}
+
+func TestCoverageProfile(t *testing.T) {
+	// The counting argument of Theorem 7.1 in measurable form: the APQ
+	// obtained from Dn covers all 2^n structures as a union, and single
+	// acyclic disjuncts cover strictly fewer than all once n ≥ 2.
+	engine := core.NewBacktrackEngine()
+	eval := func(tr *tree.Tree, q *cq.Query) bool { return engine.EvalBoolean(tr, q) }
+	for n := 1; n <= 3; n++ {
+		apq, err := rewrite.RewriteToAPQ(Diamond(n), rewrite.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := MeasureCoverage(n, 2, apq.Disjuncts, eval)
+		if prof.UnionCovered != prof.Structures {
+			t.Fatalf("D%d: union covers %d of %d", n, prof.UnionCovered, prof.Structures)
+		}
+		if n >= 2 && prof.MaxSingleCoverage() == prof.Structures {
+			t.Errorf("D%d: a single acyclic disjunct covers all structures — contradicts the counting argument", n)
+		}
+	}
+}
+
+func TestSimplifyForPaths(t *testing.T) {
+	// NextSibling* collapses; converging Child merges.
+	q := cq.MustParse("Q() <- Child(x, z), Child(y, z), NextSibling*(z, w), A(w)")
+	s, ok := SimplifyForPaths(q)
+	if !ok {
+		t.Fatal("should simplify")
+	}
+	engine := core.NewBacktrackEngine()
+	// Faithful on path structures: same truth value.
+	paths := []*tree.Tree{
+		tree.PathOfLabels("B", "A", "C"),
+		tree.PathOfLabels("A"),
+		tree.PathOfLabels("B", "B", "A"),
+	}
+	for _, p := range paths {
+		if engine.EvalBoolean(p, q) != engine.EvalBoolean(p, s) {
+			t.Errorf("simplification not faithful on %s", p)
+		}
+	}
+	// Queries with sibling axes are false on paths.
+	q2 := cq.MustParse("Q() <- NextSibling(x, y)")
+	if _, ok := SimplifyForPaths(q2); ok {
+		t.Errorf("NextSibling query should be rejected")
+	}
+	for _, p := range paths {
+		if engine.EvalBoolean(p, q2) {
+			t.Errorf("NextSibling query true on path %s", p)
+		}
+	}
+}
+
+func TestChildComponents(t *testing.T) {
+	q := cq.MustParse("Q() <- Child(x, y), Child(y, z), Child+(z, w), Child(w, v)")
+	comps := ChildComponents(q)
+	if len(comps) != 2 {
+		t.Fatalf("want 2 Child-components, got %d", len(comps))
+	}
+}
+
+func TestSuccessorRepellent(t *testing.T) {
+	ok := cq.MustParse("Q() <- Child(x, y), Child+(y, z)")
+	if !IsSuccessorRepellent(ok) {
+		t.Errorf("chain should be successor-repellent")
+	}
+	bad := cq.MustParse("Q() <- Child(x, y), Child+(x, z)")
+	if IsSuccessorRepellent(bad) {
+		t.Errorf("diverging Child should not be successor-repellent")
+	}
+}
+
+func TestRelaxChildToChildPlusLemma77(t *testing.T) {
+	// Under the Lemma 7.7 hypotheses (successor-repellent, ≤1 label per
+	// component), Child -> Child+ preserves truth on path structures.
+	engine := core.NewBacktrackEngine()
+	queries := []string{
+		"Q() <- A(x), Child(x, y), Child(y, z)",
+		"Q() <- Child(x, y), B(y)",
+		"Q() <- A(x), Child+(x, y), Child(y, z), Child(z, w)",
+	}
+	paths := []*tree.Tree{
+		tree.PathOfLabels("A", "", "", "B"),
+		tree.PathOfLabels("", "A", "B", "", ""),
+		tree.PathOfLabels("A"),
+		tree.PathOfLabels("", "", "B"),
+	}
+	for _, src := range queries {
+		q := cq.MustParse(src)
+		if !IsSuccessorRepellent(q) {
+			t.Fatalf("test query %s not successor-repellent", src)
+		}
+		for _, c := range ComponentLabelCounts(q) {
+			if c > 1 {
+				t.Fatalf("test query %s violates one-label-per-component", src)
+			}
+		}
+		r := RelaxChildToChildPlus(q)
+		for _, p := range paths {
+			if engine.EvalBoolean(p, q) != engine.EvalBoolean(p, r) {
+				t.Errorf("Lemma 7.7 relaxation differs for %s on %s", src, p)
+			}
+		}
+	}
+}
+
+func TestLemma75OneLabelPerComponentOnScattered(t *testing.T) {
+	// Lemma 7.5(a): a query with two labels in one Child-component cannot
+	// hold on a |Q|-scattered path structure.
+	q := cq.MustParse("Q() <- A(x), Child(x, y), B(y)")
+	// |Q| = 3; build a 3-scattered path: labels ≥3 apart, ends ≥3 away.
+	p := tree.PathOfLabels("", "", "", "A", "", "", "B", "", "", "")
+	if !IsKScattered(p, 3) {
+		t.Fatal("test structure should be 3-scattered")
+	}
+	engine := core.NewBacktrackEngine()
+	if engine.EvalBoolean(p, q) {
+		t.Errorf("adjacent-label query should fail on a scattered structure")
+	}
+}
+
+func TestVariableLabelPathsOfDiamond(t *testing.T) {
+	// Dn has 2^n source-to-sink variable paths.
+	for n := 1; n <= 3; n++ {
+		lps := VariableLabelPaths(Diamond(n))
+		if len(lps) != 1<<n {
+			t.Errorf("D%d has %d label paths, want %d", n, len(lps), 1<<n)
+		}
+	}
+}

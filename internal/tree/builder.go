@@ -1,0 +1,161 @@
+package tree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder incrementally constructs a Tree. Nodes are added top-down: the
+// first AddNode call with parent NilNode creates the root; subsequent calls
+// attach children in left-to-right order. Call Build once at the end.
+//
+// The zero Builder is ready to use.
+type Builder struct {
+	parent []NodeID
+	kids   [][]NodeID
+	labels [][]string
+	built  bool
+}
+
+// NewBuilder returns a Builder with capacity hints for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{
+		parent: make([]NodeID, 0, n),
+		kids:   make([][]NodeID, 0, n),
+		labels: make([][]string, 0, n),
+	}
+}
+
+// AddNode appends a node with the given labels as the new rightmost child
+// of parent (or as root if parent is NilNode and no root exists yet) and
+// returns its NodeID.
+//
+// AddNode panics if parent is out of range, if a second root is added, or
+// if the builder was already consumed by Build.
+func (b *Builder) AddNode(parent NodeID, labels ...string) NodeID {
+	if b.built {
+		panic("tree: Builder used after Build")
+	}
+	id := NodeID(len(b.parent))
+	if parent == NilNode {
+		if id != 0 {
+			panic("tree: Builder already has a root")
+		}
+	} else {
+		if parent < 0 || int(parent) >= len(b.parent) {
+			panic(fmt.Sprintf("tree: AddNode parent %d out of range", parent))
+		}
+	}
+	ls := normalizeLabels(labels)
+	b.parent = append(b.parent, parent)
+	b.kids = append(b.kids, nil)
+	b.labels = append(b.labels, ls)
+	if parent != NilNode {
+		b.kids[parent] = append(b.kids[parent], id)
+	}
+	return id
+}
+
+// AddLabel adds a label to an existing node (deduplicated).
+func (b *Builder) AddLabel(v NodeID, label string) {
+	if b.built {
+		panic("tree: Builder used after Build")
+	}
+	b.labels[v] = normalizeLabels(append(b.labels[v], label))
+}
+
+// Len returns the number of nodes added so far.
+func (b *Builder) Len() int { return len(b.parent) }
+
+// Build finalizes and returns the Tree. The Builder must not be reused.
+func (b *Builder) Build() *Tree {
+	if b.built {
+		panic("tree: Build called twice")
+	}
+	b.built = true
+	t := &Tree{parent: b.parent, kids: b.kids, labels: b.labels}
+	for i := range t.kids {
+		if t.kids[i] == nil {
+			t.kids[i] = []NodeID{}
+		}
+	}
+	t.finish()
+	return t
+}
+
+func normalizeLabels(labels []string) []string {
+	if len(labels) == 0 {
+		return []string{}
+	}
+	ls := make([]string, 0, len(labels))
+	ls = append(ls, labels...)
+	sort.Strings(ls)
+	out := ls[:0]
+	for i, a := range ls {
+		if i == 0 || ls[i-1] != a {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Path returns a "path structure" (§7 of the paper): a tree whose Child
+// graph is a single downward path. labelSets[i] is the label set of the
+// node at depth i (may be empty). The root is the node at depth 0.
+func Path(labelSets ...[]string) *Tree {
+	b := NewBuilder(len(labelSets))
+	cur := NilNode
+	for _, ls := range labelSets {
+		cur = b.AddNode(cur, ls...)
+	}
+	return b.Build()
+}
+
+// PathOfLabels returns a path structure where node i carries the single
+// label labels[i]; an empty string yields an unlabeled node.
+func PathOfLabels(labels ...string) *Tree {
+	sets := make([][]string, len(labels))
+	for i, a := range labels {
+		if a == "" {
+			sets[i] = nil
+		} else {
+			sets[i] = []string{a}
+		}
+	}
+	return Path(sets...)
+}
+
+// Combine builds a new tree with a fresh root (carrying rootLabels) whose
+// subtrees are copies of the given trees, in order. This implements the
+// "two copies of T under a common root" constructions of §5.
+func Combine(rootLabels []string, subtrees ...*Tree) *Tree {
+	n := 1
+	for _, s := range subtrees {
+		n += s.Len()
+	}
+	b := NewBuilder(n)
+	root := b.AddNode(NilNode, rootLabels...)
+	for _, s := range subtrees {
+		copySubtree(b, s, s.Root(), root)
+	}
+	return b.Build()
+}
+
+// copySubtree copies the subtree of src rooted at v under parent in b.
+func copySubtree(b *Builder, src *Tree, v NodeID, parent NodeID) NodeID {
+	id := b.AddNode(parent, src.Labels(v)...)
+	for _, c := range src.Children(v) {
+		copySubtree(b, src, c, id)
+	}
+	return id
+}
+
+// Clone returns a deep copy of t (useful when callers want to own slices).
+func Clone(t *Tree) *Tree {
+	if t.Len() == 0 {
+		return NewBuilder(0).Build()
+	}
+	b := NewBuilder(t.Len())
+	copySubtree(b, t, t.Root(), NilNode)
+	return b.Build()
+}

@@ -1,0 +1,113 @@
+package tree
+
+// Enumerate generates every ordered unranked tree with exactly n nodes,
+// each node carrying exactly one label from alphabet, and calls fn on each.
+// If fn returns false, enumeration stops. The number of trees is
+// Catalan(n-1) · |alphabet|^n, so keep n small (n ≤ 5 with a binary
+// alphabet is ~1000 trees). Used for exhaustive semantic-equivalence
+// checking of query rewrites.
+func Enumerate(n int, alphabet []string, fn func(*Tree) bool) {
+	if n <= 0 || len(alphabet) == 0 {
+		return
+	}
+	shapes := enumerateShapes(n)
+	labels := make([]string, n)
+	for _, shape := range shapes {
+		if !enumerateLabelings(shape, alphabet, labels, 0, fn) {
+			return
+		}
+	}
+}
+
+// EnumerateAll generates every tree with 1..maxNodes nodes over alphabet.
+func EnumerateAll(maxNodes int, alphabet []string, fn func(*Tree) bool) {
+	for n := 1; n <= maxNodes; n++ {
+		stop := false
+		Enumerate(n, alphabet, func(t *Tree) bool {
+			if !fn(t) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// shape encodes a tree shape as the parent array in pre-order numbering
+// (parent[0] = -1).
+type shape []int
+
+// enumerateShapes returns every ordered rooted tree shape with n nodes.
+// Shapes are built by choosing, for each pre-order node i >= 1, a parent
+// among the "right spine" of the partially built tree — this enumerates
+// exactly the ordered forests (a standard bijection with balanced
+// parentheses, Catalan(n-1) shapes).
+func enumerateShapes(n int) []shape {
+	var out []shape
+	parent := make([]int, n)
+	parent[0] = -1
+	// spine holds the chain root=..=last-added node's ancestors through
+	// rightmost children; a new node may attach to any of them.
+	var rec func(i int, spine []int)
+	rec = func(i int, spine []int) {
+		if i == n {
+			cp := make(shape, n)
+			copy(cp, parent)
+			out = append(out, cp)
+			return
+		}
+		for s := 0; s < len(spine); s++ {
+			parent[i] = spine[s]
+			// New spine: ancestors up to spine[s], then node i.
+			newSpine := append(append([]int{}, spine[:s+1]...), i)
+			rec(i+1, newSpine)
+		}
+	}
+	rec(1, []int{0})
+	if n == 1 {
+		out = []shape{{-1}}
+	}
+	return out
+}
+
+func enumerateLabelings(sh shape, alphabet []string, labels []string, i int, fn func(*Tree) bool) bool {
+	if i == len(sh) {
+		b := NewBuilder(len(sh))
+		ids := make([]NodeID, len(sh))
+		for j, p := range sh {
+			if p == -1 {
+				ids[j] = b.AddNode(NilNode, labels[j])
+			} else {
+				ids[j] = b.AddNode(ids[p], labels[j])
+			}
+		}
+		return fn(b.Build())
+	}
+	for _, a := range alphabet {
+		labels[i] = a
+		if !enumerateLabelings(sh, alphabet, labels, i+1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountShapes returns the number of ordered rooted tree shapes with n
+// nodes (the Catalan number C(n-1)); used by tests.
+func CountShapes(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// C(0)=1, C(k) = sum C(i)C(k-1-i)
+	c := make([]int, n)
+	c[0] = 1
+	for k := 1; k < n; k++ {
+		for i := 0; i < k; i++ {
+			c[k] += c[i] * c[k-1-i]
+		}
+	}
+	return c[n-1]
+}

@@ -1,0 +1,75 @@
+package tree
+
+import "testing"
+
+func TestCountShapes(t *testing.T) {
+	// Catalan numbers C(n-1): 1, 1, 2, 5, 14, 42.
+	want := map[int]int{1: 1, 2: 1, 3: 2, 4: 5, 5: 14, 6: 42}
+	for n, w := range want {
+		if got := CountShapes(n); got != w {
+			t.Errorf("CountShapes(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if CountShapes(0) != 0 {
+		t.Errorf("CountShapes(0) != 0")
+	}
+}
+
+func TestEnumerateCounts(t *testing.T) {
+	alpha := []string{"A", "B"}
+	for n := 1; n <= 4; n++ {
+		count := 0
+		Enumerate(n, alpha, func(tr *Tree) bool {
+			if tr.Len() != n {
+				t.Fatalf("enumerated tree has %d nodes, want %d", tr.Len(), n)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			count++
+			return true
+		})
+		want := CountShapes(n)
+		for i := 0; i < n; i++ {
+			want *= len(alpha)
+		}
+		if count != want {
+			t.Errorf("Enumerate(%d) yielded %d trees, want %d", n, count, want)
+		}
+	}
+}
+
+func TestEnumerateDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	Enumerate(4, []string{"A", "B"}, func(tr *Tree) bool {
+		s := tr.String()
+		if seen[s] {
+			t.Fatalf("duplicate tree %s", s)
+		}
+		seen[s] = true
+		return true
+	})
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	count := 0
+	Enumerate(4, []string{"A", "B"}, func(*Tree) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop after %d trees, want 3", count)
+	}
+}
+
+func TestEnumerateAll(t *testing.T) {
+	count := 0
+	EnumerateAll(3, []string{"A"}, func(tr *Tree) bool {
+		count++
+		return true
+	})
+	// n=1: 1 shape; n=2: 1; n=3: 2 -> with 1 label = 4 trees.
+	if count != 4 {
+		t.Errorf("EnumerateAll(3,{A}) = %d trees, want 4", count)
+	}
+}

@@ -1,0 +1,145 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseTerm parses the compact term syntax for trees:
+//
+//	tree   := node
+//	node   := labels [ '(' node (',' node)* ')' ]
+//	labels := '_' | label ('|' label)*
+//	label  := [A-Za-z0-9_'*+-]+  (not starting with '_' alone)
+//
+// Examples:
+//
+//	A(B,C(D))          root A with children B and C; C has child D
+//	X|Y(Z)             a root carrying both labels X and Y
+//	_(A,_)             an unlabeled root with children A and an unlabeled leaf
+//
+// Whitespace between tokens is ignored. ParseTerm is the inverse of
+// (*Tree).String.
+func ParseTerm(s string) (*Tree, error) {
+	p := &termParser{src: s}
+	p.skipSpace()
+	if p.eof() {
+		return nil, fmt.Errorf("tree: empty input")
+	}
+	b := NewBuilder(16)
+	if err := p.parseNode(b, NilNode); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, fmt.Errorf("tree: trailing input at offset %d: %q", p.pos, p.rest())
+	}
+	return b.Build(), nil
+}
+
+// MustParseTerm is ParseTerm that panics on error; for tests and examples.
+func MustParseTerm(s string) *Tree {
+	t, err := ParseTerm(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type termParser struct {
+	src string
+	pos int
+}
+
+func (p *termParser) eof() bool     { return p.pos >= len(p.src) }
+func (p *termParser) rest() string  { return p.src[p.pos:] }
+func (p *termParser) peek() byte    { return p.src[p.pos] }
+func (p *termParser) advance() byte { c := p.src[p.pos]; p.pos++; return c }
+
+func (p *termParser) skipSpace() {
+	for !p.eof() && unicode.IsSpace(rune(p.peek())) {
+		p.pos++
+	}
+}
+
+func isLabelByte(c byte) bool {
+	return c == '_' || c == '\'' || c == '*' || c == '+' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *termParser) parseLabelSet() ([]string, error) {
+	var labels []string
+	for {
+		start := p.pos
+		for !p.eof() && isLabelByte(p.peek()) {
+			p.pos++
+		}
+		if p.pos == start {
+			return nil, fmt.Errorf("tree: expected label at offset %d: %q", p.pos, p.rest())
+		}
+		lab := p.src[start:p.pos]
+		if lab != "_" {
+			labels = append(labels, lab)
+		}
+		p.skipSpace()
+		if !p.eof() && p.peek() == '|' {
+			p.advance()
+			p.skipSpace()
+			continue
+		}
+		return labels, nil
+	}
+}
+
+func (p *termParser) parseNode(b *Builder, parent NodeID) error {
+	p.skipSpace()
+	labels, err := p.parseLabelSet()
+	if err != nil {
+		return err
+	}
+	id := b.AddNode(parent, labels...)
+	p.skipSpace()
+	if p.eof() || p.peek() != '(' {
+		return nil
+	}
+	p.advance() // '('
+	for {
+		if err := p.parseNode(b, id); err != nil {
+			return err
+		}
+		p.skipSpace()
+		if p.eof() {
+			return fmt.Errorf("tree: unexpected end of input, expected ',' or ')'")
+		}
+		switch p.advance() {
+		case ',':
+			continue
+		case ')':
+			return nil
+		default:
+			return fmt.Errorf("tree: expected ',' or ')' at offset %d: %q", p.pos-1, p.src[p.pos-1:])
+		}
+	}
+}
+
+// RoundTrip reports whether parsing t.String() yields a tree equal to t.
+// Used by property-based tests.
+func RoundTrip(t *Tree) bool {
+	if t.Len() == 0 {
+		return true
+	}
+	u, err := ParseTerm(t.String())
+	if err != nil {
+		return false
+	}
+	return t.Equal(u)
+}
+
+// quoteIfNeeded is a helper for diagnostics.
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t\n(),|") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,136 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig controls random tree generation. The zero value is not
+// useful; use DefaultRandomConfig as a starting point.
+type RandomConfig struct {
+	// Nodes is the exact number of nodes to generate (>= 1).
+	Nodes int
+	// MaxChildren bounds the fan-out of each node (>= 1).
+	MaxChildren int
+	// Alphabet is the label inventory. Empty means unlabeled nodes.
+	Alphabet []string
+	// MultiLabelProb is the probability that a node receives a second
+	// label (the paper's tractability results support multi-labels, §2).
+	MultiLabelProb float64
+	// UnlabeledProb is the probability that a node has no label at all.
+	UnlabeledProb float64
+}
+
+// DefaultRandomConfig returns a workload-realistic configuration: XML-ish
+// fan-out with a small alphabet.
+func DefaultRandomConfig(n int) RandomConfig {
+	return RandomConfig{
+		Nodes:          n,
+		MaxChildren:    4,
+		Alphabet:       []string{"A", "B", "C", "D", "E"},
+		MultiLabelProb: 0.05,
+		UnlabeledProb:  0.05,
+	}
+}
+
+// Random generates a pseudo-random tree with exactly cfg.Nodes nodes using
+// rng. Shapes follow a uniform random-attachment process bounded by
+// MaxChildren, giving broad, shallow, XML-like trees.
+func Random(rng *rand.Rand, cfg RandomConfig) *Tree {
+	if cfg.Nodes < 1 {
+		panic(fmt.Sprintf("tree: Random: Nodes = %d, need >= 1", cfg.Nodes))
+	}
+	if cfg.MaxChildren < 1 {
+		cfg.MaxChildren = 1
+	}
+	b := NewBuilder(cfg.Nodes)
+	b.AddNode(NilNode, randLabels(rng, cfg)...)
+	// Nodes eligible to receive more children.
+	open := []NodeID{0}
+	childCount := make([]int, 1, cfg.Nodes)
+	for b.Len() < cfg.Nodes {
+		i := rng.Intn(len(open))
+		p := open[i]
+		id := b.AddNode(p, randLabels(rng, cfg)...)
+		childCount = append(childCount, 0)
+		childCount[p]++
+		if childCount[p] >= cfg.MaxChildren {
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		open = append(open, id)
+	}
+	return b.Build()
+}
+
+func randLabels(rng *rand.Rand, cfg RandomConfig) []string {
+	if len(cfg.Alphabet) == 0 || rng.Float64() < cfg.UnlabeledProb {
+		return nil
+	}
+	labels := []string{cfg.Alphabet[rng.Intn(len(cfg.Alphabet))]}
+	if rng.Float64() < cfg.MultiLabelProb {
+		labels = append(labels, cfg.Alphabet[rng.Intn(len(cfg.Alphabet))])
+	}
+	return labels
+}
+
+// RandomShape describes preset shapes for scaling benchmarks.
+type RandomShape int
+
+// Preset shapes exercised by the benchmark harness: the tractable engine's
+// complexity depends on ‖A‖ only, but the optimized arc-consistency
+// support structures have shape-dependent constants worth measuring.
+const (
+	ShapeBushy  RandomShape = iota // MaxChildren 8, shallow
+	ShapeBinary                    // MaxChildren 2
+	ShapeDeep                      // MaxChildren 1..2, path-like
+	ShapeWide                      // root with many children, depth ~2
+)
+
+// RandomWithShape generates an n-node tree of the given preset shape.
+func RandomWithShape(rng *rand.Rand, n int, shape RandomShape, alphabet []string) *Tree {
+	switch shape {
+	case ShapeBushy:
+		cfg := DefaultRandomConfig(n)
+		cfg.MaxChildren = 8
+		cfg.Alphabet = alphabet
+		return Random(rng, cfg)
+	case ShapeBinary:
+		cfg := DefaultRandomConfig(n)
+		cfg.MaxChildren = 2
+		cfg.Alphabet = alphabet
+		return Random(rng, cfg)
+	case ShapeDeep:
+		b := NewBuilder(n)
+		cur := b.AddNode(NilNode, pick(rng, alphabet))
+		for b.Len() < n {
+			// Occasionally add a leaf sibling to keep it tree-like.
+			if rng.Float64() < 0.2 && b.Len()+1 < n {
+				b.AddNode(cur, pick(rng, alphabet))
+			}
+			cur = b.AddNode(cur, pick(rng, alphabet))
+		}
+		return b.Build()
+	case ShapeWide:
+		b := NewBuilder(n)
+		root := b.AddNode(NilNode, pick(rng, alphabet))
+		spine := []NodeID{root}
+		for b.Len() < n {
+			p := spine[rng.Intn(len(spine))]
+			id := b.AddNode(p, pick(rng, alphabet))
+			if len(spine) < 4 {
+				spine = append(spine, id)
+			}
+		}
+		return b.Build()
+	default:
+		panic(fmt.Sprintf("tree: unknown RandomShape %d", shape))
+	}
+}
+
+func pick(rng *rand.Rand, alphabet []string) string {
+	if len(alphabet) == 0 {
+		return "A"
+	}
+	return alphabet[rng.Intn(len(alphabet))]
+}

@@ -1,0 +1,57 @@
+package tree
+
+// Structural pseudo-labels. Gottlob and Koch [2004] extend the signature
+// with relations such as FirstChild (see the remark after Prop. 6.14);
+// in this library's framework such unary structural predicates are
+// exposed as derived labels so that every engine supports them without
+// special cases: WithStructuralLabels returns a copy of the tree where
+// each node additionally carries the applicable labels below.
+const (
+	// LabelRoot marks the root node.
+	LabelRoot = "@root"
+	// LabelLeaf marks nodes without children.
+	LabelLeaf = "@leaf"
+	// LabelFirstChild marks nodes that are the first child of their
+	// parent (the FirstChild relation of Gottlob and Koch [2004]).
+	LabelFirstChild = "@first"
+	// LabelLastChild marks nodes that are the last child of their parent.
+	LabelLastChild = "@last"
+)
+
+// WithStructuralLabels returns a copy of t in which every node also
+// carries the structural labels that apply to it (@root, @leaf, @first,
+// @last). Queries may then use them as ordinary unary atoms, e.g.
+//
+//	Q(x) <- A(x), @leaf(x)
+//
+// The original tree is not modified.
+func WithStructuralLabels(t *Tree) *Tree {
+	if t.Len() == 0 {
+		return NewBuilder(0).Build()
+	}
+	b := NewBuilder(t.Len())
+	var rec func(v NodeID, parent NodeID)
+	rec = func(v NodeID, parent NodeID) {
+		labels := append([]string{}, t.Labels(v)...)
+		if t.Parent(v) == NilNode {
+			labels = append(labels, LabelRoot)
+		}
+		if t.NumChildren(v) == 0 {
+			labels = append(labels, LabelLeaf)
+		}
+		if t.Parent(v) != NilNode {
+			if t.SiblingIndex(v) == 0 {
+				labels = append(labels, LabelFirstChild)
+			}
+			if int(t.SiblingIndex(v)) == t.NumChildren(t.Parent(v))-1 {
+				labels = append(labels, LabelLastChild)
+			}
+		}
+		id := b.AddNode(parent, labels...)
+		for _, c := range t.Children(v) {
+			rec(c, id)
+		}
+	}
+	rec(t.Root(), NilNode)
+	return b.Build()
+}

@@ -1,0 +1,78 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWithStructuralLabels(t *testing.T) {
+	tr := WithStructuralLabels(MustParseTerm("A(B(D,E),C)"))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root()
+	if !tr.HasLabel(root, LabelRoot) {
+		t.Errorf("root missing @root")
+	}
+	if tr.HasLabel(root, LabelLeaf) || tr.HasLabel(root, LabelFirstChild) {
+		t.Errorf("root has wrong structural labels: %v", tr.Labels(root))
+	}
+	b := tr.NodesWithLabel("B")[0]
+	if !tr.HasLabel(b, LabelFirstChild) || tr.HasLabel(b, LabelLastChild) {
+		t.Errorf("B labels: %v", tr.Labels(b))
+	}
+	c := tr.NodesWithLabel("C")[0]
+	if !tr.HasLabel(c, LabelLastChild) || !tr.HasLabel(c, LabelLeaf) {
+		t.Errorf("C labels: %v", tr.Labels(c))
+	}
+	d := tr.NodesWithLabel("D")[0]
+	if !tr.HasLabel(d, LabelLeaf) || !tr.HasLabel(d, LabelFirstChild) {
+		t.Errorf("D labels: %v", tr.Labels(d))
+	}
+}
+
+func TestWithStructuralLabelsOnlyChild(t *testing.T) {
+	tr := WithStructuralLabels(MustParseTerm("A(B)"))
+	b := tr.NodesWithLabel("B")[0]
+	// An only child is both first and last.
+	if !tr.HasLabel(b, LabelFirstChild) || !tr.HasLabel(b, LabelLastChild) {
+		t.Errorf("only child labels: %v", tr.Labels(b))
+	}
+}
+
+func TestWithStructuralLabelsCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		orig := Random(rng, DefaultRandomConfig(1+rng.Intn(60)))
+		tr := WithStructuralLabels(orig)
+		if tr.Len() != orig.Len() {
+			t.Fatalf("structural labeling changed the shape")
+		}
+		if got := len(tr.NodesWithLabel(LabelRoot)); got != 1 {
+			t.Errorf("@root count = %d", got)
+		}
+		// #first == #last == number of internal nodes.
+		internal := 0
+		for v := NodeID(0); int(v) < tr.Len(); v++ {
+			if tr.NumChildren(v) > 0 {
+				internal++
+			}
+		}
+		if got := len(tr.NodesWithLabel(LabelFirstChild)); got != internal {
+			t.Errorf("@first count = %d, want %d", got, internal)
+		}
+		if got := len(tr.NodesWithLabel(LabelLastChild)); got != internal {
+			t.Errorf("@last count = %d, want %d", got, internal)
+		}
+		leaves := tr.Len() - internal
+		if got := len(tr.NodesWithLabel(LabelLeaf)); got != leaves {
+			t.Errorf("@leaf count = %d, want %d", got, leaves)
+		}
+	}
+}
+
+func TestWithStructuralLabelsEmpty(t *testing.T) {
+	if got := WithStructuralLabels(NewBuilder(0).Build()); got.Len() != 0 {
+		t.Errorf("empty tree should stay empty")
+	}
+}

@@ -1,0 +1,438 @@
+// Package tree implements the unranked labeled tree substrate of
+// "Conjunctive Queries over Trees" (Gottlob, Koch, Schulz; JACM 53(2), 2006).
+//
+// A tree is a relational structure over a finite set of nodes with unary
+// label relations Label_a and binary axis relations (Child, Child+, Child*,
+// NextSibling, NextSibling+, NextSibling*, Following; see package axis).
+// Nodes may carry multiple labels (§2 of the paper).
+//
+// The representation is index-based: nodes are dense NodeIDs, and the
+// three total orders of §2 (pre-order, post-order, breadth-first
+// left-to-right) as well as subtree intervals are precomputed so that every
+// axis test costs O(1) (see package axis).
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node of a Tree. IDs are dense indexes in [0, Len()).
+// The root of a non-empty tree always has NodeID 0. NilNode is used as the
+// "no node" sentinel (e.g. parent of the root).
+type NodeID int32
+
+// NilNode is the sentinel "no node" value.
+const NilNode NodeID = -1
+
+// Tree is an immutable unranked tree with multi-labeled nodes.
+//
+// Construct trees with a Builder, one of the parsers (ParseTerm, ParseXML),
+// or a generator (see random.go). After construction a Tree must not be
+// mutated; all query-evaluation code in this module relies on the
+// precomputed orders staying consistent.
+type Tree struct {
+	parent   []NodeID   // parent[v] or NilNode for the root
+	kids     [][]NodeID // children in left-to-right order
+	sibIndex []int32    // position of v among its siblings (root: 0)
+
+	labels    [][]string          // sorted label set per node
+	labelIdx  map[string][]NodeID // label -> nodes carrying it, sorted by pre
+	pre       []int32             // pre-order rank (document order), 0-based
+	post      []int32             // post-order rank, 0-based
+	bflr      []int32             // breadth-first left-to-right rank, 0-based
+	depth     []int32             // root depth 0
+	preEnd    []int32             // max pre-order rank within v's subtree
+	byPre     []NodeID            // byPre[r] = node with pre rank r
+	byPost    []NodeID            // byPost[r] = node with post rank r
+	byBFLR    []NodeID            // byBFLR[r] = node with bflr rank r
+	size      int
+	structure int // cached encoding size ‖A‖ proxy; see StructureSize
+}
+
+// Len returns the number of nodes.
+func (t *Tree) Len() int { return t.size }
+
+// Root returns the root node, or NilNode if the tree is empty.
+func (t *Tree) Root() NodeID {
+	if t.size == 0 {
+		return NilNode
+	}
+	return 0
+}
+
+// Parent returns the parent of v, or NilNode for the root.
+func (t *Tree) Parent(v NodeID) NodeID { return t.parent[v] }
+
+// Children returns the children of v in left-to-right order.
+// The returned slice is owned by the tree and must not be modified.
+func (t *Tree) Children(v NodeID) []NodeID { return t.kids[v] }
+
+// NumChildren returns the number of children of v.
+func (t *Tree) NumChildren(v NodeID) int { return len(t.kids[v]) }
+
+// SiblingIndex returns v's position among its siblings (leftmost = 0).
+// The root has sibling index 0.
+func (t *Tree) SiblingIndex(v NodeID) int32 { return t.sibIndex[v] }
+
+// NextSibling returns the right neighboring sibling of v, or NilNode.
+func (t *Tree) NextSibling(v NodeID) NodeID {
+	p := t.parent[v]
+	if p == NilNode {
+		return NilNode
+	}
+	i := int(t.sibIndex[v]) + 1
+	if i >= len(t.kids[p]) {
+		return NilNode
+	}
+	return t.kids[p][i]
+}
+
+// PrevSibling returns the left neighboring sibling of v, or NilNode.
+func (t *Tree) PrevSibling(v NodeID) NodeID {
+	p := t.parent[v]
+	if p == NilNode {
+		return NilNode
+	}
+	i := int(t.sibIndex[v]) - 1
+	if i < 0 {
+		return NilNode
+	}
+	return t.kids[p][i]
+}
+
+// Labels returns the sorted label set of v (possibly empty).
+// The returned slice is owned by the tree and must not be modified.
+func (t *Tree) Labels(v NodeID) []string { return t.labels[v] }
+
+// HasLabel reports whether v carries label a.
+func (t *Tree) HasLabel(v NodeID, a string) bool {
+	ls := t.labels[v]
+	i := sort.SearchStrings(ls, a)
+	return i < len(ls) && ls[i] == a
+}
+
+// NodesWithLabel returns all nodes carrying label a, sorted by pre-order.
+// The returned slice is owned by the tree and must not be modified.
+func (t *Tree) NodesWithLabel(a string) []NodeID { return t.labelIdx[a] }
+
+// Alphabet returns the sorted set of labels occurring in the tree.
+func (t *Tree) Alphabet() []string {
+	out := make([]string, 0, len(t.labelIdx))
+	for a := range t.labelIdx {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pre returns the pre-order (document order) rank of v, 0-based.
+func (t *Tree) Pre(v NodeID) int32 { return t.pre[v] }
+
+// Post returns the post-order rank of v, 0-based.
+func (t *Tree) Post(v NodeID) int32 { return t.post[v] }
+
+// BFLR returns the breadth-first left-to-right rank of v, 0-based.
+func (t *Tree) BFLR(v NodeID) int32 { return t.bflr[v] }
+
+// Depth returns the depth of v (root depth 0).
+func (t *Tree) Depth(v NodeID) int32 { return t.depth[v] }
+
+// PreEnd returns the maximum pre-order rank inside v's subtree, so that
+// w is a descendant-or-self of v iff Pre(v) <= Pre(w) <= PreEnd(v).
+func (t *Tree) PreEnd(v NodeID) int32 { return t.preEnd[v] }
+
+// ByPre returns the node with pre-order rank r.
+func (t *Tree) ByPre(r int32) NodeID { return t.byPre[r] }
+
+// ByPost returns the node with post-order rank r.
+func (t *Tree) ByPost(r int32) NodeID { return t.byPost[r] }
+
+// ByBFLR returns the node with breadth-first rank r.
+func (t *Tree) ByBFLR(r int32) NodeID { return t.byBFLR[r] }
+
+// SubtreeSize returns the number of nodes in v's subtree (including v).
+func (t *Tree) SubtreeSize(v NodeID) int {
+	return int(t.preEnd[v]-t.pre[v]) + 1
+}
+
+// IsAncestorOrSelf reports Child*(u, v): u lies on the path from the root
+// to v (inclusive).
+func (t *Tree) IsAncestorOrSelf(u, v NodeID) bool {
+	return t.pre[u] <= t.pre[v] && t.pre[v] <= t.preEnd[u]
+}
+
+// IsAncestor reports Child+(u, v): u is a proper ancestor of v.
+func (t *Tree) IsAncestor(u, v NodeID) bool {
+	return t.pre[u] < t.pre[v] && t.pre[v] <= t.preEnd[u]
+}
+
+// Height returns the height of the tree (a single node has height 0);
+// -1 for the empty tree.
+func (t *Tree) Height() int {
+	h := int32(-1)
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return int(h)
+}
+
+// StructureSize returns ‖A‖, a proxy for the encoding size of the
+// relational structure: nodes + label-atom occurrences + the sizes of the
+// materialized Child and NextSibling relations (both O(n)). The transitive
+// axes are not counted since they are derived in O(1) from the numbering.
+func (t *Tree) StructureSize() int { return t.structure }
+
+// Walk visits every node in pre-order, calling fn; if fn returns false the
+// subtree below the node is skipped.
+func (t *Tree) Walk(fn func(v NodeID) bool) {
+	if t.size == 0 {
+		return
+	}
+	type frame struct {
+		v NodeID
+	}
+	stack := []frame{{0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if !fn(f.v) {
+			continue
+		}
+		ks := t.kids[f.v]
+		for i := len(ks) - 1; i >= 0; i-- {
+			stack = append(stack, frame{ks[i]})
+		}
+	}
+}
+
+// AncestorAtDepth returns the ancestor of v at depth d, or NilNode if
+// d exceeds Depth(v).
+func (t *Tree) AncestorAtDepth(v NodeID, d int32) NodeID {
+	if d > t.depth[v] || d < 0 {
+		return NilNode
+	}
+	for t.depth[v] > d {
+		v = t.parent[v]
+	}
+	return v
+}
+
+// Validate checks internal invariants: orders are permutations, subtree
+// intervals nest, sibling indexes match child lists, label index agrees
+// with node label sets. It is used by property-based tests.
+func (t *Tree) Validate() error {
+	n := t.size
+	if len(t.parent) != n || len(t.kids) != n || len(t.pre) != n || len(t.post) != n || len(t.bflr) != n {
+		return fmt.Errorf("tree: inconsistent slice lengths for %d nodes", n)
+	}
+	seenPre := make([]bool, n)
+	for v := 0; v < n; v++ {
+		r := t.pre[v]
+		if r < 0 || int(r) >= n || seenPre[r] {
+			return fmt.Errorf("tree: pre rank %d of node %d invalid or duplicated", r, v)
+		}
+		seenPre[r] = true
+		if t.byPre[r] != NodeID(v) {
+			return fmt.Errorf("tree: byPre[%d] = %d, want %d", r, t.byPre[r], v)
+		}
+	}
+	for v := 0; v < n; v++ {
+		id := NodeID(v)
+		for i, c := range t.kids[v] {
+			if t.parent[c] != id {
+				return fmt.Errorf("tree: child %d of %d has parent %d", c, v, t.parent[c])
+			}
+			if int(t.sibIndex[c]) != i {
+				return fmt.Errorf("tree: child %d of %d has sibIndex %d, want %d", c, v, t.sibIndex[c], i)
+			}
+			if t.depth[c] != t.depth[v]+1 {
+				return fmt.Errorf("tree: depth of %d is %d, parent depth %d", c, t.depth[c], t.depth[v])
+			}
+			if !(t.pre[c] > t.pre[v] && t.preEnd[c] <= t.preEnd[v]) {
+				return fmt.Errorf("tree: subtree interval of child %d not nested in %d", c, v)
+			}
+		}
+		if t.parent[v] == NilNode && v != 0 {
+			return fmt.Errorf("tree: non-root node %d has no parent", v)
+		}
+	}
+	for a, nodes := range t.labelIdx {
+		for _, v := range nodes {
+			if !t.HasLabel(v, a) {
+				return fmt.Errorf("tree: label index lists %q on node %d which lacks it", a, v)
+			}
+		}
+		for i := 1; i < len(nodes); i++ {
+			if t.pre[nodes[i-1]] >= t.pre[nodes[i]] {
+				return fmt.Errorf("tree: label index for %q not sorted by pre", a)
+			}
+		}
+	}
+	var count int
+	for v := 0; v < n; v++ {
+		count += len(t.labels[v])
+	}
+	var idxCount int
+	for _, nodes := range t.labelIdx {
+		idxCount += len(nodes)
+	}
+	if count != idxCount {
+		return fmt.Errorf("tree: label index holds %d entries, nodes carry %d labels", idxCount, count)
+	}
+	return nil
+}
+
+// String renders the tree in the term syntax accepted by ParseTerm.
+func (t *Tree) String() string {
+	if t.size == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	t.writeTerm(&sb, 0)
+	return sb.String()
+}
+
+func (t *Tree) writeTerm(sb *strings.Builder, v NodeID) {
+	ls := t.labels[v]
+	if len(ls) == 0 {
+		sb.WriteString("_")
+	} else {
+		sb.WriteString(strings.Join(ls, "|"))
+	}
+	if len(t.kids[v]) > 0 {
+		sb.WriteByte('(')
+		for i, c := range t.kids[v] {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			t.writeTerm(sb, c)
+		}
+		sb.WriteByte(')')
+	}
+}
+
+// Equal reports structural equality: same shape and same label sets at
+// corresponding positions.
+func (t *Tree) Equal(u *Tree) bool {
+	if t.size != u.size {
+		return false
+	}
+	for v := 0; v < t.size; v++ {
+		// Compare in pre-order alignment: node with pre rank r in each.
+		a, b := t.byPre[v], u.byPre[v]
+		if len(t.kids[a]) != len(u.kids[b]) {
+			return false
+		}
+		la, lb := t.labels[a], u.labels[b]
+		if len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finish computes all derived data after the shape and labels are fixed.
+// parent/kids/labels must be fully populated with node 0 the root.
+func (t *Tree) finish() {
+	n := len(t.parent)
+	t.size = n
+	t.pre = make([]int32, n)
+	t.post = make([]int32, n)
+	t.bflr = make([]int32, n)
+	t.depth = make([]int32, n)
+	t.preEnd = make([]int32, n)
+	t.sibIndex = make([]int32, n)
+	t.byPre = make([]NodeID, n)
+	t.byPost = make([]NodeID, n)
+	t.byBFLR = make([]NodeID, n)
+	if n == 0 {
+		t.labelIdx = map[string][]NodeID{}
+		return
+	}
+	for v := 0; v < n; v++ {
+		for i, c := range t.kids[v] {
+			t.sibIndex[c] = int32(i)
+		}
+	}
+	// Iterative pre/post computation.
+	var preCtr, postCtr int32
+	type frame struct {
+		v    NodeID
+		next int // next child index to visit
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{0, 0})
+	t.pre[0] = 0
+	t.byPre[0] = 0
+	preCtr = 1
+	t.depth[0] = 0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(t.kids[f.v]) {
+			c := t.kids[f.v][f.next]
+			f.next++
+			t.pre[c] = preCtr
+			t.byPre[preCtr] = c
+			preCtr++
+			t.depth[c] = t.depth[f.v] + 1
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		t.post[f.v] = postCtr
+		t.byPost[postCtr] = f.v
+		postCtr++
+		stack = stack[:len(stack)-1]
+	}
+	// preEnd via reverse pre-order: preEnd[v] = max(pre of subtree).
+	for r := int32(n) - 1; r >= 0; r-- {
+		v := t.byPre[r]
+		end := t.pre[v]
+		for _, c := range t.kids[v] {
+			if t.preEnd[c] > end {
+				end = t.preEnd[c]
+			}
+		}
+		t.preEnd[v] = end
+	}
+	// BFLR order.
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, 0)
+	var r int32
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		t.bflr[v] = r
+		t.byBFLR[r] = v
+		r++
+		queue = append(queue, t.kids[v]...)
+	}
+	// Label index.
+	t.labelIdx = map[string][]NodeID{}
+	for rr := int32(0); rr < int32(n); rr++ {
+		v := t.byPre[rr]
+		for _, a := range t.labels[v] {
+			t.labelIdx[a] = append(t.labelIdx[a], v)
+		}
+	}
+	// Structure size: nodes + labels + |Child| + |NextSibling|.
+	labelAtoms := 0
+	for v := 0; v < n; v++ {
+		labelAtoms += len(t.labels[v])
+	}
+	nsPairs := 0
+	for v := 0; v < n; v++ {
+		if len(t.kids[v]) > 0 {
+			nsPairs += len(t.kids[v]) - 1
+		}
+	}
+	t.structure = n + labelAtoms + (n - 1) + nsPairs
+}

@@ -1,0 +1,438 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustTree(t *testing.T, src string) *Tree {
+	t.Helper()
+	tr, err := ParseTerm(src)
+	if err != nil {
+		t.Fatalf("ParseTerm(%q): %v", src, err)
+	}
+	return tr
+}
+
+func TestSingleNode(t *testing.T) {
+	tr := mustTree(t, "A")
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if tr.Root() != 0 {
+		t.Fatalf("Root = %d", tr.Root())
+	}
+	if tr.Parent(0) != NilNode {
+		t.Errorf("Parent(root) = %d, want NilNode", tr.Parent(0))
+	}
+	if !tr.HasLabel(0, "A") || tr.HasLabel(0, "B") {
+		t.Errorf("labels wrong: %v", tr.Labels(0))
+	}
+	if tr.Height() != 0 {
+		t.Errorf("Height = %d, want 0", tr.Height())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestBasicShape(t *testing.T) {
+	// A(B(D,E),C)
+	tr := mustTree(t, "A(B(D,E),C)")
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", tr.Len())
+	}
+	root := tr.Root()
+	kids := tr.Children(root)
+	if len(kids) != 2 {
+		t.Fatalf("root children = %d, want 2", len(kids))
+	}
+	b, c := kids[0], kids[1]
+	if !tr.HasLabel(b, "B") || !tr.HasLabel(c, "C") {
+		t.Fatalf("child labels wrong")
+	}
+	if tr.NextSibling(b) != c {
+		t.Errorf("NextSibling(B) != C")
+	}
+	if tr.PrevSibling(c) != b {
+		t.Errorf("PrevSibling(C) != B")
+	}
+	if tr.NextSibling(c) != NilNode {
+		t.Errorf("NextSibling(C) != nil")
+	}
+	if tr.PrevSibling(b) != NilNode {
+		t.Errorf("PrevSibling(B) != nil")
+	}
+	d := tr.Children(b)[0]
+	if tr.Depth(d) != 2 {
+		t.Errorf("Depth(D) = %d, want 2", tr.Depth(d))
+	}
+	if tr.SubtreeSize(b) != 3 {
+		t.Errorf("SubtreeSize(B) = %d, want 3", tr.SubtreeSize(b))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestOrders(t *testing.T) {
+	// Pre-order of A(B(D,E),C): A B D E C
+	// Post-order:               D E B C A
+	// BFLR:                     A B C D E
+	tr := mustTree(t, "A(B(D,E),C)")
+	wantPre := []string{"A", "B", "D", "E", "C"}
+	wantPost := []string{"D", "E", "B", "C", "A"}
+	wantBFLR := []string{"A", "B", "C", "D", "E"}
+	for r := int32(0); r < 5; r++ {
+		if got := tr.Labels(tr.ByPre(r))[0]; got != wantPre[r] {
+			t.Errorf("pre rank %d = %s, want %s", r, got, wantPre[r])
+		}
+		if got := tr.Labels(tr.ByPost(r))[0]; got != wantPost[r] {
+			t.Errorf("post rank %d = %s, want %s", r, got, wantPost[r])
+		}
+		if got := tr.Labels(tr.ByBFLR(r))[0]; got != wantBFLR[r] {
+			t.Errorf("bflr rank %d = %s, want %s", r, got, wantBFLR[r])
+		}
+	}
+}
+
+func TestAncestry(t *testing.T) {
+	tr := mustTree(t, "A(B(D,E(F)),C)")
+	byLabel := func(a string) NodeID { return tr.NodesWithLabel(a)[0] }
+	a, b, d, e, f, c := byLabel("A"), byLabel("B"), byLabel("D"), byLabel("E"), byLabel("F"), byLabel("C")
+	cases := []struct {
+		u, v       NodeID
+		anc, ancOS bool
+	}{
+		{a, a, false, true},
+		{a, f, true, true},
+		{b, f, true, true},
+		{e, f, true, true},
+		{d, f, false, false},
+		{f, a, false, false},
+		{c, f, false, false},
+		{a, c, true, true},
+	}
+	for _, tc := range cases {
+		if got := tr.IsAncestor(tc.u, tc.v); got != tc.anc {
+			t.Errorf("IsAncestor(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.anc)
+		}
+		if got := tr.IsAncestorOrSelf(tc.u, tc.v); got != tc.ancOS {
+			t.Errorf("IsAncestorOrSelf(%d,%d) = %v, want %v", tc.u, tc.v, got, tc.ancOS)
+		}
+	}
+	if got := tr.AncestorAtDepth(f, 0); got != a {
+		t.Errorf("AncestorAtDepth(F,0) = %d, want %d", got, a)
+	}
+	if got := tr.AncestorAtDepth(f, 1); got != b {
+		t.Errorf("AncestorAtDepth(F,1) = %d, want %d", got, b)
+	}
+	if got := tr.AncestorAtDepth(f, 2); got != e {
+		t.Errorf("AncestorAtDepth(F,2) = %d, want %d", got, e)
+	}
+	if got := tr.AncestorAtDepth(f, 9); got != NilNode {
+		t.Errorf("AncestorAtDepth(F,9) = %d, want NilNode", got)
+	}
+}
+
+func TestMultiLabels(t *testing.T) {
+	tr := mustTree(t, "X|Y|X(Z)")
+	if got := tr.Labels(tr.Root()); len(got) != 2 || got[0] != "X" || got[1] != "Y" {
+		t.Fatalf("Labels = %v, want [X Y]", got)
+	}
+	if len(tr.NodesWithLabel("X")) != 1 || len(tr.NodesWithLabel("Y")) != 1 {
+		t.Errorf("label index wrong")
+	}
+	if len(tr.NodesWithLabel("missing")) != 0 {
+		t.Errorf("missing label should have no nodes")
+	}
+	alpha := tr.Alphabet()
+	if len(alpha) != 3 {
+		t.Errorf("Alphabet = %v", alpha)
+	}
+}
+
+func TestUnlabeledNodes(t *testing.T) {
+	tr := mustTree(t, "_(A,_)")
+	if len(tr.Labels(tr.Root())) != 0 {
+		t.Errorf("root should be unlabeled: %v", tr.Labels(tr.Root()))
+	}
+	if tr.Len() != 3 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "(", "A(", "A(B", "A(B,", "A)B", "A(B))", "A B", "A(,B)", "|A",
+	}
+	for _, src := range bad {
+		if _, err := ParseTerm(src); err == nil {
+			t.Errorf("ParseTerm(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseWhitespace(t *testing.T) {
+	a := mustTree(t, " A ( B , C ( D ) ) ")
+	b := mustTree(t, "A(B,C(D))")
+	if !a.Equal(b) {
+		t.Errorf("whitespace-insensitive parse failed")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"A",
+		"A(B,C)",
+		"A(B(D,E),C)",
+		"X|Y(Z,_(W))",
+		"_",
+		"A(A(A(A)))",
+	}
+	for _, src := range srcs {
+		tr := mustTree(t, src)
+		back, err := ParseTerm(tr.String())
+		if err != nil {
+			t.Fatalf("reparse of %q -> %q: %v", src, tr.String(), err)
+		}
+		if !tr.Equal(back) {
+			t.Errorf("round-trip mismatch for %q: %q", src, tr.String())
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := mustTree(t, "A(B,C)")
+	b := mustTree(t, "A(B,C)")
+	c := mustTree(t, "A(C,B)")
+	d := mustTree(t, "A(B(C))")
+	if !a.Equal(b) {
+		t.Errorf("equal trees not Equal")
+	}
+	if a.Equal(c) {
+		t.Errorf("trees with different child order Equal")
+	}
+	if a.Equal(d) {
+		t.Errorf("trees with different shapes Equal")
+	}
+}
+
+func TestWalk(t *testing.T) {
+	tr := mustTree(t, "A(B(D,E),C)")
+	var seen []string
+	tr.Walk(func(v NodeID) bool {
+		seen = append(seen, tr.Labels(v)[0])
+		return true
+	})
+	want := "ABDEC"
+	got := ""
+	for _, s := range seen {
+		got += s
+	}
+	if got != want {
+		t.Errorf("Walk order %q, want %q", got, want)
+	}
+	// Pruned walk: skip B's subtree.
+	seen = nil
+	tr.Walk(func(v NodeID) bool {
+		seen = append(seen, tr.Labels(v)[0])
+		return tr.Labels(v)[0] != "B"
+	})
+	got = ""
+	for _, s := range seen {
+		got += s
+	}
+	if got != "ABC" {
+		t.Errorf("pruned Walk order %q, want ABC", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("two roots", func() {
+		b := NewBuilder(2)
+		b.AddNode(NilNode, "A")
+		b.AddNode(NilNode, "B")
+	})
+	assertPanics("bad parent", func() {
+		b := NewBuilder(2)
+		b.AddNode(NilNode, "A")
+		b.AddNode(7, "B")
+	})
+	assertPanics("build twice", func() {
+		b := NewBuilder(1)
+		b.AddNode(NilNode, "A")
+		b.Build()
+		b.Build()
+	})
+	assertPanics("add after build", func() {
+		b := NewBuilder(1)
+		b.AddNode(NilNode, "A")
+		b.Build()
+		b.AddNode(0, "B")
+	})
+}
+
+func TestPathConstructors(t *testing.T) {
+	p := PathOfLabels("A", "", "B")
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Height() != 2 {
+		t.Errorf("Height = %d, want 2", p.Height())
+	}
+	mid := p.Children(p.Root())[0]
+	if len(p.Labels(mid)) != 0 {
+		t.Errorf("middle node should be unlabeled")
+	}
+	bottom := p.Children(mid)[0]
+	if !p.HasLabel(bottom, "B") {
+		t.Errorf("bottom should be B")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	t1 := mustTree(t, "A(B)")
+	t2 := mustTree(t, "C")
+	c := Combine([]string{"R"}, t1, t2)
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+	if !c.HasLabel(c.Root(), "R") {
+		t.Errorf("root label wrong")
+	}
+	kids := c.Children(c.Root())
+	if len(kids) != 2 || !c.HasLabel(kids[0], "A") || !c.HasLabel(kids[1], "C") {
+		t.Errorf("combined children wrong")
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	tr := mustTree(t, "A(B(C),D)")
+	cp := Clone(tr)
+	if !tr.Equal(cp) {
+		t.Errorf("clone not equal")
+	}
+	if err := cp.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestRandomTreesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		n := 1 + rng.Intn(200)
+		tr := Random(rng, DefaultRandomConfig(n))
+		if tr.Len() != n {
+			t.Fatalf("Random tree has %d nodes, want %d", tr.Len(), n)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	}
+}
+
+func TestRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alpha := []string{"A", "B"}
+	for _, shape := range []RandomShape{ShapeBushy, ShapeBinary, ShapeDeep, ShapeWide} {
+		tr := RandomWithShape(rng, 100, shape, alpha)
+		if tr.Len() != 100 {
+			t.Fatalf("shape %d: %d nodes", shape, tr.Len())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("shape %d: %v", shape, err)
+		}
+	}
+	deep := RandomWithShape(rng, 100, ShapeDeep, alpha)
+	wide := RandomWithShape(rng, 100, ShapeWide, alpha)
+	if deep.Height() <= wide.Height() {
+		t.Errorf("deep height %d should exceed wide height %d", deep.Height(), wide.Height())
+	}
+}
+
+func TestQuickRandomTreeInvariants(t *testing.T) {
+	// Property: for random trees, orders are consistent with the
+	// defining traversals and preEnd bounds subtree pre ranks.
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%150 + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := Random(rng, DefaultRandomConfig(n))
+		if tr.Validate() != nil {
+			return false
+		}
+		for v := NodeID(0); int(v) < tr.Len(); v++ {
+			// Parent precedes child in pre and BFLR; child precedes
+			// parent in post.
+			if p := tr.Parent(v); p != NilNode {
+				if tr.Pre(p) >= tr.Pre(v) || tr.BFLR(p) >= tr.BFLR(v) || tr.Post(p) <= tr.Post(v) {
+					return false
+				}
+			}
+			if tr.PreEnd(v) < tr.Pre(v) {
+				return false
+			}
+			if int(tr.PreEnd(v)) >= tr.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz)%60 + 1
+		rng := rand.New(rand.NewSource(seed))
+		tr := Random(rng, DefaultRandomConfig(n))
+		return RoundTrip(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructureSize(t *testing.T) {
+	tr := mustTree(t, "A(B,C)")
+	// 3 nodes + 3 labels + 2 child pairs + 1 next-sibling pair = 9
+	if got := tr.StructureSize(); got != 9 {
+		t.Errorf("StructureSize = %d, want 9", got)
+	}
+}
+
+func TestSubtreeIntervalCharacterizesDescendants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Random(rng, DefaultRandomConfig(80))
+	// Reference: walk up via Parent.
+	isAnc := func(u, v NodeID) bool {
+		for p := tr.Parent(v); p != NilNode; p = tr.Parent(p) {
+			if p == u {
+				return true
+			}
+		}
+		return false
+	}
+	for u := NodeID(0); int(u) < tr.Len(); u++ {
+		for v := NodeID(0); int(v) < tr.Len(); v++ {
+			if got, want := tr.IsAncestor(u, v), isAnc(u, v); got != want {
+				t.Fatalf("IsAncestor(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+}

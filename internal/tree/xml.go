@@ -1,0 +1,120 @@
+package tree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseXML reads an XML document and returns its element tree. Element
+// names become node labels (one label per element). Attributes become
+// child nodes labeled "@name" with a further child labeled with the
+// attribute value, mirroring how the paper treats typed child axes such as
+// attribute as "redundant with the child axis and unary relations" (§1.1).
+// Text content is ignored: the paper's trees are navigation-only.
+func ParseXML(r io.Reader) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	b := NewBuilder(64)
+	var stack []NodeID
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tree: xml: %w", err)
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			parent := NilNode
+			if len(stack) > 0 {
+				parent = stack[len(stack)-1]
+			} else if b.Len() > 0 {
+				return nil, fmt.Errorf("tree: xml: multiple document roots")
+			}
+			id := b.AddNode(parent, el.Name.Local)
+			for _, attr := range el.Attr {
+				an := b.AddNode(id, "@"+attr.Name.Local)
+				b.AddNode(an, attr.Value)
+			}
+			stack = append(stack, id)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("tree: xml: unbalanced end element %s", el.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("tree: xml: %d unclosed elements", len(stack))
+	}
+	if b.Len() == 0 {
+		return nil, fmt.Errorf("tree: xml: no elements")
+	}
+	return b.Build(), nil
+}
+
+// ParseXMLString is ParseXML on a string.
+func ParseXMLString(s string) (*Tree, error) { return ParseXML(strings.NewReader(s)) }
+
+// WriteXML renders t as an XML document. For multi-labeled nodes the
+// pre-order-first label becomes the element name and remaining labels are
+// emitted in a "labels" attribute; unlabeled nodes become <node/>.
+func WriteXML(w io.Writer, t *Tree) error {
+	if t.Len() == 0 {
+		return fmt.Errorf("tree: xml: cannot serialize empty tree")
+	}
+	return writeXMLNode(w, t, t.Root(), 0)
+}
+
+func writeXMLNode(w io.Writer, t *Tree, v NodeID, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	name := "node"
+	extra := ""
+	ls := t.Labels(v)
+	if len(ls) > 0 {
+		name = xmlName(ls[0])
+		if len(ls) > 1 {
+			rest := make([]string, len(ls)-1)
+			copy(rest, ls[1:])
+			sort.Strings(rest)
+			extra = fmt.Sprintf(" labels=%q", strings.Join(rest, " "))
+		}
+	}
+	kids := t.Children(v)
+	if len(kids) == 0 {
+		_, err := fmt.Fprintf(w, "%s<%s%s/>\n", indent, name, extra)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s<%s%s>\n", indent, name, extra); err != nil {
+		return err
+	}
+	for _, c := range kids {
+		if err := writeXMLNode(w, t, c, depth+1); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s</%s>\n", indent, name)
+	return err
+}
+
+// xmlName sanitizes a label into a valid XML element name.
+func xmlName(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "node"
+	}
+	return sb.String()
+}

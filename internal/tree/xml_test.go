@@ -1,0 +1,95 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseXMLBasic(t *testing.T) {
+	tr, err := ParseXMLString(`<a><b/><c><d/></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustParseTerm("a(b,c(d))")
+	if !tr.Equal(want) {
+		t.Errorf("got %s, want %s", tr, want)
+	}
+}
+
+func TestParseXMLAttributes(t *testing.T) {
+	tr, err := ParseXMLString(`<a id="7"><b/></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attribute becomes @id child with value child.
+	root := tr.Root()
+	kids := tr.Children(root)
+	if len(kids) != 2 {
+		t.Fatalf("root has %d children, want 2 (@id and b)", len(kids))
+	}
+	if !tr.HasLabel(kids[0], "@id") {
+		t.Errorf("first child should be @id, got %v", tr.Labels(kids[0]))
+	}
+	val := tr.Children(kids[0])
+	if len(val) != 1 || !tr.HasLabel(val[0], "7") {
+		t.Errorf("attribute value node wrong")
+	}
+}
+
+func TestParseXMLIgnoresText(t *testing.T) {
+	tr, err := ParseXMLString(`<a>hello<b/>world</a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<a><b></a></b>`,
+		`<a/><b/>`,
+		`plain text`,
+	}
+	for _, src := range bad {
+		if _, err := ParseXMLString(src); err == nil {
+			t.Errorf("ParseXMLString(%q) should fail", src)
+		}
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	orig := MustParseTerm("a(b(d),c)")
+	var sb strings.Builder
+	if err := WriteXML(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXMLString(sb.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, sb.String())
+	}
+	if !orig.Equal(back) {
+		t.Errorf("XML round-trip mismatch:\n%s", sb.String())
+	}
+}
+
+func TestWriteXMLEmpty(t *testing.T) {
+	empty := NewBuilder(0).Build()
+	var sb strings.Builder
+	if err := WriteXML(&sb, empty); err == nil {
+		t.Errorf("WriteXML(empty) should fail")
+	}
+}
+
+func TestXMLNameSanitization(t *testing.T) {
+	tr := MustParseTerm("NP-2(X')")
+	var sb strings.Builder
+	if err := WriteXML(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseXMLString(sb.String()); err != nil {
+		t.Errorf("sanitized XML should reparse: %v\n%s", err, sb.String())
+	}
+}

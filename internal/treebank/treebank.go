@@ -1,0 +1,154 @@
+// Package treebank generates a synthetic corpus of phrase-structure parse
+// trees, standing in for the Penn Treebank corpus the paper's linguistics
+// examples query (§1: "corpora such as Penn Treebank are unranked trees
+// labeled with the phrase structure of parsed text").
+//
+// Substitution note (DESIGN.md §4): the real Treebank is proprietary; any
+// corpus of unranked parse trees over the same nonterminal inventory
+// exercises the identical code paths (Descendant/Following joins over
+// wide, shallow trees), so the Fig. 1 experiment's behaviour is preserved.
+//
+// Trees are produced by a small probabilistic CFG with the classic
+// S → NP VP, PP-attachment, and coordination rules.
+package treebank
+
+import (
+	"math/rand"
+
+	"repro/internal/tree"
+)
+
+// Nonterminal and preterminal labels used by the grammar.
+var (
+	// Phrases.
+	PhraseLabels = []string{"S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP"}
+	// Preterminals (parts of speech).
+	POSLabels = []string{"DT", "NN", "NNS", "VB", "VBD", "IN", "JJ", "RB", "CC", "PRP"}
+)
+
+// Config controls corpus generation.
+type Config struct {
+	// Sentences is the number of S-rooted trees in the corpus.
+	Sentences int
+	// MaxDepth bounds recursive expansion (>= 3).
+	MaxDepth int
+	// Seed makes the corpus deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a moderate corpus configuration.
+func DefaultConfig() Config { return Config{Sentences: 64, MaxDepth: 6, Seed: 1} }
+
+// Corpus is a set of parse trees plus a combined tree whose root TOP
+// holds every sentence (handy for whole-corpus queries).
+type Corpus struct {
+	Sentences []*tree.Tree
+	Combined  *tree.Tree
+}
+
+// Generate builds a corpus.
+func Generate(cfg Config) *Corpus {
+	if cfg.Sentences <= 0 {
+		cfg.Sentences = 1
+	}
+	if cfg.MaxDepth < 3 {
+		cfg.MaxDepth = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{}
+	for i := 0; i < cfg.Sentences; i++ {
+		b := tree.NewBuilder(32)
+		root := b.AddNode(tree.NilNode, "S")
+		expandS(rng, b, root, cfg.MaxDepth-1)
+		c.Sentences = append(c.Sentences, b.Build())
+	}
+	c.Combined = tree.Combine([]string{"TOP"}, c.Sentences...)
+	return c
+}
+
+func expandS(rng *rand.Rand, b *tree.Builder, parent tree.NodeID, depth int) {
+	np := b.AddNode(parent, "NP")
+	expandNP(rng, b, np, depth-1)
+	vp := b.AddNode(parent, "VP")
+	expandVP(rng, b, vp, depth-1)
+	if depth > 2 && rng.Float64() < 0.2 {
+		// Coordination: S -> NP VP CC S'.
+		b.AddNode(parent, "CC")
+		s2 := b.AddNode(parent, "S")
+		expandS(rng, b, s2, depth-1)
+	}
+}
+
+func expandNP(rng *rand.Rand, b *tree.Builder, parent tree.NodeID, depth int) {
+	b.AddNode(parent, "DT")
+	if rng.Float64() < 0.4 {
+		b.AddNode(parent, "JJ")
+	}
+	if rng.Float64() < 0.5 {
+		b.AddNode(parent, "NN")
+	} else {
+		b.AddNode(parent, "NNS")
+	}
+	if depth > 0 && rng.Float64() < 0.35 {
+		pp := b.AddNode(parent, "PP")
+		expandPP(rng, b, pp, depth-1)
+	}
+	if depth > 0 && rng.Float64() < 0.1 {
+		sbar := b.AddNode(parent, "SBAR")
+		b.AddNode(sbar, "IN")
+		s := b.AddNode(sbar, "S")
+		expandS(rng, b, s, depth-1)
+	}
+}
+
+func expandVP(rng *rand.Rand, b *tree.Builder, parent tree.NodeID, depth int) {
+	if rng.Float64() < 0.5 {
+		b.AddNode(parent, "VB")
+	} else {
+		b.AddNode(parent, "VBD")
+	}
+	if rng.Float64() < 0.3 {
+		b.AddNode(parent, "RB")
+	}
+	if depth > 0 && rng.Float64() < 0.6 {
+		np := b.AddNode(parent, "NP")
+		expandNP(rng, b, np, depth-1)
+	}
+	if depth > 0 && rng.Float64() < 0.4 {
+		pp := b.AddNode(parent, "PP")
+		expandPP(rng, b, pp, depth-1)
+	}
+}
+
+func expandPP(rng *rand.Rand, b *tree.Builder, parent tree.NodeID, depth int) {
+	b.AddNode(parent, "IN")
+	np := b.AddNode(parent, "NP")
+	if depth > 0 {
+		expandNP(rng, b, np, depth-1)
+	} else {
+		b.AddNode(np, "NN")
+	}
+}
+
+// Stats summarizes a corpus for reporting.
+type Stats struct {
+	Sentences int
+	Nodes     int
+	MaxDepth  int
+	NPCount   int
+	PPCount   int
+}
+
+// Summarize computes corpus statistics.
+func (c *Corpus) Summarize() Stats {
+	st := Stats{Sentences: len(c.Sentences)}
+	for _, t := range c.Sentences {
+		st.Nodes += t.Len()
+		if h := t.Height(); h > st.MaxDepth {
+			st.MaxDepth = h
+		}
+		st.NPCount += len(t.NodesWithLabel("NP"))
+		st.PPCount += len(t.NodesWithLabel("PP"))
+	}
+	return st
+}

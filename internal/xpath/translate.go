@@ -1,0 +1,173 @@
+package xpath
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/cq"
+	"repro/internal/rewrite"
+)
+
+// ToCQ translates an XPath expression into an equivalent monadic
+// conjunctive query (the query's head variable selects the same node set
+// as the expression from the root). The translation is linear and always
+// produces an acyclic query — XPath queries are acyclic (§1.1).
+func ToCQ(e Expr) (*cq.Query, error) {
+	// Conjunctive queries have no "is the root" predicate. For absolute
+	// expressions the translation is exact only when the first step's
+	// axis makes the anchoring immaterial: descendant-or-self (all
+	// nodes), or descendant (all non-root nodes) — which covers the //
+	// abbreviation used by the paper's examples.
+	if e.Absolute && len(e.Steps) > 0 {
+		switch e.Steps[0].Axis {
+		case axis.ChildStar, axis.ChildPlus:
+		default:
+			return nil, fmt.Errorf("xpath: absolute expression with leading %v step is not CQ-expressible without a root predicate", e.Steps[0].Axis)
+		}
+	}
+	q := cq.New()
+	root := q.AddVar("r")
+	last, err := stepsToCQ(q, root, e)
+	if err != nil {
+		return nil, err
+	}
+	q.SetHead(last)
+	return q, nil
+}
+
+// stepsToCQ adds the atoms of e starting at variable from, returning the
+// variable holding the final step's result.
+func stepsToCQ(q *cq.Query, from cq.Var, e Expr) (cq.Var, error) {
+	cur := from
+	for _, st := range e.Steps {
+		next := q.FreshVar("s")
+		q.AddAtom(st.Axis, cur, next)
+		if st.Test != "*" {
+			q.AddLabel(st.Test, next)
+		}
+		for _, p := range st.Preds {
+			start := next
+			if p.Absolute {
+				return cq.NilVar, fmt.Errorf("xpath: absolute predicate not supported in ToCQ")
+			}
+			if _, err := stepsToCQ(q, start, p); err != nil {
+				return cq.NilVar, err
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// FromAPQ translates a monadic APQ over single-labeled trees into a set
+// of XPath expressions whose union of results equals the APQ's answers
+// (Remark 6.1: positive Core XPath with inverse axes captures the unary
+// APQs). Each acyclic disjunct becomes one expression anchored at the
+// head variable: tree edges toward the head become steps of the inverse
+// axis; edges away become predicates.
+func FromAPQ(a *rewrite.APQ) ([]Expr, error) {
+	var out []Expr
+	for _, q := range a.Disjuncts {
+		e, err := FromAcyclicCQ(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// FromAcyclicCQ translates one monadic acyclic conjunctive query into an
+// XPath expression selecting the head variable's answers.
+func FromAcyclicCQ(q *cq.Query) (Expr, error) {
+	if len(q.Head) != 1 {
+		return Expr{}, fmt.Errorf("xpath: FromAcyclicCQ needs a monadic query, arity %d", len(q.Head))
+	}
+	if cq.Classify(q) != cq.Acyclic {
+		return Expr{}, fmt.Errorf("xpath: query is not acyclic: %s", q)
+	}
+	h := q.Head[0]
+	g := cq.NewGraph(q)
+
+	// The head's step: descendant-or-self from the root with the head's
+	// label constraints (first label as node test, the rest as self
+	// predicates) and one predicate per neighbor subtree.
+	visitedAtoms := map[int]bool{}
+	st, err := varToStep(q, g, h, axis.ChildStar, visitedAtoms)
+	if err != nil {
+		return Expr{}, err
+	}
+	expr := Expr{Absolute: true, Steps: []Step{st}}
+
+	// Components not connected to the head become absolute existential
+	// predicates on the head's step — supported by our dialect's Eval via
+	// absolute predicate expressions.
+	for i := range q.Atoms {
+		if !visitedAtoms[i] {
+			sub, err := componentExpr(q, g, q.Atoms[i].X, visitedAtoms)
+			if err != nil {
+				return Expr{}, err
+			}
+			expr.Steps[0].Preds = append(expr.Steps[0].Preds, sub)
+		}
+	}
+	// Label-only variables unreachable from the head also need coverage.
+	inAtoms := make([]bool, q.NumVars())
+	for _, at := range q.Atoms {
+		inAtoms[at.X], inAtoms[at.Y] = true, true
+	}
+	for _, la := range q.Labels {
+		if la.X != h && !inAtoms[la.X] {
+			expr.Steps[0].Preds = append(expr.Steps[0].Preds, Expr{
+				Absolute: true,
+				Steps:    []Step{{Axis: axis.ChildStar, Test: la.Label}},
+			})
+		}
+	}
+	return expr, nil
+}
+
+// varToStep builds the Step for variable v entered via the given axis,
+// with predicates for all incident atoms except alreadyVisited ones.
+func varToStep(q *cq.Query, g *cq.Graph, v cq.Var, via axis.Axis, visited map[int]bool) (Step, error) {
+	st := Step{Axis: via, Test: "*"}
+	labels := q.LabelsOf(v)
+	if len(labels) > 0 {
+		st.Test = labels[0]
+		for _, extra := range labels[1:] {
+			st.Preds = append(st.Preds, Expr{Steps: []Step{{Axis: axis.Self, Test: extra}}})
+		}
+	}
+	for _, e := range g.Out(v) {
+		if visited[e.AtomIndex] {
+			continue
+		}
+		visited[e.AtomIndex] = true
+		inner, err := varToStep(q, g, e.To, e.Axis, visited)
+		if err != nil {
+			return st, err
+		}
+		st.Preds = append(st.Preds, Expr{Steps: []Step{inner}})
+	}
+	for _, e := range g.In(v) {
+		if visited[e.AtomIndex] {
+			continue
+		}
+		visited[e.AtomIndex] = true
+		inner, err := varToStep(q, g, e.From, e.Axis.Inverse(), visited)
+		if err != nil {
+			return st, err
+		}
+		st.Preds = append(st.Preds, Expr{Steps: []Step{inner}})
+	}
+	return st, nil
+}
+
+// componentExpr renders a head-free component as an absolute expression.
+func componentExpr(q *cq.Query, g *cq.Graph, start cq.Var, visited map[int]bool) (Expr, error) {
+	st, err := varToStep(q, g, start, axis.ChildStar, visited)
+	if err != nil {
+		return Expr{}, err
+	}
+	return Expr{Absolute: true, Steps: []Step{st}}, nil
+}

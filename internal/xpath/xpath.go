@@ -1,0 +1,334 @@
+// Package xpath implements a navigational Core-XPath dialect over the
+// trees of package tree: location paths with the thirteen navigational
+// axes, name tests, and existential predicates (positive, no negation) —
+// the "positive Core XPath" of Remark 6.1, which captures exactly the
+// unary acyclic positive queries over single-labeled trees. The package
+// provides a parser, a set-at-a-time evaluator, translations APQ → XPath
+// and XPath → CQ, and is used by the XML example application.
+package xpath
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/axis"
+	"repro/internal/tree"
+)
+
+// Expr is a parsed XPath expression: a location path.
+type Expr struct {
+	// Absolute paths start at the root; relative paths at the context
+	// node set.
+	Absolute bool
+	Steps    []Step
+}
+
+// Step is one location step: axis::test[pred]...[pred].
+type Step struct {
+	Axis  axis.Axis
+	Test  string // label name, or "*" for any node
+	Preds []Expr // existential predicates (relative or absolute)
+}
+
+// String renders the expression in XPath syntax.
+func (e Expr) String() string {
+	var sb strings.Builder
+	if e.Absolute {
+		sb.WriteString("/")
+	}
+	for i, s := range e.Steps {
+		if i > 0 {
+			sb.WriteString("/")
+		}
+		sb.WriteString(axisName(s.Axis))
+		sb.WriteString("::")
+		sb.WriteString(s.Test)
+		for _, p := range s.Preds {
+			sb.WriteString("[")
+			sb.WriteString(p.String())
+			sb.WriteString("]")
+		}
+	}
+	return sb.String()
+}
+
+// axisName maps axes to XPath axis names.
+func axisName(a axis.Axis) string {
+	switch a {
+	case axis.Child:
+		return "child"
+	case axis.ChildPlus:
+		return "descendant"
+	case axis.ChildStar:
+		return "descendant-or-self"
+	case axis.NextSiblingPlus:
+		return "following-sibling"
+	case axis.Following:
+		return "following"
+	case axis.Parent:
+		return "parent"
+	case axis.AncestorPlus:
+		return "ancestor"
+	case axis.AncestorStar:
+		return "ancestor-or-self"
+	case axis.PrevSiblingPlus:
+		return "preceding-sibling"
+	case axis.Preceding:
+		return "preceding"
+	case axis.Self:
+		return "self"
+	case axis.NextSibling:
+		return "next-sibling" // extension beyond W3C XPath (§1.1)
+	case axis.NextSiblingStar:
+		return "next-sibling-or-self"
+	case axis.PrevSibling:
+		return "prev-sibling"
+	case axis.PrevSiblingStar:
+		return "prev-sibling-or-self"
+	default:
+		panic(fmt.Sprintf("xpath: axis %v has no XPath name", a))
+	}
+}
+
+var axisByName = map[string]axis.Axis{
+	"child": axis.Child, "descendant": axis.ChildPlus,
+	"descendant-or-self": axis.ChildStar,
+	"following-sibling":  axis.NextSiblingPlus, "following": axis.Following,
+	"parent": axis.Parent, "ancestor": axis.AncestorPlus,
+	"ancestor-or-self":  axis.AncestorStar,
+	"preceding-sibling": axis.PrevSiblingPlus, "preceding": axis.Preceding,
+	"self":         axis.Self,
+	"next-sibling": axis.NextSibling, "next-sibling-or-self": axis.NextSiblingStar,
+	"prev-sibling": axis.PrevSibling, "prev-sibling-or-self": axis.PrevSiblingStar,
+}
+
+// Eval returns the nodes selected by e from the given context set (for
+// absolute expressions the context is replaced by the root), sorted in
+// document order. Set-at-a-time evaluation: O(steps · n²) worst case,
+// sufficient for the example applications.
+func Eval(t *tree.Tree, e Expr, context []tree.NodeID) []tree.NodeID {
+	if t.Len() == 0 {
+		return nil
+	}
+	cur := map[tree.NodeID]bool{}
+	if e.Absolute {
+		cur[t.Root()] = true
+	} else {
+		for _, v := range context {
+			cur[v] = true
+		}
+	}
+	for _, s := range e.Steps {
+		next := map[tree.NodeID]bool{}
+		for v := range cur {
+			axis.ForEachSuccessor(t, s.Axis, v, func(w tree.NodeID) bool {
+				if s.Test != "*" && !t.HasLabel(w, s.Test) {
+					return true
+				}
+				next[w] = true
+				return true
+			})
+		}
+		// Predicates filter.
+		for w := range next {
+			for _, p := range s.Preds {
+				if len(Eval(t, p, []tree.NodeID{w})) == 0 {
+					delete(next, w)
+					break
+				}
+			}
+		}
+		cur = next
+	}
+	out := make([]tree.NodeID, 0, len(cur))
+	for v := range cur {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return t.Pre(out[i]) < t.Pre(out[j]) })
+	return out
+}
+
+// EvalFromRoot evaluates an absolute or root-contexted expression.
+func EvalFromRoot(t *tree.Tree, e Expr) []tree.NodeID {
+	if t.Len() == 0 {
+		return nil
+	}
+	return Eval(t, e, []tree.NodeID{t.Root()})
+}
+
+// Parse reads an XPath expression in the dialect:
+//
+//	expr     := "/"? step ("/" step)*   |  "//" name-or-* rest
+//	step     := (axis "::")? test pred*
+//	test     := NAME | "*"
+//	pred     := "[" expr "]"
+//
+// The abbreviation //X desugars to descendant-or-self::*/child::X at the
+// start and within paths; a leading / makes the path absolute.
+func Parse(src string) (Expr, error) {
+	p := &parser{src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return Expr{}, fmt.Errorf("xpath: %w", err)
+	}
+	p.skip()
+	if p.pos < len(p.src) {
+		return Expr{}, fmt.Errorf("xpath: trailing input at %d: %q", p.pos, p.src[p.pos:])
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) peekStr(s string) bool {
+	p.skip()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *parser) eat(s string) bool {
+	if p.peekStr(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func isNameByte(c byte) bool {
+	return c == '-' || c == '_' || c == '@' || c == '\'' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func (p *parser) name() (string, error) {
+	p.skip()
+	start := p.pos
+	for p.pos < len(p.src) && isNameByte(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected name at %d (%q)", p.pos, p.src[p.pos:])
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) parseExpr() (Expr, error) {
+	var e Expr
+	if p.eat("//") {
+		e.Absolute = true
+		st, err := p.parseStep()
+		if err != nil {
+			return e, err
+		}
+		st = descendantize(st, true)
+		e.Steps = append(e.Steps, st)
+	} else if p.eat("/") {
+		e.Absolute = true
+		st, err := p.parseStep()
+		if err != nil {
+			return e, err
+		}
+		e.Steps = append(e.Steps, st)
+	} else {
+		st, err := p.parseStep()
+		if err != nil {
+			return e, err
+		}
+		e.Steps = append(e.Steps, st)
+	}
+	for {
+		if p.eat("//") {
+			st, err := p.parseStep()
+			if err != nil {
+				return e, err
+			}
+			e.Steps = append(e.Steps, descendantize(st, false))
+			continue
+		}
+		if p.eat("/") {
+			st, err := p.parseStep()
+			if err != nil {
+				return e, err
+			}
+			e.Steps = append(e.Steps, st)
+			continue
+		}
+		return e, nil
+	}
+}
+
+// descendantize rewrites the child:: step of a // abbreviation: a leading
+// //A becomes descendant-or-self::A from the root (so //A selects every
+// A node including the root, matching the conjunctive-query reading of
+// the introduction); a mid-path x//A becomes descendant::A (W3C
+// semantics, excluding x itself).
+func descendantize(st Step, leading bool) Step {
+	if st.Axis == axis.Child {
+		if leading {
+			st.Axis = axis.ChildStar
+		} else {
+			st.Axis = axis.ChildPlus
+		}
+	}
+	return st
+}
+
+func (p *parser) parseStep() (Step, error) {
+	var st Step
+	st.Axis = axis.Child
+	p.skip()
+	// Optional axis prefix.
+	save := p.pos
+	if nm, err := p.name(); err == nil {
+		if p.eat("::") {
+			a, ok := axisByName[nm]
+			if !ok {
+				return st, fmt.Errorf("unknown axis %q", nm)
+			}
+			st.Axis = a
+		} else {
+			p.pos = save
+		}
+	} else {
+		p.pos = save
+	}
+	// Node test.
+	if p.eat("*") {
+		st.Test = "*"
+	} else {
+		nm, err := p.name()
+		if err != nil {
+			return st, err
+		}
+		st.Test = nm
+	}
+	// Predicates.
+	for p.eat("[") {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return st, err
+		}
+		if !p.eat("]") {
+			return st, fmt.Errorf("missing ] at %d", p.pos)
+		}
+		st.Preds = append(st.Preds, inner)
+	}
+	return st, nil
+}

@@ -1,0 +1,204 @@
+// Package xprop implements the X-property ("X-underbar", Definition 3.2 of
+// "Conjunctive Queries over Trees"; called hemichordality in the PODS 2004
+// version): a binary relation R has the X-property with respect to a total
+// order < iff for all n0 < n1 and n2 < n3,
+//
+//	R(n1, n2) ∧ R(n0, n3) ⇒ R(n0, n2)
+//
+// — whenever two "arcs" cross in the two-bar diagram of Fig. 2, the
+// "underbar" arc between the two minima is present as well.
+//
+// The package provides brute-force and Lemma 3.6/3.7 checkers on concrete
+// trees, witness extraction (used to reproduce the counterexamples of
+// Fig. 3), and verification of the Theorem 4.1 facts recorded in package
+// axis. The dichotomy classifier lives in package core.
+package xprop
+
+import (
+	"fmt"
+
+	"repro/internal/axis"
+	"repro/internal/tree"
+)
+
+// Witness is a violation of the X-property: four nodes with n0 < n1,
+// n2 < n3 (under the order) such that R(n1,n2) and R(n0,n3) hold but
+// R(n0,n2) does not.
+type Witness struct {
+	N0, N1, N2, N3 tree.NodeID
+}
+
+// String formats the witness.
+func (w Witness) String() string {
+	return fmt.Sprintf("n0=%d n1=%d n2=%d n3=%d: R(n1,n2)∧R(n0,n3) but ¬R(n0,n2)",
+		w.N0, w.N1, w.N2, w.N3)
+}
+
+// Check reports whether axis a has the X-property with respect to order o
+// on tree t, returning a violating witness otherwise. It runs the
+// Definition 3.2 condition by brute force over ordered quadruples, pruned
+// by scanning the materialized relation: O(|R|²). Use for small trees
+// (tests, counterexample mining); the general facts are in
+// axis.HasXProperty.
+func Check(t *tree.Tree, a axis.Axis, o axis.Order) (Witness, bool) {
+	pairs := axis.Pairs(t, a)
+	// For arcs (n1,n2) and (n0,n3): need n0 < n1 and n2 < n3 and
+	// not R(n0, n2).
+	for _, p := range pairs {
+		n1, n2 := p[0], p[1]
+		for _, q := range pairs {
+			n0, n3 := q[0], q[1]
+			if o.Less(t, n0, n1) && o.Less(t, n2, n3) && !axis.Holds(t, a, n0, n2) {
+				return Witness{N0: n0, N1: n1, N2: n2, N3: n3}, false
+			}
+		}
+	}
+	return Witness{}, true
+}
+
+// CheckStructure reports whether every axis in axes has the X-property
+// with respect to o on t (the structure-level notion above Lemma 3.4).
+func CheckStructure(t *tree.Tree, axes []axis.Axis, o axis.Order) bool {
+	for _, a := range axes {
+		if _, ok := Check(t, a, o); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckViaLemma36 checks the X-property for a relation R ⊆ ≤ (the order's
+// reflexive closure) using the strengthened condition of Lemma 3.6:
+// only quadruples n0 < n1 ≤ n2 < n3 need examining. Panics if R is not a
+// subset of ≤ on t (callers consult axis.SubsetOfOrder first).
+func CheckViaLemma36(t *tree.Tree, a axis.Axis, o axis.Order) (Witness, bool) {
+	pairs := axis.Pairs(t, a)
+	for _, p := range pairs {
+		if o.Less(t, p[1], p[0]) {
+			panic(fmt.Sprintf("xprop: axis %v is not a subset of %v on this tree", a, o))
+		}
+	}
+	for _, p := range pairs {
+		n1, n2 := p[0], p[1]
+		for _, q := range pairs {
+			n0, n3 := q[0], q[1]
+			if o.Less(t, n0, n1) && !o.Less(t, n2, n1) && o.Less(t, n2, n3) &&
+				!axis.Holds(t, a, n0, n2) {
+				return Witness{N0: n0, N1: n1, N2: n2, N3: n3}, false
+			}
+		}
+	}
+	return Witness{}, true
+}
+
+// CheckViaLemma37 checks the X-property for a relation R ⊆ ≥ (the
+// reversed order) using the symmetric condition of Lemma 3.7: for all
+// n0 < n1 ≤ n2 < n3, R(n2, n1) ∧ R(n3, n0) ⇒ R(n2, n0). Panics if R is
+// not a subset of ≥ on t.
+func CheckViaLemma37(t *tree.Tree, a axis.Axis, o axis.Order) (Witness, bool) {
+	pairs := axis.Pairs(t, a)
+	for _, p := range pairs {
+		if o.Less(t, p[0], p[1]) {
+			panic(fmt.Sprintf("xprop: axis %v is not a subset of the reversed %v on this tree", a, o))
+		}
+	}
+	// R(n2,n1) and R(n3,n0) with n0 < n1 <= n2 < n3; require R(n2,n0).
+	for _, p := range pairs {
+		n2, n1 := p[0], p[1]
+		for _, q := range pairs {
+			n3, n0 := q[0], q[1]
+			if o.Less(t, n0, n1) && !o.Less(t, n2, n1) && o.Less(t, n2, n3) &&
+				!axis.Holds(t, a, n2, n0) {
+				return Witness{N0: n0, N1: n1, N2: n2, N3: n3}, false
+			}
+		}
+	}
+	return Witness{}, true
+}
+
+// CheckRelation checks the X-property for an arbitrary materialized
+// relation over ranks 0..n-1 under the natural order; used by
+// property-based tests with random relations.
+func CheckRelation(n int, rel func(u, v int) bool) (n0, n1, n2, n3 int, ok bool) {
+	for n1 = 0; n1 < n; n1++ {
+		for n2 = 0; n2 < n; n2++ {
+			if !rel(n1, n2) {
+				continue
+			}
+			for n0 = 0; n0 < n1; n0++ {
+				for n3 = n2 + 1; n3 < n; n3++ {
+					if rel(n0, n3) && !rel(n0, n2) {
+						return n0, n1, n2, n3, false
+					}
+				}
+			}
+		}
+	}
+	return 0, 0, 0, 0, true
+}
+
+// VerifyTheorem41 checks, on a concrete tree, that every (axis, order)
+// pair in the paper's axis set agrees with the proved facts of Theorem 4.1
+// (axis.HasXProperty): claimed-X pairs must verify; it does NOT require
+// non-claimed pairs to fail on t (small trees may lack a witness).
+// Returns an error naming the first claimed pair that fails.
+func VerifyTheorem41(t *tree.Tree) error {
+	for _, a := range axis.PaperAxes {
+		for _, o := range axis.Orders {
+			if !axis.HasXProperty(a, o) {
+				continue
+			}
+			if w, ok := Check(t, a, o); !ok {
+				return fmt.Errorf("xprop: axis %v claimed X w.r.t. %v but violated: %v", a, o, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Figure3aTree returns the 7-node tree of Fig. 3(a) of the paper, on which
+// Following does not have the X-property with respect to <pre: nodes are
+// numbered 1..7 in pre-order (ids 0..6), with 2 <pre 3 <pre 4 <pre 6,
+// Following(2,6) and Following(3,4) holding but Following(2,4) failing.
+//
+// Shape:    1
+//
+//	   /  \
+//	  2    6
+//	 / \    \
+//	3   4    7
+//	     \
+//	      5
+func Figure3aTree() *tree.Tree {
+	b := tree.NewBuilder(7)
+	n1 := b.AddNode(tree.NilNode, "n1")
+	n2 := b.AddNode(n1, "n2")
+	b.AddNode(n2, "n3")
+	n4 := b.AddNode(n2, "n4")
+	b.AddNode(n4, "n5")
+	n6 := b.AddNode(n1, "n6")
+	b.AddNode(n6, "n7")
+	return b.Build()
+}
+
+// Figure3bTree returns the 5-node tree of Fig. 3(b): a root with a leaf
+// child and a child subtree, on which Descendant⁻¹ (and Descendant-or-
+// self⁻¹) fail the X-property with respect to <post. With post-order
+// positions 1..5: 1 <post 3 <post 4 <post 5, Descendant⁻¹(1,5) and
+// Descendant⁻¹(3,4) hold but Descendant⁻¹(1,4) does not.
+//
+// Shape:     5
+//
+//	 / \
+//	1   4
+//	   / \
+//	  2   3
+func Figure3bTree() *tree.Tree {
+	b := tree.NewBuilder(5)
+	root := b.AddNode(tree.NilNode, "p5")
+	b.AddNode(root, "p1")
+	n4 := b.AddNode(root, "p4")
+	b.AddNode(n4, "p2")
+	b.AddNode(n4, "p3")
+	return b.Build()
+}

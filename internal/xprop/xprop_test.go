@@ -1,0 +1,264 @@
+package xprop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/axis"
+	"repro/internal/tree"
+)
+
+func TestTheorem41OnRandomTrees(t *testing.T) {
+	// Every (axis, order) pair claimed X by Theorem 4.1 must verify on
+	// every concrete tree.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		tr := tree.Random(rng, tree.DefaultRandomConfig(1+rng.Intn(25)))
+		if err := VerifyTheorem41(tr); err != nil {
+			t.Fatalf("trial %d on %s: %v", trial, tr, err)
+		}
+	}
+}
+
+func TestTheorem41OnAdversarialShapes(t *testing.T) {
+	shapes := []string{
+		"A",
+		"A(B)",
+		"A(B,C,D,E,F)",
+		"A(B(C(D(E))))",
+		"A(B(C,D),E(F,G),H)",
+		"A(B(C(D),E),F(G(H,I),J),K)",
+	}
+	for _, s := range shapes {
+		if err := VerifyTheorem41(tree.MustParseTerm(s)); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestFigure3aFollowingNotXWrtPre(t *testing.T) {
+	tr := Figure3aTree()
+	w, ok := Check(tr, axis.Following, axis.PreOrder)
+	if ok {
+		t.Fatalf("Following should NOT have the X-property w.r.t. <pre on Fig. 3(a)")
+	}
+	// The paper's witness: nodes with pre positions 2,3,4,6 (1-based):
+	// Following(2,6) and Following(3,4) hold, Following(2,4) does not.
+	n2 := tr.ByPre(1)
+	n3 := tr.ByPre(2)
+	n4 := tr.ByPre(3)
+	n6 := tr.ByPre(5)
+	if !axis.Holds(tr, axis.Following, n2, n6) {
+		t.Errorf("Following(2,6) should hold")
+	}
+	if !axis.Holds(tr, axis.Following, n3, n4) {
+		t.Errorf("Following(3,4) should hold")
+	}
+	if axis.Holds(tr, axis.Following, n2, n4) {
+		t.Errorf("Following(2,4) should NOT hold")
+	}
+	_ = w
+}
+
+func TestFigure3bDescendantInverseNotXWrtPost(t *testing.T) {
+	tr := Figure3bTree()
+	if _, ok := Check(tr, axis.AncestorPlus, axis.PostOrder); ok {
+		t.Errorf("Descendant⁻¹ should NOT have the X-property w.r.t. <post on Fig. 3(b)")
+	}
+	if _, ok := Check(tr, axis.AncestorStar, axis.PostOrder); ok {
+		t.Errorf("Descendant-or-self⁻¹ should NOT have the X-property w.r.t. <post on Fig. 3(b)")
+	}
+	// Paper's witness with post positions 1..5: Descendant⁻¹(1,5),
+	// Descendant⁻¹(3,4) hold; Descendant⁻¹(1,4) does not.
+	p1 := tr.ByPost(0)
+	p3 := tr.ByPost(2)
+	p4 := tr.ByPost(3)
+	p5 := tr.ByPost(4)
+	if !axis.Holds(tr, axis.AncestorPlus, p1, p5) {
+		t.Errorf("Descendant⁻¹(1,5) should hold")
+	}
+	if !axis.Holds(tr, axis.AncestorPlus, p3, p4) {
+		t.Errorf("Descendant⁻¹(3,4) should hold")
+	}
+	if axis.Holds(tr, axis.AncestorPlus, p1, p4) {
+		t.Errorf("Descendant⁻¹(1,4) should NOT hold")
+	}
+}
+
+func TestNonClaimedPairsHaveCounterexamples(t *testing.T) {
+	// For each paper axis and order where HasXProperty is false, find a
+	// small tree witnessing the violation — so the fact table claims
+	// neither too much nor too little.
+	for _, a := range axis.PaperAxes {
+		for _, o := range axis.Orders {
+			if axis.HasXProperty(a, o) {
+				continue
+			}
+			found := false
+			tree.EnumerateAll(6, []string{"A"}, func(tr *tree.Tree) bool {
+				if _, ok := Check(tr, a, o); !ok {
+					found = true
+					return false
+				}
+				return true
+			})
+			if !found {
+				t.Errorf("no counterexample with <=6 nodes for %v w.r.t. %v; fact table may be too pessimistic", a, o)
+			}
+		}
+	}
+}
+
+func TestLemma36AgreesWithDefinition(t *testing.T) {
+	// For axes that are subsets of an order, the Lemma 3.6 check must
+	// agree with the brute-force Definition 3.2 check.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		tr := tree.Random(rng, tree.DefaultRandomConfig(1+rng.Intn(15)))
+		for _, a := range axis.PaperAxes {
+			for _, o := range axis.Orders {
+				if !axis.SubsetOfOrder(a, o) {
+					continue
+				}
+				_, ok1 := Check(tr, a, o)
+				_, ok2 := CheckViaLemma36(tr, a, o)
+				if ok1 != ok2 {
+					t.Fatalf("%v wrt %v: Check=%v Lemma36=%v on %s", a, o, ok1, ok2, tr)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma37AgreesWithDefinition(t *testing.T) {
+	// For axes that are subsets of the REVERSED order (R ⊆ ≥), the
+	// Lemma 3.7 check must agree with the brute-force check. Such axes:
+	// Parent/Ancestor± w.r.t. <pre; Child/Child± w.r.t. <post; Preceding
+	// w.r.t. <pre.
+	type pair struct {
+		a axis.Axis
+		o axis.Order
+	}
+	pairs := []pair{
+		{axis.Parent, axis.PreOrder},
+		{axis.AncestorPlus, axis.PreOrder},
+		{axis.AncestorStar, axis.PreOrder},
+		{axis.Preceding, axis.PreOrder},
+		{axis.Child, axis.PostOrder},
+		{axis.ChildPlus, axis.PostOrder},
+		{axis.ChildStar, axis.PostOrder},
+	}
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 15; trial++ {
+		tr := tree.Random(rng, tree.DefaultRandomConfig(1+rng.Intn(12)))
+		for _, pr := range pairs {
+			_, ok1 := Check(tr, pr.a, pr.o)
+			_, ok2 := CheckViaLemma37(tr, pr.a, pr.o)
+			if ok1 != ok2 {
+				t.Fatalf("%v wrt %v: Check=%v Lemma37=%v on %s", pr.a, pr.o, ok1, ok2, tr)
+			}
+		}
+	}
+}
+
+func TestLemma37PanicsOnNonSubset(t *testing.T) {
+	tr := tree.MustParseTerm("A(B)")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic: Child is not a subset of the reversed <pre")
+		}
+	}()
+	CheckViaLemma37(tr, axis.Child, axis.PreOrder)
+}
+
+func TestLemma36PanicsOnNonSubset(t *testing.T) {
+	tr := tree.MustParseTerm("A(B)")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic: Parent is not a subset of <pre")
+		}
+	}()
+	CheckViaLemma36(tr, axis.Parent, axis.PreOrder)
+}
+
+func TestCheckRelationProperty(t *testing.T) {
+	// The total and empty relations trivially have the X-property; a
+	// planted crossing without its underbar must be detected.
+	n := 6
+	total := func(u, v int) bool { return true }
+	if _, _, _, _, ok := CheckRelation(n, total); !ok {
+		t.Errorf("total relation must have the X-property")
+	}
+	empty := func(u, v int) bool { return false }
+	if _, _, _, _, ok := CheckRelation(n, empty); !ok {
+		t.Errorf("empty relation must have the X-property")
+	}
+	planted := func(u, v int) bool {
+		// arcs (1,0) and (0,3) cross (0<1, 0<3); underbar (0,0) absent.
+		return (u == 1 && v == 0) || (u == 0 && v == 3)
+	}
+	n0, n1, n2, n3, ok := CheckRelation(n, planted)
+	if ok {
+		t.Fatalf("planted violation not found")
+	}
+	if n0 != 0 || n1 != 1 || n2 != 0 || n3 != 3 {
+		t.Errorf("witness = (%d,%d,%d,%d)", n0, n1, n2, n3)
+	}
+}
+
+func TestXPropertyClosedUnderUnderbarCompletion(t *testing.T) {
+	// Property (testing/quick): completing a random relation by repeatedly
+	// adding the underbar arcs yields a relation with the X-property.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		rel := make([][]bool, n)
+		for i := range rel {
+			rel[i] = make([]bool, n)
+			for j := range rel[i] {
+				rel[i][j] = rng.Float64() < 0.3
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for n1 := 0; n1 < n; n1++ {
+				for n2 := 0; n2 < n; n2++ {
+					if !rel[n1][n2] {
+						continue
+					}
+					for n0 := 0; n0 < n1; n0++ {
+						for n3 := n2 + 1; n3 < n; n3++ {
+							if rel[n0][n3] && !rel[n0][n2] {
+								rel[n0][n2] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		_, _, _, _, ok := CheckRelation(n, func(u, v int) bool { return rel[u][v] })
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckStructure(t *testing.T) {
+	tr := tree.MustParseTerm("A(B(C),D)")
+	if !CheckStructure(tr, []axis.Axis{axis.ChildPlus, axis.ChildStar}, axis.PreOrder) {
+		t.Errorf("τ1 axes should be X w.r.t. <pre")
+	}
+	if CheckStructure(Figure3aTree(), []axis.Axis{axis.Following}, axis.PreOrder) {
+		t.Errorf("Following w.r.t. <pre should fail on Fig. 3(a)")
+	}
+}
+
+func TestWitnessString(t *testing.T) {
+	w := Witness{N0: 1, N1: 2, N2: 3, N3: 4}
+	if w.String() == "" {
+		t.Errorf("empty witness string")
+	}
+}
