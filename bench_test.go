@@ -365,3 +365,55 @@ func BenchmarkEvaluateFacade(b *testing.B) {
 		EvaluateAll(t, q)
 	}
 }
+
+// BenchmarkPreparedVsOneShot measures the prepare/execute split: the
+// prepared eval-many path versus paying classification, planning and
+// evaluation-state allocation on every call. Allocations per evaluation
+// are the headline metric — the prepared path reuses pooled domain tables,
+// semijoin buffers and tree indexes.
+func BenchmarkPreparedVsOneShot(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	big := tree.Random(rng, tree.DefaultRandomConfig(1500))
+	small := tree.Random(rng, tree.DefaultRandomConfig(200))
+	cases := []struct {
+		name string
+		src  string
+		tr   *Tree
+	}{
+		{"acyclic", "Q(y) <- A(x), Child+(x, y), B(y)", big},
+		{"xproperty", "Q() <- A(x), Child+(x, y), B(y), Child*(y, z), Child+(x, z)", big},
+		{"backtrack", "Q(y) <- A(x), Child(x, y), B(y), Child+(x, z), C(z), Following(y, z)", small},
+	}
+	for _, c := range cases {
+		q := MustParseQuery(c.src)
+		b.Run(c.name+"/oneshot", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Fresh engine per call: the pre-refactor cost model
+				// (re-classify, re-plan, re-allocate state every time).
+				core.NewEngine().EvalAll(c.tr, q)
+			}
+		})
+		b.Run(c.name+"/prepared", func(b *testing.B) {
+			pq := MustPrepare(q)
+			b.ResetTimer()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pq.All(c.tr)
+			}
+		})
+	}
+	// The server shape: one prepared query, many goroutines, many trees.
+	pq := MustCompile("Q(y) <- A(x), Child+(x, y), B(y)")
+	trees := []*Tree{big, tree.Random(rng, tree.DefaultRandomConfig(1000))}
+	b.Run("acyclic/prepared-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				pq.All(trees[i%len(trees)])
+				i++
+			}
+		})
+	})
+}

@@ -39,11 +39,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Compile once; the prepared query carries the plan and evaluates
+	// without re-classifying.
+	pq, err := cqtrees.Prepare(q)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *explain {
-		fmt.Println("plan:", cqtrees.PlanFor(q))
+		fmt.Println("plan:", pq.Plan())
 	}
-	answers := cqtrees.EvaluateAll(t, q)
+	answers := pq.All(t)
 	if len(q.Head) == 0 {
 		fmt.Println("satisfiable:", len(answers) > 0)
 	} else {

@@ -77,6 +77,28 @@ func table1() {
 		fmt.Println()
 	}
 
+	fmt.Println("\nPrepare/execute split (the dichotomy as engineering): per-call")
+	fmt.Println("microseconds on n=2000, one-shot (re-plan per call) vs prepared:")
+	{
+		rng := rand.New(rand.NewSource(9))
+		t := tree.Random(rng, tree.DefaultRandomConfig(2000))
+		q := cq.MustParse("Q() <- A(x), Child+(x, y), B(y), Child*(y, z), Child+(x, z)")
+		const reps = 50
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			core.MustPrepare(q).Bool(t) // worst case: recompile every call
+		}
+		oneShot := time.Since(start)
+		prep := core.MustPrepare(q)
+		start = time.Now()
+		for i := 0; i < reps; i++ {
+			prep.Bool(t)
+		}
+		prepared := time.Since(start)
+		fmt.Printf("  one-shot %6.1f µs/call   prepared %6.1f µs/call\n",
+			float64(oneShot.Microseconds())/reps, float64(prepared.Microseconds())/reps)
+	}
+
 	fmt.Println("\nEmpirical NP-side (Thm 5.1 reduction, unsat all-triples family,")
 	fmt.Println("search steps: MAC vs plain forward checking, FC capped at 1e6):")
 	t := onethree.Theorem51Tree()
@@ -137,8 +159,9 @@ func fig1() {
 	fmt.Printf("corpus: %d sentences, %d nodes, %d NPs, %d PPs\n",
 		st.Sentences, st.Nodes, st.NPCount, st.PPCount)
 	q := rewrite.Figure1Query()
+	prep := core.MustPrepare(q) // classify + plan once, off the hot path
 	start := time.Now()
-	direct := core.NewEngine().EvalMonadic(corpus.Combined, q)
+	direct := prep.Monadic(corpus.Combined)
 	dt := time.Since(start)
 	apq, err := rewrite.TranslateCQ(q, rewrite.Options{})
 	if err != nil {

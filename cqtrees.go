@@ -12,6 +12,11 @@
 //     dichotomy — Yannakakis for acyclic queries, the Theorem 3.5
 //     X-property algorithm for tractable signatures, MAC backtracking
 //     otherwise. Classify exposes the Theorem 1.1 / Table I dichotomy.
+//   - Prepared queries: Prepare compiles a query once (classification,
+//     acyclicity analysis, planning) into a concurrency-safe PreparedQuery
+//     whose Bool/All/Nodes methods evaluate it repeatedly against many
+//     trees without re-planning or re-allocating evaluation state — the
+//     paper's query-only vs per-tree cost split, made operational.
 //   - Expressiveness: ToAPQ translates any conjunctive query into an
 //     equivalent acyclic positive query (Theorem 6.10); ToXPath renders
 //     monadic APQs as Core-XPath expressions (Remark 6.1).
@@ -93,24 +98,31 @@ func ParseQuery(src string) (*Query, error) { return cq.Parse(src) }
 // MustParseQuery panics on parse errors.
 func MustParseQuery(src string) *Query { return cq.MustParse(src) }
 
+// sharedEngine backs the one-shot Evaluate* functions: a package-level,
+// goroutine-safe engine whose plan cache (keyed by query fingerprint)
+// means repeated one-shot calls with the same query classify and plan it
+// only once. Prepare gives explicit control over the compiled query's
+// lifetime instead.
+var sharedEngine = core.NewEngine()
+
 // Evaluate decides Boolean satisfaction of q on t using the best
 // applicable algorithm (see PlanFor).
 func Evaluate(t *Tree, q *Query) bool {
-	return core.NewEngine().EvalBoolean(t, q)
+	return sharedEngine.EvalBoolean(t, q)
 }
 
 // EvaluateAll enumerates the distinct answer tuples of q on t.
 func EvaluateAll(t *Tree, q *Query) [][]NodeID {
-	return core.NewEngine().EvalAll(t, q)
+	return sharedEngine.EvalAll(t, q)
 }
 
 // EvaluateNodes answers a monadic (unary) query.
 func EvaluateNodes(t *Tree, q *Query) []NodeID {
-	return core.NewEngine().EvalMonadic(t, q)
+	return sharedEngine.EvalMonadic(t, q)
 }
 
 // PlanFor explains which algorithm Evaluate would use for q and why.
-func PlanFor(q *Query) Plan { return core.NewEngine().PlanFor(q) }
+func PlanFor(q *Query) Plan { return sharedEngine.PlanFor(q) }
 
 // Classify reports the complexity side of the signature per Theorem 1.1:
 // polynomial time iff all axes share an X-property order, NP-complete

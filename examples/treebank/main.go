@@ -14,7 +14,6 @@ import (
 	"time"
 
 	cqtrees "repro"
-	"repro/internal/core"
 	"repro/internal/rewrite"
 	"repro/internal/treebank"
 )
@@ -33,11 +32,16 @@ func main() {
 
 	q := rewrite.Figure1Query()
 	fmt.Println("query:", q)
-	fmt.Println("plan: ", cqtrees.PlanFor(q))
 
+	// Prepare once: classification and planning are query-only work; the
+	// prepared query then evaluates against any number of trees.
 	t0 := time.Now()
-	engine := core.NewEngine()
-	answers := engine.EvalMonadic(corpus.Combined, q)
+	pq := cqtrees.MustPrepare(q)
+	prepTime := time.Since(t0)
+	fmt.Printf("plan:  %v (prepared in %v)\n", pq.Plan(), prepTime)
+
+	t0 = time.Now()
+	answers := pq.Nodes(corpus.Combined)
 	direct := time.Since(t0)
 	fmt.Printf("\ndirect evaluation: %d matching PPs in %v\n", len(answers), direct)
 

@@ -333,12 +333,18 @@ func ForEachSuccessor(t *tree.Tree, a Axis, u tree.NodeID, fn func(v tree.NodeID
 			}
 		}
 	case Preceding:
-		for r := int32(0); r < int32(t.Len()); r++ {
+		// Preceding(u,v) ⇔ preEnd(v) < pre(u): the nodes strictly before
+		// u in document order that are not ancestors of u. Walking only
+		// the pre ranks below pre(u) and skipping ancestors (the nodes
+		// whose interval still covers u) keeps the cost at
+		// O(#successors + depth) instead of a full O(n) scan.
+		for r, lim := int32(0), t.Pre(u); r < lim; r++ {
 			v := t.ByPre(r)
-			if Holds(t, Preceding, u, v) {
-				if !fn(v) {
-					return
-				}
+			if t.PreEnd(v) >= lim {
+				continue // ancestor of u
+			}
+			if !fn(v) {
+				return
 			}
 		}
 	case Self:

@@ -300,8 +300,10 @@ func TestNodeSetOps(t *testing.T) {
 
 func TestSuccUFAndPredUF(t *testing.T) {
 	n := 10
-	su := newSuccUF(n)
-	pu := newPredUF(n)
+	var su succUF
+	var pu predUF
+	su.reset(n)
+	pu.reset(n)
 	if su.find(0) != 0 || pu.find(9) != 9 {
 		t.Fatalf("initial finds wrong")
 	}
@@ -364,7 +366,7 @@ func TestFastACStats(t *testing.T) {
 func TestSortByKey(t *testing.T) {
 	idx := []int32{0, 1, 2, 3, 4}
 	key := []int64{50, 10, 40, 10, 0}
-	sortByKey(idx, key)
+	sortByKey(idx, key, make([]int32, len(idx)))
 	want := []int32{4, 1, 3, 2, 0}
 	for i := range want {
 		if idx[i] != want[i] {

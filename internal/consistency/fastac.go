@@ -15,12 +15,13 @@ type succUF struct {
 	next []int32 // next[r] = r if alive, else a rank to the right
 }
 
-func newSuccUF(n int) *succUF {
-	u := &succUF{next: make([]int32, n+1)}
+// reset re-initializes the structure for universe n, reusing the backing
+// array when possible.
+func (u *succUF) reset(n int) {
+	u.next = growInt32(u.next, n+1)
 	for i := range u.next {
 		u.next[i] = int32(i)
 	}
-	return u
 }
 
 func (u *succUF) find(r int32) int32 {
@@ -38,12 +39,11 @@ type predUF struct {
 	prev []int32 // index shifted by +1; prev[0] = 0 is the "none" sentinel
 }
 
-func newPredUF(n int) *predUF {
-	u := &predUF{prev: make([]int32, n+1)}
+func (u *predUF) reset(n int) {
+	u.prev = growInt32(u.prev, n+1)
 	for i := range u.prev {
 		u.prev[i] = int32(i)
 	}
-	return u
 }
 
 func (u *predUF) find(r int32) int32 {
@@ -66,85 +66,55 @@ func (u *predUF) findIdx(r int32) int32 {
 	return i
 }
 
-// sibOrder numbers nodes so that siblings are consecutive: nodes sorted by
-// (pre(parent), sibIndex); the root occupies rank 0. rangeOf gives the
-// half-open rank interval of parent p's children.
-type sibOrder struct {
-	rank  []int32 // node -> sibling-order rank
-	start []int32 // parent node -> first child rank (undefined if no kids)
-}
-
-func newSibOrder(t *tree.Tree) *sibOrder {
-	n := t.Len()
-	o := &sibOrder{rank: make([]int32, n), start: make([]int32, n)}
-	var r int32
-	if n > 0 {
-		o.rank[t.Root()] = r
-		r++
-	}
-	for pr := int32(0); pr < int32(n); pr++ {
-		p := t.ByPre(pr)
-		kids := t.Children(p)
-		if len(kids) == 0 {
-			continue
-		}
-		o.start[p] = r
-		for _, c := range kids {
-			o.rank[c] = r
-			r++
-		}
-	}
-	return o
-}
-
-// domain bundles a variable's alive set with its deletion-only indexes.
+// domain bundles a variable's alive set with its deletion-only indexes. The
+// index structures live inline so a Scratch can recycle their backing
+// arrays across runs.
 type domain struct {
 	set      *NodeSet
-	byPre    *succUF // over pre ranks
-	byPreMax *predUF // over pre ranks (max alive <= r)
-	bySib    *succUF // over sibling-order ranks
-	bySibMax *predUF
-	byPreEnd *succUF // over preEnd-sorted positions (min alive preEnd)
+	byPre    succUF // over pre ranks
+	byPreMax predUF // over pre ranks (max alive <= r)
+	bySib    succUF // over sibling-order ranks
+	bySibMax predUF
+	byPreEnd succUF // over preEnd-sorted positions (min alive preEnd)
 }
 
-// fastState carries the shared tree indexes of a FastAC run.
+// fastState carries the shared tree indexes of a FastAC run, borrowed from
+// a Scratch.
 type fastState struct {
-	t   *tree.Tree
-	n   int
-	sib *sibOrder
-	// preEnd order: positions sorted by (preEnd, pre); node at position i.
-	preEndNode []tree.NodeID
-	preEndPos  []int32 // node -> position
-	doms       []*domain
+	t    *tree.Tree
+	n    int
+	ix   *treeIndex
+	doms []domain
 }
 
-func (st *fastState) newDomain(s *NodeSet) *domain {
+// resetDomain re-initializes d over s: full indexes, then deletion of every
+// rank whose node is not in s.
+func (st *fastState) resetDomain(d *domain, s *NodeSet) {
 	n := st.n
-	d := &domain{
-		set:      s,
-		byPre:    newSuccUF(n),
-		byPreMax: newPredUF(n),
-		bySib:    newSuccUF(n),
-		bySibMax: newPredUF(n),
-		byPreEnd: newSuccUF(n),
+	d.set = s
+	d.byPre.reset(n)
+	d.byPreMax.reset(n)
+	d.bySib.reset(n)
+	d.bySibMax.reset(n)
+	d.byPreEnd.reset(n)
+	if s.Len() == n {
+		return
 	}
-	// Delete ranks of nodes not in s.
 	for v := 0; v < n; v++ {
 		if !s.Has(tree.NodeID(v)) {
 			d.deleteIndexes(st, tree.NodeID(v))
 		}
 	}
-	return d
 }
 
 func (d *domain) deleteIndexes(st *fastState, v tree.NodeID) {
 	pr := st.t.Pre(v)
 	d.byPre.delete(pr)
 	d.byPreMax.delete(pr)
-	sr := st.sib.rank[v]
+	sr := st.ix.sibRank[v]
 	d.bySib.delete(sr)
 	d.bySibMax.delete(sr)
-	d.byPreEnd.delete(st.preEndPos[v])
+	d.byPreEnd.delete(st.ix.preEndPos[v])
 }
 
 func (d *domain) remove(st *fastState, v tree.NodeID) {
@@ -162,7 +132,7 @@ func (d *domain) minAlivePreEnd(st *fastState) int32 {
 	if pos >= int32(st.n) {
 		return int32(st.n)
 	}
-	return st.t.PreEnd(st.preEndNode[pos])
+	return st.t.PreEnd(st.ix.preEndNode[pos])
 }
 
 // hasAliveInPreRange reports whether some alive node has pre rank in
@@ -209,8 +179,8 @@ func (st *fastState) supportedFwd(a axis.Axis, v tree.NodeID, dy *domain) bool {
 		if p == tree.NilNode {
 			return false
 		}
-		lo := st.sib.rank[v] + 1
-		hi := st.sib.start[p] + int32(t.NumChildren(p)) - 1
+		lo := st.ix.sibRank[v] + 1
+		hi := st.ix.sibStart[p] + int32(t.NumChildren(p)) - 1
 		return dy.hasAliveInSibRange(lo, hi)
 	case axis.NextSiblingStar:
 		if dy.set.Has(v) {
@@ -244,8 +214,8 @@ func (st *fastState) supportedFwd(a axis.Axis, v tree.NodeID, dy *domain) bool {
 		if p == tree.NilNode {
 			return false
 		}
-		lo := st.sib.start[p]
-		hi := st.sib.rank[v] - 1
+		lo := st.ix.sibStart[p]
+		hi := st.ix.sibRank[v] - 1
 		return hi >= lo && dy.bySibMax.find(hi) >= lo
 	case axis.PrevSiblingStar:
 		if dy.set.Has(v) {
@@ -352,6 +322,13 @@ func FastACFrom(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, b
 
 // FastACFromStats is FastACFrom with work counters.
 func FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, Stats, bool) {
+	return NewScratch().FastACFromStats(t, q, init)
+}
+
+// FastACFromStats is the worklist with sc's reusable buffers; see
+// FastACFromStats (package level) for the contract. The returned
+// prevaluation's sets are init's sets.
+func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, Stats, bool) {
 	var stats Stats
 	n := t.Len()
 	if q.NumVars() == 0 {
@@ -360,42 +337,38 @@ func FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluati
 	if n == 0 {
 		return nil, stats, false
 	}
-	st := &fastState{t: t, n: n, sib: newSibOrder(t)}
-	// preEnd order: sort positions by (preEnd, pre) using counting by pre
-	// of a stable criterion — simple sort on int64 keys.
-	st.preEndNode = make([]tree.NodeID, n)
-	st.preEndPos = make([]int32, n)
-	order := make([]int64, n) // key = preEnd<<32 | pre, value implicit
-	for v := 0; v < n; v++ {
-		order[v] = int64(t.PreEnd(tree.NodeID(v)))<<32 | int64(t.Pre(tree.NodeID(v)))
+	sc.ix.build(t)
+	nv := q.NumVars()
+	for len(sc.doms) < nv {
+		sc.doms = append(sc.doms, domain{})
 	}
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	sortByKey(idx, order)
-	for pos, v := range idx {
-		st.preEndNode[pos] = tree.NodeID(v)
-		st.preEndPos[v] = int32(pos)
-	}
-
-	st.doms = make([]*domain, q.NumVars())
+	st := &fastState{t: t, n: n, ix: &sc.ix, doms: sc.doms[:nv]}
 	for x, s := range init.Sets {
-		st.doms[x] = st.newDomain(s)
 		if s.Empty() {
 			return nil, stats, false
 		}
+		st.resetDomain(&st.doms[x], s)
 	}
 
 	// Worklist of atom indexes to (re-)revise.
-	inQueue := make([]bool, len(q.Atoms))
-	queue := make([]int, 0, len(q.Atoms))
+	na := len(q.Atoms)
+	if cap(sc.inQueue) < na {
+		sc.inQueue = make([]bool, na)
+	}
+	inQueue := sc.inQueue[:na]
+	queue := sc.queue[:0]
 	for i := range q.Atoms {
 		queue = append(queue, i)
 		inQueue[i] = true
 	}
 	// atomsOf[x] = atoms touching variable x.
-	atomsOf := make([][]int, q.NumVars())
+	for len(sc.atomsOf) < nv {
+		sc.atomsOf = append(sc.atomsOf, nil)
+	}
+	atomsOf := sc.atomsOf[:nv]
+	for x := range atomsOf {
+		atomsOf[x] = atomsOf[x][:0]
+	}
 	for i, at := range q.Atoms {
 		atomsOf[at.X] = append(atomsOf[at.X], i)
 		if at.Y != at.X {
@@ -412,14 +385,14 @@ func FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluati
 		}
 	}
 
-	var removeBuf []tree.NodeID
+	removeBuf := sc.removeBuf[:0]
 	for len(queue) > 0 {
 		ai := queue[0]
 		queue = queue[1:]
 		inQueue[ai] = false
 		stats.Revisions++
 		at := q.Atoms[ai]
-		dx, dy := st.doms[at.X], st.doms[at.Y]
+		dx, dy := &st.doms[at.X], &st.doms[at.Y]
 
 		// Forward: prune unsupported candidates of x.
 		removeBuf = removeBuf[:0]
@@ -435,6 +408,7 @@ func FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluati
 				dx.remove(st, v)
 			}
 			if dx.set.Empty() {
+				sc.removeBuf = removeBuf
 				return nil, stats, false
 			}
 			enqueueTouching(at.X)
@@ -454,24 +428,27 @@ func FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluati
 				dy.remove(st, w)
 			}
 			if dy.set.Empty() {
+				sc.removeBuf = removeBuf
 				return nil, stats, false
 			}
 			enqueueTouching(at.Y)
 		}
 	}
+	sc.removeBuf = removeBuf
+	sc.queue = queue[:0]
 
-	p := &Prevaluation{Sets: make([]*NodeSet, q.NumVars())}
-	for x, d := range st.doms {
-		p.Sets[x] = d.set
+	p := &Prevaluation{Sets: make([]*NodeSet, nv)}
+	for x := range st.doms {
+		p.Sets[x] = st.doms[x].set
 	}
 	return p, stats, true
 }
 
-// sortByKey sorts idx by ascending key[idx[i]] (simple bottom-up merge
-// sort to stay allocation-predictable; n is a tree size).
-func sortByKey(idx []int32, key []int64) {
+// sortByKey sorts idx by ascending key[idx[i]] (bottom-up merge sort into
+// the caller-provided buffer to stay allocation-free on reuse; n is a tree
+// size).
+func sortByKey(idx []int32, key []int64, buf []int32) {
 	n := len(idx)
-	buf := make([]int32, n)
 	for width := 1; width < n; width *= 2 {
 		for lo := 0; lo < n; lo += 2 * width {
 			mid := lo + width

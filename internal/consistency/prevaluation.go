@@ -92,6 +92,35 @@ func (s *NodeSet) Remove(v tree.NodeID) {
 	}
 }
 
+// Reset re-initializes s to the empty set over a universe of n nodes,
+// reusing the backing storage when it is large enough.
+func (s *NodeSet) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
+	s.count = 0
+}
+
+// ResetFull re-initializes s to the full set of n nodes, reusing the
+// backing storage when it is large enough.
+func (s *NodeSet) ResetFull(n int) {
+	s.Reset(n)
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	if rem := uint(n) & 63; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] = (uint64(1) << rem) - 1
+	}
+	s.count = n
+}
+
 // Len returns the cardinality.
 func (s *NodeSet) Len() int { return s.count }
 

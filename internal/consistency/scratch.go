@@ -1,0 +1,174 @@
+package consistency
+
+import (
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// treeIndex holds the tree-derived orderings FastAC queries against: the
+// sibling-consecutive numbering and the (preEnd, pre) order. Both depend
+// only on the tree, so a Scratch rebuilds them only when the tree changes
+// between runs — repeated evaluation against the same tree (the server hot
+// path) pays for them once.
+type treeIndex struct {
+	t          *tree.Tree // tree the indexes were built for
+	sibRank    []int32    // node -> sibling-order rank
+	sibStart   []int32    // parent node -> first child rank
+	preEndNode []tree.NodeID
+	preEndPos  []int32 // node -> position in (preEnd, pre) order
+	sortKey    []int64
+	sortIdx    []int32
+	sortBuf    []int32
+}
+
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growNodeIDs(s []tree.NodeID, n int) []tree.NodeID {
+	if cap(s) < n {
+		return make([]tree.NodeID, n)
+	}
+	return s[:n]
+}
+
+// build (re)computes the indexes for t; a no-op when t is the tree of the
+// previous run.
+func (ix *treeIndex) build(t *tree.Tree) {
+	if ix.t == t {
+		return
+	}
+	n := t.Len()
+	ix.sibRank = growInt32(ix.sibRank, n)
+	ix.sibStart = growInt32(ix.sibStart, n)
+	var r int32
+	if n > 0 {
+		ix.sibRank[t.Root()] = r
+		r++
+	}
+	for pr := int32(0); pr < int32(n); pr++ {
+		p := t.ByPre(pr)
+		kids := t.Children(p)
+		if len(kids) == 0 {
+			continue
+		}
+		ix.sibStart[p] = r
+		for _, c := range kids {
+			ix.sibRank[c] = r
+			r++
+		}
+	}
+
+	ix.preEndNode = growNodeIDs(ix.preEndNode, n)
+	ix.preEndPos = growInt32(ix.preEndPos, n)
+	ix.sortKey = growInt64(ix.sortKey, n)
+	ix.sortIdx = growInt32(ix.sortIdx, n)
+	ix.sortBuf = growInt32(ix.sortBuf, n)
+	for v := 0; v < n; v++ {
+		ix.sortKey[v] = int64(t.PreEnd(tree.NodeID(v)))<<32 | int64(t.Pre(tree.NodeID(v)))
+		ix.sortIdx[v] = int32(v)
+	}
+	sortByKey(ix.sortIdx, ix.sortKey, ix.sortBuf)
+	for pos, v := range ix.sortIdx {
+		ix.preEndNode[pos] = tree.NodeID(v)
+		ix.preEndPos[v] = int32(pos)
+	}
+	ix.t = t
+}
+
+// Scratch holds every reusable buffer of a FastAC run: the tree indexes,
+// the per-variable domains with their deletion-only successor structures,
+// the worklist, and the NodeSets of the initial prevaluation. A Scratch
+// amortizes all per-call allocations of repeated evaluation; it is NOT safe
+// for concurrent use — pool Scratches (one per goroutine) instead.
+//
+// Prevaluations returned by Scratch methods that take no caller-supplied
+// initial prevaluation alias Scratch-owned sets: they are valid only until
+// the next call on the same Scratch.
+type Scratch struct {
+	ix        treeIndex
+	doms      []domain
+	inQueue   []bool
+	queue     []int
+	atomsOf   [][]int
+	removeBuf []tree.NodeID
+	initSets  []*NodeSet
+	labelSet  NodeSet
+}
+
+// NewScratch returns an empty Scratch; buffers are sized lazily on first
+// use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// InitialPrevaluation is NewPrevaluation backed by Scratch-owned NodeSets:
+// the label-filtered initial prevaluation, valid until the next call on sc.
+func (sc *Scratch) InitialPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation {
+	n := t.Len()
+	nv := q.NumVars()
+	for len(sc.initSets) < nv {
+		sc.initSets = append(sc.initSets, &NodeSet{})
+	}
+	sets := sc.initSets[:nv]
+	for _, s := range sets {
+		s.ResetFull(n)
+	}
+	for _, la := range q.Labels {
+		sc.labelSet.Reset(n)
+		for _, v := range t.NodesWithLabel(la.Label) {
+			sc.labelSet.Add(v)
+		}
+		sets[la.X].IntersectWith(&sc.labelSet)
+	}
+	return &Prevaluation{Sets: sets}
+}
+
+// FastAC is the package-level FastAC with sc's buffers. The result aliases
+// Scratch-owned sets (see type doc).
+func (sc *Scratch) FastAC(t *tree.Tree, q *cq.Query) (*Prevaluation, bool) {
+	if q.NumVars() == 0 {
+		return &Prevaluation{}, true
+	}
+	if t.Len() == 0 {
+		return nil, false
+	}
+	return sc.FastACFrom(t, q, sc.InitialPrevaluation(t, q))
+}
+
+// PinnedFastAC is PinnedAC(EngineFast, ...) with sc's buffers: arc
+// consistency with vars[i] pinned to {nodes[i]}. The result aliases
+// Scratch-owned sets (see type doc).
+func (sc *Scratch) PinnedFastAC(t *tree.Tree, q *cq.Query, vars []cq.Var, nodes []tree.NodeID) (*Prevaluation, bool) {
+	if q.NumVars() == 0 {
+		return &Prevaluation{}, true
+	}
+	if t.Len() == 0 {
+		return nil, false
+	}
+	init := sc.InitialPrevaluation(t, q)
+	for i, x := range vars {
+		s := init.Sets[x]
+		had := s.Has(nodes[i])
+		s.Reset(t.Len())
+		if had {
+			s.Add(nodes[i])
+		}
+	}
+	return sc.FastACFrom(t, q, init)
+}
+
+// FastACFrom runs the worklist from init (consumed and mutated) with sc's
+// buffers; the result's sets are init's sets.
+func (sc *Scratch) FastACFrom(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, bool) {
+	p, _, ok := sc.FastACFromStats(t, q, init)
+	return p, ok
+}

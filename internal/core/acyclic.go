@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/axis"
 	"repro/internal/consistency"
@@ -19,10 +20,23 @@ import (
 //
 // Works on every tree structure and every acyclic query regardless of
 // signature — acyclicity, not the X-property, supplies tractability here.
-type AcyclicEngine struct{}
+//
+// The engine is safe for concurrent use: per-call state lives in pooled
+// scratches. (The one-shot methods re-derive the shadow forest per call;
+// Prepare compiles it once instead.)
+type AcyclicEngine struct {
+	pool sync.Pool // of *evalScratch
+}
 
-// NewAcyclicEngine returns the engine (stateless).
+// NewAcyclicEngine returns the engine.
 func NewAcyclicEngine() *AcyclicEngine { return &AcyclicEngine{} }
+
+func (e *AcyclicEngine) scratch() *evalScratch {
+	if s, ok := e.pool.Get().(*evalScratch); ok {
+		return s
+	}
+	return newEvalScratch()
+}
 
 // shadowForest is a rooted-forest view of an acyclic query graph.
 type shadowForest struct {
@@ -118,11 +132,14 @@ func (f *shadowForest) atomHolds(t *tree.Tree, c cq.Var, vp, vc tree.NodeID) boo
 	return axis.Holds(t, at.Axis, vc, vp)
 }
 
-// reduce runs the two semijoin passes and returns the globally consistent
-// candidate sets, or ok=false if some set empties.
-func (e *AcyclicEngine) reduce(t *tree.Tree, q *cq.Query, f *shadowForest) ([]*consistency.NodeSet, bool) {
-	init := consistency.NewPrevaluation(t, q)
+// acyclicReduce runs the two semijoin passes and returns the globally
+// consistent candidate sets, or ok=false if some set empties. The returned
+// sets are scratch-owned: valid until the scratch's next use.
+func acyclicReduce(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) ([]*consistency.NodeSet, bool) {
+	init := s.ac.InitialPrevaluation(t, q)
 	sets := init.Sets
+	doomed := s.doomed[:0]
+	defer func() { s.doomed = doomed[:0] }()
 	// Bottom-up: prune parent candidates lacking a consistent child value.
 	for _, x := range f.postorder {
 		p := f.parent[x]
@@ -132,7 +149,7 @@ func (e *AcyclicEngine) reduce(t *tree.Tree, q *cq.Query, f *shadowForest) ([]*c
 		if sets[x].Empty() {
 			return nil, false
 		}
-		var doomed []tree.NodeID
+		doomed = doomed[:0]
 		sets[p].ForEach(func(vp tree.NodeID) bool {
 			found := false
 			sets[x].ForEach(func(vc tree.NodeID) bool {
@@ -161,7 +178,7 @@ func (e *AcyclicEngine) reduce(t *tree.Tree, q *cq.Query, f *shadowForest) ([]*c
 			}
 			continue
 		}
-		var doomed []tree.NodeID
+		doomed = doomed[:0]
 		sets[x].ForEach(func(vc tree.NodeID) bool {
 			found := false
 			sets[p].ForEach(func(vp tree.NodeID) bool {
@@ -186,6 +203,20 @@ func (e *AcyclicEngine) reduce(t *tree.Tree, q *cq.Query, f *shadowForest) ([]*c
 	return sets, true
 }
 
+// acyclicBool decides an acyclic query against a prebuilt shadow forest:
+// satisfiable iff the semijoin reduction leaves every candidate set
+// nonempty.
+func acyclicBool(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) bool {
+	if q.NumVars() == 0 {
+		return true // empty conjunction
+	}
+	if t.Len() == 0 {
+		return false
+	}
+	_, ok := acyclicReduce(t, q, f, s)
+	return ok
+}
+
 // EvalBoolean decides an acyclic query: satisfiable iff the semijoin
 // reduction leaves every candidate set nonempty.
 func (e *AcyclicEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
@@ -193,29 +224,20 @@ func (e *AcyclicEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
 	if err != nil {
 		panic(err)
 	}
-	if q.NumVars() == 0 {
-		return true // empty conjunction
-	}
-	if t.Len() == 0 {
-		return false
-	}
-	_, ok := e.reduce(t, q, f)
-	return ok
+	s := e.scratch()
+	defer e.pool.Put(s)
+	return acyclicBool(t, q, f, s)
 }
 
-// Satisfaction returns one consistent valuation, or nil.
-func (e *AcyclicEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
-	f, err := buildShadowForest(q)
-	if err != nil {
-		panic(err)
-	}
+// acyclicSatisfaction returns one consistent valuation, or nil.
+func acyclicSatisfaction(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) consistency.Valuation {
 	if q.NumVars() == 0 {
 		return consistency.Valuation{}
 	}
 	if t.Len() == 0 {
 		return nil
 	}
-	sets, ok := e.reduce(t, q, f)
+	sets, ok := acyclicReduce(t, q, f, s)
 	if !ok {
 		return nil
 	}
@@ -246,24 +268,31 @@ func (e *AcyclicEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valu
 	return theta
 }
 
-// EvalAll enumerates the distinct head tuples of the query answer, in
-// lexicographic NodeID order. Enumeration is backtrack-free per component
-// after reduction; distinct head tuples are deduplicated.
-func (e *AcyclicEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
-	if len(q.Head) == 0 {
-		if e.EvalBoolean(t, q) {
-			return [][]tree.NodeID{{}}
-		}
-		return nil
-	}
+// Satisfaction returns one consistent valuation, or nil.
+func (e *AcyclicEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
 	f, err := buildShadowForest(q)
 	if err != nil {
 		panic(err)
 	}
+	s := e.scratch()
+	defer e.pool.Put(s)
+	return acyclicSatisfaction(t, q, f, s)
+}
+
+// acyclicAll enumerates the distinct head tuples of the query answer, in
+// lexicographic NodeID order. Enumeration is backtrack-free per component
+// after reduction; distinct head tuples are deduplicated.
+func acyclicAll(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) [][]tree.NodeID {
+	if len(q.Head) == 0 {
+		if acyclicBool(t, q, f, s) {
+			return [][]tree.NodeID{{}}
+		}
+		return nil
+	}
 	if t.Len() == 0 {
 		return nil
 	}
-	sets, ok := e.reduce(t, q, f)
+	sets, ok := acyclicReduce(t, q, f, s)
 	if !ok {
 		return nil
 	}
@@ -334,4 +363,16 @@ func (e *AcyclicEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 		return false
 	})
 	return out
+}
+
+// EvalAll enumerates the distinct head tuples of the query answer, in
+// lexicographic NodeID order.
+func (e *AcyclicEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	f, err := buildShadowForest(q)
+	if err != nil {
+		panic(err)
+	}
+	s := e.scratch()
+	defer e.pool.Put(s)
+	return acyclicAll(t, q, f, s)
 }

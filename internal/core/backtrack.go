@@ -26,10 +26,22 @@ type BacktrackEngine struct {
 	Propagate bool
 
 	steps int
+	// sc holds the reusable arc-consistency buffers; lazily created. The
+	// engine is stateful (steps, scratch) and therefore NOT safe for
+	// concurrent use — the Prepared evaluation path pools one engine per
+	// in-flight call instead.
+	sc *consistency.Scratch
 }
 
 // NewBacktrackEngine returns an engine with MAC enabled and no step bound.
 func NewBacktrackEngine() *BacktrackEngine { return &BacktrackEngine{Propagate: true} }
+
+func (e *BacktrackEngine) scratch() *consistency.Scratch {
+	if e.sc == nil {
+		e.sc = consistency.NewScratch()
+	}
+	return e.sc
+}
 
 // Steps reports the number of search-node expansions of the last call —
 // the empirical hardness measure reported by the Table I benchmarks.
@@ -68,7 +80,10 @@ func (e *BacktrackEngine) run(t *tree.Tree, q *cq.Query, emit func(consistency.V
 	if t.Len() == 0 {
 		return
 	}
-	p, ok := consistency.FastAC(t, q)
+	// The initial prevaluation must survive the search below (which runs
+	// further scratch-based AC passes), so it uses caller-owned sets; the
+	// scratch still supplies the worklist and index buffers.
+	p, ok := e.scratch().FastACFrom(t, q, consistency.NewPrevaluation(t, q))
 	if !ok {
 		return
 	}
@@ -189,7 +204,7 @@ func (e *BacktrackEngine) runMAC(t *tree.Tree, q *cq.Query, p *consistency.Preva
 			pin := consistency.NewNodeSet(t.Len())
 			pin.Add(v)
 			next.Sets[pick].IntersectWith(pin)
-			reduced, ok := consistency.FastACFrom(t, q, next)
+			reduced, ok := e.scratch().FastACFrom(t, q, next)
 			if ok {
 				if !dfs(reduced) {
 					cont = false

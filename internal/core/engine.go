@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/axis"
 	"repro/internal/consistency"
@@ -51,21 +52,9 @@ func (p Plan) String() string {
 	return fmt.Sprintf("%s query over %s -> %s", p.QueryClass, p.Classification, p.Strategy)
 }
 
-// Engine is the top-level evaluator: it classifies each query (acyclicity
-// and signature tractability per Theorem 1.1) and dispatches to the best
-// applicable algorithm.
-type Engine struct {
-	acyclic   *AcyclicEngine
-	backtrack *BacktrackEngine
-}
-
-// NewEngine returns an Engine.
-func NewEngine() *Engine {
-	return &Engine{acyclic: NewAcyclicEngine(), backtrack: NewBacktrackEngine()}
-}
-
-// PlanFor explains the strategy chosen for q.
-func (e *Engine) PlanFor(q *cq.Query) Plan {
+// planFor computes the strategy for q: acyclicity first (Yannakakis works
+// for every signature), then the Theorem 1.1 dichotomy.
+func planFor(q *cq.Query) Plan {
 	cls := ClassifyQuery(q)
 	qc := cq.Classify(q)
 	p := Plan{Classification: cls, QueryClass: qc}
@@ -80,50 +69,86 @@ func (e *Engine) PlanFor(q *cq.Query) Plan {
 	return p
 }
 
+// planCacheLimit bounds the Engine's compiled-plan cache. When full, an
+// arbitrary entry is evicted — the cache is an amortizer, not an index, so
+// any victim works.
+const planCacheLimit = 512
+
+// Engine is the top-level evaluator: it classifies each query (acyclicity
+// and signature tractability per Theorem 1.1) and dispatches to the best
+// applicable algorithm. Compiled plans are cached by query fingerprint, so
+// evaluating the same query repeatedly classifies and plans it only once.
+//
+// An Engine is safe for concurrent use and meant to be long-lived and
+// shared; per-call state lives in scratch pools inside the cached
+// Prepared queries.
+type Engine struct {
+	mu    sync.Mutex
+	cache map[string]*Prepared
+}
+
+// NewEngine returns an Engine with an empty plan cache.
+func NewEngine() *Engine {
+	return &Engine{cache: make(map[string]*Prepared)}
+}
+
+// Prepare returns the compiled form of q, reusing a cached compilation of
+// any previously seen query with the same fingerprint.
+func (e *Engine) Prepare(q *cq.Query) (*Prepared, error) {
+	key := q.Fingerprint()
+	e.mu.Lock()
+	p, ok := e.cache[key]
+	e.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if existing, ok := e.cache[key]; ok {
+		p = existing // lost the race; share the winner's scratch pool
+	} else {
+		if len(e.cache) >= planCacheLimit {
+			for k := range e.cache {
+				delete(e.cache, k)
+				break
+			}
+		}
+		e.cache[key] = p
+	}
+	e.mu.Unlock()
+	return p, nil
+}
+
+// prepared is Prepare for queries that cannot fail compilation (every
+// dispatch path below: Prepare only errors on nil queries).
+func (e *Engine) prepared(q *cq.Query) *Prepared {
+	p, err := e.Prepare(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// PlanFor explains the strategy chosen for q.
+func (e *Engine) PlanFor(q *cq.Query) Plan { return e.prepared(q).Plan() }
+
 // EvalBoolean decides whether q (viewed as Boolean) is satisfiable on t.
 func (e *Engine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
-	switch plan := e.PlanFor(q); plan.Strategy {
-	case StrategyAcyclic:
-		return e.acyclic.EvalBoolean(t, q)
-	case StrategyXProperty:
-		pe := &PolyEngine{order: plan.Classification.Order, alg: FastAC}
-		return pe.EvalBoolean(t, q)
-	case StrategyBacktrack:
-		return e.backtrack.EvalBoolean(t, q)
-	default:
-		panic("core: invalid strategy")
-	}
+	return e.prepared(q).Bool(t)
 }
 
 // Satisfaction returns a full consistent valuation, or nil if none exists.
 func (e *Engine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
-	switch plan := e.PlanFor(q); plan.Strategy {
-	case StrategyAcyclic:
-		return e.acyclic.Satisfaction(t, q)
-	case StrategyXProperty:
-		pe := &PolyEngine{order: plan.Classification.Order, alg: FastAC}
-		return pe.Satisfaction(t, q)
-	case StrategyBacktrack:
-		return e.backtrack.Satisfaction(t, q)
-	default:
-		panic("core: invalid strategy")
-	}
+	return e.prepared(q).Satisfaction(t)
 }
 
 // EvalAll enumerates the distinct answer tuples of q on t (for Boolean
 // queries: one empty tuple if satisfiable).
 func (e *Engine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
-	switch plan := e.PlanFor(q); plan.Strategy {
-	case StrategyAcyclic:
-		return e.acyclic.EvalAll(t, q)
-	case StrategyXProperty:
-		pe := &PolyEngine{order: plan.Classification.Order, alg: FastAC}
-		return pe.EvalAll(t, q)
-	case StrategyBacktrack:
-		return e.backtrack.EvalAll(t, q)
-	default:
-		panic("core: invalid strategy")
-	}
+	return e.prepared(q).All(t)
 }
 
 // EvalMonadic returns the sorted node set answering a unary query; it

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/axis"
 	"repro/internal/consistency"
@@ -22,9 +23,14 @@ const (
 	HornAC
 )
 
-func runAC(alg ACAlgorithm, t *tree.Tree, q *cq.Query) (*consistency.Prevaluation, bool) {
+// runAC dispatches one arc-consistency run. sc is used by FastAC for
+// buffer reuse (nil = allocate fresh); the paper-exact HornAC ignores it.
+func runAC(alg ACAlgorithm, t *tree.Tree, q *cq.Query, sc *consistency.Scratch) (*consistency.Prevaluation, bool) {
 	switch alg {
 	case FastAC:
+		if sc != nil {
+			return sc.FastAC(t, q)
+		}
 		return consistency.FastAC(t, q)
 	case HornAC:
 		return consistency.HornAC(t, q)
@@ -40,10 +46,13 @@ func runAC(alg ACAlgorithm, t *tree.Tree, q *cq.Query) (*consistency.Prevaluatio
 // (Lemma 3.4).
 //
 // PolyEngine is only sound for queries whose signature admits a common
-// X-property order; New*-constructors verify this.
+// X-property order; New*-constructors verify this. Evaluation methods are
+// safe for concurrent use (per-call buffers are pooled); SetAlgorithm is
+// not safe to call concurrently with evaluation.
 type PolyEngine struct {
 	order axis.Order
 	alg   ACAlgorithm
+	pool  sync.Pool // of *consistency.Scratch
 }
 
 // NewPolyEngine returns a PolyEngine for queries over the given signature,
@@ -69,67 +78,95 @@ func (e *PolyEngine) SetAlgorithm(alg ACAlgorithm) { e.alg = alg }
 // valuations.
 func (e *PolyEngine) Order() axis.Order { return e.order }
 
+func (e *PolyEngine) scratch() *consistency.Scratch {
+	if s, ok := e.pool.Get().(*consistency.Scratch); ok {
+		return s
+	}
+	return consistency.NewScratch()
+}
+
+// polyBool decides a Boolean query: true iff an arc-consistent
+// prevaluation exists (Theorem 3.5).
+func polyBool(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) bool {
+	_, ok := runAC(alg, t, q, sc)
+	return ok
+}
+
 // EvalBoolean decides a Boolean query in time O(‖A‖·|Q|): true iff an
 // arc-consistent prevaluation exists (Theorem 3.5). Head variables, if
 // any, are ignored (the query is treated as its Boolean projection).
 func (e *PolyEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
-	_, ok := runAC(e.alg, t, q)
-	return ok
+	sc := e.scratch()
+	defer e.pool.Put(sc)
+	return polyBool(t, q, e.alg, sc)
 }
 
-// Satisfaction returns a consistent valuation of all query variables (the
-// minimum valuation of the maximal arc-consistent prevaluation, Lemma
-// 3.4), or nil if the query is unsatisfiable on t.
-func (e *PolyEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
-	p, ok := runAC(e.alg, t, q)
+// polySatisfaction returns the minimum valuation of the maximal
+// arc-consistent prevaluation (Lemma 3.4), or nil.
+func polySatisfaction(t *tree.Tree, q *cq.Query, order axis.Order, alg ACAlgorithm, sc *consistency.Scratch) consistency.Valuation {
+	p, ok := runAC(alg, t, q, sc)
 	if !ok {
 		return nil
 	}
 	if q.NumVars() == 0 {
 		return consistency.Valuation{}
 	}
-	theta := p.MinimumValuation(t, e.order)
-	return theta
+	return p.MinimumValuation(t, order)
 }
 
-// CheckTuple decides whether the tuple (one node per head variable) is in
-// the query answer, by the singleton-restriction argument below Theorem
-// 3.5: restrict each head variable's candidates to the given node and test
-// Boolean satisfiability.
-func (e *PolyEngine) CheckTuple(t *tree.Tree, q *cq.Query, tuple []tree.NodeID) bool {
+// Satisfaction returns a consistent valuation of all query variables (the
+// minimum valuation of the maximal arc-consistent prevaluation, Lemma
+// 3.4), or nil if the query is unsatisfiable on t.
+func (e *PolyEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
+	sc := e.scratch()
+	defer e.pool.Put(sc)
+	return polySatisfaction(t, q, e.order, e.alg, sc)
+}
+
+// polyCheckTuple decides tuple membership by the singleton-restriction
+// argument below Theorem 3.5: restrict each head variable's candidates to
+// the given node and test Boolean satisfiability.
+func polyCheckTuple(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, tuple []tree.NodeID) bool {
 	if len(tuple) != len(q.Head) {
 		panic(fmt.Sprintf("core: CheckTuple arity %d, query arity %d", len(tuple), len(q.Head)))
 	}
-	_, ok := consistency.PinnedAC(e.consistencyEngine(), t, q, q.Head, tuple)
+	if alg == FastAC && sc != nil {
+		_, ok := sc.PinnedFastAC(t, q, q.Head, tuple)
+		return ok
+	}
+	eng := consistency.EngineFast
+	if alg == HornAC {
+		eng = consistency.EngineHorn
+	}
+	_, ok := consistency.PinnedAC(eng, t, q, q.Head, tuple)
 	return ok
 }
 
-func (e *PolyEngine) consistencyEngine() consistency.Engine {
-	switch e.alg {
-	case FastAC:
-		return consistency.EngineFast
-	case HornAC:
-		return consistency.EngineHorn
-	default:
-		panic(fmt.Sprintf("core: invalid ACAlgorithm %d", int(e.alg)))
-	}
+// CheckTuple decides whether the tuple (one node per head variable) is in
+// the query answer.
+func (e *PolyEngine) CheckTuple(t *tree.Tree, q *cq.Query, tuple []tree.NodeID) bool {
+	sc := e.scratch()
+	defer e.pool.Put(sc)
+	return polyCheckTuple(t, q, e.alg, sc, tuple)
 }
 
-// EvalAll enumerates the full answer relation of a k-ary query: all
-// tuples 〈a1..ak〉 such that the query holds. Per the paper this costs
+// polyAll enumerates the full answer relation of a k-ary query: all tuples
+// 〈a1..ak〉 such that the query holds. Per the paper this costs
 // O(|A|^k · ‖A‖ · |Q|); the implementation prunes candidates to the
 // arc-consistent sets of the head variables before tuple checking.
-func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+func polyAll(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) [][]tree.NodeID {
 	if len(q.Head) == 0 {
-		if e.EvalBoolean(t, q) {
+		if polyBool(t, q, alg, sc) {
 			return [][]tree.NodeID{{}}
 		}
 		return nil
 	}
-	p, ok := runAC(e.alg, t, q)
+	p, ok := runAC(alg, t, q, sc)
 	if !ok {
 		return nil
 	}
+	// Copy the candidates out: p's sets are scratch-owned and the
+	// per-tuple pinned AC runs below reuse the same scratch.
 	candidates := make([][]tree.NodeID, len(q.Head))
 	for i, x := range q.Head {
 		candidates[i] = p.Sets[x].Members()
@@ -139,7 +176,7 @@ func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(tuple) {
-			if e.CheckTuple(t, q, tuple) {
+			if polyCheckTuple(t, q, alg, sc, tuple) {
 				out = append(out, append([]tree.NodeID(nil), tuple...))
 			}
 			return
@@ -151,4 +188,11 @@ func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 	}
 	rec(0)
 	return out
+}
+
+// EvalAll enumerates the full answer relation of a k-ary query.
+func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	sc := e.scratch()
+	defer e.pool.Put(sc)
+	return polyAll(t, q, e.alg, sc)
 }

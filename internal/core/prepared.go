@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/axis"
+	"repro/internal/consistency"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// evalScratch bundles the per-call mutable state of one evaluation: the
+// arc-consistency buffers, the semijoin doom-list of the acyclic engine,
+// and a private backtracking engine (which carries search counters). One
+// evalScratch serves one evaluation at a time; Prepared pools them so
+// concurrent calls each borrow their own.
+type evalScratch struct {
+	ac     *consistency.Scratch
+	doomed []tree.NodeID
+	bt     *BacktrackEngine
+}
+
+func newEvalScratch() *evalScratch {
+	return &evalScratch{ac: consistency.NewScratch()}
+}
+
+// backtracker returns the scratch's private MAC engine, sharing the
+// scratch's arc-consistency buffers.
+func (s *evalScratch) backtracker() *BacktrackEngine {
+	if s.bt == nil {
+		s.bt = &BacktrackEngine{Propagate: true, sc: s.ac}
+	}
+	return s.bt
+}
+
+// Prepared is a compiled conjunctive query: parsed, classified per the
+// Theorem 1.1 dichotomy, and planned exactly once. The expensive query-only
+// work (acyclicity analysis, the shadow-forest decomposition, the common
+// X-property order search) happens in Prepare; evaluating the Prepared
+// against a tree only pays the per-tree cost, reusing pooled scratch
+// buffers so repeated evaluation stops re-allocating domain tables and
+// semijoin buffers.
+//
+// A Prepared is immutable after Prepare and safe for concurrent use: each
+// evaluation borrows a private scratch from an internal pool.
+type Prepared struct {
+	q    *cq.Query // private clone; never mutated
+	plan Plan
+
+	forest *shadowForest // StrategyAcyclic
+	order  axis.Order    // StrategyXProperty
+	alg    ACAlgorithm
+
+	pool sync.Pool // of *evalScratch
+}
+
+// Prepare compiles q: it classifies the signature (Theorem 1.1), analyzes
+// acyclicity, picks the evaluation strategy, and precomputes the
+// strategy's query-only structures. The query is cloned, so later mutation
+// of q does not affect the Prepared.
+func Prepare(q *cq.Query) (*Prepared, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: Prepare of nil query")
+	}
+	c := q.Clone()
+	p := &Prepared{q: c, plan: planFor(c)}
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		f, err := buildShadowForest(c)
+		if err != nil {
+			return nil, err
+		}
+		p.forest = f
+	case StrategyXProperty:
+		p.order = p.plan.Classification.Order
+		p.alg = FastAC
+	}
+	return p, nil
+}
+
+// MustPrepare is Prepare that panics on error (the only error source is a
+// malformed query).
+func MustPrepare(q *cq.Query) *Prepared {
+	p, err := Prepare(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Plan reports the compiled evaluation strategy and classification.
+func (p *Prepared) Plan() Plan { return p.plan }
+
+// Query returns the compiled query (a private clone; treat as read-only).
+func (p *Prepared) Query() *cq.Query { return p.q }
+
+func (p *Prepared) scratch() *evalScratch {
+	if s, ok := p.pool.Get().(*evalScratch); ok {
+		return s
+	}
+	return newEvalScratch()
+}
+
+func (p *Prepared) release(s *evalScratch) { p.pool.Put(s) }
+
+// Bool decides Boolean satisfaction of the compiled query on t.
+func (p *Prepared) Bool(t *tree.Tree) bool {
+	s := p.scratch()
+	defer p.release(s)
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		return acyclicBool(t, p.q, p.forest, s)
+	case StrategyXProperty:
+		return polyBool(t, p.q, p.alg, s.ac)
+	case StrategyBacktrack:
+		return s.backtracker().EvalBoolean(t, p.q)
+	default:
+		panic("core: invalid strategy")
+	}
+}
+
+// Satisfaction returns a full consistent valuation, or nil if none exists.
+func (p *Prepared) Satisfaction(t *tree.Tree) consistency.Valuation {
+	s := p.scratch()
+	defer p.release(s)
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		return acyclicSatisfaction(t, p.q, p.forest, s)
+	case StrategyXProperty:
+		return polySatisfaction(t, p.q, p.order, p.alg, s.ac)
+	case StrategyBacktrack:
+		return s.backtracker().Satisfaction(t, p.q)
+	default:
+		panic("core: invalid strategy")
+	}
+}
+
+// All enumerates the distinct answer tuples of the compiled query on t
+// (for Boolean queries: one empty tuple if satisfiable).
+func (p *Prepared) All(t *tree.Tree) [][]tree.NodeID {
+	s := p.scratch()
+	defer p.release(s)
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		return acyclicAll(t, p.q, p.forest, s)
+	case StrategyXProperty:
+		return polyAll(t, p.q, p.alg, s.ac)
+	case StrategyBacktrack:
+		return s.backtracker().EvalAll(t, p.q)
+	default:
+		panic("core: invalid strategy")
+	}
+}
+
+// Monadic returns the sorted node set answering a unary compiled query; it
+// panics if the query is not monadic.
+func (p *Prepared) Monadic(t *tree.Tree) []tree.NodeID {
+	if len(p.q.Head) != 1 {
+		panic(fmt.Sprintf("core: Monadic on %d-ary query", len(p.q.Head)))
+	}
+	tuples := p.All(t)
+	out := make([]tree.NodeID, len(tuples))
+	for i, tp := range tuples {
+		out[i] = tp[0]
+	}
+	return out
+}

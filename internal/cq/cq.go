@@ -300,6 +300,44 @@ func (q *Query) CanonicalKey() string {
 	return strings.Join(hs, ",") + "|" + strings.Join(ls, ";") + "|" + strings.Join(as, ";")
 }
 
+// Fingerprint returns a key identifying the query up to atom order and
+// variable names: two queries with equal fingerprints have the same
+// variables (by index), head, labels and atoms, and therefore evaluate
+// identically on every tree. Unlike CanonicalKey the encoding is
+// injective even for label strings containing the delimiters (labels are
+// length-prefixed — programmatic construction allows arbitrary labels,
+// e.g. treebank tags like "ADVP|PRT"), and it pins the variable count,
+// since unused variables affect satisfiability on empty trees. Used as
+// the plan-cache key by the evaluation engines.
+func (q *Query) Fingerprint() string {
+	ls := make([]string, 0, len(q.Labels))
+	for _, la := range q.Labels {
+		ls = append(ls, fmt.Sprintf("%d:%d:%s", la.X, len(la.Label), la.Label))
+	}
+	sort.Strings(ls)
+	as := make([]string, 0, len(q.Atoms))
+	for _, at := range q.Atoms {
+		as = append(as, fmt.Sprintf("%d:%d:%d", at.Axis, at.X, at.Y))
+	}
+	sort.Strings(as)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d#", len(q.names))
+	for _, v := range q.Head {
+		fmt.Fprintf(&sb, "%d,", v)
+	}
+	sb.WriteByte('|')
+	for _, s := range ls {
+		sb.WriteString(s)
+		sb.WriteByte(';')
+	}
+	sb.WriteByte('|')
+	for _, s := range as {
+		sb.WriteString(s)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
 // Normalize rebuilds the query with only used variables, renamed to
 // x0, x1, ... in first-occurrence order, producing a canonical variable
 // numbering. Returns the new query (the receiver is unchanged).
