@@ -1,0 +1,282 @@
+package cqtrees
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// collectTuples drains ForEachTuple into an owned, sorted slice (the
+// callback's tuple buffer is reused, so it must be copied).
+func collectTuples(pq *PreparedQuery, tr *Tree) [][]NodeID {
+	var out [][]NodeID
+	pq.ForEachTuple(tr, func(tuple []NodeID) bool {
+		cp := make([]NodeID, len(tuple))
+		copy(cp, tuple)
+		out = append(out, cp)
+		return true
+	})
+	sortTuplesLex(out)
+	return out
+}
+
+func sortTuplesLex(out [][]NodeID) {
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			less := false
+			for k := range out[j] {
+				if out[j][k] != out[j-1][k] {
+					less = out[j][k] < out[j-1][k]
+					break
+				}
+			}
+			if !less {
+				break
+			}
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+}
+
+// TestStreamingMatchesOracle: on random trees and queries, the streamed
+// tuple set must equal the brute-force oracle (and the materialized All)
+// under every strategy; streamed tuples must be pairwise distinct.
+func TestStreamingMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	alphabet := []string{"A", "B", "C"}
+	hit := map[core.Strategy]int{}
+	for trial := 0; trial < 160; trial++ {
+		cfg := parityConfigs[trial%len(parityConfigs)]
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes:       1 + rng.Intn(11),
+			MaxChildren: 3,
+			Alphabet:    alphabet,
+		})
+		q := randomQuery(rng, cfg.axes, 2+rng.Intn(3), 1+rng.Intn(4), alphabet)
+		pq, err := Prepare(q)
+		if err != nil {
+			t.Fatalf("%s: Prepare: %v", cfg.name, err)
+		}
+		hit[pq.Plan().Strategy]++
+
+		got := collectTuples(pq, tr)
+		want := core.ReferenceEvalAll(tr, q)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s trial %d: streamed %v != oracle %v\nq = %s\ntree = %s",
+				cfg.name, trial, got, want, q, tr)
+		}
+		if all := pq.All(tr); !reflect.DeepEqual(all, want) {
+			t.Fatalf("%s trial %d: All %v != oracle %v\nq = %s\ntree = %s",
+				cfg.name, trial, all, want, q, tr)
+		}
+		// Distinctness of the stream.
+		seen := map[string]bool{}
+		for _, tp := range got {
+			k := fmt.Sprint(tp)
+			if seen[k] {
+				t.Fatalf("%s trial %d: duplicate streamed tuple %v", cfg.name, trial, tp)
+			}
+			seen[k] = true
+		}
+		// Monadic: ForEachNode must agree with Nodes and with the oracle.
+		if len(q.Head) == 1 {
+			var nodes []NodeID
+			pq.ForEachNode(tr, func(v NodeID) bool {
+				nodes = append(nodes, v)
+				return true
+			})
+			flat := make([]NodeID, len(want))
+			for i, tp := range want {
+				flat[i] = tp[0]
+			}
+			sortNodes(nodes)
+			if !reflect.DeepEqual(nodes, flat) && !(len(nodes) == 0 && len(flat) == 0) {
+				t.Fatalf("%s trial %d: ForEachNode %v != oracle %v\nq = %s\ntree = %s",
+					cfg.name, trial, nodes, flat, q, tr)
+			}
+			if ns := pq.Nodes(tr); !reflect.DeepEqual(ns, flat) && !(len(ns) == 0 && len(flat) == 0) {
+				t.Fatalf("%s trial %d: Nodes %v != oracle %v", cfg.name, trial, ns, flat)
+			}
+		}
+		// Streaming again on the same PreparedQuery (scratch reuse) must
+		// not drift.
+		if again := collectTuples(pq, tr); !reflect.DeepEqual(again, got) {
+			t.Fatalf("%s trial %d: re-stream drifted: %v then %v", cfg.name, trial, got, again)
+		}
+	}
+	for _, s := range []core.Strategy{core.StrategyAcyclic, core.StrategyXProperty, core.StrategyBacktrack} {
+		if hit[s] == 0 {
+			t.Errorf("streaming parity never exercised strategy %v", s)
+		}
+	}
+	t.Logf("strategy coverage: %v", hit)
+}
+
+func sortNodes(ns []NodeID) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+// TestStreamingEarlyExit: returning false from the callback must stop
+// enumeration immediately — the callback runs exactly min(limit, |answer|)
+// times — for every strategy and for both tuple and node streaming.
+func TestStreamingEarlyExit(t *testing.T) {
+	queries := map[string]string{
+		"acyclic":   "Q(y) <- A(x), Child+(x, y), B(y)",
+		"xproperty": "Q(y) <- A(x), Child+(x, y), B(y), Child+(y, z), C(z), Child+(x, z)",
+		"backtrack": "Q(y) <- A(x), Child(x, y), B(y), Child+(x, z), C(z), Following(y, z)",
+	}
+	rng := rand.New(rand.NewSource(9))
+	tr := tree.Random(rng, tree.RandomConfig{Nodes: 150, MaxChildren: 3, Alphabet: []string{"A", "B", "C"}})
+	for name, src := range queries {
+		t.Run(name, func(t *testing.T) {
+			pq := MustCompile(src)
+			total := len(pq.All(tr))
+			if total < 2 {
+				t.Fatalf("want >= 2 answers to make early exit meaningful, got %d", total)
+			}
+			for _, limit := range []int{1, 2, total, total + 5} {
+				calls := 0
+				pq.ForEachTuple(tr, func([]NodeID) bool {
+					calls++
+					return calls < limit
+				})
+				want := limit
+				if want > total {
+					want = total
+				}
+				if calls != want {
+					t.Errorf("limit %d: ForEachTuple callback ran %d times, want %d", limit, calls, want)
+				}
+				calls = 0
+				pq.ForEachNode(tr, func(NodeID) bool {
+					calls++
+					return calls < limit
+				})
+				if calls != want {
+					t.Errorf("limit %d: ForEachNode callback ran %d times, want %d", limit, calls, want)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequential: WithParallelism(n).All/Nodes must return
+// exactly the sequential result on random trees and queries (and the
+// derived handle must leave the original sequential).
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	alphabet := []string{"A", "B", "C"}
+	for trial := 0; trial < 120; trial++ {
+		cfg := parityConfigs[trial%len(parityConfigs)]
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes:       1 + rng.Intn(40),
+			MaxChildren: 4,
+			Alphabet:    alphabet,
+		})
+		q := randomQuery(rng, cfg.axes, 2+rng.Intn(3), 1+rng.Intn(4), alphabet)
+		pq, err := Prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pq.All(tr)
+		for _, workers := range []int{2, 4} {
+			par := pq.WithParallelism(workers)
+			if got := par.All(tr); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s trial %d (workers=%d): parallel All %v != sequential %v\nq = %s\ntree = %s",
+					cfg.name, trial, workers, got, want, q, tr)
+			}
+			if len(q.Head) == 1 {
+				if got, seq := par.Nodes(tr), pq.Nodes(tr); !reflect.DeepEqual(got, seq) {
+					t.Fatalf("%s trial %d (workers=%d): parallel Nodes %v != sequential %v",
+						cfg.name, trial, workers, got, seq)
+				}
+			}
+		}
+		if got := pq.All(tr); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s trial %d: WithParallelism mutated the original handle", cfg.name, trial)
+		}
+	}
+}
+
+// TestParallelEnumerationConcurrent drives parallel enumeration from many
+// goroutines at once on a shared PreparedQuery — under -race this proves
+// the sharded workers, pooled scratches and shared PinBase snapshots are
+// data-race free.
+func TestParallelEnumerationConcurrent(t *testing.T) {
+	queries := map[string]string{
+		"acyclic":   "Q(x, y) <- A(x), Child+(x, y), B(y)",
+		"xproperty": "Q(y) <- A(x), Child+(x, y), B(y), Child+(y, z), C(z), Child+(x, z)",
+	}
+	rng := rand.New(rand.NewSource(7))
+	trees := []*Tree{
+		tree.Random(rng, tree.RandomConfig{Nodes: 200, MaxChildren: 3, Alphabet: []string{"A", "B", "C"}}),
+		tree.Random(rng, tree.RandomConfig{Nodes: 60, MaxChildren: 5, Alphabet: []string{"A", "B", "C"}}),
+	}
+	for name, src := range queries {
+		t.Run(name, func(t *testing.T) {
+			pq := MustCompile(src).WithParallelism(4)
+			want := make([][][]NodeID, len(trees))
+			for i, tr := range trees {
+				want[i] = pq.All(tr)
+				if len(want[i]) == 0 {
+					t.Fatalf("tree %d: want answers for a meaningful race test", i)
+				}
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 32)
+			for g := 0; g < 6; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for it := 0; it < 10; it++ {
+						i := (g + it) % len(trees)
+						if got := pq.All(trees[i]); !reflect.DeepEqual(got, want[i]) {
+							errs <- fmt.Errorf("goroutine %d tree %d: %v != %v", g, i, got, want[i])
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestMonadicFastPathLegacyAPI: the legacy one-shot EvaluateNodes and the
+// engine EvalMonadic must agree with the streamed fast path (they now
+// route through it) and with the oracle.
+func TestMonadicFastPathLegacyAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	alphabet := []string{"A", "B", "C"}
+	for trial := 0; trial < 60; trial++ {
+		cfg := parityConfigs[trial%len(parityConfigs)]
+		tr := tree.Random(rng, tree.RandomConfig{Nodes: 1 + rng.Intn(12), MaxChildren: 3, Alphabet: alphabet})
+		q := randomQuery(rng, cfg.axes, 2+rng.Intn(3), 1+rng.Intn(3), alphabet)
+		// Force a monadic head.
+		q.SetHead(cq.Var(rng.Intn(q.NumVars())))
+		ref := core.ReferenceEvalAll(tr, q)
+		flat := make([]NodeID, len(ref))
+		for i, tp := range ref {
+			flat[i] = tp[0]
+		}
+		got := EvaluateNodes(tr, q)
+		if !reflect.DeepEqual(got, flat) && !(len(got) == 0 && len(flat) == 0) {
+			t.Fatalf("%s trial %d: EvaluateNodes %v != oracle %v\nq = %s\ntree = %s",
+				cfg.name, trial, got, flat, q, tr)
+		}
+	}
+}

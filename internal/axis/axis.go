@@ -248,10 +248,13 @@ func Holds(t *tree.Tree, a Axis, u, v tree.NodeID) bool {
 	}
 }
 
-// ForEachSuccessor calls fn for every v with a(u, v), in pre-order,
-// stopping early if fn returns false. Enumeration costs O(#successors)
-// except for Following/Preceding/DocOrder which cost O(#successors) too
-// via the pre-order index.
+// ForEachSuccessor calls fn for every v with a(u, v), stopping early if fn
+// returns false. Successors of the forward axes (Child, Child+, Child*,
+// NextSibling+, NextSibling*, Following, Preceding, DocOrder, ...) arrive
+// in increasing pre-order; the upward/leftward axes (Ancestor+, Ancestor*,
+// PrevSibling+, PrevSibling*) walk outward from u and therefore arrive in
+// DECREASING pre-order. Enumeration costs O(#successors) (plus O(depth)
+// for Preceding's ancestor skips) via the pre-order index.
 func ForEachSuccessor(t *tree.Tree, a Axis, u tree.NodeID, fn func(v tree.NodeID) bool) {
 	switch a {
 	case Child:
@@ -364,10 +367,14 @@ func ForEachSuccessor(t *tree.Tree, a Axis, u tree.NodeID, fn func(v tree.NodeID
 	}
 }
 
-// Pairs materializes the full relation {(u,v) | a(u,v)} of t, ordered by
-// (pre(u), pre(v)). Beware: transitive axes are Θ(n²) in the worst case;
-// this is meant for the paper-exact Horn-SAT encoding (Prop. 3.1), for
-// X-property brute-force checks and for tests.
+// Pairs materializes the full relation {(u,v) | a(u,v)} of t. Pairs are
+// grouped by increasing pre(u); within a group the v's follow
+// ForEachSuccessor order — increasing pre(v) for forward axes, decreasing
+// pre(v) for the upward/leftward axes (Ancestor+, Ancestor*, PrevSibling+,
+// PrevSibling*); callers needing a total (pre(u), pre(v)) order must sort.
+// Beware: transitive axes are Θ(n²) in the worst case; this is meant for
+// the paper-exact Horn-SAT encoding (Prop. 3.1), for X-property
+// brute-force checks and for tests.
 func Pairs(t *tree.Tree, a Axis) [][2]tree.NodeID {
 	var out [][2]tree.NodeID
 	for r := int32(0); r < int32(t.Len()); r++ {

@@ -148,6 +148,48 @@ func TestForEachSuccessorEarlyStop(t *testing.T) {
 	}
 }
 
+// TestSuccessorOrderContract pins the documented enumeration order of
+// ForEachSuccessor and Pairs: pairs grouped by increasing pre(u); within a
+// group, increasing pre(v) for forward axes and decreasing pre(v) for the
+// upward/leftward walks (Ancestor+, Ancestor*, PrevSibling+, PrevSibling*).
+func TestSuccessorOrderContract(t *testing.T) {
+	decreasing := map[Axis]bool{
+		AncestorPlus: true, AncestorStar: true,
+		PrevSiblingPlus: true, PrevSiblingStar: true,
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		tr := tree.Random(rng, tree.DefaultRandomConfig(30+10*trial))
+		for _, a := range All() {
+			// Per-u successor monotonicity in the documented direction.
+			for u := tree.NodeID(0); int(u) < tr.Len(); u++ {
+				prevPre := int32(-1)
+				ForEachSuccessor(tr, a, u, func(v tree.NodeID) bool {
+					if prevPre >= 0 {
+						inc := tr.Pre(v) > prevPre
+						if inc == decreasing[a] {
+							t.Fatalf("%v successors of node %d: pre ranks not %s (saw %d then %d)",
+								a, u, map[bool]string{false: "increasing", true: "decreasing"}[decreasing[a]],
+								prevPre, tr.Pre(v))
+						}
+					}
+					prevPre = tr.Pre(v)
+					return true
+				})
+			}
+			// Pairs groups by increasing pre(u).
+			prevU := int32(-1)
+			for _, p := range Pairs(tr, a) {
+				if pu := tr.Pre(p[0]); pu < prevU {
+					t.Fatalf("%v Pairs not grouped by increasing pre(u): %d after %d", a, pu, prevU)
+				} else {
+					prevU = pu
+				}
+			}
+		}
+	}
+}
+
 func TestPairsAndCount(t *testing.T) {
 	tr := tree.MustParseTerm("A(B(D),C)")
 	// Child pairs: (A,B),(A,C),(B,D) = 3.

@@ -298,18 +298,15 @@ func TestNodeSetOps(t *testing.T) {
 	}
 }
 
-func TestSuccUFAndPredUF(t *testing.T) {
+func TestSuccUF(t *testing.T) {
 	n := 10
 	var su succUF
-	var pu predUF
 	su.reset(n)
-	pu.reset(n)
-	if su.find(0) != 0 || pu.find(9) != 9 {
+	if su.find(0) != 0 || su.find(9) != 9 {
 		t.Fatalf("initial finds wrong")
 	}
 	for _, r := range []int32{3, 4, 5, 0, 9} {
 		su.delete(r)
-		pu.delete(r)
 	}
 	if got := su.find(3); got != 6 {
 		t.Errorf("succ find(3) = %d, want 6", got)
@@ -320,16 +317,12 @@ func TestSuccUFAndPredUF(t *testing.T) {
 	if got := su.find(9); got != 10 {
 		t.Errorf("succ find(9) = %d, want 10 (none)", got)
 	}
-	if got := pu.find(5); got != 2 {
-		t.Errorf("pred find(5) = %d, want 2", got)
-	}
-	if got := pu.find(9); got != 8 {
-		t.Errorf("pred find(9) = %d, want 8", got)
-	}
-	pu.delete(1)
-	pu.delete(2)
-	if got := pu.find(2); got != -1 {
-		t.Errorf("pred find(2) = %d, want -1 (none, 0 deleted too? no: 0 deleted)", got)
+	// Reuse after reset restores the full universe.
+	su.reset(n)
+	for r := int32(0); r < int32(n); r++ {
+		if su.find(r) != r {
+			t.Fatalf("after reset, find(%d) = %d", r, su.find(r))
+		}
 	}
 }
 

@@ -1,0 +1,514 @@
+package consistency
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// This file implements the incremental pinned arc-consistency engine behind
+// output-sensitive answer enumeration.
+//
+// The tuple-membership construction below Theorem 3.5 decides "is tuple
+// 〈a1..ak〉 in the answer?" by adding singleton relations X_i = {a_i} and
+// re-testing arc consistency. Running that from scratch per tuple costs a
+// full O(‖A‖·|Q|) pass each time — the |A|^k · ‖A‖ · |Q| worst case the
+// paper states. Two observations make enumeration output-sensitive
+// instead:
+//
+//  1. The maximal arc-consistent prevaluation under pins is contained in
+//     the unpinned one (arc consistency is monotone in the initial
+//     domains), so every pinned run may start from the already-computed
+//     maximal prevaluation rather than the label-filtered full sets.
+//  2. Starting from an arc-consistent state, only atoms touching the
+//     newly pinned variable can be violated, so the worklist seeds with
+//     those atoms alone, and domains are shared copy-on-write: a pin
+//     touches O(words) state for the pinned variable plus state
+//     proportional to the propagation it actually causes.
+//
+// PinBase snapshots the maximal prevaluation (plus the tree orderings)
+// once per enumeration; PinRun is a stack of pin levels over it, used to
+// enumerate head tuples with prefix pruning: if pinning a tuple prefix
+// already empties a domain, no extension of that prefix is an answer.
+
+// --- word-level bitset helpers -------------------------------------------
+
+func bitTest(w []uint64, i int32) bool { return w[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func bitSet(w []uint64, i int32) { w[i>>6] |= 1 << (uint(i) & 63) }
+
+func bitClear(w []uint64, i int32) { w[i>>6] &^= 1 << (uint(i) & 63) }
+
+// anyBitIn reports whether some bit with index in [lo, hi] is set.
+// Tolerates empty and out-of-range intervals.
+func anyBitIn(w []uint64, lo, hi int32) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if max := int32(len(w)) * 64; hi >= max {
+		hi = max - 1
+	}
+	if hi < lo {
+		return false
+	}
+	loW, hiW := lo>>6, hi>>6
+	loMask := ^uint64(0) << (uint(lo) & 63)
+	hiMask := ^uint64(0) >> (63 - (uint(hi) & 63))
+	if loW == hiW {
+		return w[loW]&loMask&hiMask != 0
+	}
+	if w[loW]&loMask != 0 {
+		return true
+	}
+	for i := loW + 1; i < hiW; i++ {
+		if w[i] != 0 {
+			return true
+		}
+	}
+	return w[hiW]&hiMask != 0
+}
+
+// firstBit returns the index of the lowest set bit, or -1.
+func firstBit(w []uint64) int32 {
+	for wi, x := range w {
+		if x != 0 {
+			return int32(wi*64 + bits.TrailingZeros64(x))
+		}
+	}
+	return -1
+}
+
+// forEachBit calls fn on every set bit in ascending index order; stops
+// early (returning false) if fn returns false.
+func forEachBit(w []uint64, fn func(i int32) bool) bool {
+	for wi, x := range w {
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			if !fn(int32(wi*64 + b)) {
+				return false
+			}
+			x &^= 1 << uint(b)
+		}
+	}
+	return true
+}
+
+func growWords(s []uint64, nw int) []uint64 {
+	if cap(s) < nw {
+		return make([]uint64, nw)
+	}
+	s = s[:nw]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// --- PinBase --------------------------------------------------------------
+
+// PinBase is an immutable snapshot of the subset-maximal arc-consistent
+// prevaluation of a query on a tree, prepared for repeated pinned runs:
+// each variable's candidate set is stored three ways — as a bitset over
+// pre-order ranks, over sibling-order ranks, and over positions in the
+// (preEnd, pre) order — so that a PinRun can restore any domain with a few
+// word copies instead of rebuilding deletion-only index structures.
+//
+// A PinBase is read-only after construction and safe to share between
+// concurrent PinRuns (the parallel enumeration path relies on this).
+type PinBase struct {
+	t  *tree.Tree
+	q  *cq.Query
+	n  int // number of tree nodes
+	nw int // words per bitset
+	nv int // number of query variables
+
+	ownIx     treeIndex  // backing index when none is borrowed
+	ix        *treeIndex // the index in use (owned or borrowed)
+	sctx      supportCtx
+	preEndVal []int32   // position in (preEnd, pre) order -> preEnd value
+	atomsOf   [][]int32 // variable -> indexes of atoms touching it
+
+	sets       []*NodeSet // per variable: candidates, NodeID-indexed
+	pre        [][]uint64 // per variable: alive bitset over pre ranks
+	sib        [][]uint64 // per variable: alive bitset over sibling ranks
+	preEnd     [][]uint64 // per variable: alive bitset over preEnd positions
+	setStore   []NodeSet  // backing storage for sets (reused across rebinds)
+	atomsStore [][]int32
+}
+
+// NewPinBase snapshots p — the maximal arc-consistent prevaluation of q on
+// t, as returned by FastAC/HornAC — into a fresh PinBase. p's sets are
+// copied; the caller may keep using (or recycling) them afterwards.
+func NewPinBase(t *tree.Tree, q *cq.Query, p *Prevaluation) *PinBase {
+	b := &PinBase{}
+	b.init(t, q, p, nil)
+	return b
+}
+
+// PinBaseFor is NewPinBase backed by Scratch-owned storage — including the
+// scratch's tree index, which an arc-consistency run on the same scratch
+// and tree has typically already built. The result is valid until the next
+// PinBaseFor or arc-consistency run on sc; while valid it is still safe
+// for concurrent PinRuns.
+func (sc *Scratch) PinBaseFor(t *tree.Tree, q *cq.Query, p *Prevaluation) *PinBase {
+	sc.pinBase.init(t, q, p, &sc.ix)
+	return &sc.pinBase
+}
+
+func (b *PinBase) init(t *tree.Tree, q *cq.Query, p *Prevaluation, sharedIx *treeIndex) {
+	n := t.Len()
+	nv := q.NumVars()
+	if len(p.Sets) != nv {
+		panic(fmt.Sprintf("consistency: PinBase of %d-set prevaluation for %d-var query", len(p.Sets), nv))
+	}
+	b.t, b.q, b.n, b.nv = t, q, n, nv
+	b.nw = (n + 63) / 64
+	if sharedIx != nil {
+		b.ix = sharedIx
+	} else {
+		b.ix = &b.ownIx
+	}
+	b.ix.build(t) // no-op when the index is already built for t
+	b.sctx = supportCtx{t: t, n: int32(n), sibRank: b.ix.sibRank, sibStart: b.ix.sibStart}
+
+	b.preEndVal = growInt32(b.preEndVal, n)
+	for pos := 0; pos < n; pos++ {
+		b.preEndVal[pos] = t.PreEnd(b.ix.preEndNode[pos])
+	}
+
+	for len(b.atomsStore) < nv {
+		b.atomsStore = append(b.atomsStore, nil)
+	}
+	b.atomsOf = b.atomsStore[:nv]
+	for x := range b.atomsOf {
+		b.atomsOf[x] = b.atomsOf[x][:0]
+	}
+	for i, at := range q.Atoms {
+		b.atomsOf[at.X] = append(b.atomsOf[at.X], int32(i))
+		if at.Y != at.X {
+			b.atomsOf[at.Y] = append(b.atomsOf[at.Y], int32(i))
+		}
+	}
+
+	for len(b.setStore) < nv {
+		b.setStore = append(b.setStore, NodeSet{})
+	}
+	b.sets = grow(b.sets, nv)
+	b.pre = grow(b.pre, nv)
+	b.sib = grow(b.sib, nv)
+	b.preEnd = grow(b.preEnd, nv)
+	for x := 0; x < nv; x++ {
+		b.setStore[x].copyFrom(p.Sets[x])
+		b.sets[x] = &b.setStore[x]
+		b.pre[x] = growWords(b.pre[x], b.nw)
+		b.sib[x] = growWords(b.sib[x], b.nw)
+		b.preEnd[x] = growWords(b.preEnd[x], b.nw)
+		b.sets[x].ForEach(func(v tree.NodeID) bool {
+			bitSet(b.pre[x], t.Pre(v))
+			bitSet(b.sib[x], b.ix.sibRank[v])
+			bitSet(b.preEnd[x], b.ix.preEndPos[v])
+			return true
+		})
+	}
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Candidates returns x's snapshot candidate set (the maximal arc-consistent
+// set), in NodeID indexing. Read-only; owned by the PinBase.
+func (b *PinBase) Candidates(x cq.Var) *NodeSet { return b.sets[x] }
+
+// --- pinDom: the bitset domainView ---------------------------------------
+
+// pinDom adapts one variable's current bitsets to the domainView interface
+// consumed by the shared axis support tests.
+type pinDom struct {
+	b      *PinBase
+	pre    []uint64
+	sib    []uint64
+	preEnd []uint64
+}
+
+func (d *pinDom) hasNode(v tree.NodeID) bool { return bitTest(d.pre, d.b.t.Pre(v)) }
+
+func (d *pinDom) anyPreIn(lo, hi int32) bool { return anyBitIn(d.pre, lo, hi) }
+
+func (d *pinDom) anySibIn(lo, hi int32) bool { return anyBitIn(d.sib, lo, hi) }
+
+func (d *pinDom) minPreEnd() int32 {
+	pos := firstBit(d.preEnd)
+	if pos < 0 {
+		return int32(d.b.n)
+	}
+	return d.b.preEndVal[pos]
+}
+
+// --- PinRun ---------------------------------------------------------------
+
+// pinLevel holds the domain state after one pin: per variable, pointers to
+// the current bitsets (aliasing the level below until the variable is
+// mutated — copy-on-write), plus alive counts.
+type pinLevel struct {
+	pre    [][]uint64
+	sib    [][]uint64
+	preEnd [][]uint64
+	owned  []bool // whether this level owns (has copied) the variable's bitsets
+	count  []int32
+
+	ownPre    [][]uint64 // lazily allocated owned buffers, reused across pins
+	ownSib    [][]uint64
+	ownPreEnd [][]uint64
+}
+
+func (lv *pinLevel) ensure(nv int) {
+	lv.pre = grow(lv.pre, nv)
+	lv.sib = grow(lv.sib, nv)
+	lv.preEnd = grow(lv.preEnd, nv)
+	lv.owned = grow(lv.owned, nv)
+	lv.count = grow(lv.count, nv)
+	lv.ownPre = grow(lv.ownPre, nv)
+	lv.ownSib = grow(lv.ownSib, nv)
+	lv.ownPreEnd = grow(lv.ownPreEnd, nv)
+}
+
+// PinRun enumerates over a PinBase by pushing and popping pins. It is a
+// stack: Push(x, v) restricts x's domain to {v} on top of the current
+// state and propagates arc consistency incrementally; Pop undoes the most
+// recent successful Push in O(1) (copy-on-write levels make undo free).
+//
+// A PinRun is NOT safe for concurrent use; create one per goroutine over a
+// shared PinBase.
+type PinRun struct {
+	b         *PinBase
+	depth     int
+	levels    []pinLevel
+	queue     []int32
+	inQueue   []bool
+	removeBuf []int32 // pre ranks pending removal in the current revision
+	viewX     pinDom  // reusable support-test views (avoid per-revision
+	viewY     pinDom  // heap allocation through the generic call)
+}
+
+// NewPinRun returns a PinRun positioned at the unpinned snapshot.
+func NewPinRun(b *PinBase) *PinRun { return &PinRun{b: b} }
+
+// PinRunFor is NewPinRun backed by Scratch-owned buffers: the result is
+// valid until the next PinRunFor call on sc.
+func (sc *Scratch) PinRunFor(b *PinBase) *PinRun {
+	sc.pinRun.b = b
+	sc.pinRun.depth = 0
+	return &sc.pinRun
+}
+
+// Depth returns the number of pins currently pushed.
+func (r *PinRun) Depth() int { return r.depth }
+
+// Base returns the snapshot the run enumerates over.
+func (r *PinRun) Base() *PinBase { return r.b }
+
+// words returns the current bitsets of variable x at stack depth d (d pins
+// applied).
+func (r *PinRun) words(d int, x cq.Var) (pre, sib, preEnd []uint64) {
+	if d == 0 {
+		return r.b.pre[x], r.b.sib[x], r.b.preEnd[x]
+	}
+	lv := &r.levels[d-1]
+	return lv.pre[x], lv.sib[x], lv.preEnd[x]
+}
+
+func (r *PinRun) countAt(d int, x cq.Var) int32 {
+	if d == 0 {
+		return int32(r.b.sets[x].Len())
+	}
+	return r.levels[d-1].count[x]
+}
+
+// setView points the reusable support-test view d at variable x's current
+// bitsets in the level under construction.
+func (lv *pinLevel) setView(b *PinBase, d *pinDom, x cq.Var) {
+	d.b, d.pre, d.sib, d.preEnd = b, lv.pre[x], lv.sib[x], lv.preEnd[x]
+}
+
+// own makes the level's bitsets for x private by copying the aliased words
+// into the level-owned buffers. No-op if already owned.
+func (lv *pinLevel) own(b *PinBase, x cq.Var) {
+	if lv.owned[x] {
+		return
+	}
+	lv.ownPre[x] = grow(lv.ownPre[x], b.nw)
+	lv.ownSib[x] = grow(lv.ownSib[x], b.nw)
+	lv.ownPreEnd[x] = grow(lv.ownPreEnd[x], b.nw)
+	copy(lv.ownPre[x], lv.pre[x])
+	copy(lv.ownSib[x], lv.sib[x])
+	copy(lv.ownPreEnd[x], lv.preEnd[x])
+	lv.pre[x], lv.sib[x], lv.preEnd[x] = lv.ownPre[x], lv.ownSib[x], lv.ownPreEnd[x]
+	lv.owned[x] = true
+}
+
+// remove deletes node v from x's (owned) bitsets at this level.
+func (lv *pinLevel) remove(b *PinBase, x cq.Var, v tree.NodeID) {
+	bitClear(lv.pre[x], b.t.Pre(v))
+	bitClear(lv.sib[x], b.ix.sibRank[v])
+	bitClear(lv.preEnd[x], b.ix.preEndPos[v])
+	lv.count[x]--
+}
+
+// Push restricts x's domain to {v} on top of the current state and
+// propagates arc consistency. It returns true and commits one stack level
+// if the pinned state remains arc-consistent (i.e. some answer extends the
+// current pin prefix with x = v); otherwise it returns false and leaves
+// the stack unchanged.
+func (r *PinRun) Push(x cq.Var, v tree.NodeID) bool {
+	b := r.b
+	d := r.depth
+	for len(r.levels) <= d {
+		r.levels = append(r.levels, pinLevel{})
+	}
+	lv := &r.levels[d]
+	lv.ensure(b.nv)
+	for y := 0; y < b.nv; y++ {
+		lv.pre[y], lv.sib[y], lv.preEnd[y] = r.words(d, cq.Var(y))
+		lv.owned[y] = false
+		lv.count[y] = r.countAt(d, cq.Var(y))
+	}
+	if !bitTest(lv.pre[x], b.t.Pre(v)) {
+		return false // v already pruned from x's domain
+	}
+	// Pin: x's bitsets become the singleton {v}.
+	lv.ownPre[x] = growWords(lv.ownPre[x], b.nw)
+	lv.ownSib[x] = growWords(lv.ownSib[x], b.nw)
+	lv.ownPreEnd[x] = growWords(lv.ownPreEnd[x], b.nw)
+	lv.pre[x], lv.sib[x], lv.preEnd[x] = lv.ownPre[x], lv.ownSib[x], lv.ownPreEnd[x]
+	lv.owned[x] = true
+	bitSet(lv.pre[x], b.t.Pre(v))
+	bitSet(lv.sib[x], b.ix.sibRank[v])
+	bitSet(lv.preEnd[x], b.ix.preEndPos[v])
+	lv.count[x] = 1
+	if !r.propagate(lv, x) {
+		return false
+	}
+	r.depth = d + 1
+	return true
+}
+
+// Pop undoes the most recent successful Push.
+func (r *PinRun) Pop() {
+	if r.depth == 0 {
+		panic("consistency: PinRun.Pop on empty pin stack")
+	}
+	r.depth--
+}
+
+// propagate runs the incremental worklist on the level under construction,
+// seeded with the atoms touching the pinned variable. Reports false if
+// some domain empties.
+func (r *PinRun) propagate(lv *pinLevel, pinned cq.Var) bool {
+	b := r.b
+	na := len(b.q.Atoms)
+	if cap(r.inQueue) < na {
+		r.inQueue = make([]bool, na)
+	}
+	inQueue := r.inQueue[:na]
+	for i := range inQueue {
+		inQueue[i] = false
+	}
+	queue := r.queue[:0]
+	for _, ai := range b.atomsOf[pinned] {
+		queue = append(queue, ai)
+		inQueue[ai] = true
+	}
+	// enqueueTouching re-queues the atoms of a pruned variable, except the
+	// atom being revised: for a two-variable atom one forward+backward
+	// pass leaves it fully arc-consistent (pruned values are unsupported,
+	// so they support nothing on the opposite side), and re-revising it
+	// immediately would find no work. Self-loop atoms R(x,x) MUST re-queue
+	// themselves (except = -1): there the two sides share one domain, so a
+	// removal can strip the remaining values' own supports. Keep this
+	// revision rule in sync with Scratch.FastACFromStats (fastac.go),
+	// which runs the same worklist over the deletion-only UF domains.
+	enqueueTouching := func(x cq.Var, except int32) {
+		for _, ai := range b.atomsOf[x] {
+			if ai != except && !inQueue[ai] {
+				inQueue[ai] = true
+				queue = append(queue, ai)
+			}
+		}
+	}
+	consistent := true
+	for pop := 0; consistent && pop < len(queue); pop++ {
+		ai := queue[pop]
+		inQueue[ai] = false
+		at := b.q.Atoms[ai]
+		except := ai
+		if at.X == at.Y {
+			except = -1 // self-loop: must re-revise itself to a fixpoint
+		}
+
+		// Forward: prune candidates of X lacking support in Y.
+		lv.setView(b, &r.viewX, at.X)
+		lv.setView(b, &r.viewY, at.Y)
+		r.removeBuf = r.removeBuf[:0]
+		forEachBit(r.viewX.pre, func(pr int32) bool {
+			if !supportedFwd(&b.sctx, at.Axis, b.t.ByPre(pr), &r.viewY) {
+				r.removeBuf = append(r.removeBuf, pr)
+			}
+			return true
+		})
+		if len(r.removeBuf) > 0 {
+			lv.own(b, at.X)
+			for _, pr := range r.removeBuf {
+				lv.remove(b, at.X, b.t.ByPre(pr))
+			}
+			if lv.count[at.X] == 0 {
+				consistent = false
+				break
+			}
+			enqueueTouching(at.X, except)
+		}
+
+		// Backward: prune candidates of Y lacking support in X. Views are
+		// re-fetched: the forward removals may have copy-on-wrote X (and,
+		// for self-loop atoms, X aliases Y).
+		lv.setView(b, &r.viewX, at.X)
+		lv.setView(b, &r.viewY, at.Y)
+		r.removeBuf = r.removeBuf[:0]
+		forEachBit(r.viewY.pre, func(pr int32) bool {
+			if !supportedBwd(&b.sctx, at.Axis, b.t.ByPre(pr), &r.viewX) {
+				r.removeBuf = append(r.removeBuf, pr)
+			}
+			return true
+		})
+		if len(r.removeBuf) > 0 {
+			lv.own(b, at.Y)
+			for _, pr := range r.removeBuf {
+				lv.remove(b, at.Y, b.t.ByPre(pr))
+			}
+			if lv.count[at.Y] == 0 {
+				consistent = false
+				break
+			}
+			enqueueTouching(at.Y, except)
+		}
+	}
+	r.queue = queue[:0]
+	return consistent
+}
+
+// ForEachCurrent calls fn for every node in x's current (post-pin) domain,
+// in document (pre) order, stopping early if fn returns false. The domain
+// reflects all pins currently pushed; with no pins it is x's maximal
+// arc-consistent candidate set.
+func (r *PinRun) ForEachCurrent(x cq.Var, fn func(v tree.NodeID) bool) {
+	pre, _, _ := r.words(r.depth, x)
+	forEachBit(pre, func(pr int32) bool { return fn(r.b.t.ByPre(pr)) })
+}
+
+// CurrentLen returns the size of x's current domain.
+func (r *PinRun) CurrentLen(x cq.Var) int { return int(r.countAt(r.depth, x)) }

@@ -34,48 +34,17 @@ func (u *succUF) find(r int32) int32 {
 
 func (u *succUF) delete(r int32) { u.next[r] = u.find(r + 1) }
 
-// predUF is the mirror: find(r) returns the largest alive rank <= r, or -1.
-type predUF struct {
-	prev []int32 // index shifted by +1; prev[0] = 0 is the "none" sentinel
-}
-
-func (u *predUF) reset(n int) {
-	u.prev = growInt32(u.prev, n+1)
-	for i := range u.prev {
-		u.prev[i] = int32(i)
-	}
-}
-
-func (u *predUF) find(r int32) int32 {
-	i := r + 1
-	for u.prev[i] != i {
-		u.prev[i] = u.prev[u.prev[i]]
-		i = u.prev[i]
-	}
-	return i - 1
-}
-
-func (u *predUF) delete(r int32) { u.prev[r+1] = u.findIdx(r) }
-
-func (u *predUF) findIdx(r int32) int32 {
-	i := r
-	for u.prev[i] != i {
-		u.prev[i] = u.prev[u.prev[i]]
-		i = u.prev[i]
-	}
-	return i
-}
-
 // domain bundles a variable's alive set with its deletion-only indexes. The
 // index structures live inline so a Scratch can recycle their backing
-// arrays across runs.
+// arrays across runs. (Maximum-alive queries need no mirrored predecessor
+// structure: every support test below reduces to "does an alive rank exist
+// in [lo, hi]", which the successor structures answer directly.)
 type domain struct {
 	set      *NodeSet
-	byPre    succUF // over pre ranks
-	byPreMax predUF // over pre ranks (max alive <= r)
-	bySib    succUF // over sibling-order ranks
-	bySibMax predUF
-	byPreEnd succUF // over preEnd-sorted positions (min alive preEnd)
+	st       *fastState // run context: tree, indexes (set by resetDomain)
+	byPre    succUF     // over pre ranks
+	bySib    succUF     // over sibling-order ranks
+	byPreEnd succUF     // over preEnd-sorted positions (min alive preEnd)
 }
 
 // fastState carries the shared tree indexes of a FastAC run, borrowed from
@@ -84,6 +53,7 @@ type fastState struct {
 	t    *tree.Tree
 	n    int
 	ix   *treeIndex
+	sctx supportCtx
 	doms []domain
 }
 
@@ -92,10 +62,9 @@ type fastState struct {
 func (st *fastState) resetDomain(d *domain, s *NodeSet) {
 	n := st.n
 	d.set = s
+	d.st = st
 	d.byPre.reset(n)
-	d.byPreMax.reset(n)
 	d.bySib.reset(n)
-	d.bySibMax.reset(n)
 	d.byPreEnd.reset(n)
 	if s.Len() == n {
 		return
@@ -108,12 +77,8 @@ func (st *fastState) resetDomain(d *domain, s *NodeSet) {
 }
 
 func (d *domain) deleteIndexes(st *fastState, v tree.NodeID) {
-	pr := st.t.Pre(v)
-	d.byPre.delete(pr)
-	d.byPreMax.delete(pr)
-	sr := st.ix.sibRank[v]
-	d.bySib.delete(sr)
-	d.bySibMax.delete(sr)
+	d.byPre.delete(st.t.Pre(v))
+	d.bySib.delete(st.ix.sibRank[v])
 	d.byPreEnd.delete(st.ix.preEndPos[v])
 }
 
@@ -122,116 +87,144 @@ func (d *domain) remove(st *fastState, v tree.NodeID) {
 	d.deleteIndexes(st, v)
 }
 
-// maxAlivePre returns the largest pre rank alive in d, or -1.
-func (d *domain) maxAlivePre(st *fastState) int32 { return d.byPreMax.find(int32(st.n) - 1) }
+// domain implements domainView (see below) on top of its deletion-only
+// successor structures.
 
-// minAlivePreEnd returns the smallest preEnd value among alive nodes, or
-// n (one past any valid rank) if the domain is empty.
-func (d *domain) minAlivePreEnd(st *fastState) int32 {
+func (d *domain) hasNode(v tree.NodeID) bool { return d.set.Has(v) }
+
+func (d *domain) anyPreIn(lo, hi int32) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo || lo >= int32(d.st.n) {
+		return false
+	}
+	return d.byPre.find(lo) <= hi
+}
+
+func (d *domain) anySibIn(lo, hi int32) bool {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi < lo || lo >= int32(d.st.n) {
+		return false
+	}
+	return d.bySib.find(lo) <= hi
+}
+
+func (d *domain) minPreEnd() int32 {
 	pos := d.byPreEnd.find(0)
-	if pos >= int32(st.n) {
-		return int32(st.n)
+	if pos >= int32(d.st.n) {
+		return int32(d.st.n)
 	}
-	return st.t.PreEnd(st.ix.preEndNode[pos])
+	return d.st.t.PreEnd(d.st.ix.preEndNode[pos])
 }
 
-// hasAliveInPreRange reports whether some alive node has pre rank in
-// [lo, hi].
-func (d *domain) hasAliveInPreRange(lo, hi int32) bool {
-	if lo < 0 {
-		lo = 0
-	}
-	r := d.byPre.find(lo)
-	return r <= hi
+// domainView abstracts the alive-set queries that axis support tests need.
+// Two implementations exist: *domain (deletion-only successor structures,
+// used by the full FastAC worklist) and *pinDom (copy-on-write bitsets,
+// used by incremental pinned runs during enumeration; see enumerate.go).
+// All ranges are inclusive; implementations tolerate empty or out-of-range
+// intervals.
+type domainView interface {
+	// hasNode reports whether node v is alive.
+	hasNode(v tree.NodeID) bool
+	// anyPreIn reports whether an alive node has pre rank in [lo, hi].
+	anyPreIn(lo, hi int32) bool
+	// anySibIn reports whether an alive node has sibling-order rank in
+	// [lo, hi].
+	anySibIn(lo, hi int32) bool
+	// minPreEnd returns the minimum preEnd among alive nodes, or >= n
+	// when the domain is empty.
+	minPreEnd() int32
 }
 
-// hasAliveInSibRange reports whether some alive node has sibling-order
-// rank in [lo, hi].
-func (d *domain) hasAliveInSibRange(lo, hi int32) bool {
-	if lo < 0 {
-		lo = 0
-	}
-	r := d.bySib.find(lo)
-	return r <= hi
+// supportCtx bundles the read-only tree context the support tests consult.
+type supportCtx struct {
+	t        *tree.Tree
+	n        int32
+	sibRank  []int32 // node -> sibling-order rank
+	sibStart []int32 // parent node -> first child rank
 }
 
 // supportedFwd reports whether node v (a candidate for x in atom R(x,y))
-// has some support w in dy: ∃w ∈ dy: R(v,w).
-func (st *fastState) supportedFwd(a axis.Axis, v tree.NodeID, dy *domain) bool {
-	t := st.t
+// has some support w in dy: ∃w ∈ dy: R(v,w). Generic over the domain
+// representation so the full worklist and the incremental pinned runs share
+// one implementation of the per-axis logic.
+func supportedFwd[D domainView](c *supportCtx, a axis.Axis, v tree.NodeID, dy D) bool {
+	t := c.t
 	switch a {
 	case axis.Child:
-		for _, c := range t.Children(v) {
-			if dy.set.Has(c) {
+		for _, ch := range t.Children(v) {
+			if dy.hasNode(ch) {
 				return true
 			}
 		}
 		return false
 	case axis.ChildPlus:
-		return dy.hasAliveInPreRange(t.Pre(v)+1, t.PreEnd(v))
+		return dy.anyPreIn(t.Pre(v)+1, t.PreEnd(v))
 	case axis.ChildStar:
-		return dy.hasAliveInPreRange(t.Pre(v), t.PreEnd(v))
+		return dy.anyPreIn(t.Pre(v), t.PreEnd(v))
 	case axis.NextSibling:
 		w := t.NextSibling(v)
-		return w != tree.NilNode && dy.set.Has(w)
+		return w != tree.NilNode && dy.hasNode(w)
 	case axis.NextSiblingPlus:
 		p := t.Parent(v)
 		if p == tree.NilNode {
 			return false
 		}
-		lo := st.ix.sibRank[v] + 1
-		hi := st.ix.sibStart[p] + int32(t.NumChildren(p)) - 1
-		return dy.hasAliveInSibRange(lo, hi)
+		lo := c.sibRank[v] + 1
+		hi := c.sibStart[p] + int32(t.NumChildren(p)) - 1
+		return dy.anySibIn(lo, hi)
 	case axis.NextSiblingStar:
-		if dy.set.Has(v) {
+		if dy.hasNode(v) {
 			return true
 		}
-		return st.supportedFwd(axis.NextSiblingPlus, v, dy)
+		return supportedFwd(c, axis.NextSiblingPlus, v, dy)
 	case axis.Following:
-		return dy.maxAlivePre(st) > t.PreEnd(v)
+		// ∃w alive: pre(w) > preEnd(v).
+		return dy.anyPreIn(t.PreEnd(v)+1, c.n-1)
 	case axis.Parent:
 		p := t.Parent(v)
-		return p != tree.NilNode && dy.set.Has(p)
+		return p != tree.NilNode && dy.hasNode(p)
 	case axis.AncestorPlus:
 		for p := t.Parent(v); p != tree.NilNode; p = t.Parent(p) {
-			if dy.set.Has(p) {
+			if dy.hasNode(p) {
 				return true
 			}
 		}
 		return false
 	case axis.AncestorStar:
 		for p := v; p != tree.NilNode; p = t.Parent(p) {
-			if dy.set.Has(p) {
+			if dy.hasNode(p) {
 				return true
 			}
 		}
 		return false
 	case axis.PrevSibling:
 		w := t.PrevSibling(v)
-		return w != tree.NilNode && dy.set.Has(w)
+		return w != tree.NilNode && dy.hasNode(w)
 	case axis.PrevSiblingPlus:
 		p := t.Parent(v)
 		if p == tree.NilNode {
 			return false
 		}
-		lo := st.ix.sibStart[p]
-		hi := st.ix.sibRank[v] - 1
-		return hi >= lo && dy.bySibMax.find(hi) >= lo
+		return dy.anySibIn(c.sibStart[p], c.sibRank[v]-1)
 	case axis.PrevSiblingStar:
-		if dy.set.Has(v) {
+		if dy.hasNode(v) {
 			return true
 		}
-		return st.supportedFwd(axis.PrevSiblingPlus, v, dy)
+		return supportedFwd(c, axis.PrevSiblingPlus, v, dy)
 	case axis.Preceding:
 		// Preceding(v,w) ⇔ Following(w,v) ⇔ pre(v) > preEnd(w).
-		return dy.minAlivePreEnd(st) < t.Pre(v)
+		return dy.minPreEnd() < t.Pre(v)
 	case axis.Self:
-		return dy.set.Has(v)
+		return dy.hasNode(v)
 	case axis.DocOrder:
-		return dy.maxAlivePre(st) > t.Pre(v)
+		return dy.anyPreIn(t.Pre(v)+1, c.n-1)
 	case axis.DocOrderSucc:
 		r := t.Pre(v) + 1
-		return r < int32(st.n) && dy.set.Has(t.ByPre(r))
+		return r < c.n && dy.hasNode(t.ByPre(r))
 	default:
 		panic(fmt.Sprintf("consistency: supportedFwd of invalid axis %d", int(a)))
 	}
@@ -239,47 +232,47 @@ func (st *fastState) supportedFwd(a axis.Axis, v tree.NodeID, dy *domain) bool {
 
 // supportedBwd reports whether node w (a candidate for y in atom R(x,y))
 // has some support v in dx: ∃v ∈ dx: R(v,w).
-func (st *fastState) supportedBwd(a axis.Axis, w tree.NodeID, dx *domain) bool {
-	t := st.t
+func supportedBwd[D domainView](c *supportCtx, a axis.Axis, w tree.NodeID, dx D) bool {
+	t := c.t
 	switch a {
 	case axis.Child:
-		return st.supportedFwd(axis.Parent, w, dx)
+		return supportedFwd(c, axis.Parent, w, dx)
 	case axis.ChildPlus:
-		return st.supportedFwd(axis.AncestorPlus, w, dx)
+		return supportedFwd(c, axis.AncestorPlus, w, dx)
 	case axis.ChildStar:
-		return st.supportedFwd(axis.AncestorStar, w, dx)
+		return supportedFwd(c, axis.AncestorStar, w, dx)
 	case axis.NextSibling:
-		return st.supportedFwd(axis.PrevSibling, w, dx)
+		return supportedFwd(c, axis.PrevSibling, w, dx)
 	case axis.NextSiblingPlus:
-		return st.supportedFwd(axis.PrevSiblingPlus, w, dx)
+		return supportedFwd(c, axis.PrevSiblingPlus, w, dx)
 	case axis.NextSiblingStar:
-		return st.supportedFwd(axis.PrevSiblingStar, w, dx)
+		return supportedFwd(c, axis.PrevSiblingStar, w, dx)
 	case axis.Following:
 		// ∃v: Following(v,w) ⇔ ∃v: preEnd(v) < pre(w).
-		return dx.minAlivePreEnd(st) < t.Pre(w)
+		return dx.minPreEnd() < t.Pre(w)
 	case axis.Parent:
-		return st.supportedFwd(axis.Child, w, dx)
+		return supportedFwd(c, axis.Child, w, dx)
 	case axis.AncestorPlus:
-		return st.supportedFwd(axis.ChildPlus, w, dx)
+		return supportedFwd(c, axis.ChildPlus, w, dx)
 	case axis.AncestorStar:
-		return st.supportedFwd(axis.ChildStar, w, dx)
+		return supportedFwd(c, axis.ChildStar, w, dx)
 	case axis.PrevSibling:
-		return st.supportedFwd(axis.NextSibling, w, dx)
+		return supportedFwd(c, axis.NextSibling, w, dx)
 	case axis.PrevSiblingPlus:
-		return st.supportedFwd(axis.NextSiblingPlus, w, dx)
+		return supportedFwd(c, axis.NextSiblingPlus, w, dx)
 	case axis.PrevSiblingStar:
-		return st.supportedFwd(axis.NextSiblingStar, w, dx)
+		return supportedFwd(c, axis.NextSiblingStar, w, dx)
 	case axis.Preceding:
 		// ∃v: Preceding(v,w) ⇔ ∃v: pre(v) > preEnd(w).
-		return dx.maxAlivePre(st) > t.PreEnd(w)
+		return dx.anyPreIn(t.PreEnd(w)+1, c.n-1)
 	case axis.Self:
-		return dx.set.Has(w)
+		return dx.hasNode(w)
 	case axis.DocOrder:
-		// ∃v: pre(v) < pre(w) ⇔ min alive pre < pre(w).
-		return dx.byPre.find(0) < t.Pre(w)
+		// ∃v: pre(v) < pre(w).
+		return dx.anyPreIn(0, t.Pre(w)-1)
 	case axis.DocOrderSucc:
 		r := t.Pre(w) - 1
-		return r >= 0 && dx.set.Has(t.ByPre(r))
+		return r >= 0 && dx.hasNode(t.ByPre(r))
 	default:
 		panic(fmt.Sprintf("consistency: supportedBwd of invalid axis %d", int(a)))
 	}
@@ -343,6 +336,7 @@ func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation
 		sc.doms = append(sc.doms, domain{})
 	}
 	st := &fastState{t: t, n: n, ix: &sc.ix, doms: sc.doms[:nv]}
+	st.sctx = supportCtx{t: t, n: int32(n), sibRank: sc.ix.sibRank, sibStart: sc.ix.sibStart}
 	for x, s := range init.Sets {
 		if s.Empty() {
 			return nil, stats, false
@@ -375,9 +369,18 @@ func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation
 			atomsOf[at.Y] = append(atomsOf[at.Y], i)
 		}
 	}
-	enqueueTouching := func(x cq.Var) {
+	// enqueueTouching re-queues the atoms of a pruned variable, except the
+	// atom being revised: for a two-variable atom one forward+backward
+	// pass leaves it fully arc-consistent (pruned values are unsupported,
+	// so they support nothing on the opposite side), and re-revising it
+	// immediately would find no work. Self-loop atoms R(x,x) MUST re-queue
+	// themselves (callers pass except = -1): there the two sides share one
+	// domain, so a removal can strip the remaining values' own supports.
+	// Keep this revision rule in sync with PinRun.propagate (enumerate.go),
+	// which runs the same worklist over copy-on-write bitset domains.
+	enqueueTouching := func(x cq.Var, except int) {
 		for _, i := range atomsOf[x] {
-			if !inQueue[i] {
+			if i != except && !inQueue[i] {
 				inQueue[i] = true
 				queue = append(queue, i)
 				stats.Enqueues++
@@ -392,12 +395,16 @@ func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation
 		inQueue[ai] = false
 		stats.Revisions++
 		at := q.Atoms[ai]
+		except := ai
+		if at.X == at.Y {
+			except = -1 // self-loop: must re-revise itself to a fixpoint
+		}
 		dx, dy := &st.doms[at.X], &st.doms[at.Y]
 
 		// Forward: prune unsupported candidates of x.
 		removeBuf = removeBuf[:0]
 		dx.set.ForEach(func(v tree.NodeID) bool {
-			if !st.supportedFwd(at.Axis, v, dy) {
+			if !supportedFwd(&st.sctx, at.Axis, v, dy) {
 				removeBuf = append(removeBuf, v)
 			}
 			return true
@@ -411,13 +418,13 @@ func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation
 				sc.removeBuf = removeBuf
 				return nil, stats, false
 			}
-			enqueueTouching(at.X)
+			enqueueTouching(at.X, except)
 		}
 
 		// Backward: prune unsupported candidates of y.
 		removeBuf = removeBuf[:0]
 		dy.set.ForEach(func(w tree.NodeID) bool {
-			if !st.supportedBwd(at.Axis, w, dx) {
+			if !supportedBwd(&st.sctx, at.Axis, w, dx) {
 				removeBuf = append(removeBuf, w)
 			}
 			return true
@@ -431,7 +438,7 @@ func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation
 				sc.removeBuf = removeBuf
 				return nil, stats, false
 			}
-			enqueueTouching(at.Y)
+			enqueueTouching(at.Y, except)
 		}
 	}
 	sc.removeBuf = removeBuf

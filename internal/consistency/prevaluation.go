@@ -62,10 +62,8 @@ func NewNodeSet(n int) *NodeSet {
 
 // FullNodeSet returns the set of all n nodes.
 func FullNodeSet(n int) *NodeSet {
-	s := NewNodeSet(n)
-	for i := 0; i < n; i++ {
-		s.Add(tree.NodeID(i))
-	}
+	s := &NodeSet{}
+	s.ResetFull(n)
 	return s
 }
 
@@ -132,6 +130,18 @@ func (s *NodeSet) Clone() *NodeSet {
 	return &NodeSet{words: append([]uint64(nil), s.words...), n: s.n, count: s.count}
 }
 
+// copyFrom makes s an element-wise copy of o, reusing s's storage.
+func (s *NodeSet) copyFrom(o *NodeSet) {
+	w := (o.n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	}
+	s.words = s.words[:w]
+	copy(s.words, o.words)
+	s.n = o.n
+	s.count = o.count
+}
+
 // IntersectWith removes every element not in o.
 func (s *NodeSet) IntersectWith(o *NodeSet) {
 	c := 0
@@ -143,7 +153,8 @@ func (s *NodeSet) IntersectWith(o *NodeSet) {
 }
 
 // ForEach calls fn on every member in increasing NodeID order; stops early
-// if fn returns false.
+// if fn returns false. fn may Remove the element it was called with (the
+// iteration advances on a copied word), but must not otherwise mutate s.
 func (s *NodeSet) ForEach(fn func(v tree.NodeID) bool) {
 	for wi, w := range s.words {
 		for w != 0 {
@@ -187,15 +198,24 @@ type Prevaluation struct {
 func NewPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation {
 	n := t.Len()
 	p := &Prevaluation{Sets: make([]*NodeSet, q.NumVars())}
-	for x := range p.Sets {
-		p.Sets[x] = FullNodeSet(n)
-	}
+	// Labeled variables build their set from the label index (first label)
+	// and filter in place (subsequent labels); unlabeled variables get the
+	// full set, word-filled. No per-atom throwaway sets.
 	for _, la := range q.Labels {
-		s := NewNodeSet(n)
-		for _, v := range t.NodesWithLabel(la.Label) {
-			s.Add(v)
+		if s := p.Sets[la.X]; s == nil {
+			s = NewNodeSet(n)
+			for _, v := range t.NodesWithLabel(la.Label) {
+				s.Add(v)
+			}
+			p.Sets[la.X] = s
+		} else {
+			filterByLabel(t, s, la.Label)
 		}
-		p.Sets[la.X].IntersectWith(s)
+	}
+	for x, s := range p.Sets {
+		if s == nil {
+			p.Sets[x] = FullNodeSet(n)
+		}
 	}
 	return p
 }

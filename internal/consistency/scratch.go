@@ -96,14 +96,16 @@ func (ix *treeIndex) build(t *tree.Tree) {
 // initial prevaluation alias Scratch-owned sets: they are valid only until
 // the next call on the same Scratch.
 type Scratch struct {
-	ix        treeIndex
-	doms      []domain
-	inQueue   []bool
-	queue     []int
-	atomsOf   [][]int
-	removeBuf []tree.NodeID
-	initSets  []*NodeSet
-	labelSet  NodeSet
+	ix         treeIndex
+	doms       []domain
+	inQueue    []bool
+	queue      []int
+	atomsOf    [][]int
+	removeBuf  []tree.NodeID
+	initSets   []*NodeSet
+	labeledBuf []int32
+	pinBase    PinBase
+	pinRun     PinRun
 }
 
 // NewScratch returns an empty Scratch; buffers are sized lazily on first
@@ -119,17 +121,47 @@ func (sc *Scratch) InitialPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation 
 		sc.initSets = append(sc.initSets, &NodeSet{})
 	}
 	sets := sc.initSets[:nv]
-	for _, s := range sets {
-		s.ResetFull(n)
+	// Labeled variables build their set from the label index directly (the
+	// first label) and then filter in place (subsequent labels) — no
+	// intermediate set, no full-universe scan. labeledBuf counts the label
+	// atoms seen per variable so far.
+	for len(sc.labeledBuf) < nv {
+		sc.labeledBuf = append(sc.labeledBuf, 0)
+	}
+	labeled := sc.labeledBuf[:nv]
+	for i := range labeled {
+		labeled[i] = 0
 	}
 	for _, la := range q.Labels {
-		sc.labelSet.Reset(n)
-		for _, v := range t.NodesWithLabel(la.Label) {
-			sc.labelSet.Add(v)
+		s := sets[la.X]
+		if labeled[la.X] == 0 {
+			s.Reset(n)
+			for _, v := range t.NodesWithLabel(la.Label) {
+				s.Add(v)
+			}
+		} else {
+			filterByLabel(t, s, la.Label)
 		}
-		sets[la.X].IntersectWith(&sc.labelSet)
+		labeled[la.X]++
+	}
+	for x, s := range sets {
+		if labeled[x] == 0 {
+			s.ResetFull(n)
+		}
 	}
 	return &Prevaluation{Sets: sets}
+}
+
+// filterByLabel removes from s every node not carrying the label. The
+// in-place removal during iteration is safe: ForEach advances on a copied
+// word, so clearing the current bit cannot derail it.
+func filterByLabel(t *tree.Tree, s *NodeSet, label string) {
+	s.ForEach(func(v tree.NodeID) bool {
+		if !t.HasLabel(v, label) {
+			s.Remove(v)
+		}
+		return true
+	})
 }
 
 // FastAC is the package-level FastAC with sc's buffers. The result aliases

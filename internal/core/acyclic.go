@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/axis"
@@ -49,6 +48,10 @@ type shadowForest struct {
 	linkDown  []bool // atom is R(parent, child)
 	children  [][]cq.Var
 	postorder []cq.Var
+	// headOrder lists the variables of components containing head
+	// variables in parent-before-child order — the variables enumeration
+	// assigns. Derived once at build time; see computeHeadOrder.
+	headOrder []cq.Var
 }
 
 // buildShadowForest roots each component of the shadow; returns an error
@@ -119,7 +122,40 @@ func buildShadowForest(q *cq.Query) (*shadowForest, error) {
 	for _, r := range f.roots {
 		dfs(r)
 	}
+	f.headOrder = computeHeadOrder(q, f)
 	return f, nil
+}
+
+// computeHeadOrder returns the variables of forest components containing
+// head variables, in parent-before-child order. (Non-head components only
+// contribute their nonemptiness, established by acyclicReduce.)
+func computeHeadOrder(q *cq.Query, f *shadowForest) []cq.Var {
+	comp := make([]int, q.NumVars())
+	for i := range comp {
+		comp[i] = -1
+	}
+	var mark func(x cq.Var, c int)
+	mark = func(x cq.Var, c int) {
+		comp[x] = c
+		for _, ch := range f.children[x] {
+			mark(ch, c)
+		}
+	}
+	for ci, r := range f.roots {
+		mark(r, ci)
+	}
+	headComps := map[int]bool{}
+	for _, h := range q.Head {
+		headComps[comp[h]] = true
+	}
+	var order []cq.Var
+	for i := len(f.postorder) - 1; i >= 0; i-- {
+		x := f.postorder[i]
+		if headComps[comp[x]] {
+			order = append(order, x)
+		}
+	}
+	return order
 }
 
 // atomHolds evaluates the linking atom between child c and its parent for
@@ -279,90 +315,78 @@ func (e *AcyclicEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valu
 	return acyclicSatisfaction(t, q, f, s)
 }
 
-// acyclicAll enumerates the distinct head tuples of the query answer, in
-// lexicographic NodeID order. Enumeration is backtrack-free per component
-// after reduction; distinct head tuples are deduplicated.
-func acyclicAll(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) [][]tree.NodeID {
+// acyclicEnumFrom runs the backtrack-free enumeration recursion from
+// dimension i of order, assigning into theta and passing each complete
+// head tuple (reused buffer) to emit — callers wrap emit with dedupEmit,
+// since distinct assignments can project to the same head tuple. Returns
+// false when enumeration should stop.
+func acyclicEnumFrom(t *tree.Tree, q *cq.Query, f *shadowForest, sets []*consistency.NodeSet,
+	order []cq.Var, theta consistency.Valuation, i int,
+	tuple []tree.NodeID, emit func([]tree.NodeID) bool) bool {
+	if i == len(order) {
+		for j, h := range q.Head {
+			tuple[j] = theta[h]
+		}
+		return emit(tuple)
+	}
+	x := order[i]
+	p := f.parent[x]
+	cont := true
+	sets[x].ForEach(func(v tree.NodeID) bool {
+		if p != cq.NilVar && !f.atomHolds(t, x, theta[p], v) {
+			return true
+		}
+		theta[x] = v
+		cont = acyclicEnumFrom(t, q, f, sets, order, theta, i+1, tuple, emit)
+		return cont
+	})
+	return cont
+}
+
+// acyclicForEachTuple streams the distinct head tuples of the query
+// answer. Enumeration is backtrack-free per component after reduction;
+// the tuple passed to fn is reused (copy to retain); fn returns false to
+// stop early.
+func acyclicForEachTuple(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch, fn func(tuple []tree.NodeID) bool) {
 	if len(q.Head) == 0 {
 		if acyclicBool(t, q, f, s) {
-			return [][]tree.NodeID{{}}
+			fn(nil)
 		}
-		return nil
+		return
 	}
 	if t.Len() == 0 {
-		return nil
+		return
 	}
 	sets, ok := acyclicReduce(t, q, f, s)
 	if !ok {
-		return nil
-	}
-	// Which forest components contain head variables?
-	comp := make([]int, q.NumVars())
-	for i := range comp {
-		comp[i] = -1
-	}
-	var mark func(x cq.Var, c int)
-	mark = func(x cq.Var, c int) {
-		comp[x] = c
-		for _, ch := range f.children[x] {
-			mark(ch, c)
-		}
-	}
-	for ci, r := range f.roots {
-		mark(r, ci)
-	}
-	headComps := map[int]bool{}
-	for _, h := range q.Head {
-		headComps[comp[h]] = true
-	}
-	// Variables of head components in parent-before-child order.
-	var order []cq.Var
-	for i := len(f.postorder) - 1; i >= 0; i-- {
-		x := f.postorder[i]
-		if headComps[comp[x]] {
-			order = append(order, x)
-		}
+		return
 	}
 	theta := make(consistency.Valuation, q.NumVars())
-	seen := map[string]bool{}
-	var out [][]tree.NodeID
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(order) {
-			tuple := make([]tree.NodeID, len(q.Head))
-			key := make([]byte, 0, len(tuple)*4)
-			for j, h := range q.Head {
-				tuple[j] = theta[h]
-				v := theta[h]
-				key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-			}
-			if !seen[string(key)] {
-				seen[string(key)] = true
-				out = append(out, tuple)
-			}
-			return
-		}
-		x := order[i]
-		p := f.parent[x]
-		sets[x].ForEach(func(v tree.NodeID) bool {
-			if p != cq.NilVar && !f.atomHolds(t, x, theta[p], v) {
-				return true
-			}
-			theta[x] = v
-			rec(i + 1)
-			return true
-		})
+	tuple := make([]tree.NodeID, len(q.Head))
+	acyclicEnumFrom(t, q, f, sets, f.headOrder, theta, 0, tuple, dedupEmit(map[string]bool{}, fn))
+}
+
+// acyclicForEachNode streams the answer of a monadic acyclic query in
+// increasing NodeID order — without any enumeration recursion: after the
+// two semijoin passes the candidate sets are globally consistent
+// (Yannakakis), so every surviving candidate of the head variable extends
+// to a full solution and the reduced set IS the answer.
+func acyclicForEachNode(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch, fn func(v tree.NodeID) bool) {
+	if t.Len() == 0 {
+		return
 	}
-	rec(0)
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i] {
-			if out[i][k] != out[j][k] {
-				return out[i][k] < out[j][k]
-			}
-		}
-		return false
+	sets, ok := acyclicReduce(t, q, f, s)
+	if !ok {
+		return
+	}
+	sets[q.Head[0]].ForEach(fn)
+}
+
+// acyclicAll materializes acyclicForEachTuple, sorted lexicographically.
+func acyclicAll(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) [][]tree.NodeID {
+	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
+		acyclicForEachTuple(t, q, f, s, fn)
 	})
-	return out
 }
 
 // EvalAll enumerates the distinct head tuples of the query answer, in

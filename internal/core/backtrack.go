@@ -246,37 +246,31 @@ func (e *BacktrackEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Va
 	return out
 }
 
-// EvalAll enumerates the distinct head tuples of the answer.
-func (e *BacktrackEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+// ForEachTuple streams the distinct head tuples of the answer in search
+// discovery order: each tuple is emitted the first time the search reaches
+// a satisfaction projecting to it. The tuple passed to fn is reused (copy
+// to retain); fn returns false to stop the search early.
+func (e *BacktrackEngine) ForEachTuple(t *tree.Tree, q *cq.Query, fn func(tuple []tree.NodeID) bool) {
 	if len(q.Head) == 0 {
 		if e.EvalBoolean(t, q) {
-			return [][]tree.NodeID{{}}
+			fn(nil)
 		}
-		return nil
+		return
 	}
-	seen := map[string]bool{}
-	var out [][]tree.NodeID
+	emit := dedupEmit(map[string]bool{}, fn)
+	tuple := make([]tree.NodeID, len(q.Head))
 	e.run(t, q, func(theta consistency.Valuation) bool {
-		tuple := make([]tree.NodeID, len(q.Head))
-		key := make([]byte, 0, len(tuple)*4)
 		for j, h := range q.Head {
 			tuple[j] = theta[h]
-			v := theta[h]
-			key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
-		if !seen[string(key)] {
-			seen[string(key)] = true
-			out = append(out, tuple)
-		}
-		return true
+		return emit(tuple)
 	})
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i] {
-			if out[i][k] != out[j][k] {
-				return out[i][k] < out[j][k]
-			}
-		}
-		return false
+}
+
+// EvalAll enumerates the distinct head tuples of the answer, in
+// lexicographic NodeID order.
+func (e *BacktrackEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
+		e.ForEachTuple(t, q, fn)
 	})
-	return out
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/axis"
@@ -152,17 +153,14 @@ func (e *Engine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 }
 
 // EvalMonadic returns the sorted node set answering a unary query; it
-// panics if q is not monadic.
+// panics if q is not monadic. It runs through the monadic fast path: no
+// per-node tuple wrappers, and under the acyclic strategy the semijoin-
+// reduced head set is returned directly without enumeration.
 func (e *Engine) EvalMonadic(t *tree.Tree, q *cq.Query) []tree.NodeID {
 	if len(q.Head) != 1 {
 		panic(fmt.Sprintf("core: EvalMonadic on %d-ary query", len(q.Head)))
 	}
-	tuples := e.EvalAll(t, q)
-	out := make([]tree.NodeID, len(tuples))
-	for i, tp := range tuples {
-		out[i] = tp[0]
-	}
-	return out
+	return e.prepared(q).Monadic(t)
 }
 
 // ReferenceEvalBoolean is a brute-force oracle used by the test suite: it
@@ -227,19 +225,56 @@ func ReferenceEvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 		}
 	}
 	rec(0)
-	sortTuples(out)
+	sortTupleSlice(out)
 	return out
 }
 
-func sortTuples(out [][]tree.NodeID) {
-	if len(out) < 2 {
-		return
+// sortTupleSlice sorts answer tuples lexicographically — the materialized
+// (All) output order of every engine.
+func sortTupleSlice(out [][]tree.NodeID) {
+	sort.Slice(out, func(i, j int) bool { return lessTuple(out[i], out[j]) })
+}
+
+func copyTuple(tuple []tree.NodeID) []tree.NodeID {
+	cp := make([]tree.NodeID, len(tuple))
+	copy(cp, tuple)
+	return cp
+}
+
+// collectSortedTuples materializes a tuple stream into an owned, sorted
+// slice (the stream's tuple buffer is reused, so each tuple is copied).
+func collectSortedTuples(stream func(fn func([]tree.NodeID) bool)) [][]tree.NodeID {
+	var out [][]tree.NodeID
+	stream(func(tuple []tree.NodeID) bool {
+		out = append(out, copyTuple(tuple))
+		return true
+	})
+	sortTupleSlice(out)
+	return out
+}
+
+// appendTupleKey appends tuple's dedup-key encoding to key. Every dedup
+// site (streaming and parallel-merge) must use this one encoding: the
+// parallel path relies on per-worker and merge-time keys agreeing.
+func appendTupleKey(key []byte, tuple []tree.NodeID) []byte {
+	for _, v := range tuple {
+		key = append(key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
-	// insertion sort; oracle inputs are tiny
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && lessTuple(out[j], out[j-1]); j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	return key
+}
+
+// dedupEmit wraps emit to drop tuples already recorded in seen, reusing
+// one key buffer across calls (map lookups through string(key) do not
+// allocate; only the insert of a genuinely new answer does).
+func dedupEmit(seen map[string]bool, emit func([]tree.NodeID) bool) func([]tree.NodeID) bool {
+	var key []byte
+	return func(tuple []tree.NodeID) bool {
+		key = appendTupleKey(key[:0], tuple)
+		if seen[string(key)] {
+			return true
 		}
+		seen[string(key)] = true
+		return emit(tuple)
 	}
 }
 

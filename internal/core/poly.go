@@ -150,49 +150,101 @@ func (e *PolyEngine) CheckTuple(t *tree.Tree, q *cq.Query, tuple []tree.NodeID) 
 	return polyCheckTuple(t, q, e.alg, sc, tuple)
 }
 
-// polyAll enumerates the full answer relation of a k-ary query: all tuples
-// 〈a1..ak〉 such that the query holds. Per the paper this costs
-// O(|A|^k · ‖A‖ · |Q|); the implementation prunes candidates to the
-// arc-consistent sets of the head variables before tuple checking.
-func polyAll(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) [][]tree.NodeID {
+// polyForEachTuple streams the distinct answer tuples of a k-ary query via
+// incremental pinned arc consistency: one full AC run seeds a PinBase, and
+// head variables are pinned one at a time with prefix pruning — if pinning
+// a tuple prefix empties a domain, no extension of that prefix is
+// enumerated. For X-property signatures pinned arc consistency decides
+// satisfiability exactly (Theorem 3.5), so a fully pinned consistent state
+// IS an answer: the cost is proportional to the consistent prefixes
+// explored, not to the |A|^k candidate space. The tuple passed to fn is
+// reused between calls (copy to retain); fn returns false to stop.
+func polyForEachTuple(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, fn func(tuple []tree.NodeID) bool) {
+	if sc == nil {
+		sc = consistency.NewScratch()
+	}
 	if len(q.Head) == 0 {
 		if polyBool(t, q, alg, sc) {
-			return [][]tree.NodeID{{}}
+			fn(nil)
 		}
-		return nil
+		return
 	}
 	p, ok := runAC(alg, t, q, sc)
 	if !ok {
-		return nil
+		return
 	}
-	// Copy the candidates out: p's sets are scratch-owned and the
-	// per-tuple pinned AC runs below reuse the same scratch.
-	candidates := make([][]tree.NodeID, len(q.Head))
-	for i, x := range q.Head {
-		candidates[i] = p.Sets[x].Members()
-	}
-	var out [][]tree.NodeID
+	run := sc.PinRunFor(sc.PinBaseFor(t, q, p))
 	tuple := make([]tree.NodeID, len(q.Head))
-	var rec func(i int)
-	rec = func(i int) {
-		if i == len(tuple) {
-			if polyCheckTuple(t, q, alg, sc, tuple) {
-				out = append(out, append([]tree.NodeID(nil), tuple...))
-			}
-			return
-		}
-		for _, v := range candidates[i] {
-			tuple[i] = v
-			rec(i + 1)
-		}
-	}
-	rec(0)
-	return out
+	polyEnumRec(run, q.Head, 0, tuple, fn)
 }
 
-// EvalAll enumerates the full answer relation of a k-ary query.
+// polyEnumRec enumerates dimension d of the head tuple from the current
+// pin state; returns false when enumeration should stop. The first
+// dimension iterates the NodeID-ordered snapshot set (so monadic emission
+// is sorted); deeper dimensions iterate the pin-pruned current domain.
+func polyEnumRec(run *consistency.PinRun, head []cq.Var, d int, tuple []tree.NodeID, fn func([]tree.NodeID) bool) bool {
+	if d == len(head) {
+		return fn(tuple)
+	}
+	cont := true
+	try := func(v tree.NodeID) bool {
+		tuple[d] = v
+		if run.Push(head[d], v) {
+			cont = polyEnumRec(run, head, d+1, tuple, fn)
+			run.Pop()
+		}
+		return cont
+	}
+	if d == 0 {
+		run.Base().Candidates(head[0]).ForEach(try)
+	} else {
+		run.ForEachCurrent(head[d], try)
+	}
+	return cont
+}
+
+// polyForEachNode streams the answer of a monadic query in increasing
+// NodeID order: the shared maximal arc-consistent prevaluation prunes the
+// candidates once, then each survivor costs one incremental pinned check.
+func polyForEachNode(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, fn func(v tree.NodeID) bool) {
+	if sc == nil {
+		sc = consistency.NewScratch()
+	}
+	p, ok := runAC(alg, t, q, sc)
+	if !ok {
+		return
+	}
+	x := q.Head[0]
+	base := sc.PinBaseFor(t, q, p)
+	run := sc.PinRunFor(base)
+	base.Candidates(x).ForEach(func(v tree.NodeID) bool {
+		if run.Push(x, v) {
+			run.Pop()
+			return fn(v)
+		}
+		return true
+	})
+}
+
+// polyAll materializes polyForEachTuple, sorted lexicographically.
+func polyAll(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) [][]tree.NodeID {
+	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
+		polyForEachTuple(t, q, alg, sc, fn)
+	})
+}
+
+// EvalAll enumerates the full answer relation of a k-ary query, in
+// lexicographic NodeID order.
 func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 	sc := e.scratch()
 	defer e.pool.Put(sc)
 	return polyAll(t, q, e.alg, sc)
+}
+
+// ForEachTuple streams the distinct answer tuples; see Prepared.ForEachTuple
+// for the contract.
+func (e *PolyEngine) ForEachTuple(t *tree.Tree, q *cq.Query, fn func(tuple []tree.NodeID) bool) {
+	sc := e.scratch()
+	defer e.pool.Put(sc)
+	polyForEachTuple(t, q, e.alg, sc, fn)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/axis"
@@ -136,33 +137,103 @@ func (p *Prepared) Satisfaction(t *tree.Tree) consistency.Valuation {
 	}
 }
 
-// All enumerates the distinct answer tuples of the compiled query on t
-// (for Boolean queries: one empty tuple if satisfiable).
-func (p *Prepared) All(t *tree.Tree) [][]tree.NodeID {
+// EnumOptions tunes answer enumeration (All/Monadic).
+type EnumOptions struct {
+	// Parallel is the number of worker goroutines sharding the outer
+	// candidate loop of All/Monadic; values <= 1 mean sequential. Only the
+	// acyclic and X-property strategies parallelize (the backtracking
+	// search is inherently stateful and falls back to sequential).
+	// Streaming (ForEachTuple/ForEachNode) is always sequential: the
+	// callback contract is single-goroutine.
+	Parallel int
+}
+
+// ForEachTuple streams the distinct answer tuples of the compiled query on
+// t: fn is called once per tuple and enumeration stops as soon as fn
+// returns false, so prefix-limited and existence queries cost only the
+// answers actually consumed. Nothing is materialized; the tuple slice is
+// reused between calls — copy it to retain. Tuples arrive in a
+// strategy-dependent order (not necessarily lexicographic); All sorts.
+// For Boolean queries fn is called once with an empty tuple if the query
+// is satisfiable.
+func (p *Prepared) ForEachTuple(t *tree.Tree, fn func(tuple []tree.NodeID) bool) {
 	s := p.scratch()
 	defer p.release(s)
 	switch p.plan.Strategy {
 	case StrategyAcyclic:
-		return acyclicAll(t, p.q, p.forest, s)
+		acyclicForEachTuple(t, p.q, p.forest, s, fn)
 	case StrategyXProperty:
-		return polyAll(t, p.q, p.alg, s.ac)
+		polyForEachTuple(t, p.q, p.alg, s.ac, fn)
 	case StrategyBacktrack:
-		return s.backtracker().EvalAll(t, p.q)
+		s.backtracker().ForEachTuple(t, p.q, fn)
 	default:
 		panic("core: invalid strategy")
 	}
 }
 
+// ForEachNode streams the answer nodes of a monadic compiled query without
+// building per-node tuple wrappers; it panics if the query is not monadic.
+// Under the acyclic and X-property strategies nodes arrive in increasing
+// NodeID order; under backtracking in discovery order. fn returns false to
+// stop early.
+func (p *Prepared) ForEachNode(t *tree.Tree, fn func(v tree.NodeID) bool) {
+	if len(p.q.Head) != 1 {
+		panic(fmt.Sprintf("core: ForEachNode on %d-ary query", len(p.q.Head)))
+	}
+	s := p.scratch()
+	defer p.release(s)
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		acyclicForEachNode(t, p.q, p.forest, s, fn)
+	case StrategyXProperty:
+		polyForEachNode(t, p.q, p.alg, s.ac, fn)
+	case StrategyBacktrack:
+		tuple1 := func(tuple []tree.NodeID) bool { return fn(tuple[0]) }
+		s.backtracker().ForEachTuple(t, p.q, tuple1)
+	default:
+		panic("core: invalid strategy")
+	}
+}
+
+// All enumerates the distinct answer tuples of the compiled query on t in
+// lexicographic NodeID order (for Boolean queries: one empty tuple if
+// satisfiable).
+func (p *Prepared) All(t *tree.Tree) [][]tree.NodeID {
+	return p.AllOpt(t, EnumOptions{})
+}
+
+// AllOpt is All with enumeration options.
+func (p *Prepared) AllOpt(t *tree.Tree, o EnumOptions) [][]tree.NodeID {
+	if out, ok := p.allParallel(t, o); ok {
+		return out
+	}
+	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
+		p.ForEachTuple(t, fn)
+	})
+}
+
 // Monadic returns the sorted node set answering a unary compiled query; it
 // panics if the query is not monadic.
 func (p *Prepared) Monadic(t *tree.Tree) []tree.NodeID {
+	return p.MonadicOpt(t, EnumOptions{})
+}
+
+// MonadicOpt is Monadic with enumeration options.
+func (p *Prepared) MonadicOpt(t *tree.Tree, o EnumOptions) []tree.NodeID {
 	if len(p.q.Head) != 1 {
 		panic(fmt.Sprintf("core: Monadic on %d-ary query", len(p.q.Head)))
 	}
-	tuples := p.All(t)
-	out := make([]tree.NodeID, len(tuples))
-	for i, tp := range tuples {
-		out[i] = tp[0]
+	if out, ok := p.monadicParallel(t, o); ok {
+		return out
 	}
+	out := []tree.NodeID{}
+	p.ForEachNode(t, func(v tree.NodeID) bool {
+		out = append(out, v)
+		return true
+	})
+	// Acyclic and X-property emission is already sorted; backtracking is
+	// discovery-ordered. Sorting unconditionally keeps the contract simple
+	// and costs O(answer log answer).
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

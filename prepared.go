@@ -18,6 +18,9 @@ import (
 // buffers, valuation maps) is pooled internally rather than re-allocated.
 type PreparedQuery struct {
 	p *core.Prepared
+	// parallel is the worker count for materialized enumeration (All and
+	// Nodes); 0 or 1 means sequential. Set via WithParallelism.
+	parallel int
 }
 
 // Prepare compiles q for repeated evaluation. The query is cloned
@@ -64,16 +67,60 @@ func MustCompile(src string) *PreparedQuery {
 	return pq
 }
 
+// WithParallelism returns a handle on the same compiled query whose All
+// and Nodes calls shard the outer candidate loop across the given number
+// of worker goroutines (each worker borrows its own pooled evaluation
+// scratch). The receiver is not modified; both handles share the compiled
+// plan and scratch pool and remain safe for concurrent use.
+//
+// workers <= 1 restores sequential evaluation. Parallelism applies to All
+// under the acyclic and X-property strategies and to Nodes under the
+// X-property strategy; backtracking evaluation is inherently sequential
+// and ignores it, and Nodes on an acyclic query is always sequential (its
+// fast path returns the semijoin-reduced head set directly, already
+// O(answer) — there is no outer loop to shard). Streaming
+// (ForEachTuple/ForEachNode) is always sequential — the callback contract
+// is single-goroutine.
+func (pq *PreparedQuery) WithParallelism(workers int) *PreparedQuery {
+	return &PreparedQuery{p: pq.p, parallel: workers}
+}
+
+func (pq *PreparedQuery) opts() core.EnumOptions {
+	return core.EnumOptions{Parallel: pq.parallel}
+}
+
 // Bool decides Boolean satisfaction of the compiled query on t.
 func (pq *PreparedQuery) Bool(t *Tree) bool { return pq.p.Bool(t) }
 
-// All enumerates the distinct answer tuples of the compiled query on t
-// (for Boolean queries: one empty tuple if satisfiable).
-func (pq *PreparedQuery) All(t *Tree) [][]NodeID { return pq.p.All(t) }
+// All enumerates the distinct answer tuples of the compiled query on t in
+// lexicographic NodeID order (for Boolean queries: one empty tuple if
+// satisfiable). The work is output-sensitive: candidates are pruned to one
+// shared arc-consistent (resp. semijoin-reduced) prevaluation, and tuple
+// membership checks are incremental rather than from-scratch.
+func (pq *PreparedQuery) All(t *Tree) [][]NodeID { return pq.p.AllOpt(t, pq.opts()) }
 
-// Nodes answers a monadic (unary) compiled query; it panics if the query
-// is not monadic.
-func (pq *PreparedQuery) Nodes(t *Tree) []NodeID { return pq.p.Monadic(t) }
+// Nodes answers a monadic (unary) compiled query with the sorted answer
+// node set; it panics if the query is not monadic.
+func (pq *PreparedQuery) Nodes(t *Tree) []NodeID { return pq.p.MonadicOpt(t, pq.opts()) }
+
+// ForEachTuple streams the distinct answer tuples of the compiled query on
+// t without materializing the answer relation: fn is called once per tuple
+// and enumeration stops as soon as fn returns false, so existence checks
+// and prefix-limited scans cost only the answers actually consumed. The
+// tuple slice is reused between calls — copy it to retain. Tuples arrive
+// in a strategy-dependent order (All sorts; this does not). For Boolean
+// queries fn is called once with an empty tuple if the query is
+// satisfiable.
+func (pq *PreparedQuery) ForEachTuple(t *Tree, fn func(tuple []NodeID) bool) {
+	pq.p.ForEachTuple(t, fn)
+}
+
+// ForEachNode streams the answer nodes of a monadic compiled query (in
+// increasing NodeID order under the acyclic and X-property strategies);
+// it panics if the query is not monadic. fn returns false to stop early.
+func (pq *PreparedQuery) ForEachNode(t *Tree, fn func(v NodeID) bool) {
+	pq.p.ForEachNode(t, fn)
+}
 
 // Plan reports the evaluation strategy and Theorem 1.1 classification
 // compiled into the query.
