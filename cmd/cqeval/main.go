@@ -1,12 +1,17 @@
-// Command cqeval evaluates a conjunctive query against a tree.
+// Command cqeval evaluates conjunctive queries against a tree.
 //
 // Usage:
 //
 //	cqeval -tree 'A(B,C(B))' -query 'Q(y) <- A(x), Child+(x, y), B(y)'
-//	cqeval -treefile doc.xml -query '...' [-explain] [-apq] [-xpath]
+//	cqeval -treefile doc.xml -query '...' -query '...' [-parallel 4] [-explain] [-apq] [-xpath]
 //
 // Trees are given inline in term syntax (-tree) or loaded from a file
 // (-treefile; .xml files are parsed as XML, everything else as terms).
+// -query may repeat: the document is indexed once (cqtrees.Index) and every
+// query evaluates against the shared Document through the iterator API;
+// -parallel shards the outer candidate loop of each enumeration across the
+// given number of workers. Per-phase timings (index / prepare / execute)
+// are reported at the end.
 package main
 
 import (
@@ -14,17 +19,31 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"slices"
 	"strings"
+	"time"
 
 	cqtrees "repro"
 )
 
+// multiFlag collects repeated occurrences of a string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, "; ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
 	treeSrc := flag.String("tree", "", "tree in term syntax, e.g. A(B,C)")
 	treeFile := flag.String("treefile", "", "file holding the tree (.xml or term syntax)")
-	querySrc := flag.String("query", "", "conjunctive query, e.g. Q(y) <- A(x), Child(x, y)")
-	explain := flag.Bool("explain", false, "print the evaluation plan and classification")
-	apq := flag.Bool("apq", false, "also print the equivalent acyclic positive query (Thm 6.10)")
+	var querySrcs multiFlag
+	flag.Var(&querySrcs, "query", "conjunctive query, e.g. Q(y) <- A(x), Child(x, y); may repeat")
+	parallel := flag.Int("parallel", 0, "worker count for enumeration (<= 1 means sequential)")
+	explain := flag.Bool("explain", false, "print each query's evaluation plan and classification")
+	apq := flag.Bool("apq", false, "also print the equivalent acyclic positive queries (Thm 6.10)")
 	asXPath := flag.Bool("xpath", false, "also print equivalent XPath expressions (monadic queries)")
 	flag.Parse()
 
@@ -32,53 +51,88 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *querySrc == "" {
-		log.Fatal("cqeval: -query is required")
-	}
-	q, err := cqtrees.ParseQuery(*querySrc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// Compile once; the prepared query carries the plan and evaluates
-	// without re-classifying.
-	pq, err := cqtrees.Prepare(q)
-	if err != nil {
-		log.Fatal(err)
+	if len(querySrcs) == 0 {
+		log.Fatal("cqeval: at least one -query is required")
 	}
 
-	if *explain {
-		fmt.Println("plan:", pq.Plan())
+	// Phase 1: index the document once; every query shares the result.
+	indexStart := time.Now()
+	doc := cqtrees.Index(t)
+	indexDur := time.Since(indexStart)
+
+	// Phase 2: compile each query once.
+	prepareStart := time.Now()
+	pqs := make([]*cqtrees.PreparedQuery, len(querySrcs))
+	for i, src := range querySrcs {
+		pq, err := cqtrees.Compile(src)
+		if err != nil {
+			log.Fatalf("cqeval: query %d: %v", i+1, err)
+		}
+		pqs[i] = pq
 	}
-	answers := pq.All(t)
-	if len(q.Head) == 0 {
-		fmt.Println("satisfiable:", len(answers) > 0)
-	} else {
-		fmt.Printf("%d answer(s):\n", len(answers))
-		for _, tup := range answers {
-			parts := make([]string, len(tup))
-			for i, v := range tup {
-				parts[i] = describe(t, v)
+	prepareDur := time.Since(prepareStart)
+
+	// Phase 3: execute against the shared document.
+	var executeDur time.Duration
+	for i, pq := range pqs {
+		if len(pqs) > 1 {
+			fmt.Printf("-- query %d: %s\n", i+1, querySrcs[i])
+		}
+		if *explain {
+			fmt.Println("plan:", pq.Plan())
+		}
+		// Sequential runs stream through the range-over-func iterator;
+		// -parallel > 1 uses the sharded materializing path instead
+		// (streaming is single-goroutine by contract). Both are sorted
+		// below for deterministic output.
+		execStart := time.Now()
+		var answers [][]cqtrees.NodeID
+		if *parallel > 1 {
+			var err error
+			answers, err = pq.AllErr(doc, cqtrees.WithWorkers(*parallel))
+			if err != nil {
+				log.Fatalf("cqeval: query %d: %v", i+1, err)
 			}
-			fmt.Println("  ", strings.Join(parts, ", "))
+		} else {
+			for tuple := range pq.Tuples(doc) {
+				answers = append(answers, tuple)
+			}
+			slices.SortFunc(answers, slices.Compare)
+		}
+		executeDur += time.Since(execStart)
+		if len(pq.Query().Head) == 0 {
+			fmt.Println("satisfiable:", len(answers) > 0)
+		} else {
+			fmt.Printf("%d answer(s):\n", len(answers))
+			for _, tup := range answers {
+				parts := make([]string, len(tup))
+				for j, v := range tup {
+					parts[j] = describe(t, v)
+				}
+				fmt.Println("  ", strings.Join(parts, ", "))
+			}
+		}
+		if *apq {
+			a, err := cqtrees.ToAPQ(pq.Query())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\nAPQ (%d disjuncts):\n%s\n", len(a.Disjuncts), a)
+		}
+		if *asXPath {
+			exprs, err := cqtrees.ToXPath(pq.Query())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("\nXPath:")
+			for _, e := range exprs {
+				fmt.Println("  ", e)
+			}
 		}
 	}
-	if *apq {
-		a, err := cqtrees.ToAPQ(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nAPQ (%d disjuncts):\n%s\n", len(a.Disjuncts), a)
-	}
-	if *asXPath {
-		exprs, err := cqtrees.ToXPath(q)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println("\nXPath:")
-		for _, e := range exprs {
-			fmt.Println("  ", e)
-		}
-	}
+	fmt.Printf("timings: index=%v prepare=%v execute=%v (%d nodes, %d queries)\n",
+		indexDur.Round(time.Microsecond), prepareDur.Round(time.Microsecond),
+		executeDur.Round(time.Microsecond), doc.Len(), len(pqs))
 }
 
 func loadTree(src, file string) (*cqtrees.Tree, error) {

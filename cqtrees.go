@@ -14,18 +14,29 @@
 //     otherwise. Classify exposes the Theorem 1.1 / Table I dichotomy.
 //   - Prepared queries: Prepare compiles a query once (classification,
 //     acyclicity analysis, planning) into a concurrency-safe PreparedQuery
-//     whose Bool/All/Nodes methods evaluate it repeatedly against many
-//     trees without re-planning or re-allocating evaluation state — the
-//     paper's query-only vs per-tree cost split, made operational.
+//     that evaluates repeatedly without re-planning or re-allocating
+//     evaluation state — the paper's query-only cost, paid once.
+//   - Documents: Index builds every tree-derived structure (orderings,
+//     label bitsets, full-node-set words) once into an immutable,
+//     concurrency-safe Document shared by all strategies — the per-tree
+//     cost, paid once. Together Prepare and Index make the paper's cost
+//     split fully symmetric: prepare the query, prepare the data, execute.
+//   - Execution tiers: range-over-func iterators (Tuples, NodeSeq),
+//     error-returning evaluation (BoolErr, AllErr, NodesErr — typed
+//     ErrNotMonadic instead of panics, context cancellation via
+//     WithContext), and the legacy *Tree methods, which keep working
+//     unchanged over a weak per-query document cache.
 //   - Expressiveness: ToAPQ translates any conjunctive query into an
 //     equivalent acyclic positive query (Theorem 6.10); ToXPath renders
 //     monadic APQs as Core-XPath expressions (Remark 6.1).
 //
-// Example:
+// Example (index once, query many):
 //
-//	t, _ := cqtrees.ParseTree("A(B,C(B))")
-//	q, _ := cqtrees.ParseQuery("Q(y) <- A(x), Child+(x, y), B(y)")
-//	fmt.Println(cqtrees.EvaluateAll(t, q)) // both B nodes
+//	doc := cqtrees.Index(cqtrees.MustParseTree("A(B,C(B))"))
+//	pq := cqtrees.MustCompile("Q(y) <- A(x), Child+(x, y), B(y)")
+//	for tuple := range pq.Tuples(doc) {
+//		fmt.Println(tuple) // both B nodes
+//	}
 package cqtrees
 
 import (

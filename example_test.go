@@ -1,0 +1,57 @@
+package cqtrees_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	cqtrees "repro"
+)
+
+// The canonical server pattern: prepare each distinct query once, index
+// each distinct document once, and execute through the range-over-func
+// iterators. Both artifacts are immutable and safe to share across
+// goroutines.
+func Example_documents() {
+	doc := cqtrees.Index(cqtrees.MustParseTree("A(B,C(B))"))
+	pq := cqtrees.MustCompile("Q(y) <- A(x), Child+(x, y), B(y)")
+
+	for tuple := range pq.Tuples(doc) {
+		fmt.Println(tuple)
+	}
+	// Output:
+	// [1]
+	// [3]
+}
+
+// NodeSeq streams the answer nodes of a monadic query; breaking out of
+// the loop stops the underlying engine immediately.
+func ExamplePreparedQuery_NodeSeq() {
+	doc := cqtrees.Index(cqtrees.MustParseTree("A(B,C(B),B)"))
+	pq := cqtrees.MustCompile("Q(y) <- A(x), Child+(x, y), B(y)")
+
+	for v := range pq.NodeSeq(doc) {
+		fmt.Println("first answer:", v)
+		break
+	}
+	// Output:
+	// first answer: 1
+}
+
+// The error-returning tier replaces the legacy "panics if not monadic"
+// contract with a typed ErrNotMonadic, and accepts a context whose
+// cancellation is checked during enumeration.
+func ExamplePreparedQuery_NodesErr() {
+	doc := cqtrees.Index(cqtrees.MustParseTree("A(B,C(B))"))
+	binary := cqtrees.MustCompile("Q(x, y) <- A(x), Child+(x, y), B(y)")
+
+	_, err := binary.NodesErr(doc)
+	fmt.Println(errors.Is(err, cqtrees.ErrNotMonadic))
+
+	monadic := cqtrees.MustCompile("Q(y) <- A(x), Child+(x, y), B(y)")
+	nodes, err := monadic.NodesErr(doc, cqtrees.WithContext(context.Background()))
+	fmt.Println(nodes, err)
+	// Output:
+	// true
+	// [1 3] <nil>
+}

@@ -1,7 +1,8 @@
-// Command quickstart demonstrates the public API end to end: build a
-// tree, run tractable and intractable conjunctive queries, inspect the
-// dichotomy classification, and translate a cyclic query to an acyclic
-// positive query and to XPath.
+// Command quickstart demonstrates the public API end to end: index a
+// tree into a Document, run tractable and intractable conjunctive
+// queries against it through the iterator and error-returning tiers,
+// inspect the dichotomy classification, and translate a cyclic query to
+// an acyclic positive query and to XPath.
 package main
 
 import (
@@ -12,26 +13,37 @@ import (
 )
 
 func main() {
-	// An XML-ish document as a labeled tree.
+	// An XML-ish document as a labeled tree, indexed once: the Document
+	// carries every tree-derived structure and is shared by all queries
+	// below (and could be shared by any number of goroutines).
 	t := cqtrees.MustParseTree("Lib(Shelf(Book(Title,Author),Book(Title)),Shelf(Book(Title,Author,Author)))")
+	doc := cqtrees.Index(t)
 	fmt.Println("tree:", t)
-	fmt.Println("nodes:", t.Len())
+	fmt.Println("nodes:", doc.Len())
 
-	// A monadic acyclic query: books with at least one author.
-	q1 := cqtrees.MustParseQuery("Q(b) <- Book(b), Child(b, a), Author(a)")
-	fmt.Println("\nquery 1:", q1)
-	fmt.Println("plan:   ", cqtrees.PlanFor(q1))
-	for _, v := range cqtrees.EvaluateNodes(t, q1) {
+	// A monadic acyclic query: books with at least one author. NodeSeq is
+	// a range-over-func iterator — break stops the engine immediately.
+	pq1 := cqtrees.MustCompile("Q(b) <- Book(b), Child(b, a), Author(a)")
+	fmt.Println("\nquery 1:", pq1.Query())
+	fmt.Println("plan:   ", pq1.Plan())
+	for v := range pq1.NodeSeq(doc) {
 		fmt.Printf("  node %d at depth %d\n", v, t.Depth(v))
 	}
 
 	// A cyclic query over an NP-hard signature: a Title and an Author
-	// under the same book, with the title before the author.
-	q2 := cqtrees.MustParseQuery(
+	// under the same book, with the title before the author. Tuples
+	// streams owned answer tuples; AllErr would materialize them sorted.
+	pq2 := cqtrees.MustCompile(
 		"Q(b) <- Book(b), Child+(b, t), Title(t), Child+(b, a), Author(a), Following(t, a)")
-	fmt.Println("\nquery 2:", q2)
-	fmt.Println("plan:   ", cqtrees.PlanFor(q2))
-	fmt.Println("answers:", cqtrees.EvaluateAll(t, q2))
+	fmt.Println("\nquery 2:", pq2.Query())
+	fmt.Println("plan:   ", pq2.Plan())
+	fmt.Print("answers:")
+	for tuple := range pq2.Tuples(doc) {
+		fmt.Print(" ", tuple)
+	}
+	fmt.Println()
+
+	q2 := pq2.Query()
 
 	// The dichotomy (Theorem 1.1 / Table I).
 	fmt.Println("\nTable I — the tractability frontier:")

@@ -124,11 +124,9 @@ type PinBase struct {
 	nw int // words per bitset
 	nv int // number of query variables
 
-	ownIx     treeIndex  // backing index when none is borrowed
-	ix        *treeIndex // the index in use (owned or borrowed)
-	sctx      supportCtx
-	preEndVal []int32   // position in (preEnd, pre) order -> preEnd value
-	atomsOf   [][]int32 // variable -> indexes of atoms touching it
+	ix      *TreeIndex // borrowed document index (orderings, preEnd values)
+	sctx    supportCtx
+	atomsOf [][]int32 // variable -> indexes of atoms touching it
 
 	sets       []*NodeSet // per variable: candidates, NodeID-indexed
 	pre        [][]uint64 // per variable: alive bitset over pre ranks
@@ -139,25 +137,37 @@ type PinBase struct {
 }
 
 // NewPinBase snapshots p — the maximal arc-consistent prevaluation of q on
-// t, as returned by FastAC/HornAC — into a fresh PinBase. p's sets are
-// copied; the caller may keep using (or recycling) them afterwards.
+// t, as returned by FastAC/HornAC — into a fresh PinBase (with its own
+// freshly built tree index). p's sets are copied; the caller may keep
+// using (or recycling) them afterwards.
 func NewPinBase(t *tree.Tree, q *cq.Query, p *Prevaluation) *PinBase {
 	b := &PinBase{}
-	b.init(t, q, p, nil)
+	b.init(NewTreeIndex(t), q, p)
 	return b
 }
 
-// PinBaseFor is NewPinBase backed by Scratch-owned storage — including the
-// scratch's tree index, which an arc-consistency run on the same scratch
-// and tree has typically already built. The result is valid until the next
-// PinBaseFor or arc-consistency run on sc; while valid it is still safe
-// for concurrent PinRuns.
-func (sc *Scratch) PinBaseFor(t *tree.Tree, q *cq.Query, p *Prevaluation) *PinBase {
-	sc.pinBase.init(t, q, p, &sc.ix)
+// PinBaseForIx is NewPinBase backed by Scratch-owned storage over a
+// borrowed document index (already built; snapshotting copies no
+// orderings). The result is valid until the next PinBaseFor(Ix) call on
+// sc — and no longer than the borrowed index; while valid it is still
+// safe for concurrent PinRuns.
+func (sc *Scratch) PinBaseForIx(ix *TreeIndex, q *cq.Query, p *Prevaluation) *PinBase {
+	sc.pinBase.init(ix, q, p)
 	return &sc.pinBase
 }
 
-func (b *PinBase) init(t *tree.Tree, q *cq.Query, p *Prevaluation, sharedIx *treeIndex) {
+// PinBaseFor is PinBaseForIx over the Scratch's private index for t, which
+// an arc-consistency run on the same scratch and tree has typically
+// already built (legacy *Tree entry point). The result borrows that
+// private index, which is rebuilt in place when the tree changes, so it
+// is valid only until the next PinBaseFor(Ix) call or legacy *Tree
+// arc-consistency run on sc.
+func (sc *Scratch) PinBaseFor(t *tree.Tree, q *cq.Query, p *Prevaluation) *PinBase {
+	return sc.PinBaseForIx(sc.indexFor(t), q, p)
+}
+
+func (b *PinBase) init(ix *TreeIndex, q *cq.Query, p *Prevaluation) {
+	t := ix.t
 	n := t.Len()
 	nv := q.NumVars()
 	if len(p.Sets) != nv {
@@ -165,18 +175,8 @@ func (b *PinBase) init(t *tree.Tree, q *cq.Query, p *Prevaluation, sharedIx *tre
 	}
 	b.t, b.q, b.n, b.nv = t, q, n, nv
 	b.nw = (n + 63) / 64
-	if sharedIx != nil {
-		b.ix = sharedIx
-	} else {
-		b.ix = &b.ownIx
-	}
-	b.ix.build(t) // no-op when the index is already built for t
-	b.sctx = supportCtx{t: t, n: int32(n), sibRank: b.ix.sibRank, sibStart: b.ix.sibStart}
-
-	b.preEndVal = growInt32(b.preEndVal, n)
-	for pos := 0; pos < n; pos++ {
-		b.preEndVal[pos] = t.PreEnd(b.ix.preEndNode[pos])
-	}
+	b.ix = ix
+	b.sctx = supportCtx{t: t, n: int32(n), sibRank: ix.sibRank, sibStart: ix.sibStart}
 
 	for len(b.atomsStore) < nv {
 		b.atomsStore = append(b.atomsStore, nil)
@@ -247,7 +247,7 @@ func (d *pinDom) minPreEnd() int32 {
 	if pos < 0 {
 		return int32(d.b.n)
 	}
-	return d.b.preEndVal[pos]
+	return d.b.ix.preEndVal[pos]
 }
 
 // --- PinRun ---------------------------------------------------------------

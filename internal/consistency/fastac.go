@@ -48,11 +48,11 @@ type domain struct {
 }
 
 // fastState carries the shared tree indexes of a FastAC run, borrowed from
-// a Scratch.
+// a document TreeIndex (or the Scratch's private fallback index).
 type fastState struct {
 	t    *tree.Tree
 	n    int
-	ix   *treeIndex
+	ix   *TreeIndex
 	sctx supportCtx
 	doms []domain
 }
@@ -322,7 +322,20 @@ func FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluati
 // FastACFromStats (package level) for the contract. The returned
 // prevaluation's sets are init's sets.
 func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, Stats, bool) {
+	if q.NumVars() == 0 {
+		return &Prevaluation{}, Stats{}, true
+	}
+	if t.Len() == 0 {
+		return nil, Stats{}, false
+	}
+	return sc.fastACFromStatsIx(sc.indexFor(t), q, init)
+}
+
+// fastACFromStatsIx is the worklist body against a borrowed document
+// index. The returned prevaluation's sets are init's sets.
+func (sc *Scratch) fastACFromStatsIx(ix *TreeIndex, q *cq.Query, init *Prevaluation) (*Prevaluation, Stats, bool) {
 	var stats Stats
+	t := ix.t
 	n := t.Len()
 	if q.NumVars() == 0 {
 		return &Prevaluation{}, stats, true
@@ -330,13 +343,12 @@ func (sc *Scratch) FastACFromStats(t *tree.Tree, q *cq.Query, init *Prevaluation
 	if n == 0 {
 		return nil, stats, false
 	}
-	sc.ix.build(t)
 	nv := q.NumVars()
 	for len(sc.doms) < nv {
 		sc.doms = append(sc.doms, domain{})
 	}
-	st := &fastState{t: t, n: n, ix: &sc.ix, doms: sc.doms[:nv]}
-	st.sctx = supportCtx{t: t, n: int32(n), sibRank: sc.ix.sibRank, sibStart: sc.ix.sibStart}
+	st := &fastState{t: t, n: n, ix: ix, doms: sc.doms[:nv]}
+	st.sctx = supportCtx{t: t, n: int32(n), sibRank: ix.sibRank, sibStart: ix.sibStart}
 	for x, s := range init.Sets {
 		if s.Empty() {
 			return nil, stats, false

@@ -220,6 +220,27 @@ func NewPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation {
 	return p
 }
 
+// NewPrevaluationIx is NewPrevaluation built from a document index's
+// cached label bitsets and full-node-set words: word copies and word-level
+// intersections replace the per-node label scans. The sets are freshly
+// allocated and caller-owned (unlike Scratch.InitialPrevaluationIx).
+func NewPrevaluationIx(ix *TreeIndex, q *cq.Query) *Prevaluation {
+	p := &Prevaluation{Sets: make([]*NodeSet, q.NumVars())}
+	for _, la := range q.Labels {
+		if s := p.Sets[la.X]; s == nil {
+			p.Sets[la.X] = ix.labelSet(la.Label).Clone()
+		} else {
+			s.IntersectWith(ix.labelSet(la.Label))
+		}
+	}
+	for x, s := range p.Sets {
+		if s == nil {
+			p.Sets[x] = ix.full.Clone()
+		}
+	}
+	return p
+}
+
 // Empty reports whether some variable's set is empty (no arc-consistent
 // prevaluation exists below this one).
 func (p *Prevaluation) Empty() bool {

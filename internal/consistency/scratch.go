@@ -5,32 +5,9 @@ import (
 	"repro/internal/tree"
 )
 
-// treeIndex holds the tree-derived orderings FastAC queries against: the
-// sibling-consecutive numbering and the (preEnd, pre) order. Both depend
-// only on the tree, so a Scratch rebuilds them only when the tree changes
-// between runs — repeated evaluation against the same tree (the server hot
-// path) pays for them once.
-type treeIndex struct {
-	t          *tree.Tree // tree the indexes were built for
-	sibRank    []int32    // node -> sibling-order rank
-	sibStart   []int32    // parent node -> first child rank
-	preEndNode []tree.NodeID
-	preEndPos  []int32 // node -> position in (preEnd, pre) order
-	sortKey    []int64
-	sortIdx    []int32
-	sortBuf    []int32
-}
-
 func growInt32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
-	}
-	return s[:n]
-}
-
-func growInt64(s []int64, n int) []int64 {
-	if cap(s) < n {
-		return make([]int64, n)
 	}
 	return s[:n]
 }
@@ -42,61 +19,23 @@ func growNodeIDs(s []tree.NodeID, n int) []tree.NodeID {
 	return s[:n]
 }
 
-// build (re)computes the indexes for t; a no-op when t is the tree of the
-// previous run.
-func (ix *treeIndex) build(t *tree.Tree) {
-	if ix.t == t {
-		return
-	}
-	n := t.Len()
-	ix.sibRank = growInt32(ix.sibRank, n)
-	ix.sibStart = growInt32(ix.sibStart, n)
-	var r int32
-	if n > 0 {
-		ix.sibRank[t.Root()] = r
-		r++
-	}
-	for pr := int32(0); pr < int32(n); pr++ {
-		p := t.ByPre(pr)
-		kids := t.Children(p)
-		if len(kids) == 0 {
-			continue
-		}
-		ix.sibStart[p] = r
-		for _, c := range kids {
-			ix.sibRank[c] = r
-			r++
-		}
-	}
-
-	ix.preEndNode = growNodeIDs(ix.preEndNode, n)
-	ix.preEndPos = growInt32(ix.preEndPos, n)
-	ix.sortKey = growInt64(ix.sortKey, n)
-	ix.sortIdx = growInt32(ix.sortIdx, n)
-	ix.sortBuf = growInt32(ix.sortBuf, n)
-	for v := 0; v < n; v++ {
-		ix.sortKey[v] = int64(t.PreEnd(tree.NodeID(v)))<<32 | int64(t.Pre(tree.NodeID(v)))
-		ix.sortIdx[v] = int32(v)
-	}
-	sortByKey(ix.sortIdx, ix.sortKey, ix.sortBuf)
-	for pos, v := range ix.sortIdx {
-		ix.preEndNode[pos] = tree.NodeID(v)
-		ix.preEndPos[v] = int32(pos)
-	}
-	ix.t = t
-}
-
-// Scratch holds every reusable buffer of a FastAC run: the tree indexes,
-// the per-variable domains with their deletion-only successor structures,
-// the worklist, and the NodeSets of the initial prevaluation. A Scratch
-// amortizes all per-call allocations of repeated evaluation; it is NOT safe
-// for concurrent use — pool Scratches (one per goroutine) instead.
+// Scratch holds the per-call mutable buffers of arc-consistency runs: the
+// per-variable domains with their deletion-only successor structures, the
+// worklist, the NodeSets of the initial prevaluation, and the pin
+// base/run storage of incremental enumeration. A Scratch amortizes all
+// per-call allocations of repeated evaluation; it is NOT safe for
+// concurrent use — pool Scratches (one per goroutine) instead.
+//
+// Tree-derived structures are no longer owned here: the *Ix entry points
+// borrow an immutable TreeIndex (shared document-wide; see core.Document),
+// and only the legacy *Tree entry points fall back to a private index
+// rebuilt when the tree pointer changes between calls.
 //
 // Prevaluations returned by Scratch methods that take no caller-supplied
 // initial prevaluation alias Scratch-owned sets: they are valid only until
 // the next call on the same Scratch.
 type Scratch struct {
-	ix         treeIndex
+	ownIx      *TreeIndex // fallback index for legacy *Tree entry points
 	doms       []domain
 	inQueue    []bool
 	queue      []int
@@ -112,19 +51,29 @@ type Scratch struct {
 // use.
 func NewScratch() *Scratch { return &Scratch{} }
 
-// InitialPrevaluation is NewPrevaluation backed by Scratch-owned NodeSets:
-// the label-filtered initial prevaluation, valid until the next call on sc.
-func (sc *Scratch) InitialPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation {
-	n := t.Len()
+// indexFor returns the Scratch's private index for t, rebuilding it only
+// when the tree changed since the previous legacy call.
+func (sc *Scratch) indexFor(t *tree.Tree) *TreeIndex {
+	if sc.ownIx == nil {
+		sc.ownIx = NewTreeIndex(t)
+	} else if sc.ownIx.t != t {
+		sc.ownIx.build(t)
+	}
+	return sc.ownIx
+}
+
+// InitialPrevaluationIx is the label-filtered initial prevaluation built
+// from the index's cached label bitsets and full-node-set words (word
+// copies and word-level intersections — no per-node scans). The result is
+// backed by Scratch-owned NodeSets, valid until the next call on sc.
+func (sc *Scratch) InitialPrevaluationIx(ix *TreeIndex, q *cq.Query) *Prevaluation {
 	nv := q.NumVars()
 	for len(sc.initSets) < nv {
 		sc.initSets = append(sc.initSets, &NodeSet{})
 	}
 	sets := sc.initSets[:nv]
-	// Labeled variables build their set from the label index directly (the
-	// first label) and then filter in place (subsequent labels) — no
-	// intermediate set, no full-universe scan. labeledBuf counts the label
-	// atoms seen per variable so far.
+	// labeledBuf counts the label atoms seen per variable so far: the first
+	// label copies the cached bitset, subsequent labels intersect in place.
 	for len(sc.labeledBuf) < nv {
 		sc.labeledBuf = append(sc.labeledBuf, 0)
 	}
@@ -135,21 +84,24 @@ func (sc *Scratch) InitialPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation 
 	for _, la := range q.Labels {
 		s := sets[la.X]
 		if labeled[la.X] == 0 {
-			s.Reset(n)
-			for _, v := range t.NodesWithLabel(la.Label) {
-				s.Add(v)
-			}
+			s.copyFrom(ix.labelSet(la.Label))
 		} else {
-			filterByLabel(t, s, la.Label)
+			s.IntersectWith(ix.labelSet(la.Label))
 		}
 		labeled[la.X]++
 	}
 	for x, s := range sets {
 		if labeled[x] == 0 {
-			s.ResetFull(n)
+			s.copyFrom(&ix.full)
 		}
 	}
 	return &Prevaluation{Sets: sets}
+}
+
+// InitialPrevaluation is InitialPrevaluationIx over the Scratch's private
+// index for t (legacy *Tree entry point).
+func (sc *Scratch) InitialPrevaluation(t *tree.Tree, q *cq.Query) *Prevaluation {
+	return sc.InitialPrevaluationIx(sc.indexFor(t), q)
 }
 
 // filterByLabel removes from s every node not carrying the label. The
@@ -164,8 +116,17 @@ func filterByLabel(t *tree.Tree, s *NodeSet, label string) {
 	})
 }
 
-// FastAC is the package-level FastAC with sc's buffers. The result aliases
-// Scratch-owned sets (see type doc).
+// FastACIx is the FastAC worklist against a borrowed document index. The
+// result aliases Scratch-owned sets (see type doc). Degenerate inputs
+// (no variables, empty tree) are handled by the worklist itself.
+func (sc *Scratch) FastACIx(ix *TreeIndex, q *cq.Query) (*Prevaluation, bool) {
+	return sc.FastACFromIx(ix, q, sc.InitialPrevaluationIx(ix, q))
+}
+
+// FastAC is FastACIx over the Scratch's private index for t. The result
+// aliases Scratch-owned sets (see type doc). The guards exist to skip
+// building the fallback index for degenerate inputs; the worklist
+// re-checks them.
 func (sc *Scratch) FastAC(t *tree.Tree, q *cq.Query) (*Prevaluation, bool) {
 	if q.NumVars() == 0 {
 		return &Prevaluation{}, true
@@ -173,12 +134,31 @@ func (sc *Scratch) FastAC(t *tree.Tree, q *cq.Query) (*Prevaluation, bool) {
 	if t.Len() == 0 {
 		return nil, false
 	}
-	return sc.FastACFrom(t, q, sc.InitialPrevaluation(t, q))
+	return sc.FastACIx(sc.indexFor(t), q)
 }
 
-// PinnedFastAC is PinnedAC(EngineFast, ...) with sc's buffers: arc
-// consistency with vars[i] pinned to {nodes[i]}. The result aliases
-// Scratch-owned sets (see type doc).
+// PinnedFastACIx is PinnedAC(EngineFast, ...) with sc's buffers against a
+// borrowed document index: arc consistency with vars[i] pinned to
+// {nodes[i]}. The result aliases Scratch-owned sets (see type doc).
+func (sc *Scratch) PinnedFastACIx(ix *TreeIndex, q *cq.Query, vars []cq.Var, nodes []tree.NodeID) (*Prevaluation, bool) {
+	n := ix.t.Len()
+	if n == 0 && q.NumVars() > 0 {
+		return nil, false // no sets to pin against
+	}
+	init := sc.InitialPrevaluationIx(ix, q)
+	for i, x := range vars {
+		s := init.Sets[x]
+		had := s.Has(nodes[i])
+		s.Reset(n)
+		if had {
+			s.Add(nodes[i])
+		}
+	}
+	return sc.FastACFromIx(ix, q, init)
+}
+
+// PinnedFastAC is PinnedFastACIx over the Scratch's private index for t
+// (guards as in FastAC: skip the fallback index for degenerate inputs).
 func (sc *Scratch) PinnedFastAC(t *tree.Tree, q *cq.Query, vars []cq.Var, nodes []tree.NodeID) (*Prevaluation, bool) {
 	if q.NumVars() == 0 {
 		return &Prevaluation{}, true
@@ -186,21 +166,18 @@ func (sc *Scratch) PinnedFastAC(t *tree.Tree, q *cq.Query, vars []cq.Var, nodes 
 	if t.Len() == 0 {
 		return nil, false
 	}
-	init := sc.InitialPrevaluation(t, q)
-	for i, x := range vars {
-		s := init.Sets[x]
-		had := s.Has(nodes[i])
-		s.Reset(t.Len())
-		if had {
-			s.Add(nodes[i])
-		}
-	}
-	return sc.FastACFrom(t, q, init)
+	return sc.PinnedFastACIx(sc.indexFor(t), q, vars, nodes)
 }
 
 // FastACFrom runs the worklist from init (consumed and mutated) with sc's
 // buffers; the result's sets are init's sets.
 func (sc *Scratch) FastACFrom(t *tree.Tree, q *cq.Query, init *Prevaluation) (*Prevaluation, bool) {
 	p, _, ok := sc.FastACFromStats(t, q, init)
+	return p, ok
+}
+
+// FastACFromIx is FastACFrom against a borrowed document index.
+func (sc *Scratch) FastACFromIx(ix *TreeIndex, q *cq.Query, init *Prevaluation) (*Prevaluation, bool) {
+	p, _, ok := sc.fastACFromStatsIx(ix, q, init)
 	return p, ok
 }

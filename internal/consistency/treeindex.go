@@ -1,0 +1,135 @@
+package consistency
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tree"
+)
+
+// TreeIndex is the immutable bundle of tree-derived structures every
+// evaluation strategy queries against: the sibling-consecutive numbering,
+// the (preEnd, pre) order with its value table, the full-node-set words,
+// and the per-label candidate bitsets. It depends only on the tree, so it
+// is the data-side counterpart of a compiled query: build it once per
+// document (see core.Document / the public Index) and share it between any
+// number of prepared queries and goroutines.
+//
+// All ordering fields are fixed at construction. Label bitsets are
+// materialized lazily, once per distinct label, behind a mutex — callers
+// observe a logically immutable object that is safe for concurrent use.
+type TreeIndex struct {
+	t          *tree.Tree
+	sibRank    []int32 // node -> sibling-order rank
+	sibStart   []int32 // parent node -> first child rank
+	preEndNode []tree.NodeID
+	preEndPos  []int32 // node -> position in (preEnd, pre) order
+	preEndVal  []int32 // position in (preEnd, pre) order -> preEnd value
+	full       NodeSet // the set of all nodes, word-filled
+
+	// labelSets is a copy-on-write map (label -> bitset of nodes carrying
+	// it): readers take one atomic load, so concurrent evaluation against
+	// a shared Document never contends once a label's set exists; labelMu
+	// only serializes first-use builders.
+	labelMu   sync.Mutex
+	labelSets atomic.Pointer[map[string]*NodeSet]
+}
+
+// indexBuilds counts TreeIndex constructions process-wide; the document
+// benchmarks assert on it to prove tree indexes are built once per
+// Document rather than once per prepared query.
+var indexBuilds atomic.Int64
+
+// IndexBuildCount returns the number of TreeIndex constructions so far in
+// this process (test/benchmark instrumentation).
+func IndexBuildCount() int64 { return indexBuilds.Load() }
+
+// NewTreeIndex builds the index for t. The orderings and full-set words
+// are computed eagerly; label bitsets on first use per label.
+func NewTreeIndex(t *tree.Tree) *TreeIndex {
+	ix := &TreeIndex{}
+	ix.build(t)
+	return ix
+}
+
+// Tree returns the tree the index was built for.
+func (ix *TreeIndex) Tree() *tree.Tree { return ix.t }
+
+// build computes the orderings for t, reusing backing arrays when the
+// receiver has been built before (the Scratch fallback path rebinds its
+// private index when the tree changes between legacy *Tree calls).
+func (ix *TreeIndex) build(t *tree.Tree) {
+	indexBuilds.Add(1)
+	n := t.Len()
+	ix.sibRank = growInt32(ix.sibRank, n)
+	ix.sibStart = growInt32(ix.sibStart, n)
+	var r int32
+	if n > 0 {
+		ix.sibRank[t.Root()] = r
+		r++
+	}
+	for pr := int32(0); pr < int32(n); pr++ {
+		p := t.ByPre(pr)
+		kids := t.Children(p)
+		if len(kids) == 0 {
+			continue
+		}
+		ix.sibStart[p] = r
+		for _, c := range kids {
+			ix.sibRank[c] = r
+			r++
+		}
+	}
+
+	ix.preEndNode = growNodeIDs(ix.preEndNode, n)
+	ix.preEndPos = growInt32(ix.preEndPos, n)
+	ix.preEndVal = growInt32(ix.preEndVal, n)
+	sortKey := make([]int64, n)
+	sortIdx := make([]int32, n)
+	sortBuf := make([]int32, n)
+	for v := 0; v < n; v++ {
+		sortKey[v] = int64(t.PreEnd(tree.NodeID(v)))<<32 | int64(t.Pre(tree.NodeID(v)))
+		sortIdx[v] = int32(v)
+	}
+	sortByKey(sortIdx, sortKey, sortBuf)
+	for pos, v := range sortIdx {
+		ix.preEndNode[pos] = tree.NodeID(v)
+		ix.preEndPos[v] = int32(pos)
+		ix.preEndVal[pos] = t.PreEnd(tree.NodeID(v))
+	}
+	ix.full.ResetFull(n)
+	ix.labelSets.Store(nil)
+	ix.t = t
+}
+
+// labelSet returns the bitset of nodes carrying the label, materializing
+// and caching it on first use. The returned set is shared and read-only.
+// The hot path is lock-free: one atomic load plus a map lookup.
+func (ix *TreeIndex) labelSet(label string) *NodeSet {
+	if m := ix.labelSets.Load(); m != nil {
+		if s, ok := (*m)[label]; ok {
+			return s
+		}
+	}
+	ix.labelMu.Lock()
+	defer ix.labelMu.Unlock()
+	old := ix.labelSets.Load()
+	if old != nil {
+		if s, ok := (*old)[label]; ok {
+			return s
+		}
+	}
+	s := NewNodeSet(ix.t.Len())
+	for _, v := range ix.t.NodesWithLabel(label) {
+		s.Add(v)
+	}
+	next := make(map[string]*NodeSet, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[label] = s
+	ix.labelSets.Store(&next)
+	return s
+}

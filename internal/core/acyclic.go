@@ -21,9 +21,11 @@ import (
 // signature — acyclicity, not the X-property, supplies tractability here.
 //
 // The engine is safe for concurrent use: per-call state lives in pooled
-// scratches. (The one-shot methods re-derive the shadow forest per call;
-// Prepare compiles it once instead.)
+// scratches. (The one-shot methods re-derive the shadow forest per call
+// and resolve the tree through a weak document cache; Prepare compiles
+// the forest once instead.)
 type AcyclicEngine struct {
+	docs docCache
 	pool sync.Pool // of *evalScratch
 }
 
@@ -171,8 +173,9 @@ func (f *shadowForest) atomHolds(t *tree.Tree, c cq.Var, vp, vc tree.NodeID) boo
 // acyclicReduce runs the two semijoin passes and returns the globally
 // consistent candidate sets, or ok=false if some set empties. The returned
 // sets are scratch-owned: valid until the scratch's next use.
-func acyclicReduce(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) ([]*consistency.NodeSet, bool) {
-	init := s.ac.InitialPrevaluation(t, q)
+func acyclicReduce(d *Document, q *cq.Query, f *shadowForest, s *evalScratch) ([]*consistency.NodeSet, bool) {
+	t := d.t
+	init := s.ac.InitialPrevaluationIx(d.ix, q)
 	sets := init.Sets
 	doomed := s.doomed[:0]
 	defer func() { s.doomed = doomed[:0] }()
@@ -242,14 +245,14 @@ func acyclicReduce(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) (
 // acyclicBool decides an acyclic query against a prebuilt shadow forest:
 // satisfiable iff the semijoin reduction leaves every candidate set
 // nonempty.
-func acyclicBool(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) bool {
+func acyclicBool(d *Document, q *cq.Query, f *shadowForest, s *evalScratch) bool {
 	if q.NumVars() == 0 {
 		return true // empty conjunction
 	}
-	if t.Len() == 0 {
+	if d.t.Len() == 0 {
 		return false
 	}
-	_, ok := acyclicReduce(t, q, f, s)
+	_, ok := acyclicReduce(d, q, f, s)
 	return ok
 }
 
@@ -262,18 +265,19 @@ func (e *AcyclicEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
 	}
 	s := e.scratch()
 	defer e.pool.Put(s)
-	return acyclicBool(t, q, f, s)
+	return acyclicBool(e.docs.get(t), q, f, s)
 }
 
 // acyclicSatisfaction returns one consistent valuation, or nil.
-func acyclicSatisfaction(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) consistency.Valuation {
+func acyclicSatisfaction(d *Document, q *cq.Query, f *shadowForest, s *evalScratch) consistency.Valuation {
 	if q.NumVars() == 0 {
 		return consistency.Valuation{}
 	}
+	t := d.t
 	if t.Len() == 0 {
 		return nil
 	}
-	sets, ok := acyclicReduce(t, q, f, s)
+	sets, ok := acyclicReduce(d, q, f, s)
 	if !ok {
 		return nil
 	}
@@ -312,17 +316,18 @@ func (e *AcyclicEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valu
 	}
 	s := e.scratch()
 	defer e.pool.Put(s)
-	return acyclicSatisfaction(t, q, f, s)
+	return acyclicSatisfaction(e.docs.get(t), q, f, s)
 }
 
 // acyclicEnumFrom runs the backtrack-free enumeration recursion from
 // dimension i of order, assigning into theta and passing each complete
 // head tuple (reused buffer) to emit — callers wrap emit with dedupEmit,
 // since distinct assignments can project to the same head tuple. Returns
-// false when enumeration should stop.
+// false when enumeration should stop. stop (optional) is the context
+// cancellation probe, checked once per outer (i == 0) candidate.
 func acyclicEnumFrom(t *tree.Tree, q *cq.Query, f *shadowForest, sets []*consistency.NodeSet,
 	order []cq.Var, theta consistency.Valuation, i int,
-	tuple []tree.NodeID, emit func([]tree.NodeID) bool) bool {
+	tuple []tree.NodeID, stop func() bool, emit func([]tree.NodeID) bool) bool {
 	if i == len(order) {
 		for j, h := range q.Head {
 			tuple[j] = theta[h]
@@ -333,11 +338,15 @@ func acyclicEnumFrom(t *tree.Tree, q *cq.Query, f *shadowForest, sets []*consist
 	p := f.parent[x]
 	cont := true
 	sets[x].ForEach(func(v tree.NodeID) bool {
+		if i == 0 && stop != nil && stop() {
+			cont = false
+			return false
+		}
 		if p != cq.NilVar && !f.atomHolds(t, x, theta[p], v) {
 			return true
 		}
 		theta[x] = v
-		cont = acyclicEnumFrom(t, q, f, sets, order, theta, i+1, tuple, emit)
+		cont = acyclicEnumFrom(t, q, f, sets, order, theta, i+1, tuple, stop, emit)
 		return cont
 	})
 	return cont
@@ -347,23 +356,24 @@ func acyclicEnumFrom(t *tree.Tree, q *cq.Query, f *shadowForest, sets []*consist
 // answer. Enumeration is backtrack-free per component after reduction;
 // the tuple passed to fn is reused (copy to retain); fn returns false to
 // stop early.
-func acyclicForEachTuple(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch, fn func(tuple []tree.NodeID) bool) {
+func acyclicForEachTuple(d *Document, q *cq.Query, f *shadowForest, s *evalScratch, stop func() bool, fn func(tuple []tree.NodeID) bool) {
 	if len(q.Head) == 0 {
-		if acyclicBool(t, q, f, s) {
+		if acyclicBool(d, q, f, s) {
 			fn(nil)
 		}
 		return
 	}
+	t := d.t
 	if t.Len() == 0 {
 		return
 	}
-	sets, ok := acyclicReduce(t, q, f, s)
+	sets, ok := acyclicReduce(d, q, f, s)
 	if !ok {
 		return
 	}
 	theta := make(consistency.Valuation, q.NumVars())
 	tuple := make([]tree.NodeID, len(q.Head))
-	acyclicEnumFrom(t, q, f, sets, f.headOrder, theta, 0, tuple, dedupEmit(map[string]bool{}, fn))
+	acyclicEnumFrom(t, q, f, sets, f.headOrder, theta, 0, tuple, stop, dedupEmit(map[string]bool{}, fn))
 }
 
 // acyclicForEachNode streams the answer of a monadic acyclic query in
@@ -371,21 +381,30 @@ func acyclicForEachTuple(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScra
 // two semijoin passes the candidate sets are globally consistent
 // (Yannakakis), so every surviving candidate of the head variable extends
 // to a full solution and the reduced set IS the answer.
-func acyclicForEachNode(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch, fn func(v tree.NodeID) bool) {
-	if t.Len() == 0 {
+func acyclicForEachNode(d *Document, q *cq.Query, f *shadowForest, s *evalScratch, stop func() bool, fn func(v tree.NodeID) bool) {
+	if d.t.Len() == 0 {
 		return
 	}
-	sets, ok := acyclicReduce(t, q, f, s)
+	sets, ok := acyclicReduce(d, q, f, s)
 	if !ok {
 		return
 	}
-	sets[q.Head[0]].ForEach(fn)
+	if stop == nil {
+		sets[q.Head[0]].ForEach(fn)
+		return
+	}
+	sets[q.Head[0]].ForEach(func(v tree.NodeID) bool {
+		if stop() {
+			return false
+		}
+		return fn(v)
+	})
 }
 
 // acyclicAll materializes acyclicForEachTuple, sorted lexicographically.
-func acyclicAll(t *tree.Tree, q *cq.Query, f *shadowForest, s *evalScratch) [][]tree.NodeID {
+func acyclicAll(d *Document, q *cq.Query, f *shadowForest, s *evalScratch) [][]tree.NodeID {
 	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
-		acyclicForEachTuple(t, q, f, s, fn)
+		acyclicForEachTuple(d, q, f, s, nil, fn)
 	})
 }
 
@@ -398,5 +417,5 @@ func (e *AcyclicEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 	}
 	s := e.scratch()
 	defer e.pool.Put(s)
-	return acyclicAll(t, q, f, s)
+	return acyclicAll(e.docs.get(t), q, f, s)
 }

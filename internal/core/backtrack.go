@@ -31,6 +31,8 @@ type BacktrackEngine struct {
 	// concurrent use — the Prepared evaluation path pools one engine per
 	// in-flight call instead.
 	sc *consistency.Scratch
+	// docs resolves the legacy *Tree entry points to Documents.
+	docs docCache
 }
 
 // NewBacktrackEngine returns an engine with MAC enabled and no step bound.
@@ -70,8 +72,11 @@ func searchOrder(q *cq.Query, sets []*consistency.NodeSet) []cq.Var {
 }
 
 // run performs the search. emit is called with each full consistent
-// valuation found; returning false stops the search.
-func (e *BacktrackEngine) run(t *tree.Tree, q *cq.Query, emit func(consistency.Valuation) bool) {
+// valuation found; returning false stops the search. stop (optional) is
+// the context cancellation probe, checked at every search-node expansion
+// (the same sites as the MaxSteps budget).
+func (e *BacktrackEngine) run(d *Document, q *cq.Query, stop func() bool, emit func(consistency.Valuation) bool) {
+	t := d.t
 	e.steps = 0
 	if q.NumVars() == 0 {
 		emit(consistency.Valuation{})
@@ -82,13 +87,13 @@ func (e *BacktrackEngine) run(t *tree.Tree, q *cq.Query, emit func(consistency.V
 	}
 	// The initial prevaluation must survive the search below (which runs
 	// further scratch-based AC passes), so it uses caller-owned sets; the
-	// scratch still supplies the worklist and index buffers.
-	p, ok := e.scratch().FastACFrom(t, q, consistency.NewPrevaluation(t, q))
+	// scratch still supplies the worklist and per-domain buffers.
+	p, ok := e.scratch().FastACFromIx(d.ix, q, consistency.NewPrevaluationIx(d.ix, q))
 	if !ok {
 		return
 	}
 	if e.Propagate {
-		e.runMAC(t, q, p, emit)
+		e.runMAC(d, q, p, stop, emit)
 		return
 	}
 	order := searchOrder(q, p.Sets)
@@ -130,6 +135,10 @@ func (e *BacktrackEngine) run(t *tree.Tree, q *cq.Query, emit func(consistency.V
 			if e.MaxSteps > 0 && e.steps > e.MaxSteps {
 				panic(ErrSearchBudget)
 			}
+			if stop != nil && stop() {
+				cont = false
+				return false
+			}
 			okHere := true
 			for _, c := range checksAt[x] {
 				if theta[c.other] == tree.NilNode && c.other != x {
@@ -169,7 +178,8 @@ func (e *BacktrackEngine) run(t *tree.Tree, q *cq.Query, emit func(consistency.V
 // candidate value re-runs arc consistency on a copy of the domains. When
 // every variable is a singleton, the minimum valuation of the (globally
 // arc-consistent, all-singleton) prevaluation is the satisfaction.
-func (e *BacktrackEngine) runMAC(t *tree.Tree, q *cq.Query, p *consistency.Prevaluation, emit func(consistency.Valuation) bool) {
+func (e *BacktrackEngine) runMAC(d *Document, q *cq.Query, p *consistency.Prevaluation, stop func() bool, emit func(consistency.Valuation) bool) {
+	t := d.t
 	var dfs func(cur *consistency.Prevaluation) bool
 	dfs = func(cur *consistency.Prevaluation) bool {
 		// Pick the smallest non-singleton domain.
@@ -197,6 +207,10 @@ func (e *BacktrackEngine) runMAC(t *tree.Tree, q *cq.Query, p *consistency.Preva
 			if e.MaxSteps > 0 && e.steps > e.MaxSteps {
 				panic(ErrSearchBudget)
 			}
+			if stop != nil && stop() {
+				cont = false
+				return false
+			}
 			next := &consistency.Prevaluation{Sets: make([]*consistency.NodeSet, len(cur.Sets))}
 			for x, s := range cur.Sets {
 				next.Sets[x] = s.Clone()
@@ -204,7 +218,7 @@ func (e *BacktrackEngine) runMAC(t *tree.Tree, q *cq.Query, p *consistency.Preva
 			pin := consistency.NewNodeSet(t.Len())
 			pin.Add(v)
 			next.Sets[pick].IntersectWith(pin)
-			reduced, ok := e.scratch().FastACFrom(t, q, next)
+			reduced, ok := e.scratch().FastACFromIx(d.ix, q, next)
 			if ok {
 				if !dfs(reduced) {
 					cont = false
@@ -226,40 +240,38 @@ type searchBudgetError struct{}
 
 func (searchBudgetError) Error() string { return "core: backtracking search budget exceeded" }
 
-// EvalBoolean decides satisfiability of q on t.
-func (e *BacktrackEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
+// evalBoolean decides satisfiability of q on d; stop cancels the search.
+func (e *BacktrackEngine) evalBoolean(d *Document, q *cq.Query, stop func() bool) bool {
 	found := false
-	e.run(t, q, func(consistency.Valuation) bool {
+	e.run(d, q, stop, func(consistency.Valuation) bool {
 		found = true
 		return false
 	})
 	return found
 }
 
-// Satisfaction returns one satisfaction of all query variables, or nil.
-func (e *BacktrackEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
+// satisfaction returns one satisfaction of all query variables, or nil.
+func (e *BacktrackEngine) satisfaction(d *Document, q *cq.Query, stop func() bool) consistency.Valuation {
 	var out consistency.Valuation
-	e.run(t, q, func(v consistency.Valuation) bool {
+	e.run(d, q, stop, func(v consistency.Valuation) bool {
 		out = v
 		return false
 	})
 	return out
 }
 
-// ForEachTuple streams the distinct head tuples of the answer in search
-// discovery order: each tuple is emitted the first time the search reaches
-// a satisfaction projecting to it. The tuple passed to fn is reused (copy
-// to retain); fn returns false to stop the search early.
-func (e *BacktrackEngine) ForEachTuple(t *tree.Tree, q *cq.Query, fn func(tuple []tree.NodeID) bool) {
+// forEachTuple streams the distinct head tuples of the answer in search
+// discovery order; see ForEachTuple.
+func (e *BacktrackEngine) forEachTuple(d *Document, q *cq.Query, stop func() bool, fn func(tuple []tree.NodeID) bool) {
 	if len(q.Head) == 0 {
-		if e.EvalBoolean(t, q) {
+		if e.evalBoolean(d, q, stop) {
 			fn(nil)
 		}
 		return
 	}
 	emit := dedupEmit(map[string]bool{}, fn)
 	tuple := make([]tree.NodeID, len(q.Head))
-	e.run(t, q, func(theta consistency.Valuation) bool {
+	e.run(d, q, stop, func(theta consistency.Valuation) bool {
 		for j, h := range q.Head {
 			tuple[j] = theta[h]
 		}
@@ -267,10 +279,29 @@ func (e *BacktrackEngine) ForEachTuple(t *tree.Tree, q *cq.Query, fn func(tuple 
 	})
 }
 
+// EvalBoolean decides satisfiability of q on t.
+func (e *BacktrackEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
+	return e.evalBoolean(e.docs.get(t), q, nil)
+}
+
+// Satisfaction returns one satisfaction of all query variables, or nil.
+func (e *BacktrackEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
+	return e.satisfaction(e.docs.get(t), q, nil)
+}
+
+// ForEachTuple streams the distinct head tuples of the answer in search
+// discovery order: each tuple is emitted the first time the search reaches
+// a satisfaction projecting to it. The tuple passed to fn is reused (copy
+// to retain); fn returns false to stop the search early.
+func (e *BacktrackEngine) ForEachTuple(t *tree.Tree, q *cq.Query, fn func(tuple []tree.NodeID) bool) {
+	e.forEachTuple(e.docs.get(t), q, nil, fn)
+}
+
 // EvalAll enumerates the distinct head tuples of the answer, in
 // lexicographic NodeID order.
 func (e *BacktrackEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
+	d := e.docs.get(t)
 	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
-		e.ForEachTuple(t, q, fn)
+		e.forEachTuple(d, q, nil, fn)
 	})
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"weak"
+
+	"repro/internal/consistency"
+	"repro/internal/tree"
+)
+
+// Document is a tree paired with every tree-derived structure evaluation
+// needs — the sibling and (preEnd, pre) orderings, the full-node-set
+// words, and the per-label candidate bitsets — built exactly once and
+// shared by all strategies. It is the data-side counterpart of a compiled
+// query: where Prepare pays the query-only cost once, NewDocument pays the
+// per-tree cost once, and any number of Prepared queries evaluate against
+// the same *Document from any number of goroutines.
+//
+// A Document is immutable after construction and safe for concurrent use.
+type Document struct {
+	t  *tree.Tree
+	ix *consistency.TreeIndex
+}
+
+// NewDocument indexes t for repeated evaluation. The tree must not be
+// mutated afterwards (Tree is immutable by contract after construction).
+func NewDocument(t *tree.Tree) *Document {
+	if t == nil {
+		panic("core: NewDocument of nil tree")
+	}
+	return &Document{t: t, ix: consistency.NewTreeIndex(t)}
+}
+
+// Tree returns the underlying tree.
+func (d *Document) Tree() *tree.Tree { return d.t }
+
+// Len returns the number of tree nodes.
+func (d *Document) Len() int { return d.t.Len() }
+
+// docCache backs the legacy *Tree entry points: a weak map from tree
+// pointer to its Document, so repeated evaluation against the same tree
+// reuses one set of tree indexes without keeping dead trees (or their
+// documents) alive. Each Engine owns one cache shared by every Prepared it
+// compiles; a standalone Prepare gets a private cache.
+type docCache struct {
+	mu sync.Mutex
+	m  map[*tree.Tree]weak.Pointer[Document]
+}
+
+// get returns the cached Document for t, building and caching it if
+// missing (or if the previous one was garbage-collected).
+func (c *docCache) get(t *tree.Tree) *Document {
+	c.mu.Lock()
+	if wp, ok := c.m[t]; ok {
+		if d := wp.Value(); d != nil {
+			c.mu.Unlock()
+			return d
+		}
+	}
+	c.mu.Unlock()
+	// Build outside the lock: indexing is the expensive part. A concurrent
+	// racer may build too; the first to publish wins and the loser's
+	// document is dropped before anyone evaluates against it.
+	d := NewDocument(t)
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[*tree.Tree]weak.Pointer[Document])
+	}
+	if wp, ok := c.m[t]; ok {
+		if existing := wp.Value(); existing != nil {
+			c.mu.Unlock()
+			return existing
+		}
+	}
+	c.m[t] = weak.Make(d)
+	c.mu.Unlock()
+	// When the document dies, drop its cache entry (unless the slot was
+	// already re-populated with a live document for the same tree).
+	runtime.AddCleanup(d, c.evict, t)
+	return d
+}
+
+func (c *docCache) evict(key *tree.Tree) {
+	c.mu.Lock()
+	if wp, ok := c.m[key]; ok && wp.Value() == nil {
+		delete(c.m, key)
+	}
+	c.mu.Unlock()
+}

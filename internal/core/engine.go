@@ -82,10 +82,13 @@ const planCacheLimit = 512
 //
 // An Engine is safe for concurrent use and meant to be long-lived and
 // shared; per-call state lives in scratch pools inside the cached
-// Prepared queries.
+// Prepared queries. All Prepared queries compiled by one Engine share its
+// weak document cache, so one-shot evaluation of different queries
+// against the same tree builds that tree's indexes only once.
 type Engine struct {
 	mu    sync.Mutex
 	cache map[string]*Prepared
+	docs  docCache
 }
 
 // NewEngine returns an Engine with an empty plan cache.
@@ -103,7 +106,7 @@ func (e *Engine) Prepare(q *cq.Query) (*Prepared, error) {
 	if ok {
 		return p, nil
 	}
-	p, err := Prepare(q)
+	p, err := prepareWith(q, &e.docs)
 	if err != nil {
 		return nil, err
 	}

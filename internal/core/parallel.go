@@ -20,15 +20,15 @@ import (
 
 // allParallel runs the parallel k-ary enumeration if the options and
 // strategy allow it; ok=false means "use the sequential path".
-func (p *Prepared) allParallel(t *tree.Tree, o EnumOptions) (out [][]tree.NodeID, ok bool) {
-	if o.Parallel <= 1 || len(p.q.Head) == 0 || t.Len() == 0 {
+func (p *Prepared) allParallel(d *Document, o EnumOptions) (out [][]tree.NodeID, ok bool) {
+	if o.Parallel <= 1 || len(p.q.Head) == 0 || d.t.Len() == 0 {
 		return nil, false
 	}
 	switch p.plan.Strategy {
 	case StrategyXProperty:
-		return p.polyAllParallel(t, o.Parallel), true
+		return p.polyAllParallel(d, o.Parallel, o.stop()), true
 	case StrategyAcyclic:
-		return p.acyclicAllParallel(t, o.Parallel), true
+		return p.acyclicAllParallel(d, o.Parallel, o.stop()), true
 	default:
 		return nil, false
 	}
@@ -38,18 +38,22 @@ func (p *Prepared) allParallel(t *tree.Tree, o EnumOptions) (out [][]tree.NodeID
 // ok=false means "use the sequential path". Only the X-property strategy
 // benefits: its per-candidate pinned checks shard perfectly, whereas the
 // acyclic monadic fast path is already O(answer) with no outer loop.
-func (p *Prepared) monadicParallel(t *tree.Tree, o EnumOptions) (out []tree.NodeID, ok bool) {
-	if o.Parallel <= 1 || t.Len() == 0 || p.plan.Strategy != StrategyXProperty {
+func (p *Prepared) monadicParallel(d *Document, o EnumOptions) (out []tree.NodeID, ok bool) {
+	if o.Parallel <= 1 || d.t.Len() == 0 || p.plan.Strategy != StrategyXProperty {
 		return nil, false
 	}
-	return p.polyMonadicParallel(t, o.Parallel), true
+	return p.polyMonadicParallel(d, o.Parallel, o.stop()), true
 }
 
 // shard processes every candidate index in [0, n) across the given number
 // of workers. Each worker borrows a private evalScratch and calls the
 // newWorker factory once, so per-worker state (pin runs, valuations, dedup
-// maps) is allocated once per worker, not once per candidate.
-func (p *Prepared) shard(workers, n int, newWorker func(s *evalScratch) func(i int)) {
+// maps) is allocated once per worker, not once per candidate. stop
+// (optional) is the cancellation probe: each worker checks it before
+// pulling the next candidate and drains without processing once it fires,
+// so the shard returns — and every worker goroutine exits — within one
+// outer iteration per worker of the cancel.
+func (p *Prepared) shard(workers, n int, stop func() bool, newWorker func(s *evalScratch) func(i int)) {
 	if workers > n {
 		workers = n
 	}
@@ -63,6 +67,9 @@ func (p *Prepared) shard(workers, n int, newWorker func(s *evalScratch) func(i i
 			defer p.release(s)
 			fn := newWorker(s)
 			for {
+				if stop != nil && stop() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -74,24 +81,24 @@ func (p *Prepared) shard(workers, n int, newWorker func(s *evalScratch) func(i i
 	wg.Wait()
 }
 
-func (p *Prepared) polyAllParallel(t *tree.Tree, workers int) [][]tree.NodeID {
+func (p *Prepared) polyAllParallel(d *Document, workers int, stop func() bool) [][]tree.NodeID {
 	// The scratch-pooled PinBase is shared read-only by the workers; the
 	// owning scratch is held (not released) until the shard completes, so
 	// no concurrent evaluation can rebind it.
 	s := p.scratch()
 	defer p.release(s)
-	pre, ok := runAC(p.alg, t, p.q, s.ac)
+	pre, ok := runAC(p.alg, d, p.q, s.ac)
 	if !ok {
 		return nil
 	}
-	base := s.ac.PinBaseFor(t, p.q, pre)
+	base := s.ac.PinBaseForIx(d.ix, p.q, pre)
 	head := p.q.Head
 	cands := base.Candidates(head[0]).Members()
 	if len(cands) == 0 {
 		return nil
 	}
 	results := make([][][]tree.NodeID, len(cands))
-	p.shard(workers, len(cands), func(s *evalScratch) func(i int) {
+	p.shard(workers, len(cands), stop, func(s *evalScratch) func(i int) {
 		run := s.ac.PinRunFor(base)
 		tuple := make([]tree.NodeID, len(head))
 		return func(i int) {
@@ -100,7 +107,7 @@ func (p *Prepared) polyAllParallel(t *tree.Tree, workers int) [][]tree.NodeID {
 				return
 			}
 			var local [][]tree.NodeID
-			polyEnumRec(run, head, 1, tuple, func(tp []tree.NodeID) bool {
+			polyEnumRec(run, head, 1, tuple, nil, func(tp []tree.NodeID) bool {
 				local = append(local, copyTuple(tp))
 				return true
 			})
@@ -116,22 +123,22 @@ func (p *Prepared) polyAllParallel(t *tree.Tree, workers int) [][]tree.NodeID {
 	return out
 }
 
-func (p *Prepared) polyMonadicParallel(t *tree.Tree, workers int) []tree.NodeID {
+func (p *Prepared) polyMonadicParallel(d *Document, workers int, stop func() bool) []tree.NodeID {
 	out := []tree.NodeID{}
 	s := p.scratch()
 	defer p.release(s) // held across the shard; see polyAllParallel
-	pre, ok := runAC(p.alg, t, p.q, s.ac)
+	pre, ok := runAC(p.alg, d, p.q, s.ac)
 	if !ok {
 		return out
 	}
-	base := s.ac.PinBaseFor(t, p.q, pre)
+	base := s.ac.PinBaseForIx(d.ix, p.q, pre)
 	x := p.q.Head[0]
 	cands := base.Candidates(x).Members()
 	if len(cands) == 0 {
 		return out
 	}
 	keep := make([]bool, len(cands))
-	p.shard(workers, len(cands), func(s *evalScratch) func(i int) {
+	p.shard(workers, len(cands), stop, func(s *evalScratch) func(i int) {
 		run := s.ac.PinRunFor(base)
 		return func(i int) {
 			if run.Push(x, cands[i]) {
@@ -149,11 +156,12 @@ func (p *Prepared) polyMonadicParallel(t *tree.Tree, workers int) []tree.NodeID 
 	return out
 }
 
-func (p *Prepared) acyclicAllParallel(t *tree.Tree, workers int) [][]tree.NodeID {
+func (p *Prepared) acyclicAllParallel(d *Document, workers int, stop func() bool) [][]tree.NodeID {
+	t := d.t
 	// Reduce once, then clone the scratch-owned sets so workers (and the
 	// merge below) read them without holding the scratch.
 	s := p.scratch()
-	sets0, ok := acyclicReduce(t, p.q, p.forest, s)
+	sets0, ok := acyclicReduce(d, p.q, p.forest, s)
 	if !ok {
 		p.release(s)
 		return nil
@@ -171,7 +179,7 @@ func (p *Prepared) acyclicAllParallel(t *tree.Tree, workers int) [][]tree.NodeID
 		return nil
 	}
 	results := make([][][]tree.NodeID, len(cands))
-	p.shard(workers, len(cands), func(*evalScratch) func(i int) {
+	p.shard(workers, len(cands), stop, func(*evalScratch) func(i int) {
 		theta := make(consistency.Valuation, p.q.NumVars())
 		tuple := make([]tree.NodeID, len(p.q.Head))
 		// The dedup map persists across the worker's candidates: a tuple is
@@ -184,7 +192,7 @@ func (p *Prepared) acyclicAllParallel(t *tree.Tree, workers int) [][]tree.NodeID
 		return func(i int) {
 			theta[x0] = cands[i]
 			local = nil
-			acyclicEnumFrom(t, p.q, p.forest, sets, order, theta, 1, tuple, emit)
+			acyclicEnumFrom(t, p.q, p.forest, sets, order, theta, 1, tuple, nil, emit)
 			results[i] = local
 		}
 	})

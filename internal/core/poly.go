@@ -23,17 +23,18 @@ const (
 	HornAC
 )
 
-// runAC dispatches one arc-consistency run. sc is used by FastAC for
-// buffer reuse (nil = allocate fresh); the paper-exact HornAC ignores it.
-func runAC(alg ACAlgorithm, t *tree.Tree, q *cq.Query, sc *consistency.Scratch) (*consistency.Prevaluation, bool) {
+// runAC dispatches one arc-consistency run against the document's shared
+// tree index. sc is used by FastAC for buffer reuse (nil = allocate
+// fresh); the paper-exact HornAC materializes relations and ignores both.
+func runAC(alg ACAlgorithm, d *Document, q *cq.Query, sc *consistency.Scratch) (*consistency.Prevaluation, bool) {
 	switch alg {
 	case FastAC:
-		if sc != nil {
-			return sc.FastAC(t, q)
+		if sc == nil {
+			sc = consistency.NewScratch()
 		}
-		return consistency.FastAC(t, q)
+		return sc.FastACIx(d.ix, q)
 	case HornAC:
-		return consistency.HornAC(t, q)
+		return consistency.HornAC(d.t, q)
 	default:
 		panic(fmt.Sprintf("core: invalid ACAlgorithm %d", int(alg)))
 	}
@@ -52,6 +53,7 @@ func runAC(alg ACAlgorithm, t *tree.Tree, q *cq.Query, sc *consistency.Scratch) 
 type PolyEngine struct {
 	order axis.Order
 	alg   ACAlgorithm
+	docs  docCache
 	pool  sync.Pool // of *consistency.Scratch
 }
 
@@ -87,8 +89,8 @@ func (e *PolyEngine) scratch() *consistency.Scratch {
 
 // polyBool decides a Boolean query: true iff an arc-consistent
 // prevaluation exists (Theorem 3.5).
-func polyBool(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) bool {
-	_, ok := runAC(alg, t, q, sc)
+func polyBool(d *Document, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) bool {
+	_, ok := runAC(alg, d, q, sc)
 	return ok
 }
 
@@ -98,20 +100,20 @@ func polyBool(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratc
 func (e *PolyEngine) EvalBoolean(t *tree.Tree, q *cq.Query) bool {
 	sc := e.scratch()
 	defer e.pool.Put(sc)
-	return polyBool(t, q, e.alg, sc)
+	return polyBool(e.docs.get(t), q, e.alg, sc)
 }
 
 // polySatisfaction returns the minimum valuation of the maximal
 // arc-consistent prevaluation (Lemma 3.4), or nil.
-func polySatisfaction(t *tree.Tree, q *cq.Query, order axis.Order, alg ACAlgorithm, sc *consistency.Scratch) consistency.Valuation {
-	p, ok := runAC(alg, t, q, sc)
+func polySatisfaction(d *Document, q *cq.Query, order axis.Order, alg ACAlgorithm, sc *consistency.Scratch) consistency.Valuation {
+	p, ok := runAC(alg, d, q, sc)
 	if !ok {
 		return nil
 	}
 	if q.NumVars() == 0 {
 		return consistency.Valuation{}
 	}
-	return p.MinimumValuation(t, order)
+	return p.MinimumValuation(d.t, order)
 }
 
 // Satisfaction returns a consistent valuation of all query variables (the
@@ -120,25 +122,25 @@ func polySatisfaction(t *tree.Tree, q *cq.Query, order axis.Order, alg ACAlgorit
 func (e *PolyEngine) Satisfaction(t *tree.Tree, q *cq.Query) consistency.Valuation {
 	sc := e.scratch()
 	defer e.pool.Put(sc)
-	return polySatisfaction(t, q, e.order, e.alg, sc)
+	return polySatisfaction(e.docs.get(t), q, e.order, e.alg, sc)
 }
 
 // polyCheckTuple decides tuple membership by the singleton-restriction
 // argument below Theorem 3.5: restrict each head variable's candidates to
 // the given node and test Boolean satisfiability.
-func polyCheckTuple(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, tuple []tree.NodeID) bool {
+func polyCheckTuple(d *Document, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, tuple []tree.NodeID) bool {
 	if len(tuple) != len(q.Head) {
 		panic(fmt.Sprintf("core: CheckTuple arity %d, query arity %d", len(tuple), len(q.Head)))
 	}
 	if alg == FastAC && sc != nil {
-		_, ok := sc.PinnedFastAC(t, q, q.Head, tuple)
+		_, ok := sc.PinnedFastACIx(d.ix, q, q.Head, tuple)
 		return ok
 	}
 	eng := consistency.EngineFast
 	if alg == HornAC {
 		eng = consistency.EngineHorn
 	}
-	_, ok := consistency.PinnedAC(eng, t, q, q.Head, tuple)
+	_, ok := consistency.PinnedAC(eng, d.t, q, q.Head, tuple)
 	return ok
 }
 
@@ -147,7 +149,7 @@ func polyCheckTuple(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.
 func (e *PolyEngine) CheckTuple(t *tree.Tree, q *cq.Query, tuple []tree.NodeID) bool {
 	sc := e.scratch()
 	defer e.pool.Put(sc)
-	return polyCheckTuple(t, q, e.alg, sc, tuple)
+	return polyCheckTuple(e.docs.get(t), q, e.alg, sc, tuple)
 }
 
 // polyForEachTuple streams the distinct answer tuples of a k-ary query via
@@ -159,38 +161,44 @@ func (e *PolyEngine) CheckTuple(t *tree.Tree, q *cq.Query, tuple []tree.NodeID) 
 // IS an answer: the cost is proportional to the consistent prefixes
 // explored, not to the |A|^k candidate space. The tuple passed to fn is
 // reused between calls (copy to retain); fn returns false to stop.
-func polyForEachTuple(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, fn func(tuple []tree.NodeID) bool) {
+func polyForEachTuple(d *Document, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, stop func() bool, fn func(tuple []tree.NodeID) bool) {
 	if sc == nil {
 		sc = consistency.NewScratch()
 	}
 	if len(q.Head) == 0 {
-		if polyBool(t, q, alg, sc) {
+		if polyBool(d, q, alg, sc) {
 			fn(nil)
 		}
 		return
 	}
-	p, ok := runAC(alg, t, q, sc)
+	p, ok := runAC(alg, d, q, sc)
 	if !ok {
 		return
 	}
-	run := sc.PinRunFor(sc.PinBaseFor(t, q, p))
+	run := sc.PinRunFor(sc.PinBaseForIx(d.ix, q, p))
 	tuple := make([]tree.NodeID, len(q.Head))
-	polyEnumRec(run, q.Head, 0, tuple, fn)
+	polyEnumRec(run, q.Head, 0, tuple, stop, fn)
 }
 
 // polyEnumRec enumerates dimension d of the head tuple from the current
 // pin state; returns false when enumeration should stop. The first
 // dimension iterates the NodeID-ordered snapshot set (so monadic emission
 // is sorted); deeper dimensions iterate the pin-pruned current domain.
-func polyEnumRec(run *consistency.PinRun, head []cq.Var, d int, tuple []tree.NodeID, fn func([]tree.NodeID) bool) bool {
+// stop (optional) is the context cancellation probe, checked once per
+// outer (d == 0) candidate.
+func polyEnumRec(run *consistency.PinRun, head []cq.Var, d int, tuple []tree.NodeID, stop func() bool, fn func([]tree.NodeID) bool) bool {
 	if d == len(head) {
 		return fn(tuple)
 	}
 	cont := true
 	try := func(v tree.NodeID) bool {
+		if d == 0 && stop != nil && stop() {
+			cont = false
+			return false
+		}
 		tuple[d] = v
 		if run.Push(head[d], v) {
-			cont = polyEnumRec(run, head, d+1, tuple, fn)
+			cont = polyEnumRec(run, head, d+1, tuple, stop, fn)
 			run.Pop()
 		}
 		return cont
@@ -206,18 +214,21 @@ func polyEnumRec(run *consistency.PinRun, head []cq.Var, d int, tuple []tree.Nod
 // polyForEachNode streams the answer of a monadic query in increasing
 // NodeID order: the shared maximal arc-consistent prevaluation prunes the
 // candidates once, then each survivor costs one incremental pinned check.
-func polyForEachNode(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, fn func(v tree.NodeID) bool) {
+func polyForEachNode(d *Document, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch, stop func() bool, fn func(v tree.NodeID) bool) {
 	if sc == nil {
 		sc = consistency.NewScratch()
 	}
-	p, ok := runAC(alg, t, q, sc)
+	p, ok := runAC(alg, d, q, sc)
 	if !ok {
 		return
 	}
 	x := q.Head[0]
-	base := sc.PinBaseFor(t, q, p)
+	base := sc.PinBaseForIx(d.ix, q, p)
 	run := sc.PinRunFor(base)
 	base.Candidates(x).ForEach(func(v tree.NodeID) bool {
+		if stop != nil && stop() {
+			return false
+		}
 		if run.Push(x, v) {
 			run.Pop()
 			return fn(v)
@@ -227,9 +238,9 @@ func polyForEachNode(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency
 }
 
 // polyAll materializes polyForEachTuple, sorted lexicographically.
-func polyAll(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) [][]tree.NodeID {
+func polyAll(d *Document, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch) [][]tree.NodeID {
 	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
-		polyForEachTuple(t, q, alg, sc, fn)
+		polyForEachTuple(d, q, alg, sc, nil, fn)
 	})
 }
 
@@ -238,7 +249,7 @@ func polyAll(t *tree.Tree, q *cq.Query, alg ACAlgorithm, sc *consistency.Scratch
 func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 	sc := e.scratch()
 	defer e.pool.Put(sc)
-	return polyAll(t, q, e.alg, sc)
+	return polyAll(e.docs.get(t), q, e.alg, sc)
 }
 
 // ForEachTuple streams the distinct answer tuples; see Prepared.ForEachTuple
@@ -246,5 +257,5 @@ func (e *PolyEngine) EvalAll(t *tree.Tree, q *cq.Query) [][]tree.NodeID {
 func (e *PolyEngine) ForEachTuple(t *tree.Tree, q *cq.Query, fn func(tuple []tree.NodeID) bool) {
 	sc := e.scratch()
 	defer e.pool.Put(sc)
-	polyForEachTuple(t, q, e.alg, sc, fn)
+	polyForEachTuple(e.docs.get(t), q, e.alg, sc, nil, fn)
 }

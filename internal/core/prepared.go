@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +12,12 @@ import (
 	"repro/internal/cq"
 	"repro/internal/tree"
 )
+
+// ErrNotMonadic is returned by the error-returning monadic entry points
+// (MonadicDoc and the public NodesErr/NodeSeq tier) when the compiled
+// query's head is not unary. It replaces the legacy "panics if not
+// monadic" contract; match it with errors.Is.
+var ErrNotMonadic = errors.New("query is not monadic")
 
 // evalScratch bundles the per-call mutable state of one evaluation: the
 // arc-consistency buffers, the semijoin doom-list of the acyclic engine,
@@ -39,9 +47,14 @@ func (s *evalScratch) backtracker() *BacktrackEngine {
 // Theorem 1.1 dichotomy, and planned exactly once. The expensive query-only
 // work (acyclicity analysis, the shadow-forest decomposition, the common
 // X-property order search) happens in Prepare; evaluating the Prepared
-// against a tree only pays the per-tree cost, reusing pooled scratch
+// against a Document only pays the per-call cost, reusing pooled scratch
 // buffers so repeated evaluation stops re-allocating domain tables and
 // semijoin buffers.
+//
+// Evaluation is Document-centric: the *Doc methods take a shared
+// *Document (tree indexes built once, by NewDocument). The *Tree methods
+// are thin compatibility wrappers resolving the tree through a weak
+// per-engine document cache.
 //
 // A Prepared is immutable after Prepare and safe for concurrent use: each
 // evaluation borrows a private scratch from an internal pool.
@@ -53,6 +66,7 @@ type Prepared struct {
 	order  axis.Order    // StrategyXProperty
 	alg    ACAlgorithm
 
+	docs *docCache // resolves legacy *Tree calls to Documents
 	pool sync.Pool // of *evalScratch
 }
 
@@ -61,11 +75,17 @@ type Prepared struct {
 // strategy's query-only structures. The query is cloned, so later mutation
 // of q does not affect the Prepared.
 func Prepare(q *cq.Query) (*Prepared, error) {
+	return prepareWith(q, &docCache{})
+}
+
+// prepareWith is Prepare with a caller-supplied document cache (an Engine
+// shares one cache across every query it compiles).
+func prepareWith(q *cq.Query, docs *docCache) (*Prepared, error) {
 	if q == nil {
 		return nil, fmt.Errorf("core: Prepare of nil query")
 	}
 	c := q.Clone()
-	p := &Prepared{q: c, plan: planFor(c)}
+	p := &Prepared{q: c, plan: planFor(c), docs: docs}
 	switch p.plan.Strategy {
 	case StrategyAcyclic:
 		f, err := buildShadowForest(c)
@@ -105,94 +125,232 @@ func (p *Prepared) scratch() *evalScratch {
 
 func (p *Prepared) release(s *evalScratch) { p.pool.Put(s) }
 
-// Bool decides Boolean satisfaction of the compiled query on t.
-func (p *Prepared) Bool(t *tree.Tree) bool {
+// document resolves the legacy *Tree entry points through the weak
+// per-engine document cache: the first call for a tree builds its indexes,
+// subsequent calls (from any Prepared sharing the cache) reuse them.
+func (p *Prepared) document(t *tree.Tree) *Document { return p.docs.get(t) }
+
+// EnumOptions tunes answer evaluation and enumeration.
+type EnumOptions struct {
+	// Parallel is the number of worker goroutines sharding the outer
+	// candidate loop of AllDoc/MonadicDoc; 0 and 1 are equivalent (both
+	// mean sequential), and negative values are treated as 0. Only the
+	// acyclic and X-property strategies parallelize (the backtracking
+	// search is inherently stateful and falls back to sequential).
+	// Streaming (ForEachTupleDoc/ForEachNodeDoc) is always sequential: the
+	// callback contract is single-goroutine.
+	Parallel int
+	// Ctx, when non-nil, cancels evaluation: cancellation is checked once
+	// per outer-candidate-loop iteration (in both sequential and sharded
+	// parallel enumeration) and once per search-node expansion under the
+	// backtracking strategy, so enumeration stops within one outer
+	// iteration of the cancel. The error-returning entry points report
+	// ctx.Err(); streaming entry points just stop.
+	Ctx context.Context
+}
+
+// stop returns the cancellation probe for the options: nil when no
+// context is set (so hot loops pay a single nil check), otherwise a
+// closure over Ctx.Err.
+func (o EnumOptions) stop() func() bool {
+	if o.Ctx == nil {
+		return nil
+	}
+	ctx := o.Ctx
+	return func() bool { return ctx.Err() != nil }
+}
+
+// err returns the options' cancellation error, if any.
+func (o EnumOptions) err() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
+
+// BoolDoc decides Boolean satisfaction of the compiled query on d. A
+// non-nil error is only ever the context's cancellation error.
+func (p *Prepared) BoolDoc(d *Document, o EnumOptions) (bool, error) {
+	if err := o.err(); err != nil {
+		return false, err
+	}
+	s := p.scratch()
+	defer p.release(s)
+	var sat bool
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		sat = acyclicBool(d, p.q, p.forest, s)
+	case StrategyXProperty:
+		sat = polyBool(d, p.q, p.alg, s.ac)
+	case StrategyBacktrack:
+		sat = s.backtracker().evalBoolean(d, p.q, o.stop())
+	default:
+		panic("core: invalid strategy")
+	}
+	if err := o.err(); err != nil {
+		return false, err
+	}
+	return sat, nil
+}
+
+// SatisfactionDoc returns a full consistent valuation on d, or nil if none
+// exists (or evaluation was cancelled).
+func (p *Prepared) SatisfactionDoc(d *Document, o EnumOptions) consistency.Valuation {
+	if o.err() != nil {
+		return nil
+	}
 	s := p.scratch()
 	defer p.release(s)
 	switch p.plan.Strategy {
 	case StrategyAcyclic:
-		return acyclicBool(t, p.q, p.forest, s)
+		return acyclicSatisfaction(d, p.q, p.forest, s)
 	case StrategyXProperty:
-		return polyBool(t, p.q, p.alg, s.ac)
+		return polySatisfaction(d, p.q, p.order, p.alg, s.ac)
 	case StrategyBacktrack:
-		return s.backtracker().EvalBoolean(t, p.q)
+		return s.backtracker().satisfaction(d, p.q, o.stop())
 	default:
 		panic("core: invalid strategy")
 	}
+}
+
+// ForEachTupleDoc streams the distinct answer tuples of the compiled query
+// on d: fn is called once per tuple and enumeration stops as soon as fn
+// returns false, so prefix-limited and existence queries cost only the
+// answers actually consumed. Nothing is materialized; the tuple slice is
+// reused between calls — copy it to retain. Tuples arrive in a
+// strategy-dependent order (not necessarily lexicographic); AllDoc sorts.
+// For Boolean queries fn is called once with an empty tuple if the query
+// is satisfiable. The returned error is the context's cancellation error,
+// if any (the stream just stops at the cancel point).
+func (p *Prepared) ForEachTupleDoc(d *Document, o EnumOptions, fn func(tuple []tree.NodeID) bool) error {
+	if err := o.err(); err != nil {
+		return err
+	}
+	s := p.scratch()
+	defer p.release(s)
+	stop := o.stop()
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		acyclicForEachTuple(d, p.q, p.forest, s, stop, fn)
+	case StrategyXProperty:
+		polyForEachTuple(d, p.q, p.alg, s.ac, stop, fn)
+	case StrategyBacktrack:
+		s.backtracker().forEachTuple(d, p.q, stop, fn)
+	default:
+		panic("core: invalid strategy")
+	}
+	return o.err()
+}
+
+// ForEachNodeDoc streams the answer nodes of a monadic compiled query
+// without building per-node tuple wrappers; it returns ErrNotMonadic if
+// the query is not monadic. Under the acyclic and X-property strategies
+// nodes arrive in increasing NodeID order; under backtracking in discovery
+// order. fn returns false to stop early. A non-nil error is ErrNotMonadic
+// or the context's cancellation error.
+func (p *Prepared) ForEachNodeDoc(d *Document, o EnumOptions, fn func(v tree.NodeID) bool) error {
+	if len(p.q.Head) != 1 {
+		return fmt.Errorf("core: ForEachNode on %d-ary query: %w", len(p.q.Head), ErrNotMonadic)
+	}
+	if err := o.err(); err != nil {
+		return err
+	}
+	s := p.scratch()
+	defer p.release(s)
+	stop := o.stop()
+	switch p.plan.Strategy {
+	case StrategyAcyclic:
+		acyclicForEachNode(d, p.q, p.forest, s, stop, fn)
+	case StrategyXProperty:
+		polyForEachNode(d, p.q, p.alg, s.ac, stop, fn)
+	case StrategyBacktrack:
+		tuple1 := func(tuple []tree.NodeID) bool { return fn(tuple[0]) }
+		s.backtracker().forEachTuple(d, p.q, stop, tuple1)
+	default:
+		panic("core: invalid strategy")
+	}
+	return o.err()
+}
+
+// AllDoc enumerates the distinct answer tuples of the compiled query on d
+// in lexicographic NodeID order (for Boolean queries: one empty tuple if
+// satisfiable). On cancellation the partial result is discarded and the
+// context's error returned.
+func (p *Prepared) AllDoc(d *Document, o EnumOptions) ([][]tree.NodeID, error) {
+	if err := o.err(); err != nil {
+		return nil, err
+	}
+	out, parallel := p.allParallel(d, o)
+	if !parallel {
+		out = collectSortedTuples(func(fn func([]tree.NodeID) bool) {
+			p.ForEachTupleDoc(d, o, fn)
+		})
+	}
+	if err := o.err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MonadicDoc returns the sorted node set answering a unary compiled query
+// on d; it returns ErrNotMonadic if the query is not monadic, and the
+// context's error on cancellation (discarding the partial result).
+func (p *Prepared) MonadicDoc(d *Document, o EnumOptions) ([]tree.NodeID, error) {
+	if len(p.q.Head) != 1 {
+		return nil, fmt.Errorf("core: Monadic on %d-ary query: %w", len(p.q.Head), ErrNotMonadic)
+	}
+	if err := o.err(); err != nil {
+		return nil, err
+	}
+	out, parallel := p.monadicParallel(d, o)
+	if !parallel {
+		out = []tree.NodeID{}
+		p.ForEachNodeDoc(d, o, func(v tree.NodeID) bool {
+			out = append(out, v)
+			return true
+		})
+		// Acyclic and X-property emission is already sorted; backtracking is
+		// discovery-ordered. Sorting unconditionally keeps the contract
+		// simple and costs O(answer log answer).
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	if err := o.err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---- legacy *Tree compatibility tier ------------------------------------
+//
+// These wrappers resolve the tree through the weak per-engine document
+// cache and preserve the original contracts exactly (including the panic
+// on non-monadic Nodes/ForEachNode); results are byte-identical to the
+// Document tier with a background context.
+
+// Bool decides Boolean satisfaction of the compiled query on t.
+func (p *Prepared) Bool(t *tree.Tree) bool {
+	sat, _ := p.BoolDoc(p.document(t), EnumOptions{})
+	return sat
 }
 
 // Satisfaction returns a full consistent valuation, or nil if none exists.
 func (p *Prepared) Satisfaction(t *tree.Tree) consistency.Valuation {
-	s := p.scratch()
-	defer p.release(s)
-	switch p.plan.Strategy {
-	case StrategyAcyclic:
-		return acyclicSatisfaction(t, p.q, p.forest, s)
-	case StrategyXProperty:
-		return polySatisfaction(t, p.q, p.order, p.alg, s.ac)
-	case StrategyBacktrack:
-		return s.backtracker().Satisfaction(t, p.q)
-	default:
-		panic("core: invalid strategy")
-	}
-}
-
-// EnumOptions tunes answer enumeration (All/Monadic).
-type EnumOptions struct {
-	// Parallel is the number of worker goroutines sharding the outer
-	// candidate loop of All/Monadic; values <= 1 mean sequential. Only the
-	// acyclic and X-property strategies parallelize (the backtracking
-	// search is inherently stateful and falls back to sequential).
-	// Streaming (ForEachTuple/ForEachNode) is always sequential: the
-	// callback contract is single-goroutine.
-	Parallel int
+	return p.SatisfactionDoc(p.document(t), EnumOptions{})
 }
 
 // ForEachTuple streams the distinct answer tuples of the compiled query on
-// t: fn is called once per tuple and enumeration stops as soon as fn
-// returns false, so prefix-limited and existence queries cost only the
-// answers actually consumed. Nothing is materialized; the tuple slice is
-// reused between calls — copy it to retain. Tuples arrive in a
-// strategy-dependent order (not necessarily lexicographic); All sorts.
-// For Boolean queries fn is called once with an empty tuple if the query
-// is satisfiable.
+// t; see ForEachTupleDoc for the contract.
 func (p *Prepared) ForEachTuple(t *tree.Tree, fn func(tuple []tree.NodeID) bool) {
-	s := p.scratch()
-	defer p.release(s)
-	switch p.plan.Strategy {
-	case StrategyAcyclic:
-		acyclicForEachTuple(t, p.q, p.forest, s, fn)
-	case StrategyXProperty:
-		polyForEachTuple(t, p.q, p.alg, s.ac, fn)
-	case StrategyBacktrack:
-		s.backtracker().ForEachTuple(t, p.q, fn)
-	default:
-		panic("core: invalid strategy")
-	}
+	p.ForEachTupleDoc(p.document(t), EnumOptions{}, fn)
 }
 
-// ForEachNode streams the answer nodes of a monadic compiled query without
-// building per-node tuple wrappers; it panics if the query is not monadic.
-// Under the acyclic and X-property strategies nodes arrive in increasing
-// NodeID order; under backtracking in discovery order. fn returns false to
-// stop early.
+// ForEachNode streams the answer nodes of a monadic compiled query; it
+// panics if the query is not monadic. See ForEachNodeDoc for the contract.
 func (p *Prepared) ForEachNode(t *tree.Tree, fn func(v tree.NodeID) bool) {
 	if len(p.q.Head) != 1 {
 		panic(fmt.Sprintf("core: ForEachNode on %d-ary query", len(p.q.Head)))
 	}
-	s := p.scratch()
-	defer p.release(s)
-	switch p.plan.Strategy {
-	case StrategyAcyclic:
-		acyclicForEachNode(t, p.q, p.forest, s, fn)
-	case StrategyXProperty:
-		polyForEachNode(t, p.q, p.alg, s.ac, fn)
-	case StrategyBacktrack:
-		tuple1 := func(tuple []tree.NodeID) bool { return fn(tuple[0]) }
-		s.backtracker().ForEachTuple(t, p.q, tuple1)
-	default:
-		panic("core: invalid strategy")
-	}
+	p.ForEachNodeDoc(p.document(t), EnumOptions{}, fn)
 }
 
 // All enumerates the distinct answer tuples of the compiled query on t in
@@ -204,12 +362,8 @@ func (p *Prepared) All(t *tree.Tree) [][]tree.NodeID {
 
 // AllOpt is All with enumeration options.
 func (p *Prepared) AllOpt(t *tree.Tree, o EnumOptions) [][]tree.NodeID {
-	if out, ok := p.allParallel(t, o); ok {
-		return out
-	}
-	return collectSortedTuples(func(fn func([]tree.NodeID) bool) {
-		p.ForEachTuple(t, fn)
-	})
+	out, _ := p.AllDoc(p.document(t), o)
+	return out
 }
 
 // Monadic returns the sorted node set answering a unary compiled query; it
@@ -223,17 +377,6 @@ func (p *Prepared) MonadicOpt(t *tree.Tree, o EnumOptions) []tree.NodeID {
 	if len(p.q.Head) != 1 {
 		panic(fmt.Sprintf("core: Monadic on %d-ary query", len(p.q.Head)))
 	}
-	if out, ok := p.monadicParallel(t, o); ok {
-		return out
-	}
-	out := []tree.NodeID{}
-	p.ForEachNode(t, func(v tree.NodeID) bool {
-		out = append(out, v)
-		return true
-	})
-	// Acyclic and X-property emission is already sorted; backtracking is
-	// discovery-ordered. Sorting unconditionally keeps the contract simple
-	// and costs O(answer log answer).
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out, _ := p.MonadicDoc(p.document(t), o)
 	return out
 }

@@ -14,6 +14,7 @@ package tree
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 )
@@ -185,6 +186,21 @@ func (t *Tree) Height() int {
 // materialized Child and NextSibling relations (both O(n)). The transitive
 // axes are not counted since they are derived in O(1) from the numbering.
 func (t *Tree) StructureSize() int { return t.structure }
+
+// Nodes returns an iterator over all nodes in document (pre) order:
+//
+//	for v := range t.Nodes() { ... }
+//
+// Unlike Walk, breaking does not skip subtrees — it stops the iteration.
+func (t *Tree) Nodes() iter.Seq[NodeID] {
+	return func(yield func(NodeID) bool) {
+		for _, v := range t.byPre {
+			if !yield(v) {
+				return
+			}
+		}
+	}
+}
 
 // Walk visits every node in pre-order, calling fn; if fn returns false the
 // subtree below the node is skipped.

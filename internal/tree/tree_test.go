@@ -436,3 +436,30 @@ func TestSubtreeIntervalCharacterizesDescendants(t *testing.T) {
 		}
 	}
 }
+
+func TestNodesIterator(t *testing.T) {
+	tr := mustTree(t, "A(B(D,E),C)")
+	var got []NodeID
+	for v := range tr.Nodes() {
+		got = append(got, v)
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("Nodes yielded %d nodes, want %d", len(got), tr.Len())
+	}
+	for r, v := range got {
+		if tr.Pre(v) != int32(r) {
+			t.Fatalf("Nodes position %d holds node %d with pre rank %d", r, v, tr.Pre(v))
+		}
+	}
+	// Early exit stops the whole iteration (no subtree skipping).
+	count := 0
+	for range tr.Nodes() {
+		count++
+		if count == 2 {
+			break
+		}
+	}
+	if count != 2 {
+		t.Errorf("early-exit consumed %d nodes, want 2", count)
+	}
+}

@@ -1,25 +1,43 @@
 package cqtrees
 
 import (
+	"context"
+	"fmt"
+	"iter"
+
 	"repro/internal/core"
 )
 
 // PreparedQuery is a conjunctive query compiled for repeated evaluation:
 // parsing, acyclicity analysis, signature classification (Theorem 1.1) and
 // strategy planning happen once, in Prepare; the resulting object
-// evaluates against any number of trees paying only the per-tree cost.
+// evaluates against any number of documents paying only the per-call cost.
 //
 // This operationalizes the paper's cost split: classification and planning
-// depend only on the query, evaluation is the per-tree hot path. A server
-// answering many requests should Prepare each distinct query once (or rely
-// on the shared plan cache behind Evaluate) and reuse the PreparedQuery
-// from as many goroutines as it likes — all methods are safe for
-// concurrent use, and per-call scratch state (domain tables, semijoin
+// depend only on the query, evaluation is the per-tree hot path — and the
+// per-tree indexing cost has its own once-only artifact, the Document (see
+// Index). A server answering many requests should Prepare each distinct
+// query once and Index each distinct document once; all methods are safe
+// for concurrent use, and per-call scratch state (domain tables, semijoin
 // buffers, valuation maps) is pooled internally rather than re-allocated.
+//
+// Three evaluation tiers exist:
+//
+//   - Iterators: Tuples and NodeSeq return Go range-over-func iterators
+//     over a shared *Document; breaking out of the loop stops the
+//     underlying streaming engine immediately.
+//   - Error-returning: BoolErr, AllErr and NodesErr evaluate against a
+//     *Document and report ErrNotMonadic / context cancellation as errors
+//     instead of panicking.
+//   - Legacy *Tree methods: Bool, All, Nodes, ForEachTuple, ForEachNode
+//     take a *Tree, resolve it through a weak per-query document cache,
+//     and preserve their original contracts (including the panic on
+//     non-monadic Nodes) with byte-identical results.
 type PreparedQuery struct {
 	p *core.Prepared
-	// parallel is the worker count for materialized enumeration (All and
-	// Nodes); 0 or 1 means sequential. Set via WithParallelism.
+	// parallel is the worker count for materialized enumeration (All,
+	// Nodes, AllErr, NodesErr); 0 or 1 means sequential. Set via
+	// WithParallelism, overridable per call with WithWorkers.
 	parallel int
 }
 
@@ -47,8 +65,9 @@ func MustPrepare(q *Query) *PreparedQuery {
 // in the spirit of regexp.Compile:
 //
 //	pq, err := cqtrees.Compile("Q(y) <- A(x), Child+(x, y), B(y)")
-//	for _, t := range trees {
-//		fmt.Println(pq.Nodes(t))
+//	doc := cqtrees.Index(t)
+//	for v := range pq.NodeSeq(doc) {
+//		fmt.Println(v)
 //	}
 func Compile(src string) (*PreparedQuery, error) {
 	q, err := ParseQuery(src)
@@ -67,27 +86,151 @@ func MustCompile(src string) *PreparedQuery {
 	return pq
 }
 
-// WithParallelism returns a handle on the same compiled query whose All
-// and Nodes calls shard the outer candidate loop across the given number
-// of worker goroutines (each worker borrows its own pooled evaluation
-// scratch). The receiver is not modified; both handles share the compiled
-// plan and scratch pool and remain safe for concurrent use.
+// WithParallelism returns a handle on the same compiled query whose
+// materialized enumeration calls (All/Nodes and AllErr/NodesErr) shard the
+// outer candidate loop across the given number of worker goroutines (each
+// worker borrows its own pooled evaluation scratch). The receiver is not
+// modified; both handles share the compiled plan and scratch pool and
+// remain safe for concurrent use.
 //
-// workers <= 1 restores sequential evaluation. Parallelism applies to All
-// under the acyclic and X-property strategies and to Nodes under the
-// X-property strategy; backtracking evaluation is inherently sequential
-// and ignores it, and Nodes on an acyclic query is always sequential (its
-// fast path returns the semijoin-reduced head set directly, already
-// O(answer) — there is no outer loop to shard). Streaming
-// (ForEachTuple/ForEachNode) is always sequential — the callback contract
-// is single-goroutine.
+// workers <= 1 restores sequential evaluation: 0 and 1 are equivalent,
+// and negative counts are rejected by clamping to 0 (they are never
+// stored). Parallelism applies to All under the acyclic and X-property
+// strategies and to Nodes under the X-property strategy; backtracking
+// evaluation is inherently sequential and ignores it, and Nodes on an
+// acyclic query is always sequential (its fast path returns the
+// semijoin-reduced head set directly, already O(answer) — there is no
+// outer loop to shard). Streaming (ForEachTuple/ForEachNode, Tuples,
+// NodeSeq) is always sequential — the callback contract is
+// single-goroutine.
 func (pq *PreparedQuery) WithParallelism(workers int) *PreparedQuery {
+	if workers < 0 {
+		workers = 0
+	}
 	return &PreparedQuery{p: pq.p, parallel: workers}
+}
+
+// EvalOption tunes one evaluation call of the Document-based tiers
+// (Tuples, NodeSeq, BoolErr, AllErr, NodesErr).
+type EvalOption func(*evalConfig)
+
+type evalConfig struct {
+	ctx     context.Context
+	workers int
+}
+
+// WithContext attaches a context to the evaluation. Cancellation is
+// checked once per outer-candidate-loop iteration, in both sequential and
+// sharded parallel enumeration (and at every search-node expansion under
+// the backtracking strategy), so evaluation stops within one outer
+// iteration of the cancel. The error-returning methods then report
+// ctx.Err() and discard the partial result; the iterator methods simply
+// stop yielding.
+func WithContext(ctx context.Context) EvalOption {
+	return func(c *evalConfig) { c.ctx = ctx }
+}
+
+// WithWorkers overrides the handle's parallelism (see WithParallelism)
+// for one call. As there, 0 and 1 both mean sequential and negative
+// counts clamp to 0.
+func WithWorkers(workers int) EvalOption {
+	return func(c *evalConfig) {
+		if workers < 0 {
+			workers = 0
+		}
+		c.workers = workers
+	}
+}
+
+// docOpts folds the handle defaults and per-call options into the core
+// enumeration options.
+func (pq *PreparedQuery) docOpts(opts []EvalOption) core.EnumOptions {
+	c := evalConfig{workers: pq.parallel}
+	for _, o := range opts {
+		o(&c)
+	}
+	return core.EnumOptions{Parallel: c.workers, Ctx: c.ctx}
 }
 
 func (pq *PreparedQuery) opts() core.EnumOptions {
 	return core.EnumOptions{Parallel: pq.parallel}
 }
+
+// arity returns the number of head variables of the compiled query.
+func (pq *PreparedQuery) arity() int { return len(pq.p.Query().Head) }
+
+// ---- Document tier: iterators --------------------------------------------
+
+// Tuples returns an iterator over the distinct answer tuples of the
+// compiled query on doc, streamed from the underlying engines without
+// materializing the answer relation:
+//
+//	for tuple := range pq.Tuples(doc) {
+//		use(tuple)
+//		if enough() {
+//			break // stops the engine immediately
+//		}
+//	}
+//
+// Each yielded tuple is freshly allocated and owned by the consumer (safe
+// for slices.Collect); use ForEachTuple for the zero-copy streaming
+// contract. Tuples arrive in a strategy-dependent order (AllErr sorts; this
+// does not). For Boolean queries one empty tuple is yielded if the query is
+// satisfiable. If a WithContext context is cancelled mid-iteration the
+// sequence just stops — use AllErr to observe the cancellation error.
+func (pq *PreparedQuery) Tuples(doc *Document, opts ...EvalOption) iter.Seq[[]NodeID] {
+	o := pq.docOpts(opts)
+	return func(yield func([]NodeID) bool) {
+		pq.p.ForEachTupleDoc(doc, o, func(tuple []NodeID) bool {
+			cp := make([]NodeID, len(tuple))
+			copy(cp, tuple)
+			return yield(cp)
+		})
+	}
+}
+
+// NodeSeq returns an iterator over the answer nodes of a monadic compiled
+// query on doc (in increasing NodeID order under the acyclic and
+// X-property strategies, discovery order under backtracking); it panics
+// with an error wrapping ErrNotMonadic if the query is not monadic —
+// NodesErr is the non-panicking variant. Breaking out of the loop stops
+// the engine immediately; a cancelled WithContext context stops the
+// sequence silently.
+func (pq *PreparedQuery) NodeSeq(doc *Document, opts ...EvalOption) iter.Seq[NodeID] {
+	if pq.arity() != 1 {
+		panic(fmt.Errorf("cqtrees: NodeSeq on %d-ary query: %w", pq.arity(), ErrNotMonadic))
+	}
+	o := pq.docOpts(opts)
+	return func(yield func(NodeID) bool) {
+		pq.p.ForEachNodeDoc(doc, o, yield)
+	}
+}
+
+// ---- Document tier: error-returning evaluation ---------------------------
+
+// BoolErr decides Boolean satisfaction of the compiled query on doc. A
+// non-nil error is only ever the WithContext context's cancellation error.
+func (pq *PreparedQuery) BoolErr(doc *Document, opts ...EvalOption) (bool, error) {
+	return pq.p.BoolDoc(doc, pq.docOpts(opts))
+}
+
+// AllErr enumerates the distinct answer tuples of the compiled query on
+// doc in lexicographic NodeID order (for Boolean queries: one empty tuple
+// if satisfiable). On cancellation the partial result is discarded and the
+// context's error returned.
+func (pq *PreparedQuery) AllErr(doc *Document, opts ...EvalOption) ([][]NodeID, error) {
+	return pq.p.AllDoc(doc, pq.docOpts(opts))
+}
+
+// NodesErr answers a monadic (unary) compiled query on doc with the sorted
+// answer node set. It returns an error wrapping ErrNotMonadic if the query
+// is not monadic — replacing the legacy "panics if not monadic" contract —
+// and the context's error on cancellation.
+func (pq *PreparedQuery) NodesErr(doc *Document, opts ...EvalOption) ([]NodeID, error) {
+	return pq.p.MonadicDoc(doc, pq.docOpts(opts))
+}
+
+// ---- legacy *Tree tier ----------------------------------------------------
 
 // Bool decides Boolean satisfaction of the compiled query on t.
 func (pq *PreparedQuery) Bool(t *Tree) bool { return pq.p.Bool(t) }
@@ -100,17 +243,18 @@ func (pq *PreparedQuery) Bool(t *Tree) bool { return pq.p.Bool(t) }
 func (pq *PreparedQuery) All(t *Tree) [][]NodeID { return pq.p.AllOpt(t, pq.opts()) }
 
 // Nodes answers a monadic (unary) compiled query with the sorted answer
-// node set; it panics if the query is not monadic.
+// node set; it panics if the query is not monadic (NodesErr is the
+// error-returning variant).
 func (pq *PreparedQuery) Nodes(t *Tree) []NodeID { return pq.p.MonadicOpt(t, pq.opts()) }
 
 // ForEachTuple streams the distinct answer tuples of the compiled query on
 // t without materializing the answer relation: fn is called once per tuple
 // and enumeration stops as soon as fn returns false, so existence checks
 // and prefix-limited scans cost only the answers actually consumed. The
-// tuple slice is reused between calls — copy it to retain. Tuples arrive
-// in a strategy-dependent order (All sorts; this does not). For Boolean
-// queries fn is called once with an empty tuple if the query is
-// satisfiable.
+// tuple slice is reused between calls — copy it to retain (Tuples yields
+// owned copies instead). Tuples arrive in a strategy-dependent order (All
+// sorts; this does not). For Boolean queries fn is called once with an
+// empty tuple if the query is satisfiable.
 func (pq *PreparedQuery) ForEachTuple(t *Tree, fn func(tuple []NodeID) bool) {
 	pq.p.ForEachTuple(t, fn)
 }
