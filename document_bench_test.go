@@ -10,6 +10,12 @@ package cqtrees
 // consistency package's instrumentation counter (b.Fatalf on mismatch), so
 // the CI smoke run also guards the reuse guarantee, and ReportAllocs
 // exposes the allocation gap.
+//
+// The kernel rank tables (parent/first-child/sibling pre-rank arrays and
+// the internal-node words behind consistency.Image/Preimage) are part of
+// the same TreeIndex construction, so these assertions also prove the
+// bulk-revise kernels add zero extra index builds: the counts below are
+// unchanged from before the tables existed.
 
 import (
 	"fmt"

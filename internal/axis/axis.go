@@ -154,6 +154,18 @@ func lower(s string) string {
 	return string(b)
 }
 
+// TryInverse returns the axis b with b(u,v) ⇔ a(v,u), and whether such a
+// named axis exists. The order extensions DocOrder and DocOrderSucc are
+// only used in forward form and have no named inverse (ok = false) —
+// callers that must handle every axis (e.g. the bulk image kernels of
+// package consistency) special-case them instead of panicking.
+func (a Axis) TryInverse() (Axis, bool) {
+	if a == DocOrder || a == DocOrderSucc {
+		return 0, false
+	}
+	return a.Inverse(), true
+}
+
 // Inverse returns the axis b with b(u,v) ⇔ a(v,u).
 func (a Axis) Inverse() Axis {
 	switch a {

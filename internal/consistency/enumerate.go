@@ -2,8 +2,8 @@ package consistency
 
 import (
 	"fmt"
-	"math/bits"
 
+	"repro/internal/bitset"
 	"repro/internal/cq"
 	"repro/internal/tree"
 )
@@ -33,78 +33,10 @@ import (
 // enumerate head tuples with prefix pruning: if pinning a tuple prefix
 // already empties a domain, no extension of that prefix is an answer.
 
-// --- word-level bitset helpers -------------------------------------------
-
-func bitTest(w []uint64, i int32) bool { return w[i>>6]&(1<<(uint(i)&63)) != 0 }
-
-func bitSet(w []uint64, i int32) { w[i>>6] |= 1 << (uint(i) & 63) }
-
-func bitClear(w []uint64, i int32) { w[i>>6] &^= 1 << (uint(i) & 63) }
-
-// anyBitIn reports whether some bit with index in [lo, hi] is set.
-// Tolerates empty and out-of-range intervals.
-func anyBitIn(w []uint64, lo, hi int32) bool {
-	if lo < 0 {
-		lo = 0
-	}
-	if max := int32(len(w)) * 64; hi >= max {
-		hi = max - 1
-	}
-	if hi < lo {
-		return false
-	}
-	loW, hiW := lo>>6, hi>>6
-	loMask := ^uint64(0) << (uint(lo) & 63)
-	hiMask := ^uint64(0) >> (63 - (uint(hi) & 63))
-	if loW == hiW {
-		return w[loW]&loMask&hiMask != 0
-	}
-	if w[loW]&loMask != 0 {
-		return true
-	}
-	for i := loW + 1; i < hiW; i++ {
-		if w[i] != 0 {
-			return true
-		}
-	}
-	return w[hiW]&hiMask != 0
-}
-
-// firstBit returns the index of the lowest set bit, or -1.
-func firstBit(w []uint64) int32 {
-	for wi, x := range w {
-		if x != 0 {
-			return int32(wi*64 + bits.TrailingZeros64(x))
-		}
-	}
-	return -1
-}
-
-// forEachBit calls fn on every set bit in ascending index order; stops
-// early (returning false) if fn returns false.
-func forEachBit(w []uint64, fn func(i int32) bool) bool {
-	for wi, x := range w {
-		for x != 0 {
-			b := bits.TrailingZeros64(x)
-			if !fn(int32(wi*64 + b)) {
-				return false
-			}
-			x &^= 1 << uint(b)
-		}
-	}
-	return true
-}
-
-func growWords(s []uint64, nw int) []uint64 {
-	if cap(s) < nw {
-		return make([]uint64, nw)
-	}
-	s = s[:nw]
-	for i := range s {
-		s[i] = 0
-	}
-	return s
-}
+// The word-level bitset helpers formerly defined here (bitTest, anyBitIn,
+// forEachBit, ...) moved to the shared internal/bitset package, which the
+// pin domains below, NodeSet (prevaluation.go), and the bulk axis image
+// kernels (kernels.go) all build on.
 
 // --- PinBase --------------------------------------------------------------
 
@@ -202,13 +134,13 @@ func (b *PinBase) init(ix *TreeIndex, q *cq.Query, p *Prevaluation) {
 	for x := 0; x < nv; x++ {
 		b.setStore[x].copyFrom(p.Sets[x])
 		b.sets[x] = &b.setStore[x]
-		b.pre[x] = growWords(b.pre[x], b.nw)
-		b.sib[x] = growWords(b.sib[x], b.nw)
-		b.preEnd[x] = growWords(b.preEnd[x], b.nw)
+		b.pre[x] = bitset.Grow(b.pre[x], b.nw)
+		b.sib[x] = bitset.Grow(b.sib[x], b.nw)
+		b.preEnd[x] = bitset.Grow(b.preEnd[x], b.nw)
 		b.sets[x].ForEach(func(v tree.NodeID) bool {
-			bitSet(b.pre[x], t.Pre(v))
-			bitSet(b.sib[x], b.ix.sibRank[v])
-			bitSet(b.preEnd[x], b.ix.preEndPos[v])
+			bitset.Set(b.pre[x], t.Pre(v))
+			bitset.Set(b.sib[x], b.ix.sibRank[v])
+			bitset.Set(b.preEnd[x], b.ix.preEndPos[v])
 			return true
 		})
 	}
@@ -236,14 +168,14 @@ type pinDom struct {
 	preEnd []uint64
 }
 
-func (d *pinDom) hasNode(v tree.NodeID) bool { return bitTest(d.pre, d.b.t.Pre(v)) }
+func (d *pinDom) hasNode(v tree.NodeID) bool { return bitset.Test(d.pre, d.b.t.Pre(v)) }
 
-func (d *pinDom) anyPreIn(lo, hi int32) bool { return anyBitIn(d.pre, lo, hi) }
+func (d *pinDom) anyPreIn(lo, hi int32) bool { return bitset.AnyIn(d.pre, lo, hi) }
 
-func (d *pinDom) anySibIn(lo, hi int32) bool { return anyBitIn(d.sib, lo, hi) }
+func (d *pinDom) anySibIn(lo, hi int32) bool { return bitset.AnyIn(d.sib, lo, hi) }
 
 func (d *pinDom) minPreEnd() int32 {
-	pos := firstBit(d.preEnd)
+	pos := bitset.First(d.preEnd)
 	if pos < 0 {
 		return int32(d.b.n)
 	}
@@ -291,9 +223,10 @@ type PinRun struct {
 	levels    []pinLevel
 	queue     []int32
 	inQueue   []bool
-	removeBuf []int32 // pre ranks pending removal in the current revision
-	viewX     pinDom  // reusable support-test views (avoid per-revision
-	viewY     pinDom  // heap allocation through the generic call)
+	removeBuf []int32  // pre ranks pending removal in the current revision
+	imgBuf    []uint64 // bulk-kernel support bitset of the current revision
+	viewX     pinDom   // reusable support-test views (avoid per-revision
+	viewY     pinDom   // heap allocation through the generic call)
 }
 
 // NewPinRun returns a PinRun positioned at the unpinned snapshot.
@@ -354,9 +287,9 @@ func (lv *pinLevel) own(b *PinBase, x cq.Var) {
 
 // remove deletes node v from x's (owned) bitsets at this level.
 func (lv *pinLevel) remove(b *PinBase, x cq.Var, v tree.NodeID) {
-	bitClear(lv.pre[x], b.t.Pre(v))
-	bitClear(lv.sib[x], b.ix.sibRank[v])
-	bitClear(lv.preEnd[x], b.ix.preEndPos[v])
+	bitset.Clear(lv.pre[x], b.t.Pre(v))
+	bitset.Clear(lv.sib[x], b.ix.sibRank[v])
+	bitset.Clear(lv.preEnd[x], b.ix.preEndPos[v])
 	lv.count[x]--
 }
 
@@ -378,18 +311,18 @@ func (r *PinRun) Push(x cq.Var, v tree.NodeID) bool {
 		lv.owned[y] = false
 		lv.count[y] = r.countAt(d, cq.Var(y))
 	}
-	if !bitTest(lv.pre[x], b.t.Pre(v)) {
+	if !bitset.Test(lv.pre[x], b.t.Pre(v)) {
 		return false // v already pruned from x's domain
 	}
 	// Pin: x's bitsets become the singleton {v}.
-	lv.ownPre[x] = growWords(lv.ownPre[x], b.nw)
-	lv.ownSib[x] = growWords(lv.ownSib[x], b.nw)
-	lv.ownPreEnd[x] = growWords(lv.ownPreEnd[x], b.nw)
+	lv.ownPre[x] = bitset.Grow(lv.ownPre[x], b.nw)
+	lv.ownSib[x] = bitset.Grow(lv.ownSib[x], b.nw)
+	lv.ownPreEnd[x] = bitset.Grow(lv.ownPreEnd[x], b.nw)
 	lv.pre[x], lv.sib[x], lv.preEnd[x] = lv.ownPre[x], lv.ownSib[x], lv.ownPreEnd[x]
 	lv.owned[x] = true
-	bitSet(lv.pre[x], b.t.Pre(v))
-	bitSet(lv.sib[x], b.ix.sibRank[v])
-	bitSet(lv.preEnd[x], b.ix.preEndPos[v])
+	bitset.Set(lv.pre[x], b.t.Pre(v))
+	bitset.Set(lv.sib[x], b.ix.sibRank[v])
+	bitset.Set(lv.preEnd[x], b.ix.preEndPos[v])
 	lv.count[x] = 1
 	if !r.propagate(lv, x) {
 		return false
@@ -451,16 +384,25 @@ func (r *PinRun) propagate(lv *pinLevel, pinned cq.Var) bool {
 			except = -1 // self-loop: must re-revise itself to a fixpoint
 		}
 
-		// Forward: prune candidates of X lacking support in Y.
+		// Forward: prune candidates of X lacking support in Y. Dense
+		// domains revise through the bulk kernel (support = Preimage of
+		// Y's alive set, one pass over the words); sparse ones probe per
+		// alive candidate. Both paths compute the identical removal set.
 		lv.setView(b, &r.viewX, at.X)
 		lv.setView(b, &r.viewY, at.Y)
 		r.removeBuf = r.removeBuf[:0]
-		forEachBit(r.viewX.pre, func(pr int32) bool {
-			if !supportedFwd(&b.sctx, at.Axis, b.t.ByPre(pr), &r.viewY) {
-				r.removeBuf = append(r.removeBuf, pr)
-			}
-			return true
-		})
+		if ReviseWithKernel(int(lv.count[at.X]), b.n) {
+			r.imgBuf = bitset.Resize(r.imgBuf, b.nw)
+			Preimage(at.Axis, b.ix, r.viewY.pre, r.imgBuf)
+			r.removeBuf = appendUnsupported(r.removeBuf, r.viewX.pre, r.imgBuf)
+		} else {
+			bitset.ForEach(r.viewX.pre, func(pr int32) bool {
+				if !supportedFwd(&b.sctx, at.Axis, b.t.ByPre(pr), &r.viewY) {
+					r.removeBuf = append(r.removeBuf, pr)
+				}
+				return true
+			})
+		}
 		if len(r.removeBuf) > 0 {
 			lv.own(b, at.X)
 			for _, pr := range r.removeBuf {
@@ -479,12 +421,18 @@ func (r *PinRun) propagate(lv *pinLevel, pinned cq.Var) bool {
 		lv.setView(b, &r.viewX, at.X)
 		lv.setView(b, &r.viewY, at.Y)
 		r.removeBuf = r.removeBuf[:0]
-		forEachBit(r.viewY.pre, func(pr int32) bool {
-			if !supportedBwd(&b.sctx, at.Axis, b.t.ByPre(pr), &r.viewX) {
-				r.removeBuf = append(r.removeBuf, pr)
-			}
-			return true
-		})
+		if ReviseWithKernel(int(lv.count[at.Y]), b.n) {
+			r.imgBuf = bitset.Resize(r.imgBuf, b.nw)
+			Image(at.Axis, b.ix, r.viewX.pre, r.imgBuf)
+			r.removeBuf = appendUnsupported(r.removeBuf, r.viewY.pre, r.imgBuf)
+		} else {
+			bitset.ForEach(r.viewY.pre, func(pr int32) bool {
+				if !supportedBwd(&b.sctx, at.Axis, b.t.ByPre(pr), &r.viewX) {
+					r.removeBuf = append(r.removeBuf, pr)
+				}
+				return true
+			})
+		}
 		if len(r.removeBuf) > 0 {
 			lv.own(b, at.Y)
 			for _, pr := range r.removeBuf {
@@ -507,7 +455,7 @@ func (r *PinRun) propagate(lv *pinLevel, pinned cq.Var) bool {
 // arc-consistent candidate set.
 func (r *PinRun) ForEachCurrent(x cq.Var, fn func(v tree.NodeID) bool) {
 	pre, _, _ := r.words(r.depth, x)
-	forEachBit(pre, func(pr int32) bool { return fn(r.b.t.ByPre(pr)) })
+	bitset.ForEach(pre, func(pr int32) bool { return fn(r.b.t.ByPre(pr)) })
 }
 
 // CurrentLen returns the size of x's current domain.

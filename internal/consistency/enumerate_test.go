@@ -173,33 +173,5 @@ func TestPinBaseScratchReuse(t *testing.T) {
 	}
 }
 
-func TestAnyBitIn(t *testing.T) {
-	w := make([]uint64, 3)
-	for _, i := range []int32{0, 63, 64, 130} {
-		bitSet(w, i)
-	}
-	cases := []struct {
-		lo, hi int32
-		want   bool
-	}{
-		{0, 0, true}, {1, 62, false}, {1, 63, true}, {63, 63, true},
-		{64, 64, true}, {65, 129, false}, {65, 130, true}, {130, 191, true},
-		{131, 191, false}, {-5, -1, false}, {-5, 0, true}, {100, 50, false},
-		{0, 500, true}, {131, 500, false},
-	}
-	for _, c := range cases {
-		if got := anyBitIn(w, c.lo, c.hi); got != c.want {
-			t.Errorf("anyBitIn([0,63,64,130], %d, %d) = %v, want %v", c.lo, c.hi, got, c.want)
-		}
-	}
-	if got := firstBit(w); got != 0 {
-		t.Errorf("firstBit = %d", got)
-	}
-	bitClear(w, 0)
-	if got := firstBit(w); got != 63 {
-		t.Errorf("firstBit after clear = %d", got)
-	}
-	if firstBit(make([]uint64, 2)) != -1 {
-		t.Error("firstBit of empty should be -1")
-	}
-}
+// The word-level helper tests formerly here (TestAnyBitIn) moved with the
+// helpers to internal/bitset.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/axis"
+	"repro/internal/bitset"
 	"repro/internal/cq"
 	"repro/internal/tree"
 )
@@ -34,17 +35,23 @@ func (u *succUF) find(r int32) int32 {
 
 func (u *succUF) delete(r int32) { u.next[r] = u.find(r + 1) }
 
-// domain bundles a variable's alive set with its deletion-only indexes. The
-// index structures live inline so a Scratch can recycle their backing
-// arrays across runs. (Maximum-alive queries need no mirrored predecessor
-// structure: every support test below reduces to "does an alive rank exist
-// in [lo, hi]", which the successor structures answer directly.)
+// domain bundles a variable's alive set with its deletion-only indexes and
+// a word bitset over pre ranks. The index structures live inline so a
+// Scratch can recycle their backing arrays across runs. (Maximum-alive
+// queries need no mirrored predecessor structure: every support test below
+// reduces to "does an alive rank exist in [lo, hi]", which the successor
+// structures answer directly.) The pre-rank words mirror the alive set for
+// the bulk image kernels (kernels.go): dense revisions intersect against a
+// whole-domain axis image instead of probing per node, while the succUF
+// structures keep serving the sparse probe path, chosen per revision by
+// ReviseWithKernel.
 type domain struct {
 	set      *NodeSet
 	st       *fastState // run context: tree, indexes (set by resetDomain)
 	byPre    succUF     // over pre ranks
 	bySib    succUF     // over sibling-order ranks
 	byPreEnd succUF     // over preEnd-sorted positions (min alive preEnd)
+	pre      []uint64   // alive bitset over pre ranks (kernel operand)
 }
 
 // fastState carries the shared tree indexes of a FastAC run, borrowed from
@@ -57,8 +64,8 @@ type fastState struct {
 	doms []domain
 }
 
-// resetDomain re-initializes d over s: full indexes, then deletion of every
-// rank whose node is not in s.
+// resetDomain re-initializes d over s: full indexes and pre-rank words,
+// then deletion of every rank whose node is not in s.
 func (st *fastState) resetDomain(d *domain, s *NodeSet) {
 	n := st.n
 	d.set = s
@@ -66,11 +73,15 @@ func (st *fastState) resetDomain(d *domain, s *NodeSet) {
 	d.byPre.reset(n)
 	d.bySib.reset(n)
 	d.byPreEnd.reset(n)
+	d.pre = bitset.Grow(d.pre, bitset.Words(n))
 	if s.Len() == n {
+		bitset.FillRange(d.pre, 0, int32(n)-1)
 		return
 	}
 	for v := 0; v < n; v++ {
-		if !s.Has(tree.NodeID(v)) {
+		if s.Has(tree.NodeID(v)) {
+			bitset.Set(d.pre, st.t.Pre(tree.NodeID(v)))
+		} else {
 			d.deleteIndexes(st, tree.NodeID(v))
 		}
 	}
@@ -84,6 +95,7 @@ func (d *domain) deleteIndexes(st *fastState, v tree.NodeID) {
 
 func (d *domain) remove(st *fastState, v tree.NodeID) {
 	d.set.Remove(v)
+	bitset.Clear(d.pre, st.t.Pre(v))
 	d.deleteIndexes(st, v)
 }
 
@@ -349,6 +361,7 @@ func (sc *Scratch) fastACFromStatsIx(ix *TreeIndex, q *cq.Query, init *Prevaluat
 	}
 	st := &fastState{t: t, n: n, ix: ix, doms: sc.doms[:nv]}
 	st.sctx = supportCtx{t: t, n: int32(n), sibRank: ix.sibRank, sibStart: ix.sibStart}
+	sc.imgBuf = bitset.Resize(sc.imgBuf, bitset.Words(n))
 	for x, s := range init.Sets {
 		if s.Empty() {
 			return nil, stats, false
@@ -413,14 +426,24 @@ func (sc *Scratch) fastACFromStatsIx(ix *TreeIndex, q *cq.Query, init *Prevaluat
 		}
 		dx, dy := &st.doms[at.X], &st.doms[at.Y]
 
-		// Forward: prune unsupported candidates of x.
+		// Forward: prune unsupported candidates of x. Dense domains revise
+		// through the bulk kernel — one whole-domain support bitset
+		// (Preimage of y's alive words) diffed against x's alive words —
+		// sparse ones probe per alive candidate against the deletion-only
+		// successor structures. Both paths compute the identical removal
+		// set; ReviseWithKernel documents the break-even.
 		removeBuf = removeBuf[:0]
-		dx.set.ForEach(func(v tree.NodeID) bool {
-			if !supportedFwd(&st.sctx, at.Axis, v, dy) {
-				removeBuf = append(removeBuf, v)
-			}
-			return true
-		})
+		if ReviseWithKernel(dx.set.Len(), n) {
+			Preimage(at.Axis, ix, dy.pre, sc.imgBuf)
+			removeBuf = appendUnsupportedNodes(removeBuf, t, dx.pre, sc.imgBuf)
+		} else {
+			dx.set.ForEach(func(v tree.NodeID) bool {
+				if !supportedFwd(&st.sctx, at.Axis, v, dy) {
+					removeBuf = append(removeBuf, v)
+				}
+				return true
+			})
+		}
 		if len(removeBuf) > 0 {
 			stats.Removals += len(removeBuf)
 			for _, v := range removeBuf {
@@ -435,12 +458,17 @@ func (sc *Scratch) fastACFromStatsIx(ix *TreeIndex, q *cq.Query, init *Prevaluat
 
 		// Backward: prune unsupported candidates of y.
 		removeBuf = removeBuf[:0]
-		dy.set.ForEach(func(w tree.NodeID) bool {
-			if !supportedBwd(&st.sctx, at.Axis, w, dx) {
-				removeBuf = append(removeBuf, w)
-			}
-			return true
-		})
+		if ReviseWithKernel(dy.set.Len(), n) {
+			Image(at.Axis, ix, dx.pre, sc.imgBuf)
+			removeBuf = appendUnsupportedNodes(removeBuf, t, dy.pre, sc.imgBuf)
+		} else {
+			dy.set.ForEach(func(w tree.NodeID) bool {
+				if !supportedBwd(&st.sctx, at.Axis, w, dx) {
+					removeBuf = append(removeBuf, w)
+				}
+				return true
+			})
+		}
 		if len(removeBuf) > 0 {
 			stats.Removals += len(removeBuf)
 			for _, w := range removeBuf {

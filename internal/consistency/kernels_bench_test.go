@@ -1,0 +1,131 @@
+package consistency
+
+// BenchmarkRevise measures one revise step — "keep v ∈ dom(x) iff some
+// w ∈ dom(y) with Axis(v, w)" — through the per-node probe loop (succUF
+// successor structures, as the pre-kernel engine ran it) versus the bulk
+// image kernel (Preimage + word diff), across tree sizes and support-side
+// domain densities. Before any timing, every configuration cross-checks
+// the two paths' support counts and fails the benchmark on mismatch — so
+// the CI `-benchtime=1x` smoke run doubles as a kernel-vs-oracle check.
+//
+// scripts/bench.sh runs this family and records the results as
+// BENCH_pr4.json, the perf trajectory baseline for later PRs.
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/axis"
+	"repro/internal/bitset"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+var benchSink int
+
+// reviseAxes samples every kernel shape: gather/scatter (Child), interval
+// merge sweep (Child+), descending interval sweep (Ancestor*), sibling
+// segment sweep (NextSibling+), and extremal-rank fill (Following).
+var reviseAxes = []axis.Axis{
+	axis.Child, axis.ChildPlus, axis.AncestorStar, axis.NextSiblingPlus, axis.Following,
+}
+
+func BenchmarkRevise(b *testing.B) {
+	for _, n := range []int{2000, 8000, 32000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		tr := tree.Random(rng, tree.DefaultRandomConfig(n))
+		ix := NewTreeIndex(tr)
+		for _, pct := range []int{5, 50, 95} {
+			// Support side dom(y): pct% of the nodes alive. The revised side
+			// dom(x) is the full node set — the dense case the kernels are
+			// for (the probe loop pays one supportedFwd per alive candidate
+			// of x either way).
+			dySet := NewNodeSet(n)
+			for v := 0; v < n; v++ {
+				if rng.Intn(100) < pct {
+					dySet.Add(tree.NodeID(v))
+				}
+			}
+			if dySet.Empty() {
+				dySet.Add(tree.NodeID(rng.Intn(n)))
+			}
+			st := &fastState{t: tr, n: n, ix: ix, doms: make([]domain, 2)}
+			st.sctx = supportCtx{t: tr, n: int32(n), sibRank: ix.sibRank, sibStart: ix.sibStart}
+			st.resetDomain(&st.doms[0], FullNodeSet(n))
+			st.resetDomain(&st.doms[1], dySet)
+			dx, dy := &st.doms[0], &st.doms[1]
+			img := make([]uint64, bitset.Words(n))
+
+			for _, a := range reviseAxes {
+				// Self-check: the kernel support set must match the probe
+				// loop node for node.
+				Preimage(a, ix, dy.pre, img)
+				probeSupported := 0
+				for v := 0; v < n; v++ {
+					if supportedFwd(&st.sctx, a, tree.NodeID(v), dy) {
+						probeSupported++
+					}
+				}
+				if kernelSupported := bitset.Count(img); kernelSupported != probeSupported {
+					b.Fatalf("axis=%v n=%d density=%d%%: kernel supports %d nodes, probe loop %d",
+						a, n, pct, kernelSupported, probeSupported)
+				}
+
+				name := fmt.Sprintf("axis=%s/n=%d/density=%d", a, n, pct)
+				b.Run(name+"/probe", func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						removals := 0
+						dx.set.ForEach(func(v tree.NodeID) bool {
+							if !supportedFwd(&st.sctx, a, v, dy) {
+								removals++
+							}
+							return true
+						})
+						benchSink = removals
+					}
+				})
+				b.Run(name+"/kernel", func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						Preimage(a, ix, dy.pre, img)
+						removals := 0
+						for wi := range img {
+							removals += bits.OnesCount64(dx.pre[wi] &^ img[wi])
+						}
+						benchSink = removals
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFastACKernels measures the full arc-consistency worklist with
+// the revise path pinned to each side of the density heuristic, on the
+// ablation query of BenchmarkACEngines — the end-to-end effect of the
+// kernels on Bool-style evaluation.
+func BenchmarkFastACKernels(b *testing.B) {
+	defer SetKernelPolicy(KernelAuto)
+	q := cq.MustParse("Q() <- A(x), Child+(x, y), B(y), Child*(y, z), Child+(x, z)")
+	for _, n := range []int{2000, 8000} {
+		rng := rand.New(rand.NewSource(3))
+		tr := tree.Random(rng, tree.DefaultRandomConfig(n))
+		ix := NewTreeIndex(tr)
+		sc := NewScratch()
+		for _, mode := range []struct {
+			name string
+			p    KernelPolicy
+		}{{"probe", KernelNever}, {"kernel", KernelAlways}, {"auto", KernelAuto}} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode.name), func(b *testing.B) {
+				SetKernelPolicy(mode.p)
+				defer SetKernelPolicy(KernelAuto)
+				for i := 0; i < b.N; i++ {
+					if _, ok := sc.FastACIx(ix, q); !ok {
+						b.Fatal("benchmark query must be satisfiable")
+					}
+				}
+			})
+		}
+	}
+}

@@ -21,9 +21,9 @@ package consistency
 
 import (
 	"fmt"
-	"math/bits"
 
 	"repro/internal/axis"
+	"repro/internal/bitset"
 	"repro/internal/cq"
 	"repro/internal/tree"
 )
@@ -48,7 +48,7 @@ func Consistent(t *tree.Tree, q *cq.Query, theta Valuation) bool {
 }
 
 // NodeSet is a fixed-universe bitset over tree nodes with a cardinality
-// counter.
+// counter, built on the shared word helpers of internal/bitset.
 type NodeSet struct {
 	words []uint64
 	n     int // universe size
@@ -57,7 +57,7 @@ type NodeSet struct {
 
 // NewNodeSet returns an empty set over a universe of n nodes.
 func NewNodeSet(n int) *NodeSet {
-	return &NodeSet{words: make([]uint64, (n+63)/64), n: n}
+	return &NodeSet{words: make([]uint64, bitset.Words(n)), n: n}
 }
 
 // FullNodeSet returns the set of all n nodes.
@@ -68,24 +68,20 @@ func FullNodeSet(n int) *NodeSet {
 }
 
 // Has reports membership.
-func (s *NodeSet) Has(v tree.NodeID) bool {
-	return s.words[v>>6]&(1<<(uint(v)&63)) != 0
-}
+func (s *NodeSet) Has(v tree.NodeID) bool { return bitset.Test(s.words, int32(v)) }
 
 // Add inserts v.
 func (s *NodeSet) Add(v tree.NodeID) {
-	w, b := v>>6, uint64(1)<<(uint(v)&63)
-	if s.words[w]&b == 0 {
-		s.words[w] |= b
+	if !bitset.Test(s.words, int32(v)) {
+		bitset.Set(s.words, int32(v))
 		s.count++
 	}
 }
 
 // Remove deletes v.
 func (s *NodeSet) Remove(v tree.NodeID) {
-	w, b := v>>6, uint64(1)<<(uint(v)&63)
-	if s.words[w]&b != 0 {
-		s.words[w] &^= b
+	if bitset.Test(s.words, int32(v)) {
+		bitset.Clear(s.words, int32(v))
 		s.count--
 	}
 }
@@ -93,15 +89,7 @@ func (s *NodeSet) Remove(v tree.NodeID) {
 // Reset re-initializes s to the empty set over a universe of n nodes,
 // reusing the backing storage when it is large enough.
 func (s *NodeSet) Reset(n int) {
-	w := (n + 63) / 64
-	if cap(s.words) < w {
-		s.words = make([]uint64, w)
-	} else {
-		s.words = s.words[:w]
-		for i := range s.words {
-			s.words[i] = 0
-		}
-	}
+	s.words = bitset.Grow(s.words, bitset.Words(n))
 	s.n = n
 	s.count = 0
 }
@@ -110,12 +98,7 @@ func (s *NodeSet) Reset(n int) {
 // backing storage when it is large enough.
 func (s *NodeSet) ResetFull(n int) {
 	s.Reset(n)
-	for i := range s.words {
-		s.words[i] = ^uint64(0)
-	}
-	if rem := uint(n) & 63; rem != 0 && len(s.words) > 0 {
-		s.words[len(s.words)-1] = (uint64(1) << rem) - 1
-	}
+	bitset.FillRange(s.words, 0, int32(n)-1)
 	s.count = n
 }
 
@@ -132,7 +115,7 @@ func (s *NodeSet) Clone() *NodeSet {
 
 // copyFrom makes s an element-wise copy of o, reusing s's storage.
 func (s *NodeSet) copyFrom(o *NodeSet) {
-	w := (o.n + 63) / 64
+	w := bitset.Words(o.n)
 	if cap(s.words) < w {
 		s.words = make([]uint64, w)
 	}
@@ -144,27 +127,14 @@ func (s *NodeSet) copyFrom(o *NodeSet) {
 
 // IntersectWith removes every element not in o.
 func (s *NodeSet) IntersectWith(o *NodeSet) {
-	c := 0
-	for i := range s.words {
-		s.words[i] &= o.words[i]
-		c += bits.OnesCount64(s.words[i])
-	}
-	s.count = c
+	s.count = bitset.AndInto(s.words, o.words)
 }
 
 // ForEach calls fn on every member in increasing NodeID order; stops early
 // if fn returns false. fn may Remove the element it was called with (the
 // iteration advances on a copied word), but must not otherwise mutate s.
 func (s *NodeSet) ForEach(fn func(v tree.NodeID) bool) {
-	for wi, w := range s.words {
-		for w != 0 {
-			b := bits.TrailingZeros64(w)
-			if !fn(tree.NodeID(wi*64 + b)) {
-				return
-			}
-			w &^= 1 << uint(b)
-		}
-	}
+	bitset.ForEach(s.words, func(i int32) bool { return fn(tree.NodeID(i)) })
 }
 
 // Members returns the members in increasing NodeID order.

@@ -41,6 +41,7 @@ type Scratch struct {
 	queue      []int
 	atomsOf    [][]int
 	removeBuf  []tree.NodeID
+	imgBuf     []uint64 // bulk-kernel support bitset of the current revision
 	initSets   []*NodeSet
 	labeledBuf []int32
 	pinBase    PinBase

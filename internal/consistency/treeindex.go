@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/tree"
 )
 
@@ -26,6 +27,19 @@ type TreeIndex struct {
 	preEndPos  []int32 // node -> position in (preEnd, pre) order
 	preEndVal  []int32 // position in (preEnd, pre) order -> preEnd value
 	full       NodeSet // the set of all nodes, word-filled
+
+	// Rank tables for the bulk axis image kernels (kernels.go), all
+	// indexed by pre rank so the kernels never touch node IDs — a whole
+	// domain's axis image is computed as gathers, chain scatters and
+	// interval fills over these arrays. Built once per document alongside
+	// the orderings; the document benchmarks assert the build count stays
+	// one per Document.
+	parentPre     []int32  // pre rank -> parent's pre rank, or -1 at the root
+	firstChildPre []int32  // pre rank -> first child's pre rank, or -1 (leaf)
+	nextSibPre    []int32  // pre rank -> next sibling's pre rank, or -1
+	prevSibPre    []int32  // pre rank -> previous sibling's pre rank, or -1
+	subtreeEnd    []int32  // pre rank -> max pre rank in the subtree (preEnd)
+	internalPre   []uint64 // bitset over pre ranks: node has children
 
 	// labelSets is a copy-on-write map (label -> bitset of nodes carrying
 	// it): readers take one atomic load, so concurrent evaluation against
@@ -97,6 +111,42 @@ func (ix *TreeIndex) build(t *tree.Tree) {
 		ix.preEndPos[v] = int32(pos)
 		ix.preEndVal[pos] = t.PreEnd(tree.NodeID(v))
 	}
+	ix.parentPre = growInt32(ix.parentPre, n)
+	ix.firstChildPre = growInt32(ix.firstChildPre, n)
+	ix.nextSibPre = growInt32(ix.nextSibPre, n)
+	ix.prevSibPre = growInt32(ix.prevSibPre, n)
+	ix.subtreeEnd = growInt32(ix.subtreeEnd, n)
+	for pr := int32(0); pr < int32(n); pr++ {
+		v := t.ByPre(pr)
+		ix.subtreeEnd[pr] = t.PreEnd(v)
+		if p := t.Parent(v); p != tree.NilNode {
+			ix.parentPre[pr] = t.Pre(p)
+		} else {
+			ix.parentPre[pr] = -1
+		}
+		if kids := t.Children(v); len(kids) > 0 {
+			ix.firstChildPre[pr] = t.Pre(kids[0])
+		} else {
+			ix.firstChildPre[pr] = -1
+		}
+		if s := t.NextSibling(v); s != tree.NilNode {
+			ix.nextSibPre[pr] = t.Pre(s)
+		} else {
+			ix.nextSibPre[pr] = -1
+		}
+		if s := t.PrevSibling(v); s != tree.NilNode {
+			ix.prevSibPre[pr] = t.Pre(s)
+		} else {
+			ix.prevSibPre[pr] = -1
+		}
+	}
+	ix.internalPre = bitset.Grow(ix.internalPre, bitset.Words(n))
+	for pr := int32(0); pr < int32(n); pr++ {
+		if ix.subtreeEnd[pr] > pr {
+			bitset.Set(ix.internalPre, pr)
+		}
+	}
+
 	ix.full.ResetFull(n)
 	ix.labelSets.Store(nil)
 	ix.t = t

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/axis"
+	"repro/internal/bitset"
 	"repro/internal/consistency"
 	"repro/internal/cq"
 	"repro/internal/tree"
@@ -170,16 +171,91 @@ func (f *shadowForest) atomHolds(t *tree.Tree, c cq.Var, vp, vc tree.NodeID) boo
 	return axis.Holds(t, at.Axis, vc, vp)
 }
 
+// semijoinPrune removes from keep every node without an atom-support in
+// against: with forward=true it keeps v iff ∃w ∈ against: a(v, w) (v on
+// the atom's left-hand side), with forward=false it keeps w iff ∃v ∈
+// against: a(v, w). Large semijoins run through the bulk axis image
+// kernels — scatter `against` to pre-rank words, one whole-set kernel
+// pass, then an O(|keep|) membership filter — turning the nested
+// O(|keep|·|against|) probe loop into a few linear sweeps; small ones keep
+// the nested loop (the kernel's fixed O(n) cost would dominate). The two
+// paths compute the identical surviving set.
+func semijoinPrune(d *Document, s *evalScratch, a axis.Axis, keep, against *consistency.NodeSet, forward bool) {
+	t := d.t
+	doomed := s.doomed[:0]
+	defer func() { s.doomed = doomed[:0] }()
+	if useSemijoinKernel(keep.Len(), against.Len(), t.Len()) {
+		nw := bitset.Words(t.Len())
+		s.srcWords = bitset.Grow(s.srcWords, nw)
+		s.imgWords = bitset.Resize(s.imgWords, nw)
+		against.ForEach(func(w tree.NodeID) bool {
+			bitset.Set(s.srcWords, t.Pre(w))
+			return true
+		})
+		if forward {
+			consistency.Preimage(a, d.ix, s.srcWords, s.imgWords)
+		} else {
+			consistency.Image(a, d.ix, s.srcWords, s.imgWords)
+		}
+		keep.ForEach(func(v tree.NodeID) bool {
+			if !bitset.Test(s.imgWords, t.Pre(v)) {
+				doomed = append(doomed, v)
+			}
+			return true
+		})
+		for _, v := range doomed {
+			keep.Remove(v)
+		}
+		return
+	}
+	keep.ForEach(func(v tree.NodeID) bool {
+		found := false
+		against.ForEach(func(w tree.NodeID) bool {
+			u1, u2 := v, w
+			if !forward {
+				u1, u2 = w, v
+			}
+			if axis.Holds(t, a, u1, u2) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			doomed = append(doomed, v)
+		}
+		return true
+	})
+	for _, v := range doomed {
+		keep.Remove(v)
+	}
+}
+
+// useSemijoinKernel is the acyclic engine's density heuristic: the nested
+// probe loop costs ~|keep|·|against| axis tests, the kernel path
+// O(|against| + n + |keep|) — break-even near |keep|·|against| = n. The
+// consistency package's KernelPolicy override applies here too, so the
+// parity tests can pin either path.
+func useSemijoinKernel(keep, against, n int) bool {
+	switch consistency.CurrentKernelPolicy() {
+	case consistency.KernelAlways:
+		return true
+	case consistency.KernelNever:
+		return false
+	}
+	return keep*against >= n
+}
+
 // acyclicReduce runs the two semijoin passes and returns the globally
 // consistent candidate sets, or ok=false if some set empties. The returned
 // sets are scratch-owned: valid until the scratch's next use.
 func acyclicReduce(d *Document, q *cq.Query, f *shadowForest, s *evalScratch) ([]*consistency.NodeSet, bool) {
-	t := d.t
 	init := s.ac.InitialPrevaluationIx(d.ix, q)
 	sets := init.Sets
-	doomed := s.doomed[:0]
-	defer func() { s.doomed = doomed[:0] }()
 	// Bottom-up: prune parent candidates lacking a consistent child value.
+	// The linking atom is R(parent, child) when linkDown — the parent is
+	// then the atom's left-hand side (forward semijoin) — and
+	// R(child, parent) otherwise.
 	for _, x := range f.postorder {
 		p := f.parent[x]
 		if p == cq.NilVar {
@@ -188,26 +264,11 @@ func acyclicReduce(d *Document, q *cq.Query, f *shadowForest, s *evalScratch) ([
 		if sets[x].Empty() {
 			return nil, false
 		}
-		doomed = doomed[:0]
-		sets[p].ForEach(func(vp tree.NodeID) bool {
-			found := false
-			sets[x].ForEach(func(vc tree.NodeID) bool {
-				if f.atomHolds(t, x, vp, vc) {
-					found = true
-					return false
-				}
-				return true
-			})
-			if !found {
-				doomed = append(doomed, vp)
-			}
-			return true
-		})
-		for _, v := range doomed {
-			sets[p].Remove(v)
-		}
+		at := q.Atoms[f.linkAtom[x]]
+		semijoinPrune(d, s, at.Axis, sets[p], sets[x], f.linkDown[x])
 	}
-	// Top-down: prune child candidates lacking a consistent parent value.
+	// Top-down: prune child candidates lacking a consistent parent value
+	// (the child is the atom's right-hand side when linkDown).
 	for i := len(f.postorder) - 1; i >= 0; i-- {
 		x := f.postorder[i]
 		p := f.parent[x]
@@ -217,24 +278,8 @@ func acyclicReduce(d *Document, q *cq.Query, f *shadowForest, s *evalScratch) ([
 			}
 			continue
 		}
-		doomed = doomed[:0]
-		sets[x].ForEach(func(vc tree.NodeID) bool {
-			found := false
-			sets[p].ForEach(func(vp tree.NodeID) bool {
-				if f.atomHolds(t, x, vp, vc) {
-					found = true
-					return false
-				}
-				return true
-			})
-			if !found {
-				doomed = append(doomed, vc)
-			}
-			return true
-		})
-		for _, v := range doomed {
-			sets[x].Remove(v)
-		}
+		at := q.Atoms[f.linkAtom[x]]
+		semijoinPrune(d, s, at.Axis, sets[x], sets[p], !f.linkDown[x])
 		if sets[x].Empty() {
 			return nil, false
 		}

@@ -27,7 +27,12 @@ var ErrNotMonadic = errors.New("query is not monadic")
 type evalScratch struct {
 	ac     *consistency.Scratch
 	doomed []tree.NodeID
-	bt     *BacktrackEngine
+	// srcWords/imgWords are the pre-rank word buffers of the kernel-based
+	// semijoin passes (acyclic.go): the candidate set scattered to pre
+	// ranks, and its whole-set axis image.
+	srcWords []uint64
+	imgWords []uint64
+	bt       *BacktrackEngine
 }
 
 func newEvalScratch() *evalScratch {

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench.sh — record the revise-kernel perf trajectory.
+#
+# Runs the BenchmarkRevise family (per-axis bulk image kernel vs. the
+# per-node probe loop, across tree sizes and domain densities; every
+# configuration self-checks kernel-vs-probe support counts before timing)
+# plus the end-to-end BenchmarkFastACKernels ablation, and emits a JSON
+# trajectory file (default BENCH_pr4.json).
+#
+# The JSON keeps the raw `go test -bench` lines under "raw" — that text is
+# what benchstat consumes, so `jq -r .raw BENCH_pr4.json > old.txt` followed
+# by `benchstat old.txt new.txt` compares any later run against this
+# baseline — alongside parsed per-benchmark entries and the derived
+# kernel-vs-probe speedup per configuration.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCHTIME=200x COUNT=1 scripts/bench.sh   # knobs pass through
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr4.json}"
+benchtime="${BENCHTIME:-200x}"
+count="${COUNT:-1}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run xxx -bench 'BenchmarkRevise|BenchmarkFastACKernels' \
+	-benchtime "$benchtime" -count "$count" ./internal/consistency | tee "$tmp"
+
+awk -v benchtime="$benchtime" '
+function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); return s }
+{ raw = raw $0 "\\n" }
+$1 == "goos:"   { goos = $2 }
+$1 == "goarch:" { goarch = $2 }
+$1 == "cpu:"    { cpu = $0; sub(/^cpu: */, "", cpu) }
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+	n++
+	names[n] = $1; sub(/-[0-9]+$/, "", names[n]) # strip GOMAXPROCS suffix
+	iters[n] = $2
+	nsop[n] = $3
+}
+END {
+	printf "{\n"
+	printf "  \"suite\": \"BENCH_pr4 revise kernels\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch
+	printf "  \"cpu\": \"%s\",\n", jesc(cpu)
+	printf "  \"benchmarks\": [\n"
+	for (i = 1; i <= n; i++)
+		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
+			jesc(names[i]), iters[i], nsop[i], i < n ? "," : ""
+	printf "  ],\n"
+	printf "  \"speedups_kernel_vs_probe\": [\n"
+	m = 0
+	for (i = 1; i <= n; i++) {
+		if (names[i] !~ /\/probe$/) continue
+		base = names[i]; sub(/\/probe$/, "", base)
+		for (j = 1; j <= n; j++)
+			if (names[j] == base "/kernel")
+				pairs[++m] = sprintf("    {\"config\": \"%s\", \"probe_ns\": %s, \"kernel_ns\": %s, \"speedup\": %.2f}", \
+					jesc(base), nsop[i], nsop[j], nsop[i] / nsop[j])
+	}
+	for (i = 1; i <= m; i++) printf "%s%s\n", pairs[i], i < m ? "," : ""
+	printf "  ],\n"
+	printf "  \"raw\": \"%s\"\n", jesc(raw)
+	printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"
