@@ -15,8 +15,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"slices"
@@ -36,23 +38,52 @@ func (m *multiFlag) Set(v string) error {
 	return nil
 }
 
+// errFlagParse marks flag-parse failures the FlagSet already reported to
+// stderr (with usage); main exits nonzero without printing them twice.
+var errFlagParse = errors.New("flag parse error")
+
 func main() {
-	treeSrc := flag.String("tree", "", "tree in term syntax, e.g. A(B,C)")
-	treeFile := flag.String("treefile", "", "file holding the tree (.xml or term syntax)")
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		switch {
+		case errors.Is(err, flag.ErrHelp):
+			// -h/-help: usage already printed; exit clean.
+			return
+		case errors.Is(err, errFlagParse):
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command, separated from main for tests: args are the
+// command-line arguments (without the program name), output goes to
+// stdout, and every failure comes back as an error instead of exiting.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cqeval", flag.ContinueOnError)
+	treeSrc := fs.String("tree", "", "tree in term syntax, e.g. A(B,C)")
+	treeFile := fs.String("treefile", "", "file holding the tree (.xml or term syntax)")
 	var querySrcs multiFlag
-	flag.Var(&querySrcs, "query", "conjunctive query, e.g. Q(y) <- A(x), Child(x, y); may repeat")
-	parallel := flag.Int("parallel", 0, "worker count for enumeration (<= 1 means sequential)")
-	explain := flag.Bool("explain", false, "print each query's evaluation plan and classification")
-	apq := flag.Bool("apq", false, "also print the equivalent acyclic positive queries (Thm 6.10)")
-	asXPath := flag.Bool("xpath", false, "also print equivalent XPath expressions (monadic queries)")
-	flag.Parse()
+	fs.Var(&querySrcs, "query", "conjunctive query, e.g. Q(y) <- A(x), Child(x, y); may repeat")
+	parallel := fs.Int("parallel", 0, "worker count for enumeration (<= 1 means sequential)")
+	explain := fs.Bool("explain", false, "print each query's evaluation plan and classification")
+	apq := fs.Bool("apq", false, "also print the equivalent acyclic positive queries (Thm 6.10)")
+	asXPath := fs.Bool("xpath", false, "also print equivalent XPath expressions (monadic queries)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errFlagParse, err)
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("cqeval: unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
 
 	t, err := loadTree(*treeSrc, *treeFile)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if len(querySrcs) == 0 {
-		log.Fatal("cqeval: at least one -query is required")
+		return fmt.Errorf("cqeval: at least one -query is required")
 	}
 
 	// Phase 1: index the document once; every query shares the result.
@@ -66,7 +97,7 @@ func main() {
 	for i, src := range querySrcs {
 		pq, err := cqtrees.Compile(src)
 		if err != nil {
-			log.Fatalf("cqeval: query %d: %v", i+1, err)
+			return fmt.Errorf("cqeval: query %d: %v", i+1, err)
 		}
 		pqs[i] = pq
 	}
@@ -76,10 +107,10 @@ func main() {
 	var executeDur time.Duration
 	for i, pq := range pqs {
 		if len(pqs) > 1 {
-			fmt.Printf("-- query %d: %s\n", i+1, querySrcs[i])
+			fmt.Fprintf(stdout, "-- query %d: %s\n", i+1, querySrcs[i])
 		}
 		if *explain {
-			fmt.Println("plan:", pq.Plan())
+			fmt.Fprintln(stdout, "plan:", pq.Plan())
 		}
 		// Sequential runs stream through the range-over-func iterator;
 		// -parallel > 1 uses the sharded materializing path instead
@@ -91,7 +122,7 @@ func main() {
 			var err error
 			answers, err = pq.AllErr(doc, cqtrees.WithWorkers(*parallel))
 			if err != nil {
-				log.Fatalf("cqeval: query %d: %v", i+1, err)
+				return fmt.Errorf("cqeval: query %d: %v", i+1, err)
 			}
 		} else {
 			for tuple := range pq.Tuples(doc) {
@@ -101,38 +132,39 @@ func main() {
 		}
 		executeDur += time.Since(execStart)
 		if len(pq.Query().Head) == 0 {
-			fmt.Println("satisfiable:", len(answers) > 0)
+			fmt.Fprintln(stdout, "satisfiable:", len(answers) > 0)
 		} else {
-			fmt.Printf("%d answer(s):\n", len(answers))
+			fmt.Fprintf(stdout, "%d answer(s):\n", len(answers))
 			for _, tup := range answers {
 				parts := make([]string, len(tup))
 				for j, v := range tup {
 					parts[j] = describe(t, v)
 				}
-				fmt.Println("  ", strings.Join(parts, ", "))
+				fmt.Fprintln(stdout, "  ", strings.Join(parts, ", "))
 			}
 		}
 		if *apq {
 			a, err := cqtrees.ToAPQ(pq.Query())
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("\nAPQ (%d disjuncts):\n%s\n", len(a.Disjuncts), a)
+			fmt.Fprintf(stdout, "\nAPQ (%d disjuncts):\n%s\n", len(a.Disjuncts), a)
 		}
 		if *asXPath {
 			exprs, err := cqtrees.ToXPath(pq.Query())
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Println("\nXPath:")
+			fmt.Fprintln(stdout, "\nXPath:")
 			for _, e := range exprs {
-				fmt.Println("  ", e)
+				fmt.Fprintln(stdout, "  ", e)
 			}
 		}
 	}
-	fmt.Printf("timings: index=%v prepare=%v execute=%v (%d nodes, %d queries)\n",
+	fmt.Fprintf(stdout, "timings: index=%v prepare=%v execute=%v (%d nodes, %d queries)\n",
 		indexDur.Round(time.Microsecond), prepareDur.Round(time.Microsecond),
 		executeDur.Round(time.Microsecond), doc.Len(), len(pqs))
+	return nil
 }
 
 func loadTree(src, file string) (*cqtrees.Tree, error) {

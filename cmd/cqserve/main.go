@@ -1,0 +1,58 @@
+// Command cqserve serves the corpus engine over HTTP: load documents,
+// register prepared queries, and fan batch evaluations across the fleet —
+// the traffic-shaped entry point to the paper's evaluation algorithms.
+//
+// Usage:
+//
+//	cqserve [-addr :8080] [-max-corpus-bytes N] [-eval-timeout 30s]
+//
+// The API is JSON over net/http (no dependencies):
+//
+//	GET    /healthz              engine status (docs, queries, bytes)
+//	GET    /docs                 list documents (name, nodes, bytes)
+//	PUT    /docs/{name}          load a document: {"term": "A(B,C(B))"}
+//	                             or {"xml": "<a><b/></a>"} (201 new, 200 replaced)
+//	GET    /docs/{name}          one document's info (404 if absent)
+//	DELETE /docs/{name}          drop a document (204, 404 if absent)
+//	PUT    /queries/{name}       register a query: {"query": "Q(y) <- A(x), Child+(x, y), B(y)"}
+//	                             — compiled once; response carries the plan
+//	GET    /queries, /queries/{name}, DELETE /queries/{name}
+//	POST   /eval                 batch evaluation:
+//	                             {"query": "name" | "source": "...", "mode": "bool|nodes|tuples",
+//	                              "docs": ["a", ...], "workers": 4, "timeout_ms": 100}
+//
+// Error tiers: 400 malformed requests and parse/compile failures, 404
+// unknown document or query names, 422 mode "nodes" on a non-monadic
+// query, 504 a batch cut short by its timeout (completed rows included,
+// "timed_out": true). Unknown names inside an /eval docs list come back
+// as per-document error rows, not a request failure — a batch over a
+// mutating fleet is not all-or-nothing.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxCorpusBytes := flag.Int64("max-corpus-bytes", 0, "corpus byte budget; LRU-evicts documents beyond it (0 = unlimited)")
+	maxBody := flag.Int64("max-body-bytes", 16<<20, "request body size limit")
+	evalTimeout := flag.Duration("eval-timeout", 0, "hard cap on one /eval batch (0 = none; a request's timeout_ms may tighten it, not extend it)")
+	flag.Parse()
+
+	s := newServer(serverConfig{
+		maxCorpusBytes: *maxCorpusBytes,
+		maxBody:        *maxBody,
+		evalTimeout:    *evalTimeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("cqserve: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

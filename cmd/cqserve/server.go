@@ -1,0 +1,490 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	cqtrees "repro"
+)
+
+// server is the HTTP face of the corpus engine: a Corpus of named indexed
+// documents plus a registry of named prepared queries, exposed as a small
+// JSON API (net/http only). All state is in memory; handlers are safe for
+// concurrent use (the corpus is concurrency-safe, the query registry has
+// its own lock).
+type server struct {
+	corpus *cqtrees.Corpus
+
+	mu      sync.Mutex
+	queries map[string]*storedQuery
+
+	// maxBody bounds request bodies (documents arrive inline).
+	maxBody int64
+	// evalTimeout is the hard cap on one /eval batch; zero means no cap.
+	// A request's timeout_ms may tighten the bound but never extend it.
+	evalTimeout time.Duration
+}
+
+// storedQuery is a registered prepared query plus its source text.
+type storedQuery struct {
+	src string
+	pq  *cqtrees.PreparedQuery
+}
+
+type serverConfig struct {
+	maxCorpusBytes int64
+	maxBody        int64
+	evalTimeout    time.Duration
+}
+
+func newServer(cfg serverConfig) *server {
+	var opts []cqtrees.CorpusOption
+	if cfg.maxCorpusBytes > 0 {
+		opts = append(opts, cqtrees.WithMaxBytes(cfg.maxCorpusBytes))
+	}
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 16 << 20
+	}
+	return &server{
+		corpus:      cqtrees.NewCorpus(opts...),
+		queries:     make(map[string]*storedQuery),
+		maxBody:     cfg.maxBody,
+		evalTimeout: cfg.evalTimeout,
+	}
+}
+
+// handler builds the route table. Method+path patterns need Go 1.22+.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /docs", s.handleListDocs)
+	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
+	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
+	mux.HandleFunc("DELETE /docs/{name}", s.handleDeleteDoc)
+	mux.HandleFunc("GET /queries", s.handleListQueries)
+	mux.HandleFunc("GET /queries/{name}", s.handleGetQuery)
+	mux.HandleFunc("PUT /queries/{name}", s.handlePutQuery)
+	mux.HandleFunc("DELETE /queries/{name}", s.handleDeleteQuery)
+	mux.HandleFunc("POST /eval", s.handleEval)
+	return mux
+}
+
+// ---- JSON plumbing --------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body: {"error": "..."}.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody decodes the request body as strict JSON into v, enforcing
+// the body limit. Oversized bodies are 413 (shrink the payload);
+// malformed ones 400 (fix the payload).
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+			return false
+		}
+		httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// ---- documents ------------------------------------------------------------
+
+// docInfo describes one corpus document.
+type docInfo struct {
+	Name  string `json:"name"`
+	Nodes int    `json:"nodes"`
+	Bytes int64  `json:"bytes"`
+}
+
+// docRow builds a listing row from Peek's accounted size, so the rows of
+// one /docs payload always sum to its top-level (and /healthz's) bytes —
+// recomputing doc.SizeBytes() here would drift as lazy label bitsets
+// materialize after insertion.
+func docRow(name string, doc *cqtrees.Document, bytes int64) docInfo {
+	return docInfo{Name: name, Nodes: doc.Len(), Bytes: bytes}
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	nq := len(s.queries)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"docs":    s.corpus.Len(),
+		"queries": nq,
+		"bytes":   s.corpus.Bytes(),
+	})
+}
+
+// The metadata endpoints use Peek, not Get: a monitoring poll of /docs
+// must not promote every document in the LRU eviction order — only
+// evaluation counts as use.
+func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	infos := make([]docInfo, 0)
+	for _, name := range s.corpus.Names() {
+		if doc, bytes, ok := s.corpus.Peek(name); ok {
+			infos = append(infos, docRow(name, doc, bytes))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": infos, "bytes": s.corpus.Bytes()})
+}
+
+func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	doc, bytes, ok := s.corpus.Peek(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown document %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, docRow(name, doc, bytes))
+}
+
+// putDocRequest loads one document: exactly one of Term (the term syntax,
+// e.g. "A(B,C(B))") or XML (an XML document; element names become labels).
+type putDocRequest struct {
+	Term string `json:"term,omitempty"`
+	XML  string `json:"xml,omitempty"`
+}
+
+func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req putDocRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var (
+		t   *cqtrees.Tree
+		err error
+	)
+	switch {
+	case req.Term != "" && req.XML != "":
+		httpError(w, http.StatusBadRequest, "give term or xml, not both")
+		return
+	case req.Term != "":
+		t, err = cqtrees.ParseTree(req.Term)
+	case req.XML != "":
+		t, err = cqtrees.ParseXML(strings.NewReader(req.XML))
+	default:
+		httpError(w, http.StatusBadRequest, "term or xml is required")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	doc := cqtrees.Index(t)
+	prev, err := s.corpus.Swap(name, doc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	status := http.StatusCreated
+	if prev != nil {
+		status = http.StatusOK
+	}
+	// Peek surfaces the accounted insertion charge, keeping this response
+	// consistent with the listing and with what eviction budgets.
+	_, bytes, _ := s.corpus.Peek(name)
+	writeJSON(w, status, docRow(name, doc, bytes))
+}
+
+func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.corpus.Remove(name) == nil {
+		httpError(w, http.StatusNotFound, "unknown document %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- queries --------------------------------------------------------------
+
+// queryInfo describes one registered query.
+type queryInfo struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+	Arity  int    `json:"arity"`
+	Plan   string `json:"plan"`
+}
+
+func info(name string, sq *storedQuery) queryInfo {
+	return queryInfo{
+		Name:   name,
+		Source: sq.src,
+		Arity:  len(sq.pq.Query().Head),
+		Plan:   sq.pq.Plan().String(),
+	}
+}
+
+func (s *server) handleListQueries(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	infos := make([]queryInfo, 0, len(s.queries))
+	for name, sq := range s.queries {
+		infos = append(infos, info(name, sq))
+	}
+	s.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"queries": infos})
+}
+
+func (s *server) handleGetQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	sq, ok := s.queries[name]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, info(name, sq))
+}
+
+type putQueryRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *server) handlePutQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req putQueryRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, "query is required")
+		return
+	}
+	pq, err := cqtrees.Compile(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "compile: %v", err)
+		return
+	}
+	sq := &storedQuery{src: req.Query, pq: pq}
+	s.mu.Lock()
+	_, replaced := s.queries[name]
+	s.queries[name] = sq
+	s.mu.Unlock()
+	status := http.StatusCreated
+	if replaced {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info(name, sq))
+}
+
+func (s *server) handleDeleteQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.queries[name]
+	delete(s.queries, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown query %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ---- batch evaluation -----------------------------------------------------
+
+// evalRequest runs one prepared query — a registered one by name (query)
+// or an ad-hoc source (source) — across the corpus (docs restricts the
+// fleet; empty means every document), in one of three modes:
+//
+//	"bool"   per-document Boolean satisfaction
+//	"nodes"  per-document sorted answer node set (monadic queries only)
+//	"tuples" per-document sorted distinct answer relation
+//
+// workers bounds the fan-out pool (0 = GOMAXPROCS); timeout_ms caps the
+// whole batch.
+type evalRequest struct {
+	Query     string   `json:"query,omitempty"`
+	Source    string   `json:"source,omitempty"`
+	Docs      []string `json:"docs,omitempty"`
+	Mode      string   `json:"mode"`
+	Workers   int      `json:"workers,omitempty"`
+	TimeoutMS int      `json:"timeout_ms,omitempty"`
+}
+
+// evalResult is one per-document result row. The mode's field (Sat,
+// Nodes or Tuples) is set unless Error is non-empty; empty node and
+// tuple sets are omitted from the JSON (a row with neither field nor
+// error is a successful empty result).
+type evalResult struct {
+	Doc    string             `json:"doc"`
+	Sat    *bool              `json:"sat,omitempty"`
+	Nodes  []cqtrees.NodeID   `json:"nodes,omitempty"`
+	Tuples [][]cqtrees.NodeID `json:"tuples,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+type evalResponse struct {
+	Mode    string       `json:"mode"`
+	Plan    string       `json:"plan"`
+	Docs    int          `json:"docs"`
+	Errors  int          `json:"errors"`
+	Results []evalResult `json:"results"`
+	// TimedOut marks a batch cut short by timeout_ms (status 504; the
+	// rows completed before the deadline are included).
+	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+func (s *server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req evalRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+
+	// Resolve the query: registered name xor inline source.
+	var pq *cqtrees.PreparedQuery
+	switch {
+	case req.Query != "" && req.Source != "":
+		httpError(w, http.StatusBadRequest, "give query or source, not both")
+		return
+	case req.Query != "":
+		s.mu.Lock()
+		sq, ok := s.queries[req.Query]
+		s.mu.Unlock()
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown query %q", req.Query)
+			return
+		}
+		pq = sq.pq
+	case req.Source != "":
+		var err error
+		if pq, err = cqtrees.Compile(req.Source); err != nil {
+			httpError(w, http.StatusBadRequest, "compile: %v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "query or source is required")
+		return
+	}
+
+	mode := req.Mode
+	if mode == "" {
+		mode = "tuples"
+	}
+	if mode == "nodes" && len(pq.Query().Head) != 1 {
+		// The arity violation is a property of the request, not of any
+		// document: report it once, as 422, instead of per-document rows.
+		httpError(w, http.StatusUnprocessableEntity,
+			"mode nodes needs a monadic query; %q has arity %d", pq.Query().String(), len(pq.Query().Head))
+		return
+	}
+
+	// The operator's -eval-timeout is a hard cap: a client timeout_ms may
+	// only tighten it, never extend it past the server bound.
+	ctx := r.Context()
+	timeout := s.evalTimeout
+	if reqTimeout := time.Duration(req.TimeoutMS) * time.Millisecond; req.TimeoutMS > 0 &&
+		(timeout <= 0 || reqTimeout < timeout) {
+		timeout = reqTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// The document list is frozen up front (an unrestricted request takes
+	// the current fleet): batch completeness is then decidable — a timed
+	// out batch may never dispatch some documents, and those produce no
+	// result rows at all.
+	explicit := len(req.Docs) > 0
+	docs := req.Docs
+	if !explicit {
+		docs = s.corpus.Names()
+	}
+	expected := len(docs)
+	opts := []cqtrees.BatchOption{
+		cqtrees.WithBatchContext(ctx),
+		cqtrees.WithBatchWorkers(req.Workers),
+		cqtrees.WithDocs(docs...),
+	}
+
+	resp := evalResponse{Mode: mode, Plan: pq.Plan().String(), Results: make([]evalResult, 0, len(docs))}
+	cancelledRows := 0
+	add := func(doc string, err error, fill func(*evalResult)) {
+		// An implicit fleet selection can race a concurrent Remove or
+		// LRU eviction between Names() and the batch snapshot; the
+		// client never asked for that document by name, so its
+		// disappearance is not an error row.
+		if err != nil && !explicit && errors.Is(err, cqtrees.ErrUnknownDocument) {
+			expected--
+			return
+		}
+		row := evalResult{Doc: doc}
+		if err != nil {
+			row.Error = err.Error()
+			resp.Errors++
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				cancelledRows++
+			}
+		} else {
+			fill(&row)
+		}
+		resp.Results = append(resp.Results, row)
+	}
+	// Empty node/tuple sets need no normalization: omitempty drops the
+	// field for nil and empty alike, so a successful empty result is a
+	// row with neither payload nor error.
+	switch mode {
+	case "bool":
+		for r := range s.corpus.Bool(pq, opts...) {
+			sat := r.Sat
+			add(r.Doc, r.Err, func(row *evalResult) { row.Sat = &sat })
+		}
+	case "nodes":
+		for r := range s.corpus.Nodes(pq, opts...) {
+			nodes := r.Nodes
+			add(r.Doc, r.Err, func(row *evalResult) { row.Nodes = nodes })
+		}
+	case "tuples":
+		for r := range s.corpus.Tuples(pq, opts...) {
+			tuples := r.Tuples
+			add(r.Doc, r.Err, func(row *evalResult) { row.Tuples = tuples })
+		}
+	default:
+		httpError(w, http.StatusBadRequest, "unknown mode %q (bool, nodes, tuples)", req.Mode)
+		return
+	}
+	resp.Docs = len(resp.Results)
+	sort.Slice(resp.Results, func(i, j int) bool { return resp.Results[i].Doc < resp.Results[j].Doc })
+
+	// 504 only when the deadline actually cut work short: some row carried
+	// a cancellation error, or some frozen-list document never produced a
+	// row. A batch that completed just before the deadline fired is a 200.
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) &&
+		(cancelledRows > 0 || resp.Docs < expected) {
+		resp.TimedOut = true
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,329 @@
+package cqtrees
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+// Corpus is a concurrency-safe collection of named, immutable Documents
+// plus batch evaluation across it — the fleet-level counterpart of the
+// per-pair prepare/index/execute pipeline. A server holds one Corpus,
+// indexes each distinct document once (Add/Swap), and fans prepared
+// queries across all or a subset of the fleet with a bounded worker pool
+// (Bool/Nodes/Tuples and their *Set variants).
+//
+// Ownership and concurrency contract:
+//
+//   - All Corpus methods are safe for concurrent use.
+//   - Documents are immutable; Remove and eviction only drop the corpus's
+//     reference, so an in-flight batch keeps evaluating its snapshot
+//     safely even while the corpus mutates.
+//   - Batch iterators are single-use and stream results in completion
+//     order (submission order when the batch runs on one worker); break
+//     out of the loop to cancel the remaining work — the pool always
+//     joins before the iterator returns.
+//
+// Memory accounting is approximate (Document.SizeBytes, charged at
+// insertion). With WithMaxBytes set, insertions that push the total over
+// the budget evict least-recently-used documents — Get and batch
+// snapshots count as uses — and report each eviction to the
+// WithEvictionHook callback, outside the corpus lock. The insertion that
+// triggered the pass is itself spared, so a single oversized document
+// still serves.
+type Corpus struct {
+	c *corpus.Corpus
+}
+
+// ErrCorpusDuplicate is returned by Corpus.Add when the name is taken.
+var ErrCorpusDuplicate = corpus.ErrExists
+
+// ErrUnknownDocument is reported (wrapped, per affected result) by batch
+// evaluation when WithDocs names a document the corpus does not hold.
+var ErrUnknownDocument = fmt.Errorf("unknown document")
+
+// CorpusOption configures NewCorpus.
+type CorpusOption func(*corpusConfig)
+
+type corpusConfig struct {
+	maxBytes int64
+	onEvict  func(name string, doc *Document)
+}
+
+// WithMaxBytes sets the corpus's byte budget: insertions beyond it evict
+// least-recently-used documents. n <= 0 (the default) disables eviction.
+func WithMaxBytes(n int64) CorpusOption {
+	return func(c *corpusConfig) { c.maxBytes = n }
+}
+
+// WithEvictionHook registers a callback invoked (outside the corpus lock)
+// for every document evicted by the WithMaxBytes budget. Explicit Remove
+// and Swap replacements do not trigger it.
+func WithEvictionHook(fn func(name string, doc *Document)) CorpusOption {
+	return func(c *corpusConfig) { c.onEvict = fn }
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus(opts ...CorpusOption) *Corpus {
+	var cfg corpusConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := corpus.New()
+	// Document aliases core.Document, so the hook passes through as-is;
+	// SetBudget treats maxBytes <= 0 as "no eviction".
+	c.SetBudget(cfg.maxBytes, cfg.onEvict)
+	return &Corpus{c: c}
+}
+
+// Add inserts doc under name; it fails with ErrCorpusDuplicate if the
+// name is taken (Swap replaces instead) and on the empty name.
+func (c *Corpus) Add(name string, doc *Document) error { return c.c.Add(name, doc) }
+
+// AddTree indexes t (see Index) and adds the resulting document under
+// name, returning it.
+func (c *Corpus) AddTree(name string, t *Tree) (*Document, error) {
+	doc := Index(t)
+	if err := c.c.Add(name, doc); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// Swap inserts doc under name, replacing and returning the previous
+// document under that name (nil if the name was free).
+func (c *Corpus) Swap(name string, doc *Document) (*Document, error) {
+	return c.c.Swap(name, doc)
+}
+
+// Remove deletes the named document, returning it (nil if absent).
+func (c *Corpus) Remove(name string) *Document { return c.c.Remove(name) }
+
+// Get returns the named document, counting as a use for LRU eviction.
+func (c *Corpus) Get(name string) (*Document, bool) { return c.c.Get(name) }
+
+// Peek returns the named document and its accounted size — the
+// insertion-time charge budgeting uses, so summing it over Names agrees
+// with Bytes — without counting as a use. It is for listings, dashboards,
+// and other read paths that must not promote documents in the LRU
+// eviction order; only Get and batch evaluation snapshots count as uses.
+func (c *Corpus) Peek(name string) (*Document, int64, bool) {
+	return c.c.Peek(name)
+}
+
+// Len returns the number of documents in the corpus.
+func (c *Corpus) Len() int { return c.c.Len() }
+
+// Bytes returns the total accounted memory footprint in bytes.
+func (c *Corpus) Bytes() int64 { return c.c.Bytes() }
+
+// Names returns the document names in sorted order.
+func (c *Corpus) Names() []string { return c.c.Names() }
+
+// ---- batch evaluation -----------------------------------------------------
+
+// BatchOption tunes one batch evaluation call.
+type BatchOption func(*batchConfig)
+
+type batchConfig struct {
+	ctx     context.Context
+	workers int
+	names   []string
+	filter  func(string) bool
+}
+
+// WithBatchContext attaches a context to the batch: in-flight per-document
+// evaluations observe cancellation at their next check (see WithContext)
+// and report it in their result's Err; documents not yet dispatched when
+// the context dies are skipped and the stream ends.
+func WithBatchContext(ctx context.Context) BatchOption {
+	return func(c *batchConfig) { c.ctx = ctx }
+}
+
+// WithBatchWorkers bounds the batch's worker pool. The default (and any
+// n <= 0) is GOMAXPROCS; 1 evaluates documents sequentially on the
+// consumer's goroutine. This is fan-out across documents — per-document
+// enumeration parallelism is the prepared query's WithParallelism
+// setting, and the two multiply, so servers typically set exactly one.
+func WithBatchWorkers(n int) BatchOption {
+	return func(c *batchConfig) { c.workers = n }
+}
+
+// WithDocs restricts the batch to exactly the named documents, evaluated
+// in the given order. Names the corpus does not hold yield one result per
+// query with Err wrapping ErrUnknownDocument. Zero names select zero
+// documents — a dynamically built empty selection evaluates nothing, it
+// does not fall back to the whole fleet.
+func WithDocs(names ...string) BatchOption {
+	return func(c *batchConfig) {
+		if names == nil {
+			names = []string{}
+		}
+		c.names = names
+	}
+}
+
+// WithDocFilter restricts the batch to documents whose name passes the
+// filter (applied to all documents, or to the WithDocs selection).
+func WithDocFilter(fn func(name string) bool) BatchOption {
+	return func(c *batchConfig) { c.filter = fn }
+}
+
+// BoolResult is one document's outcome of a Boolean batch.
+type BoolResult struct {
+	// Doc is the document's corpus name.
+	Doc string
+	// Query indexes the query set of a *Set batch; 0 for single-query
+	// batches.
+	Query int
+	// Sat reports Boolean satisfaction when Err is nil.
+	Sat bool
+	// Err is the per-document error: cancellation or ErrUnknownDocument.
+	Err error
+}
+
+// NodesResult is one document's outcome of a monadic batch.
+type NodesResult struct {
+	Doc   string
+	Query int
+	// Nodes is the sorted answer node set when Err is nil.
+	Nodes []NodeID
+	// Err is the per-document error: cancellation, ErrUnknownDocument, or
+	// ErrNotMonadic when the query's head is not unary.
+	Err error
+}
+
+// TuplesResult is one document's outcome of a tuple-enumeration batch.
+type TuplesResult struct {
+	Doc   string
+	Query int
+	// Tuples is the sorted distinct answer relation when Err is nil (for
+	// Boolean queries: one empty tuple if satisfiable).
+	Tuples [][]NodeID
+	Err    error
+}
+
+// newBatchConfig folds the options.
+func newBatchConfig(opts []BatchOption) batchConfig {
+	var cfg batchConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// snapshot resolves the batch's documents and expands the job list; the
+// snapshot touches LRU clocks under the corpus lock exactly once.
+func (c *Corpus) snapshot(cfg batchConfig, queries int) (jobs []corpus.Job, missing []string) {
+	docs, missing := c.c.Snapshot(cfg.names, cfg.filter)
+	return corpus.Jobs(docs, queries), missing
+}
+
+// missingErr is the per-result error for a WithDocs name the corpus does
+// not hold.
+func missingErr(name string) error {
+	return fmt.Errorf("corpus: %q: %w", name, ErrUnknownDocument)
+}
+
+// batchSeq is the shared skeleton behind the *Set methods (methods
+// cannot be generic, so each wraps this free function): snapshot the
+// document set, report missing WithDocs names as one error row per
+// query, fan eval across the jobs with the bounded pool, and wrap each
+// raw result into the public row type.
+func batchSeq[T, R any](c *Corpus, queries int, opts []BatchOption,
+	missingRow func(name string, query int) R,
+	eval func(ctx context.Context, j corpus.Job) (T, error),
+	wrap func(corpus.Result[T]) R,
+) iter.Seq[R] {
+	cfg := newBatchConfig(opts)
+	jobs, missing := c.snapshot(cfg, queries)
+	return func(yield func(R) bool) {
+		for _, name := range missing {
+			for q := 0; q < queries; q++ {
+				if !yield(missingRow(name, q)) {
+					return
+				}
+			}
+		}
+		for r := range corpus.Run(cfg.ctx, cfg.workers, jobs, eval) {
+			if !yield(wrap(r)) {
+				return
+			}
+		}
+	}
+}
+
+// Bool fans the prepared query across the corpus (all documents, or the
+// WithDocs/WithDocFilter selection) with a bounded worker pool, streaming
+// one BoolResult per document in completion order:
+//
+//	for r := range c.Bool(pq) {
+//		if r.Err == nil && r.Sat { hits = append(hits, r.Doc) }
+//	}
+//
+// Break out of the loop to cancel the remaining documents.
+func (c *Corpus) Bool(pq *PreparedQuery, opts ...BatchOption) iter.Seq[BoolResult] {
+	return c.BoolSet([]*PreparedQuery{pq}, opts...)
+}
+
+// BoolSet is Bool over a set of prepared queries: every (document, query)
+// pair is evaluated, and each result's Query field indexes pqs.
+func (c *Corpus) BoolSet(pqs []*PreparedQuery, opts ...BatchOption) iter.Seq[BoolResult] {
+	return batchSeq(c, len(pqs), opts,
+		func(name string, q int) BoolResult {
+			return BoolResult{Doc: name, Query: q, Err: missingErr(name)}
+		},
+		func(ctx context.Context, j corpus.Job) (bool, error) {
+			pq := pqs[j.Query]
+			return pq.p.BoolDoc(j.Doc.Doc, core.EnumOptions{Parallel: pq.parallel, Ctx: ctx})
+		},
+		func(r corpus.Result[bool]) BoolResult {
+			return BoolResult{Doc: r.Doc, Query: r.Query, Sat: r.Value, Err: r.Err}
+		})
+}
+
+// Nodes fans a monadic prepared query across the corpus, streaming one
+// sorted answer node set per document; see Bool for the batch contract.
+// Non-monadic queries report ErrNotMonadic in every result's Err.
+func (c *Corpus) Nodes(pq *PreparedQuery, opts ...BatchOption) iter.Seq[NodesResult] {
+	return c.NodesSet([]*PreparedQuery{pq}, opts...)
+}
+
+// NodesSet is Nodes over a set of prepared queries.
+func (c *Corpus) NodesSet(pqs []*PreparedQuery, opts ...BatchOption) iter.Seq[NodesResult] {
+	return batchSeq(c, len(pqs), opts,
+		func(name string, q int) NodesResult {
+			return NodesResult{Doc: name, Query: q, Err: missingErr(name)}
+		},
+		func(ctx context.Context, j corpus.Job) ([]NodeID, error) {
+			pq := pqs[j.Query]
+			return pq.p.MonadicDoc(j.Doc.Doc, core.EnumOptions{Parallel: pq.parallel, Ctx: ctx})
+		},
+		func(r corpus.Result[[]NodeID]) NodesResult {
+			return NodesResult{Doc: r.Doc, Query: r.Query, Nodes: r.Value, Err: r.Err}
+		})
+}
+
+// Tuples fans the prepared query across the corpus, streaming one sorted
+// distinct answer relation per document; see Bool for the batch contract.
+func (c *Corpus) Tuples(pq *PreparedQuery, opts ...BatchOption) iter.Seq[TuplesResult] {
+	return c.TuplesSet([]*PreparedQuery{pq}, opts...)
+}
+
+// TuplesSet is Tuples over a set of prepared queries.
+func (c *Corpus) TuplesSet(pqs []*PreparedQuery, opts ...BatchOption) iter.Seq[TuplesResult] {
+	return batchSeq(c, len(pqs), opts,
+		func(name string, q int) TuplesResult {
+			return TuplesResult{Doc: name, Query: q, Err: missingErr(name)}
+		},
+		func(ctx context.Context, j corpus.Job) ([][]NodeID, error) {
+			pq := pqs[j.Query]
+			return pq.p.AllDoc(j.Doc.Doc, core.EnumOptions{Parallel: pq.parallel, Ctx: ctx})
+		},
+		func(r corpus.Result[[][]NodeID]) TuplesResult {
+			return TuplesResult{Doc: r.Doc, Query: r.Query, Tuples: r.Value, Err: r.Err}
+		})
+}

@@ -1,0 +1,81 @@
+package cqtrees
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// BenchmarkCorpus measures batched multi-document evaluation: a fleet of
+// indexed documents, a prepared query per strategy, fanned across the
+// fleet with a bounded worker pool. The workers axis shows the batch
+// scaling WithBatchWorkers buys (near-linear until the fleet or the cores
+// run out; single-CPU containers show flat lines — the parity self-check
+// still runs).
+//
+// Every iteration self-checks answer parity against sequential
+// per-document evaluation (b.Fatalf on any divergence), so the CI smoke
+// run of this family guards the fan-out machinery: no document dropped or
+// duplicated, no cross-worker result corruption.
+func BenchmarkCorpus(b *testing.B) {
+	const fleet, nodes = 12, 1500
+	rng := rand.New(rand.NewSource(404))
+	c := NewCorpus()
+	for i := 0; i < fleet; i++ {
+		tr := tree.Random(rng, tree.RandomConfig{
+			Nodes: nodes, MaxChildren: 4, Alphabet: []string{"A", "B", "C", "D"},
+		})
+		if err := c.Add(fmt.Sprintf("doc%02d", i), Index(tr)); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	for _, qc := range []struct{ name, src string }{
+		{"acyclic", strategyQueries["acyclic"]},
+		{"xproperty", strategyQueries["xproperty"]},
+	} {
+		pq := MustCompile(qc.src)
+
+		// Sequential ground truth, computed once per query outside timing.
+		want := map[string]int{}
+		total := 0
+		for _, name := range c.Names() {
+			doc, _ := c.Get(name)
+			tuples, err := pq.AllErr(doc)
+			if err != nil {
+				b.Fatalf("%s/%s: %v", qc.name, name, err)
+			}
+			want[name] = len(tuples)
+			total += len(tuples)
+		}
+		if total == 0 {
+			b.Fatalf("%s: degenerate workload, zero answers across the fleet", qc.name)
+		}
+
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("q=%s/docs=%d/workers=%d", qc.name, fleet, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					got := 0
+					seen := 0
+					for r := range c.Tuples(pq, WithBatchWorkers(workers)) {
+						if r.Err != nil {
+							b.Fatalf("%s: %v", r.Doc, r.Err)
+						}
+						if len(r.Tuples) != want[r.Doc] {
+							b.Fatalf("parity: %s got %d tuples, sequential got %d",
+								r.Doc, len(r.Tuples), want[r.Doc])
+						}
+						got += len(r.Tuples)
+						seen++
+					}
+					if seen != fleet || got != total {
+						b.Fatalf("parity: %d docs / %d tuples, want %d / %d", seen, got, fleet, total)
+					}
+				}
+				b.ReportMetric(float64(fleet)*float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+			})
+		}
+	}
+}

@@ -26,6 +26,12 @@
 //     ErrNotMonadic instead of panics, context cancellation via
 //     WithContext), and the legacy *Tree methods, which keep working
 //     unchanged over a weak per-query document cache.
+//   - Corpora: NewCorpus manages a fleet of named Documents (add, remove,
+//     swap, memory accounting with optional LRU eviction) and fans
+//     prepared queries across all or a subset of them with a bounded
+//     worker pool, streaming per-document results (Corpus.Bool/Nodes/
+//     Tuples and the *Set variants). cmd/cqserve exposes the same engine
+//     over HTTP.
 //   - Expressiveness: ToAPQ translates any conjunctive query into an
 //     equivalent acyclic positive query (Theorem 6.10); ToXPath renders
 //     monadic APQs as Core-XPath expressions (Remark 6.1).

@@ -1,0 +1,92 @@
+// Command corpus demonstrates the fleet tier of the engine: a Corpus of
+// named, immutable indexed documents, batch evaluation fanning prepared
+// queries across the fleet with a bounded worker pool, document-subset
+// selection, a memory budget with LRU eviction, and the ownership rules
+// that make it all safe (documents are immutable; removal only drops the
+// corpus's reference, so in-flight batches keep their snapshot).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	cqtrees "repro"
+)
+
+func main() {
+	// A fleet of small "library branch" documents. In a server these
+	// would arrive over the wire (see cmd/cqserve); each is indexed once
+	// and shared by every query ever run against it.
+	branches := map[string]string{
+		"north": "Lib(Shelf(Book(Title,Author),Book(Title)),Shelf(Book(Title,Author)))",
+		"south": "Lib(Shelf(Book(Title)),Shelf(Book(Title),Book(Title)))",
+		"east":  "Lib(Shelf(Book(Title,Author,Author)))",
+		"west":  "Lib(Shelf(Shelf(Book(Title,Author))))",
+	}
+
+	c := cqtrees.NewCorpus()
+	for name, term := range branches {
+		if _, err := c.AddTree(name, cqtrees.MustParseTree(term)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("corpus: %d documents, ~%d bytes indexed\n", c.Len(), c.Bytes())
+
+	// One prepared query, compiled once, fanned across the whole fleet.
+	// Results stream in completion order; collect and sort for display.
+	authored := cqtrees.MustCompile("Q(b) <- Book(b), Child(b, a), Author(a)")
+	type row struct {
+		doc   string
+		count int
+	}
+	var rows []row
+	for r := range c.Nodes(authored, cqtrees.WithBatchWorkers(4)) {
+		if r.Err != nil {
+			log.Fatal(r.Err)
+		}
+		rows = append(rows, row{r.Doc, len(r.Nodes)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].doc < rows[j].doc })
+	fmt.Println("\nbooks with an author, per branch:")
+	for _, r := range rows {
+		fmt.Printf("  %-5s %d\n", r.doc, r.count)
+	}
+
+	// Boolean screening over a subset of the fleet: which of the named
+	// branches have any author at all? Unknown names come back as
+	// per-document errors, not panics.
+	anyAuthor := cqtrees.MustCompile("Q() <- Author(a)")
+	fmt.Println("\nauthor screening (north, south, archive):")
+	for r := range c.Bool(anyAuthor, cqtrees.WithDocs("north", "south", "archive")) {
+		if r.Err != nil {
+			fmt.Printf("  %-7s error: %v\n", r.Doc, r.Err)
+			continue
+		}
+		fmt.Printf("  %-7s %v\n", r.Doc, r.Sat)
+	}
+
+	// A memory budget: the corpus charges each document its approximate
+	// indexed footprint and LRU-evicts past the budget, reporting each
+	// eviction to the hook. Touching "north" makes "south" the least
+	// recently used, so "south" is the one evicted below.
+	budget := c.Bytes() - 1 // one byte short: the LRU document must go
+	evicted := []string{}
+	small := cqtrees.NewCorpus(
+		cqtrees.WithMaxBytes(budget),
+		cqtrees.WithEvictionHook(func(name string, _ *cqtrees.Document) {
+			evicted = append(evicted, name)
+		}),
+	)
+	for _, name := range []string{"north", "south", "east"} {
+		if _, err := small.AddTree(name, cqtrees.MustParseTree(branches[name])); err != nil {
+			log.Fatal(err)
+		}
+	}
+	small.Get("north") // a use: "south" is now least recently used
+	if _, err := small.AddTree("west", cqtrees.MustParseTree(branches["west"])); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbudgeted corpus (%d bytes): kept %v, evicted %v\n",
+		budget, small.Names(), evicted)
+}

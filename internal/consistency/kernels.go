@@ -174,7 +174,7 @@ func Image(a axis.Axis, ix *TreeIndex, src, dst []uint64) {
 			}
 			base := int32(wi) * 64
 			shifted := x<<1 | carry
-			dst[wi] |= x & shifted // run interiors mark themselves
+			dst[wi] |= x & shifted                      // run interiors mark themselves
 			for s := x &^ shifted; s != 0; s &= s - 1 { // run starts
 				m := base + int32(bits.TrailingZeros64(s))
 				if low := x & (1<<uint(m-base) - 1); low != 0 {

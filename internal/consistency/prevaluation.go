@@ -108,6 +108,10 @@ func (s *NodeSet) Len() int { return s.count }
 // Empty reports whether the set is empty.
 func (s *NodeSet) Empty() bool { return s.count == 0 }
 
+// SizeBytes returns the approximate heap footprint of the set in bytes
+// (the word array plus the fixed header).
+func (s *NodeSet) SizeBytes() int64 { return int64(len(s.words))*8 + 16 }
+
 // Clone returns a copy.
 func (s *NodeSet) Clone() *NodeSet {
 	return &NodeSet{words: append([]uint64(nil), s.words...), n: s.n, count: s.count}

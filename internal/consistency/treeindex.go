@@ -152,6 +152,27 @@ func (ix *TreeIndex) build(t *tree.Tree) {
 	ix.t = t
 }
 
+// SizeBytes returns the approximate heap footprint of the index in bytes:
+// the ordering and rank tables, the internal-node and full-node-set words,
+// and every label bitset materialized so far. The figure backs corpus-level
+// memory accounting; it can grow as evaluation touches new labels (label
+// bitsets are lazy), so treat it as a floor that converges after the
+// query mix has been seen once.
+func (ix *TreeIndex) SizeBytes() int64 {
+	b := int64(len(ix.sibRank)+len(ix.sibStart)+len(ix.preEndPos)+len(ix.preEndVal)) * 4
+	b += int64(len(ix.preEndNode)) * 4
+	b += int64(len(ix.parentPre)+len(ix.firstChildPre)+len(ix.nextSibPre)+
+		len(ix.prevSibPre)+len(ix.subtreeEnd)) * 4
+	b += int64(len(ix.internalPre)) * 8
+	b += ix.full.SizeBytes()
+	if m := ix.labelSets.Load(); m != nil {
+		for l, s := range *m {
+			b += int64(len(l)) + 48 + s.SizeBytes()
+		}
+	}
+	return b
+}
+
 // labelSet returns the bitset of nodes carrying the label, materializing
 // and caching it on first use. The returned set is shared and read-only.
 // The hot path is lock-free: one atomic load plus a map lookup.

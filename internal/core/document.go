@@ -38,6 +38,13 @@ func (d *Document) Tree() *tree.Tree { return d.t }
 // Len returns the number of tree nodes.
 func (d *Document) Len() int { return d.t.Len() }
 
+// SizeBytes returns the approximate heap footprint of the document in
+// bytes: the tree's backing arrays plus the tree index (orderings, rank
+// tables, node-set words, and the label bitsets materialized so far).
+// Corpus memory accounting and eviction use this figure; label bitsets
+// are built lazily, so it converges once the query mix has been seen.
+func (d *Document) SizeBytes() int64 { return d.t.SizeBytes() + d.ix.SizeBytes() }
+
 // docCache backs the legacy *Tree entry points: a weak map from tree
 // pointer to its Document, so repeated evaluation against the same tree
 // reuses one set of tree indexes without keeping dead trees (or their

@@ -1,0 +1,287 @@
+// Package corpus manages a fleet of indexed documents and fans prepared
+// queries across it.
+//
+// The paper's cost split (query-only vs per-tree work) gives one (query,
+// tree) pair its shape: Prepare once, Index once, execute many times. A
+// production engine serves the next level up — many prepared queries
+// against many indexed documents — and that is what this package adds:
+//
+//   - Corpus: a concurrency-safe collection of named, immutable
+//     *core.Documents with add/remove/swap, approximate per-document
+//     memory accounting (Document.SizeBytes) and an optional LRU-style
+//     byte budget with an eviction hook.
+//   - Run: a bounded worker pool fanning an evaluation function across a
+//     snapshot of (document, query) jobs, streaming per-document results
+//     as they complete, with context cancellation and early-exit support.
+//
+// The public surface lives in the root package (cqtrees.Corpus); this
+// package holds the mechanics so internal tooling (cmd/cqserve) and the
+// public API share one implementation.
+package corpus
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// ErrExists is returned by Add when the name is already taken (use Swap
+// to replace a document under a live name).
+var ErrExists = errors.New("document name already in corpus")
+
+// ErrEmptyName is returned by Add and Swap for the empty document name.
+var ErrEmptyName = errors.New("empty document name")
+
+// entry is one named document plus its accounting state.
+type entry struct {
+	doc   *core.Document
+	bytes int64
+	used  int64 // logical LRU clock value of the last touch
+}
+
+// Corpus is a concurrency-safe collection of named, immutable documents.
+// All methods are safe for concurrent use; documents themselves are
+// immutable, so a snapshot taken for batch evaluation stays valid even if
+// the corpus mutates (or evicts) concurrently — removal only drops the
+// corpus's reference.
+//
+// Memory accounting is approximate: each document is charged its
+// Document.SizeBytes figure at insertion time (label bitsets built lazily
+// afterwards are not re-charged). When a byte budget is set, insertions
+// that push the total over the budget evict least-recently-used documents
+// — Get and batch snapshots count as uses — until the total fits again;
+// the most recent insertion itself is never evicted by its own insertion
+// (a corpus serving zero documents serves nobody). The eviction hook, if
+// any, runs outside the corpus lock.
+type Corpus struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	total   int64
+	clock   int64
+
+	maxBytes int64
+	onEvict  func(name string, doc *core.Document)
+}
+
+// New returns an empty corpus with no byte budget.
+func New() *Corpus {
+	return &Corpus{entries: make(map[string]*entry)}
+}
+
+// SetBudget installs a byte budget and an optional eviction hook. A
+// budget <= 0 disables eviction. The budget is enforced on subsequent
+// insertions (and immediately, against the current contents).
+func (c *Corpus) SetBudget(maxBytes int64, onEvict func(name string, doc *core.Document)) {
+	c.mu.Lock()
+	c.maxBytes = maxBytes
+	c.onEvict = onEvict
+	victims := c.evictLocked("")
+	hook := c.onEvict
+	c.mu.Unlock()
+	notify(hook, victims)
+}
+
+// victim is an evicted (name, document) pair, reported to the hook.
+type victim struct {
+	name string
+	doc  *core.Document
+}
+
+// evictLocked drops least-recently-used entries until the total fits the
+// budget, sparing the named entry (the one whose insertion triggered the
+// pass). Caller holds c.mu; the returned victims are reported to the hook
+// after unlocking.
+func (c *Corpus) evictLocked(spare string) []victim {
+	if c.maxBytes <= 0 {
+		return nil
+	}
+	var victims []victim
+	for c.total > c.maxBytes {
+		oldest := ""
+		var oldestUsed int64
+		for name, e := range c.entries {
+			if name == spare {
+				continue
+			}
+			if oldest == "" || e.used < oldestUsed {
+				oldest, oldestUsed = name, e.used
+			}
+		}
+		if oldest == "" {
+			break // only the spared entry remains
+		}
+		e := c.entries[oldest]
+		delete(c.entries, oldest)
+		c.total -= e.bytes
+		victims = append(victims, victim{oldest, e.doc})
+	}
+	return victims
+}
+
+// notify reports evictions to the hook, outside the lock. The hook is
+// snapshotted under the lock by the caller — reading c.onEvict here would
+// race with a concurrent SetBudget.
+func notify(hook func(string, *core.Document), victims []victim) {
+	if hook == nil {
+		return
+	}
+	for _, v := range victims {
+		hook(v.name, v.doc)
+	}
+}
+
+// Add inserts doc under name. It fails with ErrExists if the name is
+// taken and ErrEmptyName for the empty name; use Swap for replace-or-
+// insert semantics.
+func (c *Corpus) Add(name string, doc *core.Document) error {
+	if name == "" {
+		return ErrEmptyName
+	}
+	c.mu.Lock()
+	if _, ok := c.entries[name]; ok {
+		c.mu.Unlock()
+		return ErrExists
+	}
+	c.insertLocked(name, doc)
+	victims := c.evictLocked(name)
+	hook := c.onEvict
+	c.mu.Unlock()
+	notify(hook, victims)
+	return nil
+}
+
+// Swap inserts doc under name, replacing (and returning) the previous
+// document under that name, or nil if the name was free.
+func (c *Corpus) Swap(name string, doc *core.Document) (*core.Document, error) {
+	if name == "" {
+		return nil, ErrEmptyName
+	}
+	c.mu.Lock()
+	var prev *core.Document
+	if e, ok := c.entries[name]; ok {
+		prev = e.doc
+		c.total -= e.bytes
+	}
+	c.insertLocked(name, doc)
+	victims := c.evictLocked(name)
+	hook := c.onEvict
+	c.mu.Unlock()
+	notify(hook, victims)
+	return prev, nil
+}
+
+// insertLocked stores doc under name and charges its footprint. Caller
+// holds c.mu.
+func (c *Corpus) insertLocked(name string, doc *core.Document) {
+	c.clock++
+	b := doc.SizeBytes()
+	c.entries[name] = &entry{doc: doc, bytes: b, used: c.clock}
+	c.total += b
+}
+
+// Remove deletes the named document, returning it (nil if absent). The
+// eviction hook is not called for explicit removals.
+func (c *Corpus) Remove(name string) *core.Document {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil
+	}
+	delete(c.entries, name)
+	c.total -= e.bytes
+	return e.doc
+}
+
+// Get returns the named document and touches its LRU clock.
+func (c *Corpus) Get(name string) (*core.Document, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, false
+	}
+	c.clock++
+	e.used = c.clock
+	return e.doc, true
+}
+
+// Peek returns the named document and its accounted size WITHOUT
+// touching the LRU clock — for read paths that must not interfere with
+// eviction ordering (listings, monitoring, metadata endpoints).
+func (c *Corpus) Peek(name string) (*core.Document, int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, 0, false
+	}
+	return e.doc, e.bytes, true
+}
+
+// Len returns the number of documents.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Bytes returns the total accounted footprint of the corpus in bytes.
+func (c *Corpus) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Names returns the document names in sorted order.
+func (c *Corpus) Names() []string {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.entries))
+	for name := range c.entries {
+		names = append(names, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// Doc is a snapshot view of one named document.
+type Doc struct {
+	Name  string
+	Doc   *core.Document
+	Bytes int64
+}
+
+// Snapshot resolves a batch's document set under the lock, touching each
+// selected document's LRU clock. A non-nil names selects exactly those
+// documents in the given order (missing names are returned separately, in
+// input order); a nil names selects every document in sorted-name order,
+// restricted by filter when non-nil. The returned documents stay valid —
+// they are immutable — even if the corpus mutates afterwards.
+func (c *Corpus) Snapshot(names []string, filter func(string) bool) (docs []Doc, missing []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if names == nil {
+		names = make([]string, 0, len(c.entries))
+		for name := range c.entries {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		if filter != nil && !filter(name) {
+			continue
+		}
+		e, ok := c.entries[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		c.clock++
+		e.used = c.clock
+		docs = append(docs, Doc{Name: name, Doc: e.doc, Bytes: e.bytes})
+	}
+	return docs, missing
+}

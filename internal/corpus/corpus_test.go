@@ -1,0 +1,256 @@
+package corpus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+func doc(src string) *core.Document {
+	return core.NewDocument(tree.MustParseTerm(src))
+}
+
+func TestAddSwapRemoveGet(t *testing.T) {
+	c := New()
+	d1, d2 := doc("A(B,C)"), doc("A(B(C),C)")
+
+	if err := c.Add("", d1); !errors.Is(err, ErrEmptyName) {
+		t.Fatalf("Add empty name: err = %v, want ErrEmptyName", err)
+	}
+	if err := c.Add("one", d1); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := c.Add("one", d2); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Add: err = %v, want ErrExists", err)
+	}
+	if got, ok := c.Get("one"); !ok || got != d1 {
+		t.Fatalf("Get = %v, %v; want d1, true", got, ok)
+	}
+	if prev, err := c.Swap("one", d2); err != nil || prev != d1 {
+		t.Fatalf("Swap = %v, %v; want d1, nil", prev, err)
+	}
+	if prev, err := c.Swap("two", d1); err != nil || prev != nil {
+		t.Fatalf("Swap fresh name = %v, %v; want nil, nil", prev, err)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"one", "two"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	if want := d1.SizeBytes() + d2.SizeBytes(); c.Bytes() != want {
+		t.Fatalf("Bytes = %d, want %d", c.Bytes(), want)
+	}
+	if got := c.Remove("one"); got != d2 {
+		t.Fatalf("Remove = %v, want d2", got)
+	}
+	if got := c.Remove("one"); got != nil {
+		t.Fatalf("second Remove = %v, want nil", got)
+	}
+	if c.Len() != 1 || c.Bytes() != d1.SizeBytes() {
+		t.Fatalf("after Remove: Len = %d, Bytes = %d", c.Len(), c.Bytes())
+	}
+}
+
+// TestEvictionLRU: a byte budget evicts least-recently-used documents,
+// Get counts as a use, the triggering insertion is spared, and the hook
+// sees every victim.
+func TestEvictionLRU(t *testing.T) {
+	c := New()
+	var evicted []string
+	one := doc("A(B,C)")
+	budget := 3*one.SizeBytes() + one.SizeBytes()/2
+	c.SetBudget(budget, func(name string, d *core.Document) {
+		if d == nil {
+			t.Errorf("eviction hook for %q: nil document", name)
+		}
+		evicted = append(evicted, name)
+	})
+
+	for _, name := range []string{"a", "b", "c"} {
+		if err := c.Add(name, doc("A(B,C)")); err != nil {
+			t.Fatalf("Add %s: %v", name, err)
+		}
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("evicted %v before exceeding budget", evicted)
+	}
+	// Touch "a" so "b" is now the least recently used. Peek is not a
+	// touch: peeking "b" afterwards must not save it from eviction.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("Get a failed")
+	}
+	if _, bytes, ok := c.Peek("b"); !ok || bytes <= 0 {
+		t.Fatalf("Peek b = %d, %v", bytes, ok)
+	}
+	if err := c.Add("d", doc("A(B,C)")); err != nil {
+		t.Fatalf("Add d: %v", err)
+	}
+	if !reflect.DeepEqual(evicted, []string{"b"}) {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"a", "c", "d"}) {
+		t.Fatalf("Names = %v", got)
+	}
+
+	// A single oversized insertion evicts everything else but is spared
+	// itself.
+	evicted = nil
+	big := core.NewDocument(tree.MustParseTerm("A(" + deepTerm(200) + ")"))
+	if big.SizeBytes() <= budget {
+		t.Fatalf("test setup: big doc (%d bytes) fits the budget (%d)", big.SizeBytes(), budget)
+	}
+	if err := c.Add("big", big); err != nil {
+		t.Fatalf("Add big: %v", err)
+	}
+	sort.Strings(evicted)
+	if !reflect.DeepEqual(evicted, []string{"a", "c", "d"}) {
+		t.Fatalf("evicted = %v, want [a c d]", evicted)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"big"}) {
+		t.Fatalf("Names = %v, want [big]", got)
+	}
+}
+
+// deepTerm builds a right-deep term with n nodes.
+func deepTerm(n int) string {
+	s := "B"
+	for i := 1; i < n; i++ {
+		s = "B(" + s + ")"
+	}
+	return s
+}
+
+func TestSnapshot(t *testing.T) {
+	c := New()
+	for _, name := range []string{"x", "y", "z"} {
+		if err := c.Add(name, doc("A(B)")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, missing := c.Snapshot(nil, nil)
+	if names := docNames(docs); !reflect.DeepEqual(names, []string{"x", "y", "z"}) || missing != nil {
+		t.Fatalf("full snapshot = %v, missing %v", names, missing)
+	}
+	docs, missing = c.Snapshot([]string{"z", "nope", "x"}, nil)
+	if names := docNames(docs); !reflect.DeepEqual(names, []string{"z", "x"}) {
+		t.Fatalf("named snapshot = %v", names)
+	}
+	if !reflect.DeepEqual(missing, []string{"nope"}) {
+		t.Fatalf("missing = %v", missing)
+	}
+	docs, _ = c.Snapshot(nil, func(name string) bool { return name != "y" })
+	if names := docNames(docs); !reflect.DeepEqual(names, []string{"x", "z"}) {
+		t.Fatalf("filtered snapshot = %v", names)
+	}
+}
+
+func docNames(docs []Doc) []string {
+	names := make([]string, len(docs))
+	for i, d := range docs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// TestRunParity: the parallel pool produces exactly the sequential result
+// set (as a set — completion order differs), for every worker count.
+func TestRunParity(t *testing.T) {
+	var docs []Doc
+	for i := 0; i < 7; i++ {
+		docs = append(docs, Doc{Name: fmt.Sprintf("d%d", i)})
+	}
+	jobs := Jobs(docs, 3)
+	eval := func(_ context.Context, j Job) (string, error) {
+		return fmt.Sprintf("%s/%d", j.Doc.Name, j.Query), nil
+	}
+	var want []string
+	for r := range Run(nil, 1, jobs, eval) {
+		if r.Err != nil {
+			t.Fatalf("sequential: %v", r.Err)
+		}
+		want = append(want, r.Value)
+	}
+	if len(want) != len(jobs) {
+		t.Fatalf("sequential yielded %d of %d", len(want), len(jobs))
+	}
+	for _, workers := range []int{2, 4, 32} {
+		var got []string
+		for r := range Run(context.Background(), workers, jobs, eval) {
+			if r.Err != nil {
+				t.Fatalf("workers=%d: %v", workers, r.Err)
+			}
+			got = append(got, r.Value)
+		}
+		sortedWant := append([]string(nil), want...)
+		sort.Strings(sortedWant)
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, sortedWant) {
+			t.Fatalf("workers=%d: %v != %v", workers, got, sortedWant)
+		}
+	}
+}
+
+// TestRunEarlyExit: breaking out of the iterator cancels the derived
+// context, the pool joins, and not every job runs.
+func TestRunEarlyExit(t *testing.T) {
+	docs := make([]Doc, 64)
+	for i := range docs {
+		docs[i] = Doc{Name: fmt.Sprintf("d%03d", i)}
+	}
+	jobs := Jobs(docs, 1)
+	var mu sync.Mutex
+	ran := 0
+	eval := func(ctx context.Context, j Job) (int, error) {
+		mu.Lock()
+		ran++
+		mu.Unlock()
+		return 0, ctx.Err()
+	}
+	seen := 0
+	for range Run(context.Background(), 4, jobs, eval) {
+		seen++
+		if seen == 3 {
+			break
+		}
+	}
+	if seen != 3 {
+		t.Fatalf("consumed %d, want 3", seen)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran >= len(jobs) {
+		t.Fatalf("early exit still ran all %d jobs", ran)
+	}
+}
+
+// TestRunCancellation: a pre-cancelled context yields nothing
+// sequentially, and a mid-flight cancel stops dispatch while in-flight
+// evaluations report the context error.
+func TestRunCancellation(t *testing.T) {
+	jobs := Jobs([]Doc{{Name: "a"}, {Name: "b"}, {Name: "c"}}, 1)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for range Run(cancelled, 1, jobs, func(context.Context, Job) (int, error) { return 0, nil }) {
+		t.Fatal("pre-cancelled sequential Run yielded a result")
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	results := 0
+	for r := range Run(ctx, 2, jobs, func(ctx context.Context, j Job) (int, error) {
+		cancelMid()
+		return 0, ctx.Err()
+	}) {
+		results++
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("result err = %v, want context.Canceled", r.Err)
+		}
+	}
+	if results == 0 {
+		t.Fatal("no in-flight results observed")
+	}
+}

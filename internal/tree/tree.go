@@ -187,6 +187,36 @@ func (t *Tree) Height() int {
 // axes are not counted since they are derived in O(1) from the numbering.
 func (t *Tree) StructureSize() int { return t.structure }
 
+// SizeBytes returns the approximate heap footprint of the tree in bytes:
+// the backing arrays of the precomputed orders, the child lists, and the
+// label storage (including the label index). It is an accounting figure —
+// map-slot and allocator overheads are estimated, not measured — intended
+// for corpus-level memory budgeting, and is stable after construction.
+func (t *Tree) SizeBytes() int64 {
+	n := int64(t.size)
+	// Ten int32/NodeID arrays of length n: parent, sibIndex, pre, post,
+	// bflr, depth, preEnd, byPre, byPost, byBFLR.
+	b := 10 * 4 * n
+	// Child lists: one slice header per node plus one NodeID per edge.
+	b += 24 * n
+	if n > 0 {
+		b += 4 * (n - 1)
+	}
+	// Labels: a slice header per node, a string header plus the bytes per
+	// label occurrence, and one label-index entry per occurrence.
+	b += 24 * n
+	for _, ls := range t.labels {
+		for _, l := range ls {
+			b += 16 + int64(len(l)) + 4
+		}
+	}
+	// Label-index keys: key bytes plus an approximate map-slot overhead.
+	for l := range t.labelIdx {
+		b += int64(len(l)) + 48
+	}
+	return b
+}
+
 // Nodes returns an iterator over all nodes in document (pre) order:
 //
 //	for v := range t.Nodes() { ... }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# bench.sh — record the revise-kernel perf trajectory.
+# bench.sh — record the perf trajectory (benchstat-compatible).
 #
 # Runs the BenchmarkRevise family (per-axis bulk image kernel vs. the
 # per-node probe loop, across tree sizes and domain densities; every
@@ -13,20 +13,70 @@
 # baseline — alongside parsed per-benchmark entries and the derived
 # kernel-vs-probe speedup per configuration.
 #
-# Usage: scripts/bench.sh [output.json]
-#   BENCHTIME=200x COUNT=1 scripts/bench.sh   # knobs pass through
+# The script is CI-safe: no interactive assumptions, explicit -benchtime /
+# package / benchmark-regex flags, and a non-zero exit when `go test`
+# fails (the benchmark families b.Fatalf on self-check mismatches, so a
+# correctness regression fails the script, not just the numbers).
+#
+# Usage: scripts/bench.sh [-q] [-o output.json] [-t benchtime] [-c count]
+#                         [-b bench-regex] [-p packages]
+#   -q            quick mode for CI smoke: -benchtime 20x, default output
+#                 BENCH_quick.json (never clobbers the recorded baseline)
+#   -o FILE       output JSON (default BENCH_pr4.json; BENCH_quick.json in -q)
+#   -t BENCHTIME  go test -benchtime value (default 200x; 20x in -q)
+#   -c COUNT      go test -count value (default 1)
+#   -b REGEX      benchmark regex (default 'BenchmarkRevise|BenchmarkFastACKernels')
+#   -p PACKAGES   package list (default ./internal/consistency)
+#
+# Environment overrides BENCHTIME / COUNT are honored for compatibility
+# with earlier revisions; flags win over environment.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
-benchtime="${BENCHTIME:-200x}"
+out=""
+benchtime=""
 count="${COUNT:-1}"
+benchre='BenchmarkRevise|BenchmarkFastACKernels'
+pkgs='./internal/consistency'
+quick=0
+
+while getopts 'qo:t:c:b:p:h' opt; do
+	case "$opt" in
+	q) quick=1 ;;
+	o) out="$OPTARG" ;;
+	t) benchtime="$OPTARG" ;;
+	c) count="$OPTARG" ;;
+	b) benchre="$OPTARG" ;;
+	p) pkgs="$OPTARG" ;;
+	h | *)
+		sed -n '2,30p' "$0"
+		exit 2
+		;;
+	esac
+done
+shift $((OPTIND - 1))
+# Positional output argument kept for compatibility: scripts/bench.sh out.json
+if [ $# -ge 1 ]; then out="$1"; fi
+# -t wins, then the BENCHTIME environment, then the mode default.
+if [ -z "$benchtime" ]; then
+	if [ -n "${BENCHTIME:-}" ]; then
+		benchtime="$BENCHTIME"
+	elif [ "$quick" = 1 ]; then
+		benchtime="20x"
+	else
+		benchtime="200x"
+	fi
+fi
+if [ "$quick" = 1 ]; then : "${out:=BENCH_quick.json}"; fi
+: "${out:=BENCH_pr4.json}"
+
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run xxx -bench 'BenchmarkRevise|BenchmarkFastACKernels' \
-	-benchtime "$benchtime" -count "$count" ./internal/consistency | tee "$tmp"
+# shellcheck disable=SC2086 # pkgs is a deliberate word-split list
+go test -run xxx -bench "$benchre" \
+	-benchtime "$benchtime" -count "$count" $pkgs | tee "$tmp"
 
 awk -v benchtime="$benchtime" '
 function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); return s }

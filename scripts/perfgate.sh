@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# perfgate.sh — compare a fresh bench run against the recorded baseline
+# and fail on perf regressions.
+#
+# Usage: scripts/perfgate.sh [-m MAX_DROP_PCT] [baseline.json] [new.json]
+#   defaults: BENCH_pr4.json BENCH_quick.json, 30 (% allowed drop)
+#
+# Two comparisons run:
+#
+#  1. benchstat (if installed): the raw `go test -bench` text embedded in
+#     both JSON files is fed to benchstat for the human-readable delta
+#     table. This is informational — absolute ns/op is machine-dependent,
+#     and CI runners are not the machine the baseline was recorded on.
+#  2. The gate: the kernel-vs-probe *speedup ratios* recorded per
+#     configuration. A ratio divides two timings from the same process on
+#     the same machine, so it transfers across hardware — but a single
+#     config's ratio is still noisy at smoke benchtimes, so the hard gate
+#     is the GEOMETRIC MEAN of the ratios across all shared configs: if
+#     the aggregate kernel advantage drops by more than MAX_DROP_PCT% of
+#     the baseline aggregate, the kernels (or the density heuristic)
+#     regressed for real. Per-config rows are printed for diagnosis but
+#     do not fail the gate individually. Any baseline config missing from
+#     the new run fails outright — silent benchmark loss must not pass.
+#
+# Exit status: 0 clean, 1 regression (or missing data), 2 usage/IO error.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+maxdrop=30
+while getopts 'm:h' opt; do
+	case "$opt" in
+	m) maxdrop="$OPTARG" ;;
+	h | *)
+		sed -n '2,22p' "$0"
+		exit 2
+		;;
+	esac
+done
+shift $((OPTIND - 1))
+baseline="${1:-BENCH_pr4.json}"
+fresh="${2:-BENCH_quick.json}"
+
+for f in "$baseline" "$fresh"; do
+	if [ ! -f "$f" ]; then
+		echo "perfgate: missing $f" >&2
+		exit 2
+	fi
+done
+
+# jq extracts; the files are produced by scripts/bench.sh, so the fields
+# are always present.
+extract_raw() { jq -r .raw "$1"; }
+extract_speedups() { jq -r '.speedups_kernel_vs_probe[] | "\(.config) \(.speedup)"' "$1"; }
+
+echo "== benchstat ${baseline} vs ${fresh} (informational; cross-machine) =="
+if command -v benchstat >/dev/null 2>&1; then
+	old_txt="$(mktemp)" new_txt="$(mktemp)"
+	trap 'rm -f "$old_txt" "$new_txt"' EXIT
+	extract_raw "$baseline" >"$old_txt"
+	extract_raw "$fresh" >"$new_txt"
+	benchstat "$old_txt" "$new_txt" || true
+else
+	echo "benchstat not installed; skipping the delta table"
+fi
+
+echo
+echo "== speedup-ratio gate (fail on >${maxdrop}% geomean drop) =="
+base_sp="$(mktemp)" new_sp="$(mktemp)"
+trap 'rm -f "${old_txt:-}" "${new_txt:-}" "$base_sp" "$new_sp"' EXIT
+extract_speedups "$baseline" >"$base_sp"
+extract_speedups "$fresh" >"$new_sp"
+
+awk -v maxdrop="$maxdrop" '
+NR == FNR { new[$1] = $2; next }
+{
+	config = $1; old = $2
+	if (!(config in new)) {
+		printf "FAIL %-45s present in baseline, missing from new run\n", config
+		missing++
+		next
+	}
+	n++
+	logold += log(old); lognew += log(new[config])
+	drop = (old - new[config]) / old * 100
+	printf "     %-45s baseline %8.2fx   now %8.2fx   (%+.0f%%)\n", config, old, new[config], -drop
+}
+END {
+	if (missing) exit 1
+	if (n == 0) { print "FAIL no shared configs to compare"; exit 1 }
+	gold = exp(logold / n); gnew = exp(lognew / n)
+	verdict = (gnew < gold * (1 - maxdrop / 100)) ? "FAIL" : "ok"
+	printf "%-4s geomean over %d configs: baseline %.2fx, now %.2fx (budget: >%.2fx)\n", \
+		verdict, n, gold, gnew, gold * (1 - maxdrop / 100)
+	if (verdict == "FAIL") exit 1
+}' "$new_sp" "$base_sp" && status=0 || status=1
+
+if [ "$status" -ne 0 ]; then
+	echo "perfgate: regression detected (>${maxdrop}% aggregate speedup drop or missing config)" >&2
+fi
+exit "$status"
