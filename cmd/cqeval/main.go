@@ -4,9 +4,13 @@
 //
 //	cqeval -tree 'A(B,C(B))' -query 'Q(y) <- A(x), Child+(x, y), B(y)'
 //	cqeval -treefile doc.xml -query '...' -query '...' [-parallel 4] [-explain] [-apq] [-xpath]
+//	cqeval -treefile doc.xml -save-index doc.cqs            # dump a snapshot
+//	cqeval -load-index doc.cqs -query '...'                 # reuse it: no parse, no index build
 //
-// Trees are given inline in term syntax (-tree) or loaded from a file
-// (-treefile; .xml files are parsed as XML, everything else as terms).
+// Trees are given inline in term syntax (-tree), loaded from a file
+// (-treefile; .xml files are parsed as XML, everything else as terms), or
+// adopted from a binary index snapshot (-load-index; write one with
+// -save-index).
 // -query may repeat: the document is indexed once (cqtrees.Index) and every
 // query evaluates against the shared Document through the iterator API;
 // -parallel shards the outer candidate loop of each enumeration across the
@@ -68,6 +72,8 @@ func run(args []string, stdout io.Writer) error {
 	explain := fs.Bool("explain", false, "print each query's evaluation plan and classification")
 	apq := fs.Bool("apq", false, "also print the equivalent acyclic positive queries (Thm 6.10)")
 	asXPath := fs.Bool("xpath", false, "also print equivalent XPath expressions (monadic queries)")
+	saveIndex := fs.String("save-index", "", "write the indexed document to this snapshot file")
+	loadIndex := fs.String("load-index", "", "load the document from a snapshot file instead of parsing (-tree/-treefile)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -78,18 +84,42 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("cqeval: unexpected arguments: %s", strings.Join(fs.Args(), " "))
 	}
 
-	t, err := loadTree(*treeSrc, *treeFile)
-	if err != nil {
-		return err
+	// Phase 1: obtain the indexed document — parse + index once, or adopt
+	// a snapshot (no parse, no index build; IndexLoadCount ticks instead).
+	var (
+		doc        *cqtrees.Document
+		indexStart = time.Now()
+	)
+	if *loadIndex != "" {
+		if *treeSrc != "" || *treeFile != "" {
+			return fmt.Errorf("cqeval: -load-index replaces -tree/-treefile; use one")
+		}
+		var err error
+		if doc, err = cqtrees.LoadDocumentFile(*loadIndex); err != nil {
+			return fmt.Errorf("cqeval: load %s: %v", *loadIndex, err)
+		}
+	} else {
+		t, err := loadTree(*treeSrc, *treeFile)
+		if err != nil {
+			return err
+		}
+		doc = cqtrees.Index(t)
+	}
+	indexDur := time.Since(indexStart)
+	t := doc.Tree()
+
+	if *saveIndex != "" {
+		if err := cqtrees.SaveDocumentFile(*saveIndex, doc); err != nil {
+			return fmt.Errorf("cqeval: save %s: %v", *saveIndex, err)
+		}
+		fmt.Fprintf(stdout, "saved index snapshot: %s (%d nodes)\n", *saveIndex, doc.Len())
+		if len(querySrcs) == 0 {
+			return nil // pure conversion run
+		}
 	}
 	if len(querySrcs) == 0 {
 		return fmt.Errorf("cqeval: at least one -query is required")
 	}
-
-	// Phase 1: index the document once; every query shares the result.
-	indexStart := time.Now()
-	doc := cqtrees.Index(t)
-	indexDur := time.Since(indexStart)
 
 	// Phase 2: compile each query once.
 	prepareStart := time.Now()

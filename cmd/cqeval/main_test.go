@@ -176,3 +176,75 @@ func TestXPathAndAPQ(t *testing.T) {
 		t.Errorf("missing XPath section:\n%s", out)
 	}
 }
+
+// TestSaveLoadIndex: -save-index dumps a snapshot, -load-index reuses it
+// with identical answers; the flag conflicts and error paths hold.
+func TestSaveLoadIndex(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "doc.cqs")
+	query := "Q(y) <- A(x), Child+(x, y), B(y)"
+
+	direct, err := runCmd(t, "-tree", "A(B,C(B))", "-query", query, "-save-index", snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(direct, "saved index snapshot: "+snap) {
+		t.Fatalf("no save confirmation in output:\n%s", direct)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := runCmd(t, "-load-index", snap, "-query", query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same answer block; only the save line and timings may differ.
+	wantAnswers := section(direct, "answer(s):")
+	if got := section(loaded, "answer(s):"); got != wantAnswers || wantAnswers == "" {
+		t.Fatalf("answers differ:\nsaved run:\n%s\nloaded run:\n%s", direct, loaded)
+	}
+
+	// A conversion-only run (no query) is valid with -save-index…
+	if _, err := runCmd(t, "-tree", "A(B)", "-save-index", snap+"2"); err != nil {
+		t.Fatal(err)
+	}
+	// …but -load-index still requires a query, conflicts with tree
+	// sources, and rejects non-snapshot files.
+	if _, err := runCmd(t, "-load-index", snap); err == nil {
+		t.Fatal("load without query: no error")
+	}
+	if _, err := runCmd(t, "-load-index", snap, "-tree", "A(B)", "-query", "Q() <- A(x)"); err == nil {
+		t.Fatal("load+tree conflict: no error")
+	}
+	notSnap := filepath.Join(t.TempDir(), "not.cqs")
+	if err := os.WriteFile(notSnap, []byte("definitely not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCmd(t, "-load-index", notSnap, "-query", "Q() <- A(x)"); err == nil {
+		t.Fatal("bogus snapshot: no error")
+	}
+}
+
+// section returns out from the first line containing marker up to (not
+// including) the timings line.
+func section(out, marker string) string {
+	lines := strings.Split(out, "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.Contains(l, marker) {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		return ""
+	}
+	end := len(lines)
+	for i := start; i < len(lines); i++ {
+		if strings.HasPrefix(lines[i], "timings:") {
+			end = i
+			break
+		}
+	}
+	return strings.Join(lines[start:end], "\n")
+}

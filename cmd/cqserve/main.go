@@ -4,7 +4,15 @@
 //
 // Usage:
 //
-//	cqserve [-addr :8080] [-max-corpus-bytes N] [-eval-timeout 30s]
+//	cqserve [-addr :8080] [-max-corpus-bytes N] [-eval-timeout 30s] [-data DIR]
+//
+// With -data, every PUT document is also written to DIR as a binary
+// snapshot (one .cqs file per document) and a restart recovers the whole
+// corpus from DIR without re-parsing any XML: entries register from the
+// snapshot headers and hydrate lazily — one aligned read plus zero-copy
+// pointer fixups — on first use, under the -max-corpus-bytes budget
+// (budget pressure dehydrates snapshot-backed documents back to disk
+// instead of dropping them).
 //
 // The API is JSON over net/http (no dependencies):
 //
@@ -41,13 +49,18 @@ func main() {
 	maxCorpusBytes := flag.Int64("max-corpus-bytes", 0, "corpus byte budget; LRU-evicts documents beyond it (0 = unlimited)")
 	maxBody := flag.Int64("max-body-bytes", 16<<20, "request body size limit")
 	evalTimeout := flag.Duration("eval-timeout", 0, "hard cap on one /eval batch (0 = none; a request's timeout_ms may tighten it, not extend it)")
+	dataDir := flag.String("data", "", "snapshot directory: PUTs persist, restarts recover the corpus from it without re-parsing (empty = in-memory only)")
 	flag.Parse()
 
-	s := newServer(serverConfig{
+	s, err := newServer(serverConfig{
 		maxCorpusBytes: *maxCorpusBytes,
 		maxBody:        *maxBody,
 		evalTimeout:    *evalTimeout,
+		dataDir:        *dataDir,
 	})
+	if err != nil {
+		log.Fatalf("cqserve: %v", err)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           s.handler(),

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -30,6 +31,10 @@ type server struct {
 	// evalTimeout is the hard cap on one /eval batch; zero means no cap.
 	// A request's timeout_ms may tighten the bound but never extend it.
 	evalTimeout time.Duration
+	// dataDir, when non-empty, is the snapshot directory: PUTs persist,
+	// DELETEs unpersist, and startup recovers the corpus from it without
+	// re-parsing any XML (documents hydrate lazily from their snapshots).
+	dataDir string
 }
 
 // storedQuery is a registered prepared query plus its source text.
@@ -42,9 +47,10 @@ type serverConfig struct {
 	maxCorpusBytes int64
 	maxBody        int64
 	evalTimeout    time.Duration
+	dataDir        string
 }
 
-func newServer(cfg serverConfig) *server {
+func newServer(cfg serverConfig) (*server, error) {
 	var opts []cqtrees.CorpusOption
 	if cfg.maxCorpusBytes > 0 {
 		opts = append(opts, cqtrees.WithMaxBytes(cfg.maxCorpusBytes))
@@ -52,12 +58,25 @@ func newServer(cfg serverConfig) *server {
 	if cfg.maxBody <= 0 {
 		cfg.maxBody = 16 << 20
 	}
-	return &server{
+	s := &server{
 		corpus:      cqtrees.NewCorpus(opts...),
 		queries:     make(map[string]*storedQuery),
 		maxBody:     cfg.maxBody,
 		evalTimeout: cfg.evalTimeout,
+		dataDir:     cfg.dataDir,
 	}
+	if s.dataDir != "" {
+		if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+			return nil, err
+		}
+		// Restart recovery: every snapshot in the directory registers as a
+		// dehydrated entry (header read only) and hydrates on first use —
+		// no XML parse, no index build, cold start at read speed.
+		if _, err := s.corpus.LoadDir(s.dataDir); err != nil {
+			return nil, fmt.Errorf("load %s: %w", s.dataDir, err)
+		}
+	}
+	return s, nil
 }
 
 // handler builds the route table. Method+path patterns need Go 1.22+.
@@ -116,19 +135,22 @@ func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 
 // ---- documents ------------------------------------------------------------
 
-// docInfo describes one corpus document.
+// docInfo describes one corpus document. Bytes is the accounted resident
+// footprint (0 while the document is dehydrated to its snapshot file);
+// Hydrated reports residency.
 type docInfo struct {
-	Name  string `json:"name"`
-	Nodes int    `json:"nodes"`
-	Bytes int64  `json:"bytes"`
+	Name     string `json:"name"`
+	Nodes    int    `json:"nodes"`
+	Bytes    int64  `json:"bytes"`
+	Hydrated bool   `json:"hydrated"`
 }
 
-// docRow builds a listing row from Peek's accounted size, so the rows of
-// one /docs payload always sum to its top-level (and /healthz's) bytes —
-// recomputing doc.SizeBytes() here would drift as lazy label bitsets
-// materialize after insertion.
-func docRow(name string, doc *cqtrees.Document, bytes int64) docInfo {
-	return docInfo{Name: name, Nodes: doc.Len(), Bytes: bytes}
+// docRow builds a listing row from Stat's accounted figures, so the rows
+// of one /docs payload always sum to its top-level (and /healthz's)
+// bytes, and dehydrated documents list without being pulled back into
+// memory.
+func docRow(name string, st cqtrees.CorpusStat) docInfo {
+	return docInfo{Name: name, Nodes: st.Nodes, Bytes: st.Bytes, Hydrated: st.Hydrated}
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -143,14 +165,14 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// The metadata endpoints use Peek, not Get: a monitoring poll of /docs
-// must not promote every document in the LRU eviction order — only
-// evaluation counts as use.
+// The metadata endpoints use Stat, not Get: a monitoring poll of /docs
+// must not promote every document in the LRU eviction order (only
+// evaluation counts as use) and must not hydrate dehydrated documents.
 func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
 	infos := make([]docInfo, 0)
 	for _, name := range s.corpus.Names() {
-		if doc, bytes, ok := s.corpus.Peek(name); ok {
-			infos = append(infos, docRow(name, doc, bytes))
+		if st, ok := s.corpus.Stat(name); ok {
+			infos = append(infos, docRow(name, st))
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"docs": infos, "bytes": s.corpus.Bytes()})
@@ -158,12 +180,12 @@ func (s *server) handleListDocs(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	doc, bytes, ok := s.corpus.Peek(name)
+	st, ok := s.corpus.Stat(name)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown document %q", name)
 		return
 	}
-	writeJSON(w, http.StatusOK, docRow(name, doc, bytes))
+	writeJSON(w, http.StatusOK, docRow(name, st))
 }
 
 // putDocRequest loads one document: exactly one of Term (the term syntax,
@@ -205,21 +227,39 @@ func (s *server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if s.dataDir != "" {
+		// Persist before answering: a 2xx PUT must survive a restart. A
+		// failed write leaves the document resident but unpersisted — the
+		// client sees the 500 and can retry the PUT.
+		if err := s.corpus.PersistDoc(s.dataDir, name); err != nil {
+			httpError(w, http.StatusInternalServerError, "persist: %v", err)
+			return
+		}
+	}
 	status := http.StatusCreated
 	if prev != nil {
 		status = http.StatusOK
 	}
-	// Peek surfaces the accounted insertion charge, keeping this response
+	// Stat surfaces the accounted insertion charge, keeping this response
 	// consistent with the listing and with what eviction budgets.
-	_, bytes, _ := s.corpus.Peek(name)
-	writeJSON(w, status, docRow(name, doc, bytes))
+	st, _ := s.corpus.Stat(name)
+	writeJSON(w, status, docRow(name, st))
 }
 
 func (s *server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if s.corpus.Remove(name) == nil {
+	// Stat-then-act: Remove alone cannot tell a dehydrated document (nil
+	// doc, name known) from an unknown name.
+	if _, ok := s.corpus.Stat(name); !ok {
 		httpError(w, http.StatusNotFound, "unknown document %q", name)
 		return
+	}
+	s.corpus.Remove(name)
+	if s.dataDir != "" {
+		if err := s.corpus.Unpersist(s.dataDir, name); err != nil {
+			httpError(w, http.StatusInternalServerError, "unpersist: %v", err)
+			return
+		}
 	}
 	w.WriteHeader(http.StatusNoContent)
 }

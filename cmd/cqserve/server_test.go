@@ -5,15 +5,28 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/consistency"
 )
 
 // testServer returns a handler over a fresh in-memory engine.
 func testServer(t *testing.T) http.Handler {
 	t.Helper()
-	return newServer(serverConfig{}).handler()
+	return mustServer(t, serverConfig{}).handler()
+}
+
+// mustServer builds a server, failing the test on config errors.
+func mustServer(t *testing.T, cfg serverConfig) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	return s
 }
 
 // do runs one request and decodes the JSON response into out (skipped
@@ -278,7 +291,7 @@ func TestEvalTimeout(t *testing.T) {
 // TestEvalTimeoutCap: the operator's -eval-timeout is a hard cap — a
 // client timeout_ms cannot extend it.
 func TestEvalTimeoutCap(t *testing.T) {
-	s := newServer(serverConfig{evalTimeout: time.Millisecond})
+	s := mustServer(t, serverConfig{evalTimeout: time.Millisecond})
 	h := s.handler()
 	deep := "B"
 	for i := 0; i < 400; i++ {
@@ -300,7 +313,7 @@ func TestEvalTimeoutCap(t *testing.T) {
 // TestBodyTooLarge: oversized bodies are 413 (shrink the payload), a
 // distinct tier from 400 (fix the payload).
 func TestBodyTooLarge(t *testing.T) {
-	s := newServer(serverConfig{maxBody: 64})
+	s := mustServer(t, serverConfig{maxBody: 64})
 	h := s.handler()
 	big := strings.Repeat("B,", 200)
 	wantStatus(t, do(t, h, "PUT", "/docs/big", `{"term": "A(`+big+`B)"}`, nil),
@@ -327,12 +340,12 @@ func TestHealth(t *testing.T) {
 // TestCorpusBudgetEndToEnd: a server with a corpus byte budget evicts
 // LRU documents as new ones load, visible through the docs listing.
 func TestCorpusBudgetEndToEnd(t *testing.T) {
-	probe := newServer(serverConfig{})
+	probe := mustServer(t, serverConfig{})
 	ph := probe.handler()
 	wantStatus(t, do(t, ph, "PUT", "/docs/probe", `{"term": "A(B,C(B))"}`, nil), http.StatusCreated)
 	unit := probe.corpus.Bytes()
 
-	s := newServer(serverConfig{maxCorpusBytes: 2*unit + unit/2})
+	s := mustServer(t, serverConfig{maxCorpusBytes: 2*unit + unit/2})
 	h := s.handler()
 	for _, name := range []string{"a", "b", "c"} {
 		wantStatus(t, do(t, h, "PUT", "/docs/"+name, `{"term": "A(B,C(B))"}`, nil), http.StatusCreated)
@@ -341,4 +354,65 @@ func TestCorpusBudgetEndToEnd(t *testing.T) {
 		t.Fatalf("after budgeted loads: %d docs, want 2 (LRU evicted)", got)
 	}
 	wantStatus(t, do(t, h, "GET", "/docs/a", "", nil), http.StatusNotFound)
+}
+
+// TestDataDirRestart: with -data, PUT documents survive a server restart
+// — the new server recovers the corpus from the snapshot directory and
+// serves identical query results without re-parsing any XML or
+// rebuilding any index (IndexBuildCount delta is zero across recovery
+// and evaluation; documents hydrate from their snapshots).
+func TestDataDirRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	s1 := mustServer(t, serverConfig{dataDir: dir})
+	h1 := s1.handler()
+	wantStatus(t, do(t, h1, "PUT", "/docs/xml", `{"xml": "<a><b/><c><b/></c></a>"}`, nil), http.StatusCreated)
+	wantStatus(t, do(t, h1, "PUT", "/docs/term", `{"term": "A(B,C(B,A(B)))"}`, nil), http.StatusCreated)
+	wantStatus(t, do(t, h1, "PUT", "/queries/q", `{"query": "Q(y) <- Child+(x, y), b(y)"}`, nil), http.StatusCreated)
+
+	var before struct {
+		Results []evalResult `json:"results"`
+	}
+	wantStatus(t, do(t, h1, "POST", "/eval", `{"source": "Q(y) <- Child+(x, y)", "mode": "nodes"}`, &before), http.StatusOK)
+	if len(before.Results) != 2 {
+		t.Fatalf("before restart: %d rows", len(before.Results))
+	}
+
+	// "Restart": a fresh server over the same directory. Queries are not
+	// persisted (they compile in microseconds); documents must be.
+	builds := consistency.IndexBuildCount()
+	s2 := mustServer(t, serverConfig{dataDir: dir})
+	h2 := s2.handler()
+
+	// Recovery registers dehydrated entries: listed, node counts known,
+	// zero resident bytes, nothing parsed yet.
+	var list struct {
+		Docs []docInfo `json:"docs"`
+	}
+	wantStatus(t, do(t, h2, "GET", "/docs", "", &list), http.StatusOK)
+	if len(list.Docs) != 2 {
+		t.Fatalf("after restart: %d docs listed", len(list.Docs))
+	}
+	for _, d := range list.Docs {
+		if d.Hydrated || d.Bytes != 0 || d.Nodes <= 0 {
+			t.Fatalf("after restart: %+v, want dehydrated with known nodes", d)
+		}
+	}
+
+	var after struct {
+		Results []evalResult `json:"results"`
+	}
+	wantStatus(t, do(t, h2, "POST", "/eval", `{"source": "Q(y) <- Child+(x, y)", "mode": "nodes"}`, &after), http.StatusOK)
+	if !reflect.DeepEqual(after.Results, before.Results) {
+		t.Fatalf("results differ across restart:\nbefore %+v\nafter  %+v", before.Results, after.Results)
+	}
+	if d := consistency.IndexBuildCount() - builds; d != 0 {
+		t.Fatalf("restart recovery performed %d index builds, want 0 (snapshot loads only)", d)
+	}
+
+	// DELETE removes the snapshot too: a third server no longer sees it.
+	wantStatus(t, do(t, h2, "DELETE", "/docs/xml", "", nil), http.StatusNoContent)
+	s3 := mustServer(t, serverConfig{dataDir: dir})
+	wantStatus(t, do(t, s3.handler(), "GET", "/docs/xml", "", nil), http.StatusNotFound)
+	wantStatus(t, do(t, s3.handler(), "GET", "/docs/term", "", nil), http.StatusOK)
 }

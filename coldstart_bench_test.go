@@ -1,0 +1,242 @@
+package cqtrees
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// The cold-start benchmarks measure what a process restart costs per
+// document: the historical path (XML parse + single-pass index build)
+// against the snapshot path (one aligned read + zero-copy pointer
+// fixups). Names follow the slow/fast suffix convention scripts/bench.sh
+// pairs up (parse vs snapshot, like probe vs kernel), so the derived
+// speedup lands in the BENCH JSON and scripts/perfgate.sh enforces its
+// floor. Both paths self-check (node counts and query parity) before
+// timing — a correctness regression fails the benchmark, not just the
+// numbers.
+
+// randXML generates a deterministic random XML document with exactly n
+// elements from a three-tag alphabet, fan-out <= 3.
+func randXML(rng *rand.Rand, n int) string {
+	var sb strings.Builder
+	tags := []string{"a", "b", "c"}
+	remaining := n - 1 // the root consumes one element
+	var emit func(depth int)
+	emit = func(depth int) {
+		tag := tags[rng.Intn(len(tags))]
+		sb.WriteString("<" + tag + ">")
+		if depth < 400 {
+			for k, kids := 0, rng.Intn(4); k < kids && remaining > 0; k++ {
+				remaining--
+				emit(depth + 1)
+			}
+		}
+		sb.WriteString("</" + tag + ">")
+	}
+	sb.WriteString("<a>")
+	for remaining > 0 {
+		remaining--
+		emit(1)
+	}
+	sb.WriteString("</a>")
+	return sb.String()
+}
+
+// coldStartQuery exercises all label sets the alphabet produces.
+var coldStartQuery = "Q(y) <- a(x), Child+(x, y), b(y)"
+
+// BenchmarkColdStart: one document, parse+index vs snapshot load. The
+// snapshot bytes come from snapshot-format-aligned memory (as ReadFile
+// would produce), so the fast leg measures the zero-copy path the server
+// actually runs on restart.
+func BenchmarkColdStart(b *testing.B) {
+	for _, n := range []int{1000, 20000, 200000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		xml := randXML(rng, n)
+		t, err := ParseXML(strings.NewReader(xml))
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := Index(t)
+		if doc.Len() != n {
+			b.Fatalf("setup: %d nodes, want %d", doc.Len(), n)
+		}
+		// Round the snapshot through ReadFile so the timed load runs on
+		// 8-byte-aligned input — the zero-copy path a real restart takes.
+		path := filepath.Join(b.TempDir(), "doc.cqs")
+		if err := SaveDocumentFile(path, doc); err != nil {
+			b.Fatal(err)
+		}
+		data, err := snapshot.ReadFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		// Self-check before timing: the snapshot-loaded document answers
+		// exactly like the parsed+indexed one.
+		pq := MustCompile(coldStartQuery)
+		loaded, err := LoadDocument(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want, err := pq.NodesErr(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got, _ := pq.NodesErr(loaded); !reflect.DeepEqual(got, want) {
+			b.Fatalf("nodes=%d: snapshot-loaded answers differ", n)
+		}
+
+		b.Run(fmt.Sprintf("nodes=%d/parse", n), func(b *testing.B) {
+			b.SetBytes(int64(len(xml)))
+			for i := 0; i < b.N; i++ {
+				t, err := ParseXML(strings.NewReader(xml))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if doc := Index(t); doc.Len() != n {
+					b.Fatalf("parsed %d nodes, want %d", doc.Len(), n)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("nodes=%d/snapshot", n), func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				doc, err := LoadDocument(data)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if doc.Len() != n {
+					b.Fatalf("loaded %d nodes, want %d", doc.Len(), n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkColdStartCorpus: opening a 1000-document corpus. Two measured
+// shapes, one shared setup:
+//
+//   - open: time until the corpus answers its first query. The parse
+//     path must parse+index every XML source before anything is
+//     servable; the snapshot path registers stubs from 48-byte headers
+//     (LoadDir) and hydrates only the one document the query touches.
+//     This is the restart path cqserve -data takes.
+//   - full: everything resident. The snapshot path hydrates all 1000
+//     documents — its worst case, every byte read and fixed up — and
+//     still has to beat parsing by the gated margin.
+func BenchmarkColdStartCorpus(b *testing.B) {
+	const docs, nodes = 1000, 500
+	rng := rand.New(rand.NewSource(7))
+	xmls := make([]string, docs)
+	names := make([]string, docs)
+	dir := b.TempDir()
+	seed := NewCorpus()
+	for i := range xmls {
+		xmls[i] = randXML(rng, nodes)
+		names[i] = fmt.Sprintf("doc%03d", i)
+		t, err := ParseXML(strings.NewReader(xmls[i]))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := seed.Add(names[i], Index(t)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if n, err := seed.PersistDir(dir); err != nil || n != docs {
+		b.Fatalf("PersistDir = %d, %v", n, err)
+	}
+
+	pq := MustCompile(coldStartQuery)
+	firstAnswer := func(c *Corpus) int {
+		doc, ok := c.Get(names[0])
+		if !ok {
+			b.Fatal("first document missing")
+		}
+		nodes, err := pq.NodesErr(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(nodes)
+	}
+	// Self-check: a batch over a freshly opened corpus matches the seed.
+	count := func(c *Corpus) int {
+		sat := 0
+		for r := range c.Bool(pq, WithBatchWorkers(1)) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if r.Sat {
+				sat++
+			}
+		}
+		return sat
+	}
+	reopened := NewCorpus()
+	if _, err := reopened.LoadDir(dir); err != nil {
+		b.Fatal(err)
+	}
+	if got, want := count(reopened), count(seed); got != want {
+		b.Fatalf("reopened corpus: %d satisfied docs, want %d", got, want)
+	}
+	wantFirst := firstAnswer(seed)
+
+	parseAll := func(b *testing.B) *Corpus {
+		c := NewCorpus()
+		for j, x := range xmls {
+			t, err := ParseXML(strings.NewReader(x))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Add(names[j], Index(t)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if c.Len() != docs {
+			b.Fatalf("built %d docs", c.Len())
+		}
+		return c
+	}
+	b.Run(fmt.Sprintf("docs=%d/open/parse", docs), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := firstAnswer(parseAll(b)); got != wantFirst {
+				b.Fatalf("first answer: %d nodes, want %d", got, wantFirst)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("docs=%d/open/snapshot", docs), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewCorpus()
+			if n, err := c.LoadDir(dir); err != nil || n != docs {
+				b.Fatalf("LoadDir = %d, %v", n, err)
+			}
+			if got := firstAnswer(c); got != wantFirst {
+				b.Fatalf("first answer: %d nodes, want %d", got, wantFirst)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("docs=%d/full/parse", docs), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parseAll(b)
+		}
+	})
+	b.Run(fmt.Sprintf("docs=%d/full/snapshot", docs), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := NewCorpus()
+			if n, err := c.LoadDir(dir); err != nil || n != docs {
+				b.Fatalf("LoadDir = %d, %v", n, err)
+			}
+			for _, name := range names { // hydrate everything
+				if _, ok := c.Get(name); !ok {
+					b.Fatalf("hydrate %s failed", name)
+				}
+			}
+		}
+	})
+}

@@ -114,6 +114,43 @@ func (c *Corpus) Peek(name string) (*Document, int64, bool) {
 	return c.c.Peek(name)
 }
 
+// CorpusStat describes one corpus entry without hydrating it: the tree
+// size (known even while the document is dehydrated), the accounted
+// resident bytes (0 for a dehydrated entry), and residency itself.
+type CorpusStat = corpus.Stat
+
+// Stat returns the named entry's metadata without touching the LRU clock
+// and without hydrating dehydrated entries — the listing path for
+// servers fronting a snapshot directory (Peek reports a nil document for
+// dehydrated entries).
+func (c *Corpus) Stat(name string) (CorpusStat, bool) { return c.c.Stat(name) }
+
+// PersistDir writes every document's snapshot into dir (created if
+// needed) — one file per document, the name percent-escaped — and marks
+// the entries as disk-backed: from then on, byte-budget pressure
+// dehydrates them back to stubs (rehydrated transparently on next use)
+// instead of dropping them from the corpus. Returns the number of
+// documents persisted. Failures are joined; the rest still persist.
+func (c *Corpus) PersistDir(dir string) (int, error) { return c.c.PersistDir(dir) }
+
+// PersistDoc persists the single named document into dir; see PersistDir.
+func (c *Corpus) PersistDoc(dir, name string) error { return c.c.PersistDoc(dir, name) }
+
+// Unpersist deletes the named document's snapshot file from dir and
+// detaches the entry from it: a resident document becomes memory-only, a
+// dehydrated one is removed from the corpus entirely. Removal is
+// idempotent — a missing file is not an error.
+func (c *Corpus) Unpersist(dir, name string) error { return c.c.Unpersist(dir, name) }
+
+// LoadDir registers every snapshot file in dir as a dehydrated entry:
+// only each file's meta header is read up front, and each document
+// hydrates — one file read plus zero-copy pointer fixups, no XML parse,
+// no index build — on its first Get or batch use, under the byte budget.
+// Names already in the corpus are skipped (memory wins over disk).
+// Returns the number of entries registered; unreadable snapshot files
+// are reported in the joined error while the rest still register.
+func (c *Corpus) LoadDir(dir string) (int, error) { return c.c.LoadDir(dir) }
+
 // Len returns the number of documents in the corpus.
 func (c *Corpus) Len() int { return c.c.Len() }
 

@@ -279,7 +279,9 @@ func TestCorpusConcurrentMutation(t *testing.T) {
 // TestCorpusEviction drives the public budget/eviction surface: the hook
 // observes LRU evictions, Get counts as a touch, and accounting shrinks.
 func TestCorpusEviction(t *testing.T) {
-	unit := Index(MustParseTree("A(B,C(B))")).SizeBytes()
+	sizer := Index(MustParseTree("A(B,C(B))"))
+	sizer.Materialize() // Add charges the materialized size; budget from the same figure
+	unit := sizer.SizeBytes()
 	var evicted []string
 	c := NewCorpus(
 		WithMaxBytes(2*unit+unit/2),

@@ -44,9 +44,12 @@ type TreeIndex struct {
 	// labelSets is a copy-on-write map (label -> bitset of nodes carrying
 	// it): readers take one atomic load, so concurrent evaluation against
 	// a shared Document never contends once a label's set exists; labelMu
-	// only serializes first-use builders.
+	// only serializes first-use builders. Labels that occur nowhere in the
+	// tree share the single emptySet and are never cached in the map, so
+	// unbounded streams of unknown labels cannot grow the index.
 	labelMu   sync.Mutex
 	labelSets atomic.Pointer[map[string]*NodeSet]
+	emptySet  atomic.Pointer[NodeSet]
 }
 
 // indexBuilds counts TreeIndex constructions process-wide; the document
@@ -149,7 +152,44 @@ func (ix *TreeIndex) build(t *tree.Tree) {
 
 	ix.full.ResetFull(n)
 	ix.labelSets.Store(nil)
+	ix.emptySet.Store(nil)
 	ix.t = t
+}
+
+// MaterializeLabels eagerly builds the bitset of every label occurring in
+// the tree (plus the shared empty set unknown labels resolve to), so that
+// SizeBytes is final: after this call no query mix — known labels,
+// unknown labels, any order — changes the index's footprint. Corpus
+// insertion and snapshot hydration call it before charging a document to
+// the byte budget, pinning accounted bytes == actual bytes.
+func (ix *TreeIndex) MaterializeLabels() {
+	ix.labelMu.Lock()
+	defer ix.labelMu.Unlock()
+	if ix.emptySet.Load() == nil {
+		ix.emptySet.Store(NewNodeSet(ix.t.Len()))
+	}
+	labels := ix.t.Alphabet()
+	old := ix.labelSets.Load()
+	if old != nil && len(*old) == len(labels) {
+		return // every label already cached
+	}
+	next := make(map[string]*NodeSet, len(labels))
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	for _, a := range labels {
+		if _, ok := next[a]; ok {
+			continue
+		}
+		s := NewNodeSet(ix.t.Len())
+		for _, v := range ix.t.NodesWithLabel(a) {
+			s.Add(v)
+		}
+		next[a] = s
+	}
+	ix.labelSets.Store(&next)
 }
 
 // SizeBytes returns the approximate heap footprint of the index in bytes:
@@ -170,17 +210,36 @@ func (ix *TreeIndex) SizeBytes() int64 {
 			b += int64(len(l)) + 48 + s.SizeBytes()
 		}
 	}
+	if e := ix.emptySet.Load(); e != nil {
+		b += e.SizeBytes()
+	}
 	return b
 }
 
 // labelSet returns the bitset of nodes carrying the label, materializing
 // and caching it on first use. The returned set is shared and read-only.
-// The hot path is lock-free: one atomic load plus a map lookup.
+// The hot path is lock-free: one atomic load plus a map lookup. Labels
+// absent from the tree all resolve to one shared empty set (full word
+// length, so word-level intersections stay in bounds) and are not cached
+// per-label — otherwise every distinct unknown label in the query stream
+// would grow the index past its accounted size.
 func (ix *TreeIndex) labelSet(label string) *NodeSet {
 	if m := ix.labelSets.Load(); m != nil {
 		if s, ok := (*m)[label]; ok {
 			return s
 		}
+	}
+	nodes := ix.t.NodesWithLabel(label)
+	if len(nodes) == 0 {
+		if e := ix.emptySet.Load(); e != nil {
+			return e
+		}
+		ix.labelMu.Lock()
+		defer ix.labelMu.Unlock()
+		if e := ix.emptySet.Load(); e == nil {
+			ix.emptySet.Store(NewNodeSet(ix.t.Len()))
+		}
+		return ix.emptySet.Load()
 	}
 	ix.labelMu.Lock()
 	defer ix.labelMu.Unlock()
@@ -191,7 +250,7 @@ func (ix *TreeIndex) labelSet(label string) *NodeSet {
 		}
 	}
 	s := NewNodeSet(ix.t.Len())
-	for _, v := range ix.t.NodesWithLabel(label) {
+	for _, v := range nodes {
 		s.Add(v)
 	}
 	next := make(map[string]*NodeSet, 1)

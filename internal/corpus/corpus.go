@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/snapshot"
 )
 
 // ErrExists is returned by Add when the name is already taken (use Swap
@@ -34,11 +35,18 @@ var ErrExists = errors.New("document name already in corpus")
 // ErrEmptyName is returned by Add and Swap for the empty document name.
 var ErrEmptyName = errors.New("empty document name")
 
-// entry is one named document plus its accounting state.
+// entry is one named document plus its accounting state. An entry whose
+// doc is nil is a stub: the document lives in a snapshot file at path and
+// hydrates on first use (Get or a batch snapshot). Stubs charge zero
+// bytes — only resident documents count against the budget — and
+// eviction turns a path-backed resident entry back into a stub rather
+// than forgetting the name.
 type entry struct {
 	doc   *core.Document
 	bytes int64
-	used  int64 // logical LRU clock value of the last touch
+	used  int64  // logical LRU clock value of the last touch
+	path  string // backing snapshot file; "" = memory-only
+	nodes int    // tree size, known even while dehydrated
 }
 
 // Corpus is a concurrency-safe collection of named, immutable documents.
@@ -47,13 +55,15 @@ type entry struct {
 // the corpus mutates (or evicts) concurrently — removal only drops the
 // corpus's reference.
 //
-// Memory accounting is approximate: each document is charged its
-// Document.SizeBytes figure at insertion time (label bitsets built lazily
-// afterwards are not re-charged). When a byte budget is set, insertions
-// that push the total over the budget evict least-recently-used documents
-// — Get and batch snapshots count as uses — until the total fits again;
-// the most recent insertion itself is never evicted by its own insertion
-// (a corpus serving zero documents serves nobody). The eviction hook, if
+// Each document is charged its Document.SizeBytes figure at insertion
+// (or hydration), after Materialize has built every lazy structure — so
+// the charge is exact and stable for the document's whole residency.
+// When a byte budget is set, insertions and hydrations that push the
+// total over the budget evict least-recently-used documents — Get and
+// batch snapshots count as uses — until the total fits again; the most
+// recent insertion itself is never evicted by its own insertion (a
+// corpus serving zero documents serves nobody). Snapshot-backed victims
+// are dehydrated back to stubs instead of removed. The eviction hook, if
 // any, runs outside the corpus lock.
 type Corpus struct {
 	mu      sync.Mutex
@@ -89,10 +99,13 @@ type victim struct {
 	doc  *core.Document
 }
 
-// evictLocked drops least-recently-used entries until the total fits the
-// budget, sparing the named entry (the one whose insertion triggered the
-// pass). Caller holds c.mu; the returned victims are reported to the hook
-// after unlocking.
+// evictLocked drops least-recently-used resident entries until the total
+// fits the budget, sparing the named entry (the one whose insertion or
+// hydration triggered the pass). A snapshot-backed victim is dehydrated —
+// its document reference and byte charge drop but the name stays and
+// re-hydrates on next use — while a memory-only victim is removed
+// outright. Stubs hold no bytes and are never victims. Caller holds
+// c.mu; the returned victims are reported to the hook after unlocking.
 func (c *Corpus) evictLocked(spare string) []victim {
 	if c.maxBytes <= 0 {
 		return nil
@@ -102,7 +115,7 @@ func (c *Corpus) evictLocked(spare string) []victim {
 		oldest := ""
 		var oldestUsed int64
 		for name, e := range c.entries {
-			if name == spare {
+			if name == spare || e.doc == nil {
 				continue
 			}
 			if oldest == "" || e.used < oldestUsed {
@@ -110,12 +123,16 @@ func (c *Corpus) evictLocked(spare string) []victim {
 			}
 		}
 		if oldest == "" {
-			break // only the spared entry remains
+			break // only the spared entry (and stubs) remain
 		}
 		e := c.entries[oldest]
-		delete(c.entries, oldest)
-		c.total -= e.bytes
 		victims = append(victims, victim{oldest, e.doc})
+		c.total -= e.bytes
+		if e.path != "" {
+			e.doc, e.bytes = nil, 0 // dehydrate, keep the name
+		} else {
+			delete(c.entries, oldest)
+		}
 	}
 	return victims
 }
@@ -139,6 +156,10 @@ func (c *Corpus) Add(name string, doc *core.Document) error {
 	if name == "" {
 		return ErrEmptyName
 	}
+	// Materialize every lazy structure before charging, so the accounted
+	// size cannot drift as queries touch new labels (the byte budget would
+	// otherwise silently overshoot for long-lived documents).
+	doc.Materialize()
 	c.mu.Lock()
 	if _, ok := c.entries[name]; ok {
 		c.mu.Unlock()
@@ -158,6 +179,7 @@ func (c *Corpus) Swap(name string, doc *core.Document) (*core.Document, error) {
 	if name == "" {
 		return nil, ErrEmptyName
 	}
+	doc.Materialize() // final-size charge; see Add
 	c.mu.Lock()
 	var prev *core.Document
 	if e, ok := c.entries[name]; ok {
@@ -173,11 +195,11 @@ func (c *Corpus) Swap(name string, doc *core.Document) (*core.Document, error) {
 }
 
 // insertLocked stores doc under name and charges its footprint. Caller
-// holds c.mu.
+// holds c.mu and has already materialized doc, so the charge is final.
 func (c *Corpus) insertLocked(name string, doc *core.Document) {
 	c.clock++
 	b := doc.SizeBytes()
-	c.entries[name] = &entry{doc: doc, bytes: b, used: c.clock}
+	c.entries[name] = &entry{doc: doc, bytes: b, used: c.clock, nodes: doc.Len()}
 	c.total += b
 }
 
@@ -195,22 +217,77 @@ func (c *Corpus) Remove(name string) *core.Document {
 	return e.doc
 }
 
-// Get returns the named document and touches its LRU clock.
+// Get returns the named document and touches its LRU clock. A stub
+// hydrates first: its snapshot file is loaded (outside the lock) and
+// charged to the budget, which may in turn evict or dehydrate colder
+// entries. Get reports false for unknown names and for stubs whose
+// snapshot file can no longer be read or decoded.
 func (c *Corpus) Get(name string) (*core.Document, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.entries[name]
 	if !ok {
+		c.mu.Unlock()
 		return nil, false
+	}
+	if e.doc != nil {
+		c.clock++
+		e.used = c.clock
+		d := e.doc
+		c.mu.Unlock()
+		return d, true
+	}
+	path := e.path
+	c.mu.Unlock()
+	return c.hydrate(name, path)
+}
+
+// hydrate loads the stub's snapshot file and installs the document,
+// re-checking the entry under the lock (it may have been removed,
+// re-pointed, or hydrated by a racer meanwhile — the first to publish
+// wins and the loser's load is dropped). The expensive part — read,
+// decode, materialize — runs outside the lock.
+func (c *Corpus) hydrate(name, path string) (*core.Document, bool) {
+	data, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	doc, err := core.LoadDocument(data)
+	if err != nil {
+		return nil, false
+	}
+	doc.Materialize()
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return nil, false // removed while loading
 	}
 	c.clock++
 	e.used = c.clock
-	return e.doc, true
+	if e.doc != nil { // a racer hydrated (or Swap replaced) first
+		d := e.doc
+		c.mu.Unlock()
+		return d, true
+	}
+	if e.path != path {
+		c.mu.Unlock()
+		return nil, false // re-pointed while loading; let the caller retry
+	}
+	e.doc = doc
+	e.bytes = doc.SizeBytes()
+	c.total += e.bytes
+	victims := c.evictLocked(name)
+	hook := c.onEvict
+	c.mu.Unlock()
+	notify(hook, victims)
+	return doc, true
 }
 
 // Peek returns the named document and its accounted size WITHOUT
 // touching the LRU clock — for read paths that must not interfere with
-// eviction ordering (listings, monitoring, metadata endpoints).
+// eviction ordering (listings, monitoring, metadata endpoints). A stub
+// reports a nil document (Peek never hydrates); use Stat for listings
+// that must work uniformly across resident and dehydrated entries.
 func (c *Corpus) Peek(name string) (*core.Document, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -219,6 +296,29 @@ func (c *Corpus) Peek(name string) (*core.Document, int64, bool) {
 		return nil, 0, false
 	}
 	return e.doc, e.bytes, true
+}
+
+// Stat describes one corpus entry without hydrating it.
+type Stat struct {
+	// Nodes is the document's tree size (known even while dehydrated).
+	Nodes int
+	// Bytes is the accounted resident footprint; 0 for a stub.
+	Bytes int64
+	// Hydrated reports whether the document is resident in memory.
+	Hydrated bool
+}
+
+// Stat returns the named entry's metadata without touching the LRU clock
+// and without hydrating stubs — the listing path for servers fronting a
+// snapshot directory.
+func (c *Corpus) Stat(name string) (Stat, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return Stat{}, false
+	}
+	return Stat{Nodes: e.nodes, Bytes: e.bytes, Hydrated: e.doc != nil}, true
 }
 
 // Len returns the number of documents.
@@ -254,34 +354,29 @@ type Doc struct {
 	Bytes int64
 }
 
-// Snapshot resolves a batch's document set under the lock, touching each
-// selected document's LRU clock. A non-nil names selects exactly those
-// documents in the given order (missing names are returned separately, in
-// input order); a nil names selects every document in sorted-name order,
-// restricted by filter when non-nil. The returned documents stay valid —
-// they are immutable — even if the corpus mutates afterwards.
+// Snapshot resolves a batch's document set, touching each selected
+// document's LRU clock and hydrating stubs on the way (so a batch over a
+// freshly opened directory pulls documents in as it reaches them, under
+// the byte budget). A non-nil names selects exactly those documents in
+// the given order (missing names — including stubs whose snapshot file
+// fails to load — are returned separately, in input order); a nil names
+// selects every document in sorted-name order, restricted by filter when
+// non-nil. The returned documents stay valid — they are immutable — even
+// if the corpus mutates (or dehydrates them) afterwards.
 func (c *Corpus) Snapshot(names []string, filter func(string) bool) (docs []Doc, missing []string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if names == nil {
-		names = make([]string, 0, len(c.entries))
-		for name := range c.entries {
-			names = append(names, name)
-		}
-		sort.Strings(names)
+		names = c.Names()
 	}
 	for _, name := range names {
 		if filter != nil && !filter(name) {
 			continue
 		}
-		e, ok := c.entries[name]
+		doc, ok := c.Get(name)
 		if !ok {
 			missing = append(missing, name)
 			continue
 		}
-		c.clock++
-		e.used = c.clock
-		docs = append(docs, Doc{Name: name, Doc: e.doc, Bytes: e.bytes})
+		docs = append(docs, Doc{Name: name, Doc: doc, Bytes: doc.SizeBytes()})
 	}
 	return docs, missing
 }

@@ -63,6 +63,7 @@ func TestEvictionLRU(t *testing.T) {
 	c := New()
 	var evicted []string
 	one := doc("A(B,C)")
+	one.Materialize() // Add charges the materialized size; budget from the same figure
 	budget := 3*one.SizeBytes() + one.SizeBytes()/2
 	c.SetBudget(budget, func(name string, d *core.Document) {
 		if d == nil {

@@ -1,0 +1,191 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/snapshot"
+)
+
+// Snapshot directory layout: one file per document, named
+// FileName(name), in a flat directory. Documents load lazily — LoadDir
+// registers stubs from the file headers only, and each document's full
+// snapshot is read on first use — so opening a million-document corpus
+// costs a directory listing plus one small header read per file, not a
+// million decodes.
+
+// SnapshotExt is the filename extension of document snapshot files.
+const SnapshotExt = ".cqs"
+
+// FileName returns the snapshot filename for a document name: the name
+// percent-escaped (so any name is a safe single path component) plus
+// SnapshotExt.
+func FileName(name string) string {
+	return url.PathEscape(name) + SnapshotExt
+}
+
+// nameOfFile inverts FileName; ok is false for files that are not
+// document snapshots.
+func nameOfFile(file string) (string, bool) {
+	base, found := strings.CutSuffix(file, SnapshotExt)
+	if !found || base == "" {
+		return "", false
+	}
+	name, err := url.PathUnescape(base)
+	if err != nil || name == "" {
+		return "", false
+	}
+	return name, true
+}
+
+// LoadDir registers every snapshot file in dir as a dehydrated stub:
+// only each file's meta header is read (for the node count), and the
+// document itself hydrates on first Get or batch use, under the byte
+// budget. Names already present in the corpus are skipped — memory wins
+// over disk. Files that are not snapshots (wrong extension) are ignored;
+// files with a snapshot extension but an unreadable header are reported
+// in the joined error while the rest still register. Returns the number
+// of stubs registered.
+func (c *Corpus) LoadDir(dir string) (int, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var errs []error
+	added := 0
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		name, ok := nameOfFile(de.Name())
+		if !ok {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		nodes, err := snapshot.PeekMeta(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", de.Name(), err))
+			continue
+		}
+		c.mu.Lock()
+		if _, taken := c.entries[name]; !taken {
+			c.clock++
+			c.entries[name] = &entry{used: c.clock, path: path, nodes: nodes}
+			added++
+		}
+		c.mu.Unlock()
+	}
+	return added, errors.Join(errs...)
+}
+
+// PersistDoc writes the named document's snapshot to dir and marks the
+// entry as backed by that file, making it dehydratable: once persisted,
+// budget pressure turns it back into a stub instead of dropping it. A
+// stub that is already backed by a file in dir is a no-op. It does not
+// touch the LRU clock.
+func (c *Corpus) PersistDoc(dir, name string) error {
+	path := filepath.Join(dir, FileName(name))
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("corpus: no document %q", name)
+	}
+	if e.doc == nil {
+		samePath := e.path == path
+		c.mu.Unlock()
+		if samePath {
+			return nil // dehydrated and already on disk at the target path
+		}
+		return fmt.Errorf("corpus: document %q is dehydrated elsewhere", name)
+	}
+	doc := e.doc
+	c.mu.Unlock()
+
+	// Encode and write outside the lock; documents are immutable, so the
+	// bytes are right even if the corpus mutates meanwhile.
+	if err := writeFileAtomic(path, doc.Snapshot()); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if e2, ok := c.entries[name]; ok && e2.doc == doc {
+		e2.path = path
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// PersistDir persists every document in the corpus to dir (see
+// PersistDoc), creating it if needed. Returns the number of documents
+// written; stubs already backed by files in dir count as persisted
+// without a write. Failures are joined; the rest still persist.
+func (c *Corpus) PersistDir(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	var errs []error
+	written := 0
+	for _, name := range c.Names() {
+		if err := c.PersistDoc(dir, name); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		written++
+	}
+	return written, errors.Join(errs...)
+}
+
+// Unpersist deletes the named document's snapshot file from dir and
+// detaches the entry from it (a resident document stays resident but
+// becomes memory-only; a stub backed by that file is removed from the
+// corpus entirely, since its bytes are gone). Missing files are fine —
+// removal is idempotent.
+func (c *Corpus) Unpersist(dir, name string) error {
+	path := filepath.Join(dir, FileName(name))
+	c.mu.Lock()
+	if e, ok := c.entries[name]; ok && e.path == path {
+		e.path = ""
+		if e.doc == nil {
+			delete(c.entries, name)
+		}
+	}
+	c.mu.Unlock()
+	err := os.Remove(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a same-directory temp file and
+// rename, so a crash mid-write never leaves a torn snapshot where LoadDir
+// would find it.
+func writeFileAtomic(path string, data []byte) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		// CreateTemp's 0600 is for secrets; snapshots match the usual
+		// file mode (and SaveDocumentFile).
+		werr = os.Chmod(tmp, 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package cqtrees
+
+import (
+	"os"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/snapshot"
+)
+
+// Snapshot format errors, re-exported for errors.Is matching without
+// importing the internal package. LoadDocument wraps every decode failure
+// in one of these; the decoder never panics on hostile input.
+var (
+	// ErrSnapshotTruncated reports input shorter than its own length
+	// prefixes claim.
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	// ErrSnapshotBadMagic reports input that is not a snapshot at all.
+	ErrSnapshotBadMagic = snapshot.ErrBadMagic
+	// ErrSnapshotVersion reports a format version this build cannot read.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrSnapshotChecksum reports a failed integrity check.
+	ErrSnapshotChecksum = snapshot.ErrChecksum
+	// ErrSnapshotCorrupt reports structurally invalid section contents
+	// (bad offsets, out-of-range ids) behind a valid checksum.
+	ErrSnapshotCorrupt = snapshot.ErrCorrupt
+)
+
+// SnapshotVersion is the snapshot format version this build reads and
+// writes. Any change to the encoding bumps it; the golden-fixture test
+// under testdata/ forces the bump to be explicit.
+const SnapshotVersion = snapshot.Version
+
+// LoadDocument reconstructs a Document from snapshot bytes — the output
+// of Document.WriteTo or Document.Snapshot — without re-parsing or
+// re-indexing. The tree orders and index tables are adopted from data
+// directly (zero-copy views when data is 8-byte aligned, as
+// LoadDocumentFile guarantees; an element-wise copy otherwise), so the
+// returned document aliases data and the caller must not modify it.
+// Decode failures return a typed error (see the ErrSnapshot* sentinels).
+func LoadDocument(data []byte) (*Document, error) {
+	return core.LoadDocument(data)
+}
+
+// LoadDocumentFile reads path and loads the document from it. The file
+// is read into 8-byte-aligned memory, so the zero-copy path applies: the
+// load costs one read plus per-section pointer fixups, not a parse and
+// an index build.
+func LoadDocumentFile(path string) (*Document, error) {
+	data, err := snapshot.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.LoadDocument(data)
+}
+
+// SaveDocumentFile writes doc's snapshot encoding to path (created or
+// truncated, mode 0644).
+func SaveDocumentFile(path string, doc *Document) error {
+	return os.WriteFile(path, doc.Snapshot(), 0o644)
+}
+
+// IndexBuildCount returns the process-wide number of tree-index builds
+// (Index or AddTree). Snapshot loads do not count: together with
+// IndexLoadCount it makes "no hidden rebuilds" observable — a restart
+// that recovers from snapshots moves only the load counter.
+func IndexBuildCount() int64 { return consistency.IndexBuildCount() }
+
+// IndexLoadCount returns the process-wide number of tree indexes adopted
+// from snapshots (LoadDocument and corpus hydration).
+func IndexLoadCount() int64 { return consistency.IndexLoadCount() }

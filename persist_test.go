@@ -1,0 +1,456 @@
+package cqtrees
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/snapshot"
+	"repro/internal/tree"
+)
+
+// randomDoc builds a deterministic random document for snapshot tests.
+func randomDoc(seed int64, nodes int) *Document {
+	rng := rand.New(rand.NewSource(seed))
+	tr := tree.Random(rng, tree.RandomConfig{Nodes: nodes, MaxChildren: 3, Alphabet: []string{"A", "B", "C"}})
+	return Index(tr)
+}
+
+// TestSnapshotRoundTrip: encode -> decode -> encode is byte-identical and
+// the loaded document answers queries exactly like the original, across
+// tree sizes including the one-node edge.
+func TestSnapshotRoundTrip(t *testing.T) {
+	pq := MustCompile("Q(x, y) <- A(x), Child(x, y)")
+	for _, n := range []int{1, 2, 7, 100, 1000} {
+		doc := randomDoc(int64(n), n)
+		data := doc.Snapshot()
+		loaded, err := LoadDocument(data)
+		if err != nil {
+			t.Fatalf("n=%d: LoadDocument: %v", n, err)
+		}
+		if loaded.Len() != n {
+			t.Fatalf("n=%d: loaded %d nodes", n, loaded.Len())
+		}
+		if !bytes.Equal(data, loaded.Snapshot()) {
+			t.Fatalf("n=%d: re-encode is not byte-identical", n)
+		}
+		want, err := pq.AllErr(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pq.AllErr(loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: answers differ after round trip", n)
+		}
+	}
+}
+
+// TestSnapshotWriteToFile: the io.WriterTo / file helpers round-trip and
+// the file path hits the zero-copy load (on little-endian hosts the
+// aligned ReadFile buffer makes every table a view, not a copy).
+func TestSnapshotWriteToFile(t *testing.T) {
+	doc := randomDoc(7, 300)
+	path := filepath.Join(t.TempDir(), "doc.cqs")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doc.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDocumentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(doc.Snapshot(), loaded.Snapshot()) {
+		t.Fatal("file round trip is not byte-identical")
+	}
+	path2 := filepath.Join(t.TempDir(), "doc2.cqs")
+	if err := SaveDocumentFile(path2, doc); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("WriteTo and SaveDocumentFile disagree")
+	}
+}
+
+// TestSnapshotLoadedParity: all three evaluation strategies agree between
+// a freshly indexed document and its snapshot-loaded twin, concurrently
+// (run with -race), and the load itself performs no hidden index build —
+// IndexBuildCount stays put while IndexLoadCount ticks.
+func TestSnapshotLoadedParity(t *testing.T) {
+	doc := randomDoc(42, 400)
+	data := doc.Snapshot()
+
+	builds, loads := consistency.IndexBuildCount(), consistency.IndexLoadCount()
+	loaded, err := LoadDocument(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := consistency.IndexBuildCount() - builds; d != 0 {
+		t.Fatalf("LoadDocument performed %d index builds, want 0", d)
+	}
+	if d := consistency.IndexLoadCount() - loads; d != 1 {
+		t.Fatalf("LoadDocument registered %d index loads, want 1", d)
+	}
+
+	type strat struct {
+		name string
+		pq   *PreparedQuery
+		want []NodeID
+	}
+	var strats []strat
+	for name, src := range strategyQueries {
+		pq := MustCompile(src)
+		want, err := pq.NodesErr(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		strats = append(strats, strat{name, pq, want})
+	}
+
+	builds = consistency.IndexBuildCount()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 10; it++ {
+				s := strats[(g+it)%len(strats)]
+				got, err := s.pq.NodesErr(loaded)
+				if err != nil {
+					errs <- fmt.Errorf("%s: %v", s.name, err)
+					return
+				}
+				if !reflect.DeepEqual(got, s.want) {
+					errs <- fmt.Errorf("%s: snapshot-loaded answers differ", s.name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if d := consistency.IndexBuildCount() - builds; d != 0 {
+		t.Fatalf("evaluation against the loaded document triggered %d index builds, want 0", d)
+	}
+}
+
+// TestSnapshotTypedErrors: every malformed input class maps to its
+// sentinel, and none of them panic.
+func TestSnapshotTypedErrors(t *testing.T) {
+	data := randomDoc(3, 50).Snapshot()
+
+	check := func(name string, input []byte, want error) {
+		t.Helper()
+		_, err := LoadDocument(input)
+		if !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+	check("empty", nil, ErrSnapshotTruncated)
+	check("short", data[:10], ErrSnapshotTruncated)
+
+	badMagic := append([]byte(nil), data...)
+	badMagic[0] = 'X'
+	check("magic", badMagic, ErrSnapshotBadMagic)
+
+	// Version precedes the checksum in validation order, so a bumped
+	// version byte reports ErrVersion even though the checksum is stale.
+	badVersion := append([]byte(nil), data...)
+	badVersion[4] = 99
+	check("version", badVersion, ErrSnapshotVersion)
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	check("bitflip", flipped, ErrSnapshotChecksum)
+
+	check("truncated tail", data[:len(data)-16], ErrSnapshotChecksum)
+
+	// A checksum-valid container missing the document sections is corrupt.
+	w := snapshot.NewWriter()
+	w.WriteMeta(snapshot.Meta{Nodes: 3, Labels: 1, Structure: 3})
+	check("missing sections", w.Finish(), ErrSnapshotCorrupt)
+}
+
+// TestSnapshotGolden pins the v1 on-disk bytes: the committed fixture
+// must decode, answer queries, and re-encode byte-for-byte. Any format
+// change breaks this test — that is the point; bump snapshot.Version and
+// regenerate with UPDATE_GOLDEN=1 go test -run TestSnapshotGolden .
+func TestSnapshotGolden(t *testing.T) {
+	const goldenPath = "testdata/golden_v1.cqs"
+	// The fixture document: fixed term, every strategy exercisable.
+	tr := MustParseTree("A(B(C,B),C(B(A),C),B)")
+	doc := Index(tr)
+	data := doc.Snapshot()
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", goldenPath, len(data))
+	}
+
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(golden, data) {
+		t.Fatalf("encoding of the fixture document changed (%d vs %d bytes): bump snapshot.Version and regenerate the fixture",
+			len(data), len(golden))
+	}
+	loaded, err := LoadDocument(golden)
+	if err != nil {
+		t.Fatalf("golden fixture does not decode: %v", err)
+	}
+	if !bytes.Equal(loaded.Snapshot(), golden) {
+		t.Fatal("golden fixture does not re-encode byte-exactly")
+	}
+	for name, src := range strategyQueries {
+		pq := MustCompile(src)
+		want, err := pq.NodesErr(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pq.NodesErr(loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: golden-loaded answers differ", name)
+		}
+	}
+}
+
+// TestCorpusAccountingInvariant pins the byte-accounting fix: after any
+// query mix — including labels the documents do not contain — the
+// corpus's accounted total still equals the sum of the documents' actual
+// footprints, because Add materializes every lazy structure before
+// charging and unknown labels resolve to one shared (already-charged)
+// empty set.
+func TestCorpusAccountingInvariant(t *testing.T) {
+	c := NewCorpus()
+	docs := map[string]*Document{}
+	for i, name := range []string{"a", "b", "c"} {
+		doc := randomDoc(int64(i), 120+30*i)
+		if err := c.Add(name, doc); err != nil {
+			t.Fatal(err)
+		}
+		docs[name] = doc
+	}
+	sum := func() int64 {
+		var s int64
+		for _, d := range docs {
+			s += d.SizeBytes()
+		}
+		return s
+	}
+	if got, want := c.Bytes(), sum(); got != want {
+		t.Fatalf("after insertion: Bytes = %d, actual = %d", got, want)
+	}
+	// Label-heavy mix: known labels, and a stream of distinct unknown ones.
+	for i := 0; i < 50; i++ {
+		src := fmt.Sprintf("Q(x) <- Label%d(x)", i)
+		for range c.Nodes(MustCompile(src)) {
+		}
+	}
+	for _, src := range strategyQueries {
+		for range c.Nodes(MustCompile(src)) {
+		}
+	}
+	if got, want := c.Bytes(), sum(); got != want {
+		t.Fatalf("after queries: Bytes = %d, actual = %d — accounting drifted", got, want)
+	}
+}
+
+// TestCorpusPersistRestart drives the full persistence cycle: persist a
+// corpus to a directory, open a fresh corpus over it, and check that
+// entries register dehydrated (header read only), hydrate on first use
+// with zero index builds, and answer queries identically.
+func TestCorpusPersistRestart(t *testing.T) {
+	dir := t.TempDir()
+	pq := MustCompile(strategyQueries["xproperty"])
+
+	c1 := NewCorpus()
+	want := map[string][]NodeID{}
+	for i, name := range []string{"alpha", "beta", "with/slash and space"} {
+		doc := randomDoc(int64(100+i), 200)
+		if err := c1.Add(name, doc); err != nil {
+			t.Fatal(err)
+		}
+		nodes, err := pq.NodesErr(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = nodes
+	}
+	if n, err := c1.PersistDir(dir); err != nil || n != 3 {
+		t.Fatalf("PersistDir = %d, %v", n, err)
+	}
+
+	c2 := NewCorpus()
+	builds := consistency.IndexBuildCount()
+	if n, err := c2.LoadDir(dir); err != nil || n != 3 {
+		t.Fatalf("LoadDir = %d, %v", n, err)
+	}
+	if got := c2.Names(); !reflect.DeepEqual(got, []string{"alpha", "beta", "with/slash and space"}) {
+		t.Fatalf("Names = %v", got)
+	}
+	if c2.Bytes() != 0 {
+		t.Fatalf("dehydrated corpus charges %d bytes, want 0", c2.Bytes())
+	}
+	for name := range want {
+		st, ok := c2.Stat(name)
+		if !ok || st.Hydrated || st.Nodes != 200 || st.Bytes != 0 {
+			t.Fatalf("Stat(%s) = %+v, %v", name, st, ok)
+		}
+	}
+	// Hydrate via batch evaluation; answers must match the originals.
+	got := map[string][]NodeID{}
+	for r := range c2.Nodes(pq) {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Doc, r.Err)
+		}
+		got[r.Doc] = r.Nodes
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("answers differ after persist + restart")
+	}
+	if d := consistency.IndexBuildCount() - builds; d != 0 {
+		t.Fatalf("restart hydration performed %d index builds, want 0", d)
+	}
+	for name := range want {
+		st, _ := c2.Stat(name)
+		if !st.Hydrated || st.Bytes <= 0 {
+			t.Fatalf("Stat(%s) after use = %+v, want hydrated", name, st)
+		}
+	}
+	if c2.Bytes() <= 0 {
+		t.Fatal("hydrated corpus charges no bytes")
+	}
+}
+
+// TestCorpusDehydration: under a byte budget, snapshot-backed documents
+// dehydrate back to stubs instead of vanishing — every name keeps
+// serving, with at most budget bytes resident at any time.
+func TestCorpusDehydration(t *testing.T) {
+	dir := t.TempDir()
+	seed := NewCorpus()
+	for i, name := range []string{"a", "b", "c", "d"} {
+		if err := seed.Add(name, randomDoc(int64(i), 150)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := seed.PersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	unit := seed.Bytes() / 4
+
+	var dehydrated []string
+	c := NewCorpus(
+		WithMaxBytes(2*unit+unit/2),
+		WithEvictionHook(func(name string, doc *Document) { dehydrated = append(dehydrated, name) }),
+	)
+	if n, err := c.LoadDir(dir); err != nil || n != 4 {
+		t.Fatalf("LoadDir = %d, %v", n, err)
+	}
+	pq := MustCompile(strategyQueries["acyclic"])
+	// Touch every document several times; the working set (4 docs) exceeds
+	// the budget (2.5 docs), so hydrations must dehydrate colder entries.
+	for round := 0; round < 3; round++ {
+		for _, name := range []string{"a", "b", "c", "d"} {
+			doc, ok := c.Get(name)
+			if !ok {
+				t.Fatalf("round %d: Get(%s) failed", round, name)
+			}
+			if _, err := pq.NodesErr(doc); err != nil {
+				t.Fatal(err)
+			}
+			if c.Bytes() > 2*unit+unit/2 {
+				t.Fatalf("round %d: resident %d bytes over budget", round, c.Bytes())
+			}
+		}
+	}
+	if len(dehydrated) == 0 {
+		t.Fatal("no dehydrations despite working set exceeding the budget")
+	}
+	if got := c.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4 — dehydration must keep names", got)
+	}
+	// Unpersist removes file and entry for dehydrated docs, detaches
+	// resident ones.
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if err := c.Unpersist(dir, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got >= 4 {
+		t.Fatalf("Len = %d after Unpersist of all, want fewer (stubs removed)", got)
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 0 {
+		t.Fatalf("%d files left in dir after Unpersist", len(des))
+	}
+}
+
+// FuzzLoadDocument: the decoder must return a typed error or a working
+// document on any input — no panics, no unbounded allocation (payload
+// lengths are validated against the input before use).
+func FuzzLoadDocument(f *testing.F) {
+	valid := randomDoc(11, 60).Snapshot()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9])
+	f.Add(valid[:16])
+	f.Add([]byte{})
+	f.Add([]byte("CQSN"))
+	tiny := Index(MustParseTree("A(B)")).Snapshot()
+	f.Add(tiny)
+	mut := append([]byte(nil), tiny...)
+	mut[20] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := LoadDocument(data)
+		if err != nil {
+			for _, sentinel := range []error{
+				ErrSnapshotTruncated, ErrSnapshotBadMagic, ErrSnapshotVersion,
+				ErrSnapshotChecksum, ErrSnapshotCorrupt,
+			} {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// A successful decode must yield a usable document: size accounting
+		// and eager materialization walk every adopted table.
+		_ = doc.Len()
+		doc.Materialize()
+		_ = doc.SizeBytes()
+	})
+}

@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
 # bench.sh — record the perf trajectory (benchstat-compatible).
 #
-# Runs the BenchmarkRevise family (per-axis bulk image kernel vs. the
-# per-node probe loop, across tree sizes and domain densities; every
+# Default run: the BenchmarkRevise family (per-axis bulk image kernel vs.
+# the per-node probe loop, across tree sizes and domain densities; every
 # configuration self-checks kernel-vs-probe support counts before timing)
-# plus the end-to-end BenchmarkFastACKernels ablation, and emits a JSON
-# trajectory file (default BENCH_pr4.json).
+# plus the end-to-end BenchmarkFastACKernels ablation, into BENCH_pr4.json.
+#
+# The cold-start trajectory (snapshot load vs parse+index; PR 6) is the
+# same script pointed at the root package:
+#
+#   scripts/bench.sh -b BenchmarkColdStart -p . -t 20x -o BENCH_pr6.json
 #
 # The JSON keeps the raw `go test -bench` lines under "raw" — that text is
 # what benchstat consumes, so `jq -r .raw BENCH_pr4.json > old.txt` followed
 # by `benchstat old.txt new.txt` compares any later run against this
 # baseline — alongside parsed per-benchmark entries and the derived
-# kernel-vs-probe speedup per configuration.
+# speedups: benchmark names ending in a slow/fast suffix pair
+# (…/probe vs …/kernel, …/parse vs …/snapshot) are matched per
+# configuration and the ratio recorded under "speedups", which is what
+# scripts/perfgate.sh gates on.
 #
 # The script is CI-safe: no interactive assumptions, explicit -benchtime /
 # package / benchmark-regex flags, and a non-zero exit when `go test`
@@ -78,7 +85,7 @@ trap 'rm -f "$tmp"' EXIT
 go test -run xxx -bench "$benchre" \
 	-benchtime "$benchtime" -count "$count" $pkgs | tee "$tmp"
 
-awk -v benchtime="$benchtime" '
+awk -v benchtime="$benchtime" -v suite="$(basename "$out" .json)" '
 function jesc(s) { gsub(/\\/, "\\\\", s); gsub(/"/, "\\\"", s); gsub(/\t/, "\\t", s); return s }
 { raw = raw $0 "\\n" }
 $1 == "goos:"   { goos = $2 }
@@ -91,8 +98,11 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
 	nsop[n] = $3
 }
 END {
+	# Slow/fast suffix pairs: a benchmark …/<slow> matched with its
+	# sibling …/<fast> yields one speedup row per configuration.
+	npair = split("probe:kernel parse:snapshot", pairdefs, " ")
 	printf "{\n"
-	printf "  \"suite\": \"BENCH_pr4 revise kernels\",\n"
+	printf "  \"suite\": \"%s\",\n", jesc(suite)
 	printf "  \"benchtime\": \"%s\",\n", benchtime
 	printf "  \"goos\": \"%s\", \"goarch\": \"%s\",\n", goos, goarch
 	printf "  \"cpu\": \"%s\",\n", jesc(cpu)
@@ -101,15 +111,18 @@ END {
 		printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}%s\n", \
 			jesc(names[i]), iters[i], nsop[i], i < n ? "," : ""
 	printf "  ],\n"
-	printf "  \"speedups_kernel_vs_probe\": [\n"
+	printf "  \"speedups\": [\n"
 	m = 0
 	for (i = 1; i <= n; i++) {
-		if (names[i] !~ /\/probe$/) continue
-		base = names[i]; sub(/\/probe$/, "", base)
-		for (j = 1; j <= n; j++)
-			if (names[j] == base "/kernel")
-				pairs[++m] = sprintf("    {\"config\": \"%s\", \"probe_ns\": %s, \"kernel_ns\": %s, \"speedup\": %.2f}", \
-					jesc(base), nsop[i], nsop[j], nsop[i] / nsop[j])
+		for (p = 1; p <= npair; p++) {
+			split(pairdefs[p], sf, ":")
+			if (names[i] !~ ("/" sf[1] "$")) continue
+			base = names[i]; sub("/" sf[1] "$", "", base)
+			for (j = 1; j <= n; j++)
+				if (names[j] == base "/" sf[2])
+					pairs[++m] = sprintf("    {\"config\": \"%s\", \"slow\": \"%s\", \"fast\": \"%s\", \"slow_ns\": %s, \"fast_ns\": %s, \"speedup\": %.2f}", \
+						jesc(base), sf[1], sf[2], nsop[i], nsop[j], nsop[i] / nsop[j])
+		}
 	}
 	for (i = 1; i <= m; i++) printf "%s%s\n", pairs[i], i < m ? "," : ""
 	printf "  ],\n"

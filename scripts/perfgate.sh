@@ -2,8 +2,8 @@
 # perfgate.sh — compare a fresh bench run against the recorded baseline
 # and fail on perf regressions.
 #
-# Usage: scripts/perfgate.sh [-m MAX_DROP_PCT] [baseline.json] [new.json]
-#   defaults: BENCH_pr4.json BENCH_quick.json, 30 (% allowed drop)
+# Usage: scripts/perfgate.sh [-m MAX_DROP_PCT] [-f MIN_GEOMEAN] [baseline.json] [new.json]
+#   defaults: BENCH_pr4.json BENCH_quick.json, 30 (% allowed drop), no floor
 #
 # Two comparisons run:
 #
@@ -22,17 +22,27 @@
 #     do not fail the gate individually. Any baseline config missing from
 #     the new run fails outright — silent benchmark loss must not pass.
 #
+# -f MIN_GEOMEAN additionally enforces an absolute floor: the fresh run's
+# geomean speedup must be at least MIN_GEOMEAN, regardless of how it
+# compares to the baseline. This pins acceptance criteria ("snapshot load
+# >= 10x faster than parse+index") rather than mere non-regression.
+#
+# Both "speedups" (bench.sh current) and "speedups_kernel_vs_probe"
+# (pre-PR6 files like BENCH_pr4.json) are understood.
+#
 # Exit status: 0 clean, 1 regression (or missing data), 2 usage/IO error.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 maxdrop=30
-while getopts 'm:h' opt; do
+minmean=0
+while getopts 'm:f:h' opt; do
 	case "$opt" in
 	m) maxdrop="$OPTARG" ;;
+	f) minmean="$OPTARG" ;;
 	h | *)
-		sed -n '2,22p' "$0"
+		sed -n '2,30p' "$0"
 		exit 2
 		;;
 	esac
@@ -48,10 +58,11 @@ for f in "$baseline" "$fresh"; do
 	fi
 done
 
-# jq extracts; the files are produced by scripts/bench.sh, so the fields
-# are always present.
+# jq extracts; the files are produced by scripts/bench.sh. Older files
+# (BENCH_pr4.json) carry the pairs as "speedups_kernel_vs_probe", current
+# ones as the generalized "speedups" — accept either.
 extract_raw() { jq -r .raw "$1"; }
-extract_speedups() { jq -r '.speedups_kernel_vs_probe[] | "\(.config) \(.speedup)"' "$1"; }
+extract_speedups() { jq -r '(.speedups // .speedups_kernel_vs_probe)[] | "\(.config) \(.speedup)"' "$1"; }
 
 echo "== benchstat ${baseline} vs ${fresh} (informational; cross-machine) =="
 if command -v benchstat >/dev/null 2>&1; then
@@ -65,13 +76,15 @@ else
 fi
 
 echo
-echo "== speedup-ratio gate (fail on >${maxdrop}% geomean drop) =="
+floor_note=""
+if [ "$minmean" != 0 ]; then floor_note=", floor ${minmean}x"; fi
+echo "== speedup-ratio gate (fail on >${maxdrop}% geomean drop${floor_note}) =="
 base_sp="$(mktemp)" new_sp="$(mktemp)"
 trap 'rm -f "${old_txt:-}" "${new_txt:-}" "$base_sp" "$new_sp"' EXIT
 extract_speedups "$baseline" >"$base_sp"
 extract_speedups "$fresh" >"$new_sp"
 
-awk -v maxdrop="$maxdrop" '
+awk -v maxdrop="$maxdrop" -v minmean="$minmean" '
 NR == FNR { new[$1] = $2; next }
 {
 	config = $1; old = $2
@@ -89,13 +102,15 @@ END {
 	if (missing) exit 1
 	if (n == 0) { print "FAIL no shared configs to compare"; exit 1 }
 	gold = exp(logold / n); gnew = exp(lognew / n)
-	verdict = (gnew < gold * (1 - maxdrop / 100)) ? "FAIL" : "ok"
+	budget = gold * (1 - maxdrop / 100)
+	if (minmean + 0 > budget) budget = minmean + 0
+	verdict = (gnew < budget) ? "FAIL" : "ok"
 	printf "%-4s geomean over %d configs: baseline %.2fx, now %.2fx (budget: >%.2fx)\n", \
-		verdict, n, gold, gnew, gold * (1 - maxdrop / 100)
+		verdict, n, gold, gnew, budget
 	if (verdict == "FAIL") exit 1
 }' "$new_sp" "$base_sp" && status=0 || status=1
 
 if [ "$status" -ne 0 ]; then
-	echo "perfgate: regression detected (>${maxdrop}% aggregate speedup drop or missing config)" >&2
+	echo "perfgate: regression detected (>${maxdrop}% aggregate drop, geomean below the -f floor, or missing config)" >&2
 fi
 exit "$status"
