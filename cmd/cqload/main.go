@@ -1,0 +1,519 @@
+// Command cqload is a closed-loop load generator for cqserve: it drives a
+// query mix against the /eval endpoint with a fixed worker pool for a
+// fixed duration and reports throughput, latency percentiles, and
+// per-status-class counts as JSON — the measurement half of the serving
+// hardening work (admission control and graceful degradation live in
+// internal/serve; this command tells you whether they hold up).
+//
+// Usage:
+//
+//	cqload -self -duration 10s -workers 16            # in-process server
+//	cqload -addr http://host:8080 -duration 30s ...   # external server
+//
+// Closed loop means each worker issues its next request only after the
+// previous one completes: offered load adapts to the server instead of
+// piling up unboundedly, which is the right shape for measuring an
+// admission-controlled server (an open loop would just measure its own
+// queue). Overload responses (429/503) are retried with jittered backoff
+// honoring Retry-After, up to -retries attempts; what cannot be retried
+// is counted by status class, never silently dropped.
+//
+// With -self, cqload builds the server in-process (internal/serve) on a
+// loopback listener, seeds -docs documents of -depth B-chain depth,
+// registers the query mix, runs the load, then drains the server and
+// checks two robustness invariants from the inside:
+//
+//   - goroutine hygiene: after shutdown the goroutine count returns to
+//     the pre-server baseline (leak => "goroutine_leak": true);
+//   - streaming memory flatness: one NDJSON tuples query with a ~depth²/2
+//     answer relation is streamed while a sampler polls the heap; the
+//     report carries peak-over-idle ("stream") so a regression that
+//     buffers the relation shows up as a ratio jump.
+//
+// The JSON report (stdout, or -o FILE) is consumed by scripts/bench.sh -l
+// and gated by scripts/perfgate.sh -l in CI's load-smoke job.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/serve"
+)
+
+var errFlagParse = errors.New("flag parse error")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		switch {
+		case errors.Is(err, flag.ErrHelp):
+			return
+		case errors.Is(err, errFlagParse):
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// loadConfig is the resolved run configuration, echoed into the report.
+type loadConfig struct {
+	Addr     string `json:"addr"`
+	Self     bool   `json:"self"`
+	Docs     int    `json:"docs"`
+	Depth    int    `json:"depth"`
+	Workers  int    `json:"workers"`
+	Duration string `json:"duration"`
+	Mix      string `json:"mix"`
+	Timeout  string `json:"timeout"`
+	Retries  int    `json:"retries"`
+
+	MaxInFlight int `json:"max_inflight,omitempty"`
+	MaxQueue    int `json:"max_queue,omitempty"`
+	MaxAnswers  int `json:"max_answers,omitempty"`
+}
+
+// latencyStats are the sorted-percentile summaries, in milliseconds.
+type latencyStats struct {
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// streamStats reports the NDJSON heap-flatness probe.
+type streamStats struct {
+	Tuples       int     `json:"tuples"`
+	IdleHeap     uint64  `json:"idle_heap_bytes"`
+	PeakHeap     uint64  `json:"peak_heap_bytes"`
+	PeakOverIdle float64 `json:"peak_over_idle"`
+}
+
+// report is the full JSON output.
+type report struct {
+	Config        loadConfig     `json:"config"`
+	DurationS     float64        `json:"duration_s"`
+	Requests      int64          `json:"requests"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	Latency       latencyStats   `json:"latency"`
+	Status        map[string]int `json:"status"`
+	Retries       int64          `json:"retries"`
+	ClientErrors  int64          `json:"client_errors"`
+	Server5xx     int64          `json:"server_5xx"`
+	GoroutineLeak *bool          `json:"goroutine_leak,omitempty"`
+	Stream        *streamStats   `json:"stream,omitempty"`
+}
+
+// op is one entry of the query mix rotation.
+type op struct {
+	name string
+	mode string
+	body string
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cqload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "base URL of a running cqserve (e.g. http://localhost:8080)")
+	self := fs.Bool("self", false, "spin up an in-process server on loopback instead of -addr")
+	docs := fs.Int("docs", 8, "corpus size: documents seeded before the run")
+	depth := fs.Int("depth", 200, "B-chain depth of each seeded document (answer relation ~ depth^2/2)")
+	workers := fs.Int("workers", 8, "closed-loop client goroutines")
+	duration := fs.Duration("duration", 10*time.Second, "load run length")
+	mix := fs.String("mix", "bool,nodes,tuples", "comma-separated /eval mode rotation")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+	retries := fs.Int("retries", 3, "max retries per request on 429/503 (honoring Retry-After)")
+	maxAnswers := fs.Int("max-answers", 1000, "max_answers sent with tuples requests (0 = uncapped)")
+	maxInFlight := fs.Int("max-inflight", 0, "-self server: max concurrent evals (0 = unlimited)")
+	maxQueue := fs.Int("max-queue", 0, "-self server: admission queue length")
+	queueWait := fs.Duration("queue-wait", time.Second, "-self server: max queued wait")
+	streamCheck := fs.Bool("stream-check", false, "after the run, probe NDJSON streaming heap flatness (-self only)")
+	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errFlagParse
+	}
+	if (*addr == "") == !*self {
+		return fmt.Errorf("give exactly one of -addr or -self")
+	}
+	if *streamCheck && !*self {
+		return fmt.Errorf("-stream-check needs -self (the heap is sampled in-process)")
+	}
+
+	rep := report{
+		Config: loadConfig{
+			Addr: *addr, Self: *self, Docs: *docs, Depth: *depth, Workers: *workers,
+			Duration: duration.String(), Mix: *mix, Timeout: timeout.String(),
+			Retries: *retries, MaxInFlight: *maxInFlight, MaxQueue: *maxQueue,
+			MaxAnswers: *maxAnswers,
+		},
+		Status: map[string]int{},
+	}
+
+	// -self: build the server, note the goroutine baseline first so the
+	// post-shutdown leak check covers everything the server spawned.
+	var srv *serve.Server
+	var httpSrv *http.Server
+	baseline := runtime.NumGoroutine()
+	if *self {
+		var err error
+		srv, err = serve.New(serve.Config{
+			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, QueueWait: *queueWait,
+		})
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		*addr = "http://" + ln.Addr().String()
+		rep.Config.Addr = *addr
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	if err := seed(client, *addr, *docs, *depth); err != nil {
+		return fmt.Errorf("seed corpus: %w", err)
+	}
+	ops, err := buildMix(client, *addr, *mix, *maxAnswers)
+	if err != nil {
+		return fmt.Errorf("register mix: %w", err)
+	}
+
+	// The closed loop: each worker cycles through the mix, one request in
+	// flight per worker, retrying shed requests with jittered backoff.
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		requests  atomic.Int64
+		retried   atomic.Int64
+		clientErr atomic.Int64
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	next := atomic.Int64{}
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for ctx.Err() == nil {
+				o := ops[int(next.Add(1))%len(ops)]
+				start := time.Now()
+				status, nRetries, err := doEval(ctx, client, *addr, o.body, *retries, rng)
+				elapsed := time.Since(start)
+				retried.Add(nRetries)
+				if err != nil {
+					// Timeouts and run-end cancellations; the run's own end
+					// is not an error of the server's.
+					if ctx.Err() == nil {
+						clientErr.Add(1)
+						requests.Add(1)
+					}
+					continue
+				}
+				requests.Add(1)
+				mu.Lock()
+				latencies = append(latencies, float64(elapsed.Microseconds())/1000)
+				rep.Status[strconv.Itoa(status)]++
+				if status >= 500 {
+					rep.Server5xx++
+				}
+				mu.Unlock()
+			}
+		}(int64(w) + 1)
+	}
+	runStart := time.Now()
+	wg.Wait()
+	elapsed := time.Since(runStart)
+
+	rep.DurationS = elapsed.Seconds()
+	rep.Requests = requests.Load()
+	rep.Retries = retried.Load()
+	rep.ClientErrors = clientErr.Load()
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
+	}
+	rep.Latency = percentiles(latencies)
+
+	// The streaming probe runs after the load so the heap is quiet: idle
+	// baseline after GC, then one huge NDJSON answer relation streamed
+	// while a sampler records the peak. A flat stream keeps the ratio
+	// small however many tuples pass through.
+	if *streamCheck {
+		st, err := streamProbe(client, *addr, *depth)
+		if err != nil {
+			return fmt.Errorf("stream probe: %w", err)
+		}
+		rep.Stream = &st
+	}
+
+	// Drain the self server and verify goroutine hygiene.
+	if *self {
+		srv.BeginShutdown()
+		shCtx, shCancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer shCancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		leak := !goroutinesSettle(baseline, 5*time.Second)
+		rep.GoroutineLeak = &leak
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		return os.WriteFile(*out, blob, 0o644)
+	}
+	_, err = stdout.Write(blob)
+	return err
+}
+
+// seed loads the corpus: -docs documents, each a root A over a B-chain of
+// -depth nodes, so "Q(x, y) <- B(x), Child+(x, y), B(y)" has ~depth^2/2
+// answers per document and monadic descendant queries have depth answers.
+func seed(client *http.Client, addr string, docs, depth int) error {
+	var b strings.Builder
+	b.Grow(depth*2 + 16)
+	for i := 0; i < depth; i++ {
+		b.WriteString("B(")
+	}
+	b.WriteString("B")
+	for i := 0; i < depth; i++ {
+		b.WriteString(")")
+	}
+	term := "A(" + b.String() + ")"
+	for i := 0; i < docs; i++ {
+		body, _ := json.Marshal(map[string]string{"term": term})
+		req, err := http.NewRequest("PUT", fmt.Sprintf("%s/docs/load%03d", addr, i), bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("PUT doc %d: status %d", i, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// buildMix registers one query per mode and returns the request rotation.
+func buildMix(client *http.Client, addr, mix string, maxAnswers int) ([]op, error) {
+	queries := map[string]string{
+		"bool":   "Q() <- A(x), Child+(x, y), B(y)",
+		"nodes":  "Q(y) <- A(x), Child+(x, y), B(y)",
+		"tuples": "Q(x, y) <- B(x), Child+(x, y), B(y)",
+	}
+	var ops []op
+	for _, mode := range strings.Split(mix, ",") {
+		mode = strings.TrimSpace(mode)
+		src, ok := queries[mode]
+		if !ok {
+			return nil, fmt.Errorf("unknown mode %q in -mix", mode)
+		}
+		name := "load_" + mode
+		body, _ := json.Marshal(map[string]string{"query": src})
+		req, err := http.NewRequest("PUT", addr+"/queries/"+name, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("PUT query %s: status %d", name, resp.StatusCode)
+		}
+		evalBody := map[string]any{"query": name, "mode": mode}
+		if mode == "tuples" && maxAnswers > 0 {
+			evalBody["max_answers"] = maxAnswers
+		}
+		blob, _ := json.Marshal(evalBody)
+		ops = append(ops, op{name: name, mode: mode, body: string(blob)})
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("-mix selected no modes")
+	}
+	return ops, nil
+}
+
+// doEval issues one POST /eval, retrying overload responses (429/503)
+// with jittered exponential backoff that honors Retry-After. It returns
+// the final status and how many retries were spent.
+func doEval(ctx context.Context, client *http.Client, addr, body string, retries int, rng *rand.Rand) (int, int64, error) {
+	backoff := 10 * time.Millisecond
+	var nRetries int64
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, "POST", addr+"/eval", strings.NewReader(body))
+		if err != nil {
+			return 0, nRetries, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nRetries, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		status := resp.StatusCode
+		if (status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable) ||
+			attempt >= retries {
+			return status, nRetries, nil
+		}
+		// Shed: back off and retry. Retry-After (whole seconds) takes
+		// precedence over the local schedule; jitter desynchronizes the
+		// retrying herd.
+		wait := backoff
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				wait = time.Duration(secs) * time.Second
+			}
+		}
+		wait += time.Duration(rng.Int63n(int64(backoff)/2 + 1))
+		backoff = min(2*backoff, time.Second)
+		nRetries++
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return status, nRetries, ctx.Err()
+		}
+	}
+}
+
+// percentiles summarizes latencies (ms) by sorted rank.
+func percentiles(ms []float64) latencyStats {
+	if len(ms) == 0 {
+		return latencyStats{}
+	}
+	sort.Float64s(ms)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(ms)-1))
+		return ms[i]
+	}
+	return latencyStats{P50: at(0.50), P90: at(0.90), P99: at(0.99), Max: ms[len(ms)-1]}
+}
+
+// streamProbe runs one uncapped NDJSON tuples query against the deepest
+// relation in the corpus while sampling the process heap, and reports
+// peak-over-idle: a streaming regression that materializes the relation
+// shows up as a multiple of the tuple count, a flat stream stays near 1.
+func streamProbe(client *http.Client, addr string, depth int) (streamStats, error) {
+	runtime.GC()
+	var idle runtime.MemStats
+	runtime.ReadMemStats(&idle)
+
+	stop := make(chan struct{})
+	peakCh := make(chan uint64)
+	go func() {
+		peak := idle.HeapAlloc
+		var m runtime.MemStats
+		ticker := time.NewTicker(2 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				peakCh <- peak
+				return
+			case <-ticker.C:
+				runtime.ReadMemStats(&m)
+				peak = max(peak, m.HeapAlloc)
+			}
+		}
+	}()
+
+	// Inline source, independent of the -mix rotation's registrations.
+	body := `{"source": "Q(x, y) <- B(x), Child+(x, y), B(y)", "docs": ["load000"]}`
+	req, err := http.NewRequest("POST", addr+"/eval", strings.NewReader(body))
+	if err != nil {
+		return streamStats{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	// No client timeout here: a million-tuple stream takes as long as it
+	// takes, and progress (not latency) is what the probe measures.
+	streamClient := &http.Client{}
+	resp, err := streamClient.Do(req)
+	if err != nil {
+		return streamStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return streamStats{}, fmt.Errorf("stream eval: status %d", resp.StatusCode)
+	}
+	tuples := 0
+	sawSummary := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"tuple"`)) {
+			tuples++
+		} else if bytes.Contains(line, []byte(`"summary"`)) {
+			sawSummary = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return streamStats{}, err
+	}
+	if !sawSummary {
+		return streamStats{}, fmt.Errorf("stream cut: no summary line after %d tuples", tuples)
+	}
+
+	close(stop)
+	peak := <-peakCh
+	st := streamStats{Tuples: tuples, IdleHeap: idle.HeapAlloc, PeakHeap: peak}
+	if idle.HeapAlloc > 0 {
+		st.PeakOverIdle = float64(peak) / float64(idle.HeapAlloc)
+	}
+	return st, nil
+}
+
+// goroutinesSettle polls until the goroutine count returns to (near) the
+// baseline or the deadline passes. The +2 slack covers runtime helpers
+// and the sampler teardown.
+func goroutinesSettle(baseline int, within time.Duration) bool {
+	deadline := time.Now().Add(within)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+2 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestLoadRunSelf: a short self-hosted run produces a well-formed report
+// with traffic, no server errors, clean shutdown, and a flat stream
+// probe. This is the same invariant set CI's load-smoke job gates on.
+func TestLoadRunSelf(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-self", "-duration", "300ms", "-docs", "4", "-depth", "60",
+		"-workers", "4", "-max-inflight", "2", "-max-queue", "2",
+		"-queue-wait", "100ms", "-retries", "2", "-stream-check",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+
+	if rep.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if rep.Status["200"] == 0 {
+		t.Fatalf("no successful evals: %v", rep.Status)
+	}
+	if rep.Server5xx != 0 {
+		t.Fatalf("server 5xx under load: %v", rep.Status)
+	}
+	// Overload sheds as 429 at most — anything else in the map is a bug.
+	for code := range rep.Status {
+		if code != "200" && code != "429" {
+			t.Fatalf("unexpected status class %s: %v", code, rep.Status)
+		}
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("implausible latency stats: %+v", rep.Latency)
+	}
+	if rep.GoroutineLeak == nil {
+		t.Fatal("self run did not report the leak check")
+	}
+	if *rep.GoroutineLeak {
+		t.Fatal("goroutines leaked across server shutdown")
+	}
+	if rep.Stream == nil || rep.Stream.Tuples == 0 {
+		t.Fatalf("stream probe missing or empty: %+v", rep.Stream)
+	}
+	// Flatness: the probe streams ~depth^2/2 tuples; a regression that
+	// materializes the relation (or reintroduces an O(answers) dedup set)
+	// blows the peak heap up by the relation size. 64 MiB is a loose
+	// absolute tripwire far above the flat path's buffers.
+	if rep.Stream.PeakHeap > 64<<20 {
+		t.Fatalf("stream peak heap %d bytes: not flat", rep.Stream.PeakHeap)
+	}
+}
+
+// TestLoadFlagValidation: -addr and -self are mutually exclusive and one
+// is required; -stream-check needs the in-process server.
+func TestLoadFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("no -addr and no -self accepted")
+	}
+	if err := run([]string{"-self", "-addr", "http://x"}, &buf); err == nil {
+		t.Fatal("-self with -addr accepted")
+	}
+	if err := run([]string{"-addr", "http://x", "-stream-check"}, &buf); err == nil {
+		t.Fatal("-stream-check without -self accepted")
+	}
+	if err := run([]string{"-self", "-mix", "teleport", "-duration", "10ms"}, &buf); err == nil {
+		t.Fatal("unknown mix mode accepted")
+	}
+}

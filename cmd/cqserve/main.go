@@ -1,10 +1,13 @@
 // Command cqserve serves the corpus engine over HTTP: load documents,
 // register prepared queries, and fan batch evaluations across the fleet —
-// the traffic-shaped entry point to the paper's evaluation algorithms.
+// the traffic-shaped entry point to the paper's evaluation algorithms,
+// hardened for overload (the handlers live in internal/serve).
 //
 // Usage:
 //
 //	cqserve [-addr :8080] [-max-corpus-bytes N] [-eval-timeout 30s] [-data DIR]
+//	        [-max-inflight 64] [-max-queue 128] [-queue-wait 5s]
+//	        [-max-answers N] [-drain-timeout 15s]
 //
 // With -data, every PUT document is also written to DIR as a binary
 // snapshot (one .cqs file per document) and a restart recovers the whole
@@ -16,7 +19,8 @@
 //
 // The API is JSON over net/http (no dependencies):
 //
-//	GET    /healthz              engine status (docs, queries, bytes)
+//	GET    /healthz              engine status (docs, queries, bytes,
+//	                             in_flight, queued; 503 while draining)
 //	GET    /docs                 list documents (name, nodes, bytes)
 //	PUT    /docs/{name}          load a document: {"term": "A(B,C(B))"}
 //	                             or {"xml": "<a><b/></a>"} (201 new, 200 replaced)
@@ -27,45 +31,100 @@
 //	GET    /queries, /queries/{name}, DELETE /queries/{name}
 //	POST   /eval                 batch evaluation:
 //	                             {"query": "name" | "source": "...", "mode": "bool|nodes|tuples",
-//	                              "docs": ["a", ...], "workers": 4, "timeout_ms": 100}
+//	                              "docs": ["a", ...], "workers": 4, "timeout_ms": 100,
+//	                              "max_answers": 10000}
+//	                             Accept: application/x-ndjson streams results
+//	                             line-by-line (memory-flat for huge relations).
 //
 // Error tiers: 400 malformed requests and parse/compile failures, 404
-// unknown document or query names, 422 mode "nodes" on a non-monadic
-// query, 504 a batch cut short by its timeout (completed rows included,
-// "timed_out": true). Unknown names inside an /eval docs list come back
-// as per-document error rows, not a request failure — a batch over a
-// mutating fleet is not all-or-nothing.
+// unknown document or query names, 413 oversized request bodies, 422 mode
+// "nodes" on a non-monadic query, 429 + Retry-After when the admission
+// queue is full or the queue wait deadline expires, 503 + Retry-After
+// while shutting down, 504 a batch cut short by its timeout (completed
+// rows included, "timed_out": true). Unknown names inside an /eval docs
+// list come back as per-document error rows, not a request failure — a
+// batch over a mutating fleet is not all-or-nothing.
+//
+// Shutdown: SIGINT/SIGTERM flips the server into draining mode (new and
+// queued evaluations answer 503 + Retry-After, /healthz fails readiness)
+// and then drains in-flight requests via http.Server.Shutdown under
+// -drain-timeout, so every admitted evaluation gets its response before
+// the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
+
+	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	maxCorpusBytes := flag.Int64("max-corpus-bytes", 0, "corpus byte budget; LRU-evicts documents beyond it (0 = unlimited)")
-	maxBody := flag.Int64("max-body-bytes", 16<<20, "request body size limit")
+	maxBody := flag.Int64("max-body-bytes", 16<<20, "request body size limit (oversized bodies are 413)")
 	evalTimeout := flag.Duration("eval-timeout", 0, "hard cap on one /eval batch (0 = none; a request's timeout_ms may tighten it, not extend it)")
 	dataDir := flag.String("data", "", "snapshot directory: PUTs persist, restarts recover the corpus from it without re-parsing (empty = in-memory only)")
+	maxInFlight := flag.Int("max-inflight", 64, "max concurrent /eval evaluations (0 = unlimited)")
+	maxQueue := flag.Int("max-queue", 128, "max /eval requests waiting for a slot; beyond it 429 + Retry-After (0 = reject at saturation)")
+	queueWait := flag.Duration("queue-wait", 5*time.Second, "max time one /eval may wait queued, on top of its own deadline (0 = deadline only)")
+	maxAnswers := flag.Int("max-answers", 0, "per-document tuples answer cap; capped rows carry \"truncated\": true (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	flag.Parse()
 
-	s, err := newServer(serverConfig{
-		maxCorpusBytes: *maxCorpusBytes,
-		maxBody:        *maxBody,
-		evalTimeout:    *evalTimeout,
-		dataDir:        *dataDir,
+	s, err := serve.New(serve.Config{
+		MaxCorpusBytes: *maxCorpusBytes,
+		MaxBody:        *maxBody,
+		EvalTimeout:    *evalTimeout,
+		DataDir:        *dataDir,
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		MaxAnswers:     *maxAnswers,
 	})
 	if err != nil {
 		log.Fatalf("cqserve: %v", err)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           s.handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("cqserve: listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		// Bind failure or some other listener death: nothing to drain.
+		log.Fatalf("cqserve: %v", err)
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+	}
+
+	// Drain: stop admitting evaluations first (queued requests get their
+	// 503s immediately), then let http.Server.Shutdown wait for in-flight
+	// requests — admitted evaluations run to completion under the grace
+	// period, so no accepted request is dropped without a response.
+	log.Printf("cqserve: shutting down (draining up to %s, %d evals in flight)", *drainTimeout, s.InFlight())
+	s.BeginShutdown()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		// The grace period expired with requests still running; cut them.
+		log.Printf("cqserve: drain timeout: %v", err)
+		_ = srv.Close()
+		os.Exit(1)
+	}
+	log.Printf("cqserve: drained cleanly")
 }

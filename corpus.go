@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -166,10 +167,11 @@ func (c *Corpus) Names() []string { return c.c.Names() }
 type BatchOption func(*batchConfig)
 
 type batchConfig struct {
-	ctx     context.Context
-	workers int
-	names   []string
-	filter  func(string) bool
+	ctx       context.Context
+	workers   int
+	names     []string
+	filter    func(string) bool
+	maxTuples int
 }
 
 // WithBatchContext attaches a context to the batch: in-flight per-document
@@ -209,6 +211,21 @@ func WithDocFilter(fn func(name string) bool) BatchOption {
 	return func(c *batchConfig) { c.filter = fn }
 }
 
+// WithBatchMaxTuples caps each document's tuple enumeration at n answers
+// (Tuples/TuplesSet only; other modes ignore it). A capped document stops
+// enumerating as soon as the cap is exceeded — the engine does the
+// output-sensitive minimum of work and the result buffer stays bounded —
+// and its TuplesResult carries Truncated = true with the first n tuples
+// of the stream, sorted among themselves. An exactly-n answer relation is
+// complete, not truncated. n <= 0 (the default) disables the cap.
+//
+// Capped enumeration streams on the batch worker's goroutine, so the
+// per-document WithParallelism sharding does not apply under a cap (the
+// across-document WithBatchWorkers fan-out is unaffected).
+func WithBatchMaxTuples(n int) BatchOption {
+	return func(c *batchConfig) { c.maxTuples = n }
+}
+
 // BoolResult is one document's outcome of a Boolean batch.
 type BoolResult struct {
 	// Doc is the document's corpus name.
@@ -238,9 +255,13 @@ type TuplesResult struct {
 	Doc   string
 	Query int
 	// Tuples is the sorted distinct answer relation when Err is nil (for
-	// Boolean queries: one empty tuple if satisfiable).
+	// Boolean queries: one empty tuple if satisfiable). Under
+	// WithBatchMaxTuples it holds at most that many tuples.
 	Tuples [][]NodeID
-	Err    error
+	// Truncated reports that Tuples was cut at the WithBatchMaxTuples cap
+	// — the document has more answers than returned.
+	Truncated bool
+	Err       error
 }
 
 // newBatchConfig folds the options.
@@ -350,17 +371,66 @@ func (c *Corpus) Tuples(pq *PreparedQuery, opts ...BatchOption) iter.Seq[TuplesR
 	return c.TuplesSet([]*PreparedQuery{pq}, opts...)
 }
 
+// cappedTuples is the internal eval payload of a tuples batch: the
+// (possibly capped) relation plus the truncation marker.
+type cappedTuples struct {
+	tuples    [][]NodeID
+	truncated bool
+}
+
 // TuplesSet is Tuples over a set of prepared queries.
 func (c *Corpus) TuplesSet(pqs []*PreparedQuery, opts ...BatchOption) iter.Seq[TuplesResult] {
+	maxTuples := newBatchConfig(opts).maxTuples
 	return batchSeq(c, len(pqs), opts,
 		func(name string, q int) TuplesResult {
 			return TuplesResult{Doc: name, Query: q, Err: missingErr(name)}
 		},
-		func(ctx context.Context, j corpus.Job) ([][]NodeID, error) {
+		func(ctx context.Context, j corpus.Job) (cappedTuples, error) {
 			pq := pqs[j.Query]
-			return pq.p.AllDoc(j.Doc.Doc, core.EnumOptions{Parallel: pq.parallel, Ctx: ctx})
+			if maxTuples <= 0 {
+				v, err := pq.p.AllDoc(j.Doc.Doc, core.EnumOptions{Parallel: pq.parallel, Ctx: ctx})
+				return cappedTuples{tuples: v}, err
+			}
+			// Capped: stream until one past the cap — an exactly-full
+			// relation is complete, not truncated — then sort the prefix so
+			// capped rows keep the sorted-relation shape.
+			out := make([][]NodeID, 0, min(maxTuples, 64))
+			truncated := false
+			pq.p.ForEachTupleDoc(j.Doc.Doc, core.EnumOptions{Ctx: ctx}, func(t []NodeID) bool {
+				if len(out) >= maxTuples {
+					truncated = true
+					return false
+				}
+				cp := make([]NodeID, len(t))
+				copy(cp, t)
+				out = append(out, cp)
+				return true
+			})
+			// The streaming engine goes silent on cancellation; surface it
+			// as the row error like the uncapped path does.
+			if err := ctx.Err(); err != nil {
+				return cappedTuples{}, err
+			}
+			sortTuples(out)
+			return cappedTuples{tuples: out, truncated: truncated}, nil
 		},
-		func(r corpus.Result[[][]NodeID]) TuplesResult {
-			return TuplesResult{Doc: r.Doc, Query: r.Query, Tuples: r.Value, Err: r.Err}
+		func(r corpus.Result[cappedTuples]) TuplesResult {
+			return TuplesResult{Doc: r.Doc, Query: r.Query, Tuples: r.Value.tuples,
+				Truncated: r.Value.truncated, Err: r.Err}
 		})
+}
+
+// sortTuples orders a tuple relation lexicographically by NodeID.
+func sortTuples(ts [][]NodeID) {
+	sort.Slice(ts, func(i, j int) bool { return tupleLess(ts[i], ts[j]) })
+}
+
+// tupleLess is the lexicographic tuple order.
+func tupleLess(a, b []NodeID) bool {
+	for k := 0; k < len(a) && k < len(b); k++ {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return len(a) < len(b)
 }

@@ -418,7 +418,16 @@ func acyclicForEachTuple(d *Document, q *cq.Query, f *shadowForest, s *evalScrat
 	}
 	theta := make(consistency.Valuation, q.NumVars())
 	tuple := make([]tree.NodeID, len(q.Head))
-	acyclicEnumFrom(t, q, f, sets, f.headOrder, theta, 0, tuple, stop, dedupEmit(map[string]bool{}, fn))
+	// headOrder always contains every head variable (head components are
+	// enumerated whole), so when it holds nothing else, distinct
+	// assignments project to distinct tuples and the O(answers) dedup set
+	// can be skipped — streaming a projection-free relation is then
+	// memory-flat however many answers it has.
+	emit := fn
+	if enumNeedsDedup(q.Head, f.headOrder) {
+		emit = dedupEmit(map[string]bool{}, fn)
+	}
+	acyclicEnumFrom(t, q, f, sets, f.headOrder, theta, 0, tuple, stop, emit)
 }
 
 // acyclicForEachNode streams the answer of a monadic acyclic query in

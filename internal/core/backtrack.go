@@ -269,7 +269,13 @@ func (e *BacktrackEngine) forEachTuple(d *Document, q *cq.Query, stop func() boo
 		}
 		return
 	}
-	emit := dedupEmit(map[string]bool{}, fn)
+	// The search reaches each full valuation exactly once (branches pin
+	// distinct values), so a projection-free query needs no dedup set —
+	// the one O(answers) allocation on this streaming path.
+	emit := fn
+	if !projectionFree(q) {
+		emit = dedupEmit(map[string]bool{}, fn)
+	}
 	tuple := make([]tree.NodeID, len(q.Head))
 	e.run(d, q, stop, func(theta consistency.Valuation) bool {
 		for j, h := range q.Head {

@@ -266,6 +266,43 @@ func appendTupleKey(key []byte, tuple []tree.NodeID) []byte {
 	return key
 }
 
+// enumNeedsDedup reports whether an enumeration that assigns the
+// variables of order exactly once per distinct assignment can reach the
+// same head tuple twice — i.e. whether order contains a non-head
+// variable (projecting it away merges assignments). When it returns
+// false the dedup set is pure overhead, and skipping it is what keeps
+// streaming enumeration memory-flat: the seen-set is the only
+// O(answers) allocation on the streaming path.
+func enumNeedsDedup(head, order []cq.Var) bool {
+	for _, x := range order {
+		inHead := false
+		for _, h := range head {
+			if h == x {
+				inHead = true
+				break
+			}
+		}
+		if !inHead {
+			return true
+		}
+	}
+	return false
+}
+
+// projectionFree reports whether every query variable appears in the
+// head: distinct full valuations then project to distinct head tuples.
+func projectionFree(q *cq.Query) bool {
+	seen := make([]bool, q.NumVars())
+	n := 0
+	for _, h := range q.Head {
+		if !seen[h] {
+			seen[h] = true
+			n++
+		}
+	}
+	return n == q.NumVars()
+}
+
 // dedupEmit wraps emit to drop tuples already recorded in seen, reusing
 // one key buffer across calls (map lookups through string(key) do not
 // allocate; only the insert of a genuinely new answer does).

@@ -95,6 +95,15 @@ func Run[T any](ctx context.Context, workers int, jobs []Job, eval func(ctx cont
 			go func() {
 				defer wg.Done()
 				for j := range jobCh {
+					// Deadline promptness: a job picked up after the batch
+					// died reports the cancellation without paying for an
+					// evaluation whose result would be discarded — the
+					// worker is free to drain and join immediately, which
+					// is what releases server-side capacity under load.
+					if err := ctx.Err(); err != nil {
+						resCh <- Result[T]{Doc: j.Doc.Name, Query: j.Query, Err: err}
+						continue
+					}
 					v, err := eval(ctx, j)
 					// The send never blocks indefinitely: the consumer
 					// either reads resCh or, after an early exit, drains it

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -253,5 +254,63 @@ func TestRunCancellation(t *testing.T) {
 	}
 	if results == 0 {
 		t.Fatal("no in-flight results observed")
+	}
+}
+
+// TestRunCancelSkipsEval: once the batch context dies, workers stop
+// invoking eval — a job that reaches a worker after cancellation reports
+// the cancellation error without paying for an evaluation. This is what
+// frees pool capacity promptly under deadline pressure: without the
+// worker-side check, a job delivered in the race window between the
+// dispatcher's last liveness check and the cancel would still evaluate.
+func TestRunCancelSkipsEval(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		docs := make([]Doc, 8)
+		for i := range docs {
+			docs[i] = Doc{Name: fmt.Sprintf("d%d", i)}
+		}
+		jobs := Jobs(docs, 1)
+		ctx, cancel := context.WithCancel(context.Background())
+
+		const workers = 2
+		var calls atomic.Int32
+		entered := make(chan struct{}, workers)
+		gate := make(chan struct{})
+		eval := func(ctx context.Context, j Job) (int, error) {
+			calls.Add(1)
+			entered <- struct{}{}
+			<-gate
+			return 0, ctx.Err()
+		}
+
+		results := make(chan Result[int], len(jobs))
+		go func() {
+			defer close(results)
+			for r := range Run(ctx, workers, jobs, eval) {
+				results <- r
+			}
+		}()
+
+		// Both workers are mid-eval; the dispatcher is blocked offering the
+		// next job. Cancel, then let the evals finish: every later worker
+		// iteration observes the dead context before touching eval.
+		<-entered
+		<-entered
+		cancel()
+		close(gate)
+
+		n := 0
+		for r := range results {
+			n++
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("iter %d: result err = %v, want context.Canceled", iter, r.Err)
+			}
+		}
+		if got := calls.Load(); got != workers {
+			t.Fatalf("iter %d: eval ran %d times, want exactly %d (no eval after cancel)", iter, got, workers)
+		}
+		if n < workers || n > len(jobs) {
+			t.Fatalf("iter %d: %d results for %d jobs", iter, n, len(jobs))
+		}
 	}
 }

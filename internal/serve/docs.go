@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+
+	cqtrees "repro"
+)
+
+// ---- documents ------------------------------------------------------------
+
+// docInfo describes one corpus document. Bytes is the accounted resident
+// footprint (0 while the document is dehydrated to its snapshot file);
+// Hydrated reports residency.
+type docInfo struct {
+	Name     string `json:"name"`
+	Nodes    int    `json:"nodes"`
+	Bytes    int64  `json:"bytes"`
+	Hydrated bool   `json:"hydrated"`
+}
+
+// docRow builds a listing row from Stat's accounted figures, so the rows
+// of one /docs payload always sum to its top-level (and /healthz's)
+// bytes, and dehydrated documents list without being pulled back into
+// memory.
+func docRow(name string, st cqtrees.CorpusStat) docInfo {
+	return docInfo{Name: name, Nodes: st.Nodes, Bytes: st.Bytes, Hydrated: st.Hydrated}
+}
+
+// The metadata endpoints use Stat, not Get: a monitoring poll of /docs
+// must not promote every document in the LRU eviction order (only
+// evaluation counts as use) and must not hydrate dehydrated documents.
+func (s *Server) handleListDocs(w http.ResponseWriter, r *http.Request) {
+	infos := make([]docInfo, 0)
+	for _, name := range s.corpus.Names() {
+		if st, ok := s.corpus.Stat(name); ok {
+			infos = append(infos, docRow(name, st))
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"docs": infos, "bytes": s.corpus.Bytes()})
+}
+
+func (s *Server) handleGetDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, ok := s.corpus.Stat(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown document %q", name)
+		return
+	}
+	writeJSON(w, http.StatusOK, docRow(name, st))
+}
+
+// putDocRequest loads one document: exactly one of Term (the term syntax,
+// e.g. "A(B,C(B))") or XML (an XML document; element names become labels).
+type putDocRequest struct {
+	Term string `json:"term,omitempty"`
+	XML  string `json:"xml,omitempty"`
+}
+
+func (s *Server) handlePutDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req putDocRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	var (
+		t   *cqtrees.Tree
+		err error
+	)
+	switch {
+	case req.Term != "" && req.XML != "":
+		httpError(w, http.StatusBadRequest, "give term or xml, not both")
+		return
+	case req.Term != "":
+		t, err = cqtrees.ParseTree(req.Term)
+	case req.XML != "":
+		t, err = cqtrees.ParseXML(strings.NewReader(req.XML))
+	default:
+		httpError(w, http.StatusBadRequest, "term or xml is required")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	doc := cqtrees.Index(t)
+	prev, err := s.corpus.Swap(name, doc)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.dataDir != "" {
+		// Persist before answering: a 2xx PUT must survive a restart. A
+		// failed write leaves the document resident but unpersisted — the
+		// client sees the 500 and can retry the PUT.
+		if err := s.corpus.PersistDoc(s.dataDir, name); err != nil {
+			httpError(w, http.StatusInternalServerError, "persist: %v", err)
+			return
+		}
+	}
+	status := http.StatusCreated
+	if prev != nil {
+		status = http.StatusOK
+	}
+	// Stat surfaces the accounted insertion charge, keeping this response
+	// consistent with the listing and with what eviction budgets.
+	st, _ := s.corpus.Stat(name)
+	writeJSON(w, status, docRow(name, st))
+}
+
+func (s *Server) handleDeleteDoc(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	// Stat-then-act: Remove alone cannot tell a dehydrated document (nil
+	// doc, name known) from an unknown name.
+	if _, ok := s.corpus.Stat(name); !ok {
+		httpError(w, http.StatusNotFound, "unknown document %q", name)
+		return
+	}
+	s.corpus.Remove(name)
+	if s.dataDir != "" {
+		if err := s.corpus.Unpersist(s.dataDir, name); err != nil {
+			httpError(w, http.StatusInternalServerError, "unpersist: %v", err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

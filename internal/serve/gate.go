@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Admission errors. Handlers map them onto the overload status tiers:
+// ErrQueueFull and ErrQueueWait are 429 (back off and retry the same
+// server), ErrShutdown is 503 (retry another replica).
+var (
+	// ErrQueueFull is returned by Acquire when the wait queue is at
+	// capacity: the server is saturated beyond its configured backlog.
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrQueueWait is returned by Acquire when the caller's context (or
+	// the gate's wait cap) expired while queued: the request would have
+	// spent its whole deadline waiting, so it never started evaluating.
+	ErrQueueWait = errors.New("admission wait deadline exceeded")
+	// ErrShutdown is returned by Acquire once Shutdown has been called;
+	// queued waiters are woken with it too.
+	ErrShutdown = errors.New("server shutting down")
+)
+
+// Gate is the admission controller for expensive requests: at most
+// maxInFlight callers hold a slot at once, at most maxQueue more wait in
+// FIFO order, and everyone past that is rejected immediately. Waiting is
+// deadline-aware — a queued caller gives up when its context dies or the
+// gate's wait cap elapses — so a request never spends more than its own
+// budget in the queue.
+//
+// Admission order is strictly FIFO: a releasing slot is handed to the
+// oldest waiter before any newcomer can take it, so saturation cannot
+// starve queued requests.
+//
+// The zero-ish configuration is permissive: maxInFlight <= 0 admits
+// everyone immediately (the gate still counts in-flight holders for
+// observability and still rejects after Shutdown), and maxQueue <= 0
+// disables waiting entirely (saturation rejects immediately).
+type Gate struct {
+	maxInFlight int
+	maxQueue    int
+	maxWait     time.Duration
+
+	mu       sync.Mutex
+	inFlight int
+	queue    []*waiter
+	closed   bool
+}
+
+// waiter is one queued Acquire call. granted flips under the gate lock
+// when a released slot is handed over, which disambiguates the race
+// between a grant and the waiter's own deadline: exactly one side owns
+// the slot.
+type waiter struct {
+	ch      chan error // buffered(1): grant (nil) or ErrShutdown
+	granted bool
+}
+
+// NewGate builds a gate admitting maxInFlight concurrent holders with a
+// FIFO wait queue of maxQueue; maxWait > 0 additionally caps how long any
+// caller may wait queued, independent of its context's deadline.
+func NewGate(maxInFlight, maxQueue int, maxWait time.Duration) *Gate {
+	return &Gate{maxInFlight: maxInFlight, maxQueue: maxQueue, maxWait: maxWait}
+}
+
+// Acquire obtains an evaluation slot, waiting in FIFO order when the gate
+// is saturated. On success it returns the release function, which must be
+// called exactly once (defer it). On failure it returns ErrQueueFull,
+// ErrQueueWait, or ErrShutdown; a context error while queued reports as
+// ErrQueueWait (the caller can consult ctx.Err() to tell a client
+// disconnect from a deadline).
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	// Immediate grant only when no one is queued: FIFO means newcomers
+	// never overtake waiters, even in the instant between a slot handoff
+	// and the granted waiter waking up.
+	if g.maxInFlight <= 0 || (g.inFlight < g.maxInFlight && len(g.queue) == 0) {
+		g.inFlight++
+		g.mu.Unlock()
+		return g.release, nil
+	}
+	if g.maxQueue <= 0 || len(g.queue) >= g.maxQueue {
+		g.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{ch: make(chan error, 1)}
+	g.queue = append(g.queue, w)
+	g.mu.Unlock()
+
+	waitCtx := ctx
+	if g.maxWait > 0 {
+		var cancel context.CancelFunc
+		waitCtx, cancel = context.WithTimeout(ctx, g.maxWait)
+		defer cancel()
+	}
+	select {
+	case err := <-w.ch:
+		if err != nil {
+			return nil, err
+		}
+		return g.release, nil
+	case <-waitCtx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// A release handed us the slot in the same instant the
+			// deadline fired. The deadline wins — the request has no time
+			// budget left to evaluate — so pass the slot straight on.
+			g.mu.Unlock()
+			g.release()
+			return nil, ErrQueueWait
+		}
+		// Still queued (or woken by Shutdown, whose error sits unread in
+		// the buffered channel): withdraw.
+		for i, q := range g.queue {
+			if q == w {
+				g.queue = append(g.queue[:i], g.queue[i+1:]...)
+				break
+			}
+		}
+		closed := g.closed
+		g.mu.Unlock()
+		if closed {
+			return nil, ErrShutdown
+		}
+		return nil, ErrQueueWait
+	}
+}
+
+// release frees a slot: the oldest waiter inherits it, or the in-flight
+// count drops.
+func (g *Gate) release() {
+	g.mu.Lock()
+	if len(g.queue) > 0 {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		w.granted = true
+		g.mu.Unlock()
+		w.ch <- nil // buffered; never blocks
+		return
+	}
+	g.inFlight--
+	g.mu.Unlock()
+}
+
+// Shutdown flips the gate into draining mode: every queued waiter wakes
+// with ErrShutdown and every future Acquire fails with it immediately.
+// Slots already held are unaffected — their requests run to completion
+// and their releases simply decrement the count. Shutdown is idempotent.
+func (g *Gate) Shutdown() {
+	g.mu.Lock()
+	g.closed = true
+	q := g.queue
+	g.queue = nil
+	g.mu.Unlock()
+	for _, w := range q {
+		w.ch <- ErrShutdown // buffered; never blocks
+	}
+}
+
+// Closed reports whether Shutdown has been called.
+func (g *Gate) Closed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+// InFlight returns the number of currently held slots.
+func (g *Gate) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inFlight
+}
+
+// Queued returns the number of callers waiting for a slot.
+func (g *Gate) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.queue)
+}

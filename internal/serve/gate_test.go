@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestGateImmediateAdmission(t *testing.T) {
+	g := NewGate(2, 4, 0)
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 1: %v", err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire 2: %v", err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", got)
+	}
+}
+
+// TestGateUnlimited: maxInFlight <= 0 admits everyone but still counts
+// holders and still closes on Shutdown.
+func TestGateUnlimited(t *testing.T) {
+	g := NewGate(0, 0, 0)
+	var rels []func()
+	for i := 0; i < 100; i++ {
+		r, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		rels = append(rels, r)
+	}
+	if got := g.InFlight(); got != 100 {
+		t.Fatalf("InFlight = %d, want 100", got)
+	}
+	for _, r := range rels {
+		r()
+	}
+	g.Shutdown()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("acquire after shutdown: %v, want ErrShutdown", err)
+	}
+}
+
+// TestGateQueueFull: beyond maxInFlight + maxQueue, Acquire rejects
+// immediately; and with maxQueue 0 there is no waiting at all.
+func TestGateQueueFull(t *testing.T) {
+	g := NewGate(1, 1, 0)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	waitFor(t, "waiter to enqueue", func() bool { return g.Queued() == 1 })
+
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity acquire: %v, want ErrQueueFull", err)
+	}
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+
+	g0 := NewGate(1, 0, 0)
+	r0, _ := g0.Acquire(context.Background())
+	defer r0()
+	if _, err := g0.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("no-queue gate at saturation: %v, want ErrQueueFull", err)
+	}
+}
+
+// TestGateFIFO: released slots go to waiters in arrival order, and a
+// newcomer arriving while anyone is queued cannot overtake.
+func TestGateFIFO(t *testing.T) {
+	g := NewGate(1, 8, 0)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		// Sequence arrivals: each waiter is observably queued before the
+		// next launches, so arrival order is deterministic.
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r, err := g.Acquire(context.Background())
+			if err != nil {
+				t.Errorf("waiter %d: %v", id, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			r()
+		}(i)
+		waitFor(t, "waiter to enqueue", func() bool { return g.Queued() == i+1 })
+	}
+
+	release()
+	wg.Wait()
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("admission order = %v, want FIFO", order)
+		}
+	}
+}
+
+// TestGateWaitDeadline: a queued caller gives up when its context dies
+// (ErrQueueWait) and a maxWait cap bounds the wait independently.
+func TestGateWaitDeadline(t *testing.T) {
+	g := NewGate(1, 8, 0)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer release()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("deadline acquire: %v, want ErrQueueWait", err)
+	}
+	if got := g.Queued(); got != 0 {
+		t.Fatalf("withdrawn waiter still queued: %d", got)
+	}
+
+	gw := NewGate(1, 8, 20*time.Millisecond)
+	r2, err := gw.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	defer r2()
+	start := time.Now()
+	if _, err := gw.Acquire(context.Background()); !errors.Is(err, ErrQueueWait) {
+		t.Fatalf("maxWait acquire: %v, want ErrQueueWait", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("maxWait did not bound the wait: %v", elapsed)
+	}
+}
+
+// TestGateShutdownWakesQueue: Shutdown wakes every queued waiter with
+// ErrShutdown; slots already held release normally.
+func TestGateShutdownWakesQueue(t *testing.T) {
+	g := NewGate(1, 8, 0)
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := g.Acquire(context.Background())
+			errs <- err
+		}()
+		waitFor(t, "waiter to enqueue", func() bool { return g.Queued() == i+1 })
+	}
+
+	g.Shutdown()
+	g.Shutdown() // idempotent
+	for i := 0; i < 3; i++ {
+		if err := <-errs; !errors.Is(err, ErrShutdown) {
+			t.Fatalf("queued waiter woke with %v, want ErrShutdown", err)
+		}
+	}
+	if !g.Closed() {
+		t.Fatal("Closed() = false after Shutdown")
+	}
+	release() // held slot releases without panic into the empty queue
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight after final release = %d, want 0", got)
+	}
+}

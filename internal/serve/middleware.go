@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"log"
+	"net/http"
+	"runtime/debug"
+)
+
+// statusWriter tracks whether the handler has started writing the
+// response, so the panic recoverer knows whether a clean 500 is still
+// possible. It forwards Flush so streaming handlers keep working through
+// the middleware stack.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRecover converts a handler panic into a structured 500 for that one
+// request instead of killing the whole server's process: sibling requests
+// keep their workers, the connection is answered (when the response has
+// not already started streaming), and the stack is logged for diagnosis.
+// http.ErrAbortHandler passes through — it is net/http's own
+// drop-this-connection sentinel, not an evaluator bug.
+func withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !sw.wrote {
+				httpError(sw, http.StatusInternalServerError, "internal error: %v", p)
+			}
+			// Mid-stream panics cannot be turned into a status line any
+			// more; net/http closes the connection, which truncates the
+			// stream — an NDJSON consumer notices the missing summary line.
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// withBodyLimit installs http.MaxBytesReader on every request body before
+// any handler touches it, so an oversized upload — a multi-gigabyte XML
+// document, say — is cut off at the limit instead of being read fully
+// into memory before any check. Handlers that decode bodies translate the
+// resulting *http.MaxBytesError into a structured 413 (see decodeBody).
+func withBodyLimit(limit int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil && r.Body != http.NoBody {
+			r.Body = http.MaxBytesReader(w, r.Body, limit)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

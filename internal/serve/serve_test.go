@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -16,15 +16,15 @@ import (
 // testServer returns a handler over a fresh in-memory engine.
 func testServer(t *testing.T) http.Handler {
 	t.Helper()
-	return mustServer(t, serverConfig{}).handler()
+	return mustServer(t, Config{}).Handler()
 }
 
 // mustServer builds a server, failing the test on config errors.
-func mustServer(t *testing.T, cfg serverConfig) *server {
+func mustServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	s, err := newServer(cfg)
+	s, err := New(cfg)
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
 	return s
 }
@@ -151,13 +151,15 @@ type evalResp struct {
 	Docs    int    `json:"docs"`
 	Errors  int    `json:"errors"`
 	Results []struct {
-		Doc    string    `json:"doc"`
-		Sat    *bool     `json:"sat"`
-		Nodes  []int32   `json:"nodes"`
-		Tuples [][]int32 `json:"tuples"`
-		Error  string    `json:"error"`
+		Doc       string    `json:"doc"`
+		Sat       *bool     `json:"sat"`
+		Nodes     []int32   `json:"nodes"`
+		Tuples    [][]int32 `json:"tuples"`
+		Truncated bool      `json:"truncated"`
+		Error     string    `json:"error"`
 	} `json:"results"`
-	TimedOut bool `json:"timed_out"`
+	Truncated int  `json:"truncated"`
+	TimedOut  bool `json:"timed_out"`
 }
 
 // loadFleet registers three documents and one monadic query.
@@ -291,8 +293,8 @@ func TestEvalTimeout(t *testing.T) {
 // TestEvalTimeoutCap: the operator's -eval-timeout is a hard cap — a
 // client timeout_ms cannot extend it.
 func TestEvalTimeoutCap(t *testing.T) {
-	s := mustServer(t, serverConfig{evalTimeout: time.Millisecond})
-	h := s.handler()
+	s := mustServer(t, Config{EvalTimeout: time.Millisecond})
+	h := s.Handler()
 	deep := "B"
 	for i := 0; i < 400; i++ {
 		deep = "B(" + deep + ")"
@@ -311,42 +313,73 @@ func TestEvalTimeoutCap(t *testing.T) {
 }
 
 // TestBodyTooLarge: oversized bodies are 413 (shrink the payload), a
-// distinct tier from 400 (fix the payload).
+// distinct tier from 400 (fix the payload) — term and XML documents
+// alike, cut off at the limit by the middleware instead of being read
+// fully into memory, with the structured {"error": ...} body.
 func TestBodyTooLarge(t *testing.T) {
-	s := mustServer(t, serverConfig{maxBody: 64})
-	h := s.handler()
+	s := mustServer(t, Config{MaxBody: 64})
+	h := s.Handler()
 	big := strings.Repeat("B,", 200)
 	wantStatus(t, do(t, h, "PUT", "/docs/big", `{"term": "A(`+big+`B)"}`, nil),
 		http.StatusRequestEntityTooLarge)
+
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	bigXML := `{"xml": "<a>` + strings.Repeat("<b/>", 200) + `</a>"}`
+	rr := do(t, h, "PUT", "/docs/bigxml", bigXML, &apiErr)
+	wantStatus(t, rr, http.StatusRequestEntityTooLarge)
+	if !strings.Contains(apiErr.Error, "exceeds 64 bytes") {
+		t.Fatalf("413 body not structured: %q", rr.Body.String())
+	}
+
+	// /eval bodies are bounded by the same middleware.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		`{"source": "Q() <- A(x)", "docs": [`+strings.Repeat(`"d",`, 100)+`"d"]}`, nil),
+		http.StatusRequestEntityTooLarge)
 }
 
-// TestHealth reports corpus and registry counts.
+// TestHealth reports corpus, registry and admission counts.
 func TestHealth(t *testing.T) {
-	h := testServer(t)
+	s := mustServer(t, Config{})
+	h := s.Handler()
 	loadFleet(t, h)
 	var health struct {
-		Status  string `json:"status"`
-		Docs    int    `json:"docs"`
-		Queries int    `json:"queries"`
-		Bytes   int64  `json:"bytes"`
+		Status   string `json:"status"`
+		Docs     int    `json:"docs"`
+		Queries  int    `json:"queries"`
+		Bytes    int64  `json:"bytes"`
+		InFlight int    `json:"in_flight"`
+		Queued   int    `json:"queued"`
 	}
 	rr := do(t, h, "GET", "/healthz", "", &health)
 	wantStatus(t, rr, http.StatusOK)
 	if health.Status != "ok" || health.Docs != 3 || health.Queries != 1 || health.Bytes <= 0 {
 		t.Fatalf("health: %+v", health)
 	}
+	if health.InFlight != 0 || health.Queued != 0 {
+		t.Fatalf("idle admission stats: %+v", health)
+	}
+
+	// Draining replicas fail readiness.
+	s.BeginShutdown()
+	rr = do(t, h, "GET", "/healthz", "", &health)
+	wantStatus(t, rr, http.StatusServiceUnavailable)
+	if health.Status != "draining" {
+		t.Fatalf("draining health: %+v", health)
+	}
 }
 
 // TestCorpusBudgetEndToEnd: a server with a corpus byte budget evicts
 // LRU documents as new ones load, visible through the docs listing.
 func TestCorpusBudgetEndToEnd(t *testing.T) {
-	probe := mustServer(t, serverConfig{})
-	ph := probe.handler()
+	probe := mustServer(t, Config{})
+	ph := probe.Handler()
 	wantStatus(t, do(t, ph, "PUT", "/docs/probe", `{"term": "A(B,C(B))"}`, nil), http.StatusCreated)
 	unit := probe.corpus.Bytes()
 
-	s := mustServer(t, serverConfig{maxCorpusBytes: 2*unit + unit/2})
-	h := s.handler()
+	s := mustServer(t, Config{MaxCorpusBytes: 2*unit + unit/2})
+	h := s.Handler()
 	for _, name := range []string{"a", "b", "c"} {
 		wantStatus(t, do(t, h, "PUT", "/docs/"+name, `{"term": "A(B,C(B))"}`, nil), http.StatusCreated)
 	}
@@ -356,16 +389,16 @@ func TestCorpusBudgetEndToEnd(t *testing.T) {
 	wantStatus(t, do(t, h, "GET", "/docs/a", "", nil), http.StatusNotFound)
 }
 
-// TestDataDirRestart: with -data, PUT documents survive a server restart
-// — the new server recovers the corpus from the snapshot directory and
-// serves identical query results without re-parsing any XML or
-// rebuilding any index (IndexBuildCount delta is zero across recovery
+// TestDataDirRestart: with DataDir, PUT documents survive a server
+// restart — the new server recovers the corpus from the snapshot
+// directory and serves identical query results without re-parsing any XML
+// or rebuilding any index (IndexBuildCount delta is zero across recovery
 // and evaluation; documents hydrate from their snapshots).
 func TestDataDirRestart(t *testing.T) {
 	dir := t.TempDir()
 
-	s1 := mustServer(t, serverConfig{dataDir: dir})
-	h1 := s1.handler()
+	s1 := mustServer(t, Config{DataDir: dir})
+	h1 := s1.Handler()
 	wantStatus(t, do(t, h1, "PUT", "/docs/xml", `{"xml": "<a><b/><c><b/></c></a>"}`, nil), http.StatusCreated)
 	wantStatus(t, do(t, h1, "PUT", "/docs/term", `{"term": "A(B,C(B,A(B)))"}`, nil), http.StatusCreated)
 	wantStatus(t, do(t, h1, "PUT", "/queries/q", `{"query": "Q(y) <- Child+(x, y), b(y)"}`, nil), http.StatusCreated)
@@ -381,8 +414,8 @@ func TestDataDirRestart(t *testing.T) {
 	// "Restart": a fresh server over the same directory. Queries are not
 	// persisted (they compile in microseconds); documents must be.
 	builds := consistency.IndexBuildCount()
-	s2 := mustServer(t, serverConfig{dataDir: dir})
-	h2 := s2.handler()
+	s2 := mustServer(t, Config{DataDir: dir})
+	h2 := s2.Handler()
 
 	// Recovery registers dehydrated entries: listed, node counts known,
 	// zero resident bytes, nothing parsed yet.
@@ -412,7 +445,7 @@ func TestDataDirRestart(t *testing.T) {
 
 	// DELETE removes the snapshot too: a third server no longer sees it.
 	wantStatus(t, do(t, h2, "DELETE", "/docs/xml", "", nil), http.StatusNoContent)
-	s3 := mustServer(t, serverConfig{dataDir: dir})
-	wantStatus(t, do(t, s3.handler(), "GET", "/docs/xml", "", nil), http.StatusNotFound)
-	wantStatus(t, do(t, s3.handler(), "GET", "/docs/term", "", nil), http.StatusOK)
+	s3 := mustServer(t, Config{DataDir: dir})
+	wantStatus(t, do(t, s3.Handler(), "GET", "/docs/xml", "", nil), http.StatusNotFound)
+	wantStatus(t, do(t, s3.Handler(), "GET", "/docs/term", "", nil), http.StatusOK)
 }

@@ -25,10 +25,20 @@
 # fails (the benchmark families b.Fatalf on self-check mismatches, so a
 # correctness regression fails the script, not just the numbers).
 #
-# Usage: scripts/bench.sh [-q] [-o output.json] [-t benchtime] [-c count]
+# Load mode (-l; PR 7) measures the serving layer instead of kernels: it
+# runs cmd/cqload against an in-process cqserve (admission-controlled,
+# closed loop, query mix bool/nodes/tuples) and records throughput,
+# latency percentiles, per-status counts, the goroutine-leak check, and
+# the NDJSON streaming heap probe. The recorded baseline is
+# BENCH_pr7.json; quick (-l -q) writes BENCH_load_quick.json for CI's
+# load-smoke job, gated by scripts/perfgate.sh -l.
+#
+# Usage: scripts/bench.sh [-q] [-l] [-o output.json] [-t benchtime] [-c count]
 #                         [-b bench-regex] [-p packages]
 #   -q            quick mode for CI smoke: -benchtime 20x, default output
 #                 BENCH_quick.json (never clobbers the recorded baseline)
+#   -l            load mode: run cmd/cqload instead of go test -bench
+#                 (default output BENCH_pr7.json; BENCH_load_quick.json in -q)
 #   -o FILE       output JSON (default BENCH_pr4.json; BENCH_quick.json in -q)
 #   -t BENCHTIME  go test -benchtime value (default 200x; 20x in -q)
 #   -c COUNT      go test -count value (default 1)
@@ -47,22 +57,44 @@ count="${COUNT:-1}"
 benchre='BenchmarkRevise|BenchmarkFastACKernels'
 pkgs='./internal/consistency'
 quick=0
+loadmode=0
 
-while getopts 'qo:t:c:b:p:h' opt; do
+while getopts 'qlo:t:c:b:p:h' opt; do
 	case "$opt" in
 	q) quick=1 ;;
+	l) loadmode=1 ;;
 	o) out="$OPTARG" ;;
 	t) benchtime="$OPTARG" ;;
 	c) count="$OPTARG" ;;
 	b) benchre="$OPTARG" ;;
 	p) pkgs="$OPTARG" ;;
 	h | *)
-		sed -n '2,30p' "$0"
+		sed -n '2,40p' "$0"
 		exit 2
 		;;
 	esac
 done
 shift $((OPTIND - 1))
+
+if [ "$loadmode" = 1 ]; then
+	# Quick: a few seconds against a small deep corpus, sized so the
+	# admission gate actually sheds (workers > max-inflight + max-queue).
+	# Full: the recorded baseline — longer run, million-tuple stream probe.
+	if [ $# -ge 1 ]; then out="$1"; fi
+	if [ "$quick" = 1 ]; then
+		: "${out:=BENCH_load_quick.json}"
+		go run ./cmd/cqload -self -duration 8s -docs 4 -depth 300 \
+			-workers 12 -max-inflight 4 -max-queue 4 -queue-wait 2s \
+			-retries 3 -stream-check -o "$out"
+	else
+		: "${out:=BENCH_pr7.json}"
+		go run ./cmd/cqload -self -duration 20s -docs 8 -depth 1500 \
+			-workers 16 -max-inflight 8 -max-queue 16 -queue-wait 5s \
+			-retries 3 -stream-check -o "$out"
+	fi
+	echo "wrote $out"
+	exit 0
+fi
 # Positional output argument kept for compatibility: scripts/bench.sh out.json
 if [ $# -ge 1 ]; then out="$1"; fi
 # -t wins, then the BENCHTIME environment, then the mode default.

@@ -3,7 +3,21 @@
 # and fail on perf regressions.
 #
 # Usage: scripts/perfgate.sh [-m MAX_DROP_PCT] [-f MIN_GEOMEAN] [baseline.json] [new.json]
+#        scripts/perfgate.sh -l [load.json]
 #   defaults: BENCH_pr4.json BENCH_quick.json, 30 (% allowed drop), no floor
+#
+# -l switches to the load-report gate (PR 7): the single argument is a
+# cqload JSON report (default BENCH_load_quick.json) and the gate checks
+# serving-robustness invariants instead of speedup ratios:
+#
+#   - traffic flowed: requests > 0 and some 200s;
+#   - overload stayed inside the contract: zero 5xx, and no status class
+#     other than 200/429 (429 is admission shedding, which is correct);
+#   - shutdown hygiene: goroutine_leak is false;
+#   - streaming stayed flat: the NDJSON heap probe saw the stream
+#     (tuples > 0) and its peak heap is under 64 MiB — an O(answers)
+#     buffering regression is hundreds of MiB at the probe's relation
+#     size, so the absolute tripwire is loose but decisive.
 #
 # Two comparisons run:
 #
@@ -37,17 +51,49 @@ cd "$(dirname "$0")/.."
 
 maxdrop=30
 minmean=0
-while getopts 'm:f:h' opt; do
+loadmode=0
+while getopts 'lm:f:h' opt; do
 	case "$opt" in
+	l) loadmode=1 ;;
 	m) maxdrop="$OPTARG" ;;
 	f) minmean="$OPTARG" ;;
 	h | *)
-		sed -n '2,30p' "$0"
+		sed -n '2,45p' "$0"
 		exit 2
 		;;
 	esac
 done
 shift $((OPTIND - 1))
+
+if [ "$loadmode" = 1 ]; then
+	loadfile="${1:-BENCH_load_quick.json}"
+	if [ ! -f "$loadfile" ]; then
+		echo "perfgate: missing $loadfile" >&2
+		exit 2
+	fi
+	echo "== load gate: $loadfile =="
+	jq -r '"requests \(.requests)  rps \(.throughput_rps | floor)  p50 \(.latency.p50_ms)ms  p99 \(.latency.p99_ms)ms  status \(.status)  5xx \(.server_5xx)  leak \(.goroutine_leak)  stream_tuples \(.stream.tuples // 0)  stream_peak \((.stream.peak_heap_bytes // 0) / 1048576 | floor)MiB"' "$loadfile"
+	fail=0
+	check() { # check DESCRIPTION JQ_BOOL_EXPR
+		if [ "$(jq -r "$2" "$loadfile")" != "true" ]; then
+			echo "FAIL $1" >&2
+			fail=1
+		else
+			echo "ok   $1"
+		fi
+	}
+	check "traffic flowed (requests > 0, some 200s)" '.requests > 0 and ((.status["200"] // 0) > 0)'
+	check "no server 5xx under load" '.server_5xx == 0'
+	check "only 200/429 status classes" '.status | keys | all(. == "200" or . == "429")'
+	check "no goroutine leak across shutdown" '.goroutine_leak == false'
+	check "stream probe ran (tuples > 0)" '(.stream.tuples // 0) > 0'
+	check "stream heap flat (peak < 64 MiB)" '(.stream.peak_heap_bytes // 0) < 67108864'
+	if [ "$fail" -ne 0 ]; then
+		echo "perfgate: load-gate violation in $loadfile" >&2
+		exit 1
+	fi
+	exit 0
+fi
 baseline="${1:-BENCH_pr4.json}"
 fresh="${2:-BENCH_quick.json}"
 
