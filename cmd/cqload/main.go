@@ -30,6 +30,14 @@
 //     report carries peak-over-idle ("stream") so a regression that
 //     buffers the relation shows up as a ratio jump.
 //
+// With -repeat R (0..1), a fraction R of requests replays a recently
+// issued (query, document) pair from a bounded pool instead of a fresh
+// one; every request then targets a single document, so a cache-enabled
+// server (-cache-bytes here for -self, or cqserve's flag) answers the
+// replays from its result cache. The run scrapes /metrics before shutdown
+// and reports cache hits, misses, and the hit rate in the JSON summary —
+// the knob that turns cqload into a cache-effectiveness harness.
+//
 // The JSON report (stdout, or -o FILE) is consumed by scripts/bench.sh -l
 // and gated by scripts/perfgate.sh -l in CI's load-smoke job.
 package main
@@ -85,9 +93,11 @@ type loadConfig struct {
 	Timeout  string `json:"timeout"`
 	Retries  int    `json:"retries"`
 
-	MaxInFlight int `json:"max_inflight,omitempty"`
-	MaxQueue    int `json:"max_queue,omitempty"`
-	MaxAnswers  int `json:"max_answers,omitempty"`
+	MaxInFlight int     `json:"max_inflight,omitempty"`
+	MaxQueue    int     `json:"max_queue,omitempty"`
+	MaxAnswers  int     `json:"max_answers,omitempty"`
+	Repeat      float64 `json:"repeat,omitempty"`
+	CacheBytes  int64   `json:"cache_bytes,omitempty"`
 }
 
 // latencyStats are the sorted-percentile summaries, in milliseconds.
@@ -106,6 +116,16 @@ type streamStats struct {
 	PeakOverIdle float64 `json:"peak_over_idle"`
 }
 
+// cacheStats is the result-cache section of the report, scraped from the
+// server's /metrics endpoint after the load completes. HitRate is
+// hits/(hits+misses) — the fraction of /eval documents answered without
+// re-running the engine.
+type cacheStats struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
 // report is the full JSON output.
 type report struct {
 	Config        loadConfig     `json:"config"`
@@ -119,13 +139,53 @@ type report struct {
 	Server5xx     int64          `json:"server_5xx"`
 	GoroutineLeak *bool          `json:"goroutine_leak,omitempty"`
 	Stream        *streamStats   `json:"stream,omitempty"`
+	Cache         *cacheStats    `json:"cache,omitempty"`
 }
 
-// op is one entry of the query mix rotation.
+// op is one entry of the query mix rotation. eval is the request template
+// (kept as a map so -repeat can derive single-document variants of it).
 type op struct {
 	name string
 	mode string
 	body string
+	eval map[string]any
+}
+
+// keyPool is the bounded pool of recently issued request bodies that
+// -repeat replays from. A ring: fresh keys overwrite the oldest, so
+// replays always come from the recent past — the working set a result
+// cache can actually hold — rather than from the whole run's history.
+type keyPool struct {
+	mu   sync.Mutex
+	keys []string
+	size int
+	next int
+}
+
+func newKeyPool(size int) *keyPool {
+	return &keyPool{keys: make([]string, 0, size), size: size}
+}
+
+func (p *keyPool) add(k string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.keys) < p.size {
+		p.keys = append(p.keys, k)
+		return
+	}
+	p.keys[p.next] = k
+	p.next = (p.next + 1) % p.size
+}
+
+// pick returns a uniformly random pooled key. The caller's rng is used
+// under the pool lock; each worker owns its rng, so this is race-free.
+func (p *keyPool) pick(rng *rand.Rand) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.keys) == 0 {
+		return "", false
+	}
+	return p.keys[rng.Intn(len(p.keys))], true
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -143,6 +203,10 @@ func run(args []string, stdout io.Writer) error {
 	maxInFlight := fs.Int("max-inflight", 0, "-self server: max concurrent evals (0 = unlimited)")
 	maxQueue := fs.Int("max-queue", 0, "-self server: admission queue length")
 	queueWait := fs.Duration("queue-wait", time.Second, "-self server: max queued wait")
+	repeat := fs.Float64("repeat", 0, "fraction of requests replaying a recent (query, doc) pair from a bounded pool (0..1; >0 makes every request target one document)")
+	poolSize := fs.Int("repeat-pool", 64, "recent-key pool size -repeat replays from")
+	cacheBytes := fs.Int64("cache-bytes", 0, "-self server: result cache byte budget (0 = disabled)")
+	cacheMaxEntry := fs.Int64("cache-max-entry", 0, "-self server: per-result cache size cap")
 	streamCheck := fs.Bool("stream-check", false, "after the run, probe NDJSON streaming heap flatness (-self only)")
 	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -157,13 +221,22 @@ func run(args []string, stdout io.Writer) error {
 	if *streamCheck && !*self {
 		return fmt.Errorf("-stream-check needs -self (the heap is sampled in-process)")
 	}
+	if *repeat < 0 || *repeat > 1 {
+		return fmt.Errorf("-repeat %v out of range [0, 1]", *repeat)
+	}
+	if *poolSize <= 0 {
+		return fmt.Errorf("-repeat-pool must be positive")
+	}
+	if *cacheBytes > 0 && !*self {
+		return fmt.Errorf("-cache-bytes configures the -self server; pass it to cqserve for -addr runs")
+	}
 
 	rep := report{
 		Config: loadConfig{
 			Addr: *addr, Self: *self, Docs: *docs, Depth: *depth, Workers: *workers,
 			Duration: duration.String(), Mix: *mix, Timeout: timeout.String(),
 			Retries: *retries, MaxInFlight: *maxInFlight, MaxQueue: *maxQueue,
-			MaxAnswers: *maxAnswers,
+			MaxAnswers: *maxAnswers, Repeat: *repeat, CacheBytes: *cacheBytes,
 		},
 		Status: map[string]int{},
 	}
@@ -177,6 +250,7 @@ func run(args []string, stdout io.Writer) error {
 		var err error
 		srv, err = serve.New(serve.Config{
 			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, QueueWait: *queueWait,
+			CacheBytes: *cacheBytes, CacheMaxEntry: *cacheMaxEntry,
 		})
 		if err != nil {
 			return fmt.Errorf("server: %w", err)
@@ -200,6 +274,31 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("register mix: %w", err)
 	}
 
+	// -repeat targets every request at a single document so that repeated
+	// (query, doc) pairs are whole-request cache hits on a cache-enabled
+	// server. The op × doc bodies are precomputed; the pool replays them.
+	var targeted [][]string
+	var pool *keyPool
+	if *repeat > 0 {
+		pool = newKeyPool(*poolSize)
+		targeted = make([][]string, len(ops))
+		for i, o := range ops {
+			targeted[i] = make([]string, *docs)
+			for j := 0; j < *docs; j++ {
+				eval := make(map[string]any, len(o.eval)+1)
+				for k, v := range o.eval {
+					eval[k] = v
+				}
+				eval["docs"] = []string{fmt.Sprintf("load%03d", j)}
+				blob, err := json.Marshal(eval)
+				if err != nil {
+					return err
+				}
+				targeted[i][j] = string(blob)
+			}
+		}
+	}
+
 	// The closed loop: each worker cycles through the mix, one request in
 	// flight per worker, retrying shed requests with jittered backoff.
 	var (
@@ -219,9 +318,20 @@ func run(args []string, stdout io.Writer) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for ctx.Err() == nil {
-				o := ops[int(next.Add(1))%len(ops)]
+				i := int(next.Add(1)) % len(ops)
+				body := ops[i].body
+				if pool != nil {
+					// Replay a recent pair with probability -repeat; fresh
+					// requests pick a random document and enter the pool.
+					if b, ok := pool.pick(rng); ok && rng.Float64() < *repeat {
+						body = b
+					} else {
+						body = targeted[i][rng.Intn(*docs)]
+						pool.add(body)
+					}
+				}
 				start := time.Now()
-				status, nRetries, err := doEval(ctx, client, *addr, o.body, *retries, rng)
+				status, nRetries, err := doEval(ctx, client, *addr, body, *retries, rng)
 				elapsed := time.Since(start)
 				retried.Add(nRetries)
 				if err != nil {
@@ -256,6 +366,13 @@ func run(args []string, stdout io.Writer) error {
 		rep.ThroughputRPS = float64(rep.Requests) / elapsed.Seconds()
 	}
 	rep.Latency = percentiles(latencies)
+
+	// Cache effectiveness comes from the server's own accounting — a
+	// /metrics scrape after the load, before shutdown — not from guessing
+	// client-side. Servers without the endpoint just omit the section.
+	if cs, err := scrapeCache(client, *addr); err == nil {
+		rep.Cache = cs
+	}
 
 	// The streaming probe runs after the load so the heap is quiet: idle
 	// baseline after GC, then one huge NDJSON answer relation streamed
@@ -362,7 +479,7 @@ func buildMix(client *http.Client, addr, mix string, maxAnswers int) ([]op, erro
 			evalBody["max_answers"] = maxAnswers
 		}
 		blob, _ := json.Marshal(evalBody)
-		ops = append(ops, op{name: name, mode: mode, body: string(blob)})
+		ops = append(ops, op{name: name, mode: mode, body: string(blob), eval: evalBody})
 	}
 	if len(ops) == 0 {
 		return nil, fmt.Errorf("-mix selected no modes")
@@ -411,6 +528,45 @@ func doEval(ctx context.Context, client *http.Client, addr, body string, retries
 			return status, nRetries, ctx.Err()
 		}
 	}
+}
+
+// scrapeCache reads the server's result-cache counters from /metrics
+// (Prometheus text exposition: "name value" lines).
+func scrapeCache(client *http.Client, addr string) (*cacheStats, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	cs := &cacheStats{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "cqtrees_cache_hits_total":
+			cs.Hits = int64(v)
+		case "cqtrees_cache_misses_total":
+			cs.Misses = int64(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if total := cs.Hits + cs.Misses; total > 0 {
+		cs.HitRate = float64(cs.Hits) / float64(total)
+	}
+	return cs, nil
 }
 
 // percentiles summarizes latencies (ms) by sorted rank.

@@ -60,6 +60,40 @@ func TestLoadRunSelf(t *testing.T) {
 	}
 }
 
+// TestLoadRepeatCache: a -repeat run against a cache-enabled self server
+// replays recent (query, doc) pairs, and the report's cache section —
+// scraped from the server's own /metrics — shows real hits.
+func TestLoadRepeatCache(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-self", "-duration", "300ms", "-docs", "4", "-depth", "60",
+		"-workers", "4", "-retries", "2",
+		"-repeat", "0.8", "-cache-bytes", "16777216",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, buf.String())
+	}
+	if rep.Requests == 0 || rep.Status["200"] == 0 {
+		t.Fatalf("no successful evals: %+v", rep.Status)
+	}
+	if rep.Config.Repeat != 0.8 || rep.Config.CacheBytes != 16777216 {
+		t.Fatalf("config not echoed: %+v", rep.Config)
+	}
+	if rep.Cache == nil {
+		t.Fatal("no cache section in the report")
+	}
+	if rep.Cache.Hits == 0 {
+		t.Fatalf("repeat run produced no cache hits: %+v", rep.Cache)
+	}
+	if rep.Cache.HitRate <= 0 || rep.Cache.HitRate > 1 {
+		t.Fatalf("implausible hit rate: %+v", rep.Cache)
+	}
+}
+
 // TestLoadFlagValidation: -addr and -self are mutually exclusive and one
 // is required; -stream-check needs the in-process server.
 func TestLoadFlagValidation(t *testing.T) {
@@ -75,5 +109,14 @@ func TestLoadFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-self", "-mix", "teleport", "-duration", "10ms"}, &buf); err == nil {
 		t.Fatal("unknown mix mode accepted")
+	}
+	if err := run([]string{"-self", "-repeat", "1.5"}, &buf); err == nil {
+		t.Fatal("-repeat out of range accepted")
+	}
+	if err := run([]string{"-self", "-repeat-pool", "0"}, &buf); err == nil {
+		t.Fatal("zero -repeat-pool accepted")
+	}
+	if err := run([]string{"-addr", "http://x", "-cache-bytes", "1024"}, &buf); err == nil {
+		t.Fatal("-cache-bytes without -self accepted")
 	}
 }

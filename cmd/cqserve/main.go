@@ -8,6 +8,14 @@
 //	cqserve [-addr :8080] [-max-corpus-bytes N] [-eval-timeout 30s] [-data DIR]
 //	        [-max-inflight 64] [-max-queue 128] [-queue-wait 5s]
 //	        [-max-answers N] [-drain-timeout 15s]
+//	        [-cache-bytes N] [-cache-max-entry N]
+//
+// With -cache-bytes, materialized /eval results are cached per (query
+// fingerprint, document, document version) and repeated evaluations are
+// answered from the cache — without re-running the engine and without
+// taking an admission slot — until the document is swapped, removed, or
+// evicted. -cache-max-entry keeps oversized relations from monopolizing
+// the budget (they simply never cache; use NDJSON streaming for those).
 //
 // With -data, every PUT document is also written to DIR as a binary
 // snapshot (one .cqs file per document) and a restart recovers the whole
@@ -20,7 +28,11 @@
 // The API is JSON over net/http (no dependencies):
 //
 //	GET    /healthz              engine status (docs, queries, bytes,
-//	                             in_flight, queued; 503 while draining)
+//	                             in_flight, queued, cache; 503 while draining)
+//	GET    /metrics              Prometheus text exposition: eval latency
+//	                             histograms, admission gate, result cache,
+//	                             corpus occupancy
+
 //	GET    /docs                 list documents (name, nodes, bytes)
 //	PUT    /docs/{name}          load a document: {"term": "A(B,C(B))"}
 //	                             or {"xml": "<a><b/></a>"} (201 new, 200 replaced)
@@ -76,6 +88,8 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 5*time.Second, "max time one /eval may wait queued, on top of its own deadline (0 = deadline only)")
 	maxAnswers := flag.Int("max-answers", 0, "per-document tuples answer cap; capped rows carry \"truncated\": true (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache byte budget: /eval results are cached per (query, doc, doc version) and served without re-evaluating until the document changes (0 = disabled)")
+	cacheMaxEntry := flag.Int64("cache-max-entry", 0, "per-result cache size cap; larger results never cache (0 = one cache shard)")
 	flag.Parse()
 
 	s, err := serve.New(serve.Config{
@@ -87,6 +101,8 @@ func main() {
 		MaxQueue:       *maxQueue,
 		QueueWait:      *queueWait,
 		MaxAnswers:     *maxAnswers,
+		CacheBytes:     *cacheBytes,
+		CacheMaxEntry:  *cacheMaxEntry,
 	})
 	if err != nil {
 		log.Fatalf("cqserve: %v", err)

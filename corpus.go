@@ -50,8 +50,9 @@ var ErrUnknownDocument = fmt.Errorf("unknown document")
 type CorpusOption func(*corpusConfig)
 
 type corpusConfig struct {
-	maxBytes int64
-	onEvict  func(name string, doc *Document)
+	maxBytes     int64
+	onEvict      func(name string, doc *Document)
+	onInvalidate func(name string)
 }
 
 // WithMaxBytes sets the corpus's byte budget: insertions beyond it evict
@@ -61,10 +62,23 @@ func WithMaxBytes(n int64) CorpusOption {
 }
 
 // WithEvictionHook registers a callback invoked (outside the corpus lock)
-// for every document evicted by the WithMaxBytes budget. Explicit Remove
-// and Swap replacements do not trigger it.
+// for every document that leaves the corpus with its contents in hand:
+// budget eviction and explicit Remove. Swap replacements do not trigger
+// it — the caller already receives the previous document from Swap.
 func WithEvictionHook(fn func(name string, doc *Document)) CorpusOption {
 	return func(c *corpusConfig) { c.onEvict = fn }
+}
+
+// WithInvalidationHook registers a callback invoked (outside the corpus
+// lock) whenever cached results derived from the named document can no
+// longer be trusted or retained: Swap replacement, Remove, budget
+// eviction, and dehydration to a disk stub. It is the corpus-side feed
+// for result caches — on every departure or replacement the hook fires
+// with the document's name, regardless of whether the document's bytes
+// were still resident. Hydration does NOT fire it: bringing a stub back
+// into memory restores the same content under the same version.
+func WithInvalidationHook(fn func(name string)) CorpusOption {
+	return func(c *corpusConfig) { c.onInvalidate = fn }
 }
 
 // NewCorpus returns an empty corpus.
@@ -77,6 +91,9 @@ func NewCorpus(opts ...CorpusOption) *Corpus {
 	// Document aliases core.Document, so the hook passes through as-is;
 	// SetBudget treats maxBytes <= 0 as "no eviction".
 	c.SetBudget(cfg.maxBytes, cfg.onEvict)
+	if cfg.onInvalidate != nil {
+		c.SetInvalidationHook(cfg.onInvalidate)
+	}
 	return &Corpus{c: c}
 }
 
@@ -117,7 +134,8 @@ func (c *Corpus) Peek(name string) (*Document, int64, bool) {
 
 // CorpusStat describes one corpus entry without hydrating it: the tree
 // size (known even while the document is dehydrated), the accounted
-// resident bytes (0 for a dehydrated entry), and residency itself.
+// resident bytes (0 for a dehydrated entry), residency itself, and the
+// entry's content version (see Version).
 type CorpusStat = corpus.Stat
 
 // Stat returns the named entry's metadata without touching the LRU clock
@@ -151,6 +169,21 @@ func (c *Corpus) Unpersist(dir, name string) error { return c.c.Unpersist(dir, n
 // Returns the number of entries registered; unreadable snapshot files
 // are reported in the joined error while the rest still register.
 func (c *Corpus) LoadDir(dir string) (int, error) { return c.c.LoadDir(dir) }
+
+// Version returns the named entry's content version: a corpus-wide
+// monotonic counter stamped when the entry's content was established
+// (Add, Swap, re-Add after Remove, or stub registration by LoadDir).
+// Versions strictly increase across content changes and are STABLE
+// across dehydrate/hydrate cycles — residency changes do not create new
+// content — so (query fingerprint, name, version) is a sound cache key:
+// a result cached under a version can be served until that version
+// disappears, and a post-swap lookup can never match a pre-swap entry.
+// It does not touch the LRU clock.
+func (c *Corpus) Version(name string) (uint64, bool) { return c.c.Version(name) }
+
+// Hydrations returns the cumulative count of stub hydrations — documents
+// loaded back from their snapshot files on demand — since construction.
+func (c *Corpus) Hydrations() int64 { return c.c.Hydrations() }
 
 // Len returns the number of documents in the corpus.
 func (c *Corpus) Len() int { return c.c.Len() }

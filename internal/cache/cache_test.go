@@ -1,0 +1,311 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(q, doc string, ver uint64) Key {
+	return Key{Query: q, Doc: doc, Version: ver, Mode: "tuples"}
+}
+
+// TestGetPut: basic hit/miss behavior, version sensitivity, and stat
+// accounting.
+func TestGetPut(t *testing.T) {
+	c := New(1<<20, 0)
+	k := key("q1", "doc", 1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, "result", 100)
+	v, ok := c.Get(k)
+	if !ok || v != "result" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	// A different version of the same document is a different key: the
+	// post-swap lookup can never see the pre-swap result.
+	if _, ok := c.Get(key("q1", "doc", 2)); ok {
+		t.Fatal("version 2 lookup hit a version 1 entry")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestPerEntryCap: results over the cap never cache.
+func TestPerEntryCap(t *testing.T) {
+	c := New(1<<20, 512)
+	c.Put(key("q", "d", 1), "big", 513)
+	if _, ok := c.Get(key("q", "d", 1)); ok {
+		t.Fatal("oversized entry cached")
+	}
+	if st := c.Stats(); st.TooLarge != 1 || st.Entries != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	c.Put(key("q", "d", 1), "fits", 512)
+	if _, ok := c.Get(key("q", "d", 1)); !ok {
+		t.Fatal("at-cap entry rejected")
+	}
+}
+
+// TestLRUEviction: filling one shard past its budget evicts its
+// least-recently-used entries, and a Get refreshes recency.
+func TestLRUEviction(t *testing.T) {
+	// One shard holds (1<<20)/shardCount = 64 KiB. All keys share one
+	// document name, so they collide into a single shard deliberately.
+	c := New(1<<20, 0)
+	perShard := int64((1 << 20) / shardCount)
+	entrySize := perShard / 4
+
+	for i := 0; i < 4; i++ {
+		c.Put(key(fmt.Sprintf("q%d", i), "doc", 1), i, entrySize)
+	}
+	// Touch q0 so q1 is now the LRU victim.
+	if _, ok := c.Get(key("q0", "doc", 1)); !ok {
+		t.Fatal("q0 missing before overflow")
+	}
+	c.Put(key("q4", "doc", 1), 4, entrySize)
+
+	if _, ok := c.Get(key("q1", "doc", 1)); ok {
+		t.Fatal("LRU victim q1 survived")
+	}
+	for _, q := range []string{"q0", "q2", "q3", "q4"} {
+		if _, ok := c.Get(key(q, "doc", 1)); !ok {
+			t.Fatalf("%s evicted out of LRU order", q)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Bytes > perShard {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestInvalidateDoc: dropping a document removes exactly its entries —
+// every query, version, and mode — and leaves other documents alone.
+func TestInvalidateDoc(t *testing.T) {
+	c := New(1<<20, 0)
+	c.Put(key("q1", "a", 1), 1, 10)
+	c.Put(key("q2", "a", 1), 2, 10)
+	c.Put(key("q1", "a", 2), 3, 10)
+	c.Put(Key{Query: "q1", Doc: "a", Version: 1, Mode: "bool"}, 4, 10)
+	c.Put(key("q1", "b", 1), 5, 10)
+
+	if n := c.InvalidateDoc("a"); n != 4 {
+		t.Fatalf("InvalidateDoc(a) = %d, want 4", n)
+	}
+	if _, ok := c.Get(key("q1", "a", 1)); ok {
+		t.Fatal("entry for a survived invalidation")
+	}
+	if _, ok := c.Get(key("q1", "b", 1)); !ok {
+		t.Fatal("entry for b was collateral damage")
+	}
+	if n := c.InvalidateDoc("a"); n != 0 {
+		t.Fatalf("second invalidation dropped %d", n)
+	}
+	if st := c.Stats(); st.Invalidations != 4 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestDoSingleflight: N concurrent Do calls on one key run compute once;
+// followers share the value and count as collapsed.
+func TestDoSingleflight(t *testing.T) {
+	c := New(1<<20, 0)
+	k := key("q", "d", 1)
+	var computes atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]any, followers+1)
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i > 0 {
+				<-started // ensure the leader owns the flight first
+			}
+			v, err := c.Do(context.Background(), k, func() (any, int64, error) {
+				computes.Add(1)
+				close(started)
+				<-release
+				return "answer", 6, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-started
+	time.Sleep(10 * time.Millisecond) // let followers reach the flight wait
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times", n)
+	}
+	for i, v := range results {
+		if v != "answer" {
+			t.Fatalf("caller %d got %v", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Collapsed != followers {
+		t.Fatalf("collapsed = %d, want %d", st.Collapsed, followers)
+	}
+	// The result cached: one more Do is a pure hit, no compute.
+	v, err := c.Do(context.Background(), k, func() (any, int64, error) {
+		t.Error("compute ran on a cached key")
+		return nil, 0, nil
+	})
+	if err != nil || v != "answer" {
+		t.Fatalf("cached Do = %v, %v", v, err)
+	}
+}
+
+// TestDoError: a failing compute propagates to leader and followers and
+// caches nothing.
+func TestDoError(t *testing.T) {
+	c := New(1<<20, 0)
+	k := key("q", "d", 1)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-started
+		_, followerErr = c.Do(context.Background(), k, func() (any, int64, error) {
+			return nil, 0, nil
+		})
+	}()
+	_, err := c.Do(context.Background(), k, func() (any, int64, error) {
+		close(started)
+		time.Sleep(20 * time.Millisecond) // give the follower time to join
+		return nil, 0, boom
+	})
+	wg.Wait()
+
+	if !errors.Is(err, boom) {
+		t.Fatalf("leader err = %v", err)
+	}
+	// The follower either joined the failing flight (sees boom) or ran
+	// its own compute after the flight cleared (sees nil) — both are
+	// correct; what must not happen is a cached error value.
+	if followerErr != nil && !errors.Is(followerErr, boom) {
+		t.Fatalf("follower err = %v", followerErr)
+	}
+	if _, ok := c.Get(k); ok {
+		t.Fatal("error result was cached")
+	}
+}
+
+// TestDoFollowerContext: a follower whose context dies while waiting
+// gets its context error; the leader is unaffected.
+func TestDoFollowerContext(t *testing.T) {
+	c := New(1<<20, 0)
+	k := key("q", "d", 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Do(context.Background(), k, func() (any, int64, error) {
+			close(started)
+			<-release
+			return "v", 1, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ctx, k, func() (any, int64, error) { return "v", 1, nil })
+		followerDone <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-followerDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v", err)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+}
+
+// TestNilCache: the nil cache is a valid always-miss cache.
+func TestNilCache(t *testing.T) {
+	var c *Cache
+	if c != New(0, 0) {
+		t.Fatal("New(0) is not nil")
+	}
+	if _, ok := c.Get(key("q", "d", 1)); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(key("q", "d", 1), 1, 1)
+	c.InvalidateDoc("d")
+	v, err := c.Do(context.Background(), key("q", "d", 1), func() (any, int64, error) {
+		return 42, 8, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("nil Do = %v, %v", v, err)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats: %+v", st)
+	}
+}
+
+// TestConcurrentMixed: hammering Get/Put/Do/InvalidateDoc across many
+// documents stays race-free (run under -race) and the byte accounting
+// never goes negative or over budget.
+func TestConcurrentMixed(t *testing.T) {
+	c := New(64<<10, 0)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				doc := fmt.Sprintf("d%d", i%7)
+				k := key(fmt.Sprintf("q%d", i%5), doc, uint64(i%3))
+				switch i % 4 {
+				case 0:
+					c.Put(k, i, int64(50+i%100))
+				case 1:
+					c.Get(k)
+				case 2:
+					_, _ = c.Do(context.Background(), k, func() (any, int64, error) {
+						return i, 64, nil
+					})
+				case 3:
+					if i%50 == 0 {
+						c.InvalidateDoc(doc)
+					} else {
+						c.Get(k)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 {
+		t.Fatalf("negative byte accounting: %+v", st)
+	}
+	if st.Bytes > 64<<10 {
+		t.Fatalf("over budget: %+v", st)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/snapshot"
@@ -47,6 +48,7 @@ type entry struct {
 	used  int64  // logical LRU clock value of the last touch
 	path  string // backing snapshot file; "" = memory-only
 	nodes int    // tree size, known even while dehydrated
+	ver   uint64 // content version; see Version
 }
 
 // Corpus is a concurrency-safe collection of named, immutable documents.
@@ -71,8 +73,21 @@ type Corpus struct {
 	total   int64
 	clock   int64
 
-	maxBytes int64
-	onEvict  func(name string, doc *core.Document)
+	// verClock is the monotonic source of document versions: every
+	// content-changing event (Add, Swap, Remove, stub registration)
+	// advances it, so versions are strictly increasing across a name's
+	// whole lifecycle — including Remove followed by re-Add. Hydration
+	// and dehydration do NOT advance it: they change residency, not
+	// content, so results computed against the version stay valid.
+	verClock uint64
+
+	// hydrations counts stub hydrations (lazy snapshot loads) for
+	// observability; read via Hydrations without the lock.
+	hydrations atomic.Int64
+
+	maxBytes     int64
+	onEvict      func(name string, doc *core.Document)
+	onInvalidate func(name string)
 }
 
 // New returns an empty corpus with no byte budget.
@@ -88,9 +103,21 @@ func (c *Corpus) SetBudget(maxBytes int64, onEvict func(name string, doc *core.D
 	c.maxBytes = maxBytes
 	c.onEvict = onEvict
 	victims := c.evictLocked("")
-	hook := c.onEvict
+	evictHook, invHook := c.onEvict, c.onInvalidate
 	c.mu.Unlock()
-	notify(hook, victims)
+	notify(evictHook, invHook, victims, nil)
+}
+
+// SetInvalidationHook installs the invalidation hook: it fires — outside
+// the corpus lock — with the document's name for every event after which
+// externally cached state about that name should be dropped: Swap
+// replacement, Remove, budget eviction, and dehydration. It fires at
+// most once per event per name and carries no document (the subscriber
+// keys on the name). The result cache subscribes here.
+func (c *Corpus) SetInvalidationHook(fn func(name string)) {
+	c.mu.Lock()
+	c.onInvalidate = fn
+	c.mu.Unlock()
 }
 
 // victim is an evicted (name, document) pair, reported to the hook.
@@ -137,15 +164,25 @@ func (c *Corpus) evictLocked(spare string) []victim {
 	return victims
 }
 
-// notify reports evictions to the hook, outside the lock. The hook is
-// snapshotted under the lock by the caller — reading c.onEvict here would
-// race with a concurrent SetBudget.
-func notify(hook func(string, *core.Document), victims []victim) {
-	if hook == nil {
-		return
-	}
+// notify reports evictions and invalidations to the hooks, outside the
+// lock. The hooks are snapshotted under the lock by the caller — reading
+// c.onEvict / c.onInvalidate here would race with a concurrent setter.
+// Every victim is both an eviction (when a document was resident) and an
+// invalidation; invalidated carries names whose cached state went stale
+// without an eviction (Swap replacements, Remove of a stub).
+func notify(evictHook func(string, *core.Document), invHook func(string), victims []victim, invalidated []string) {
 	for _, v := range victims {
-		hook(v.name, v.doc)
+		if evictHook != nil && v.doc != nil {
+			evictHook(v.name, v.doc)
+		}
+		if invHook != nil {
+			invHook(v.name)
+		}
+	}
+	if invHook != nil {
+		for _, name := range invalidated {
+			invHook(name)
+		}
 	}
 }
 
@@ -167,14 +204,17 @@ func (c *Corpus) Add(name string, doc *core.Document) error {
 	}
 	c.insertLocked(name, doc)
 	victims := c.evictLocked(name)
-	hook := c.onEvict
+	evictHook, invHook := c.onEvict, c.onInvalidate
 	c.mu.Unlock()
-	notify(hook, victims)
+	notify(evictHook, invHook, victims, nil)
 	return nil
 }
 
 // Swap inserts doc under name, replacing (and returning) the previous
-// document under that name, or nil if the name was free.
+// document under that name, or nil if the name was free. A replacement
+// advances the name's version and fires the invalidation hook — cached
+// results for the old content must not survive — but not the eviction
+// hook (the caller receives the displaced document directly).
 func (c *Corpus) Swap(name string, doc *core.Document) (*core.Document, error) {
 	if name == "" {
 		return nil, ErrEmptyName
@@ -182,40 +222,73 @@ func (c *Corpus) Swap(name string, doc *core.Document) (*core.Document, error) {
 	doc.Materialize() // final-size charge; see Add
 	c.mu.Lock()
 	var prev *core.Document
+	var invalidated []string
 	if e, ok := c.entries[name]; ok {
 		prev = e.doc
 		c.total -= e.bytes
+		invalidated = []string{name}
 	}
 	c.insertLocked(name, doc)
 	victims := c.evictLocked(name)
-	hook := c.onEvict
+	evictHook, invHook := c.onEvict, c.onInvalidate
 	c.mu.Unlock()
-	notify(hook, victims)
+	notify(evictHook, invHook, victims, invalidated)
 	return prev, nil
 }
 
 // insertLocked stores doc under name and charges its footprint. Caller
 // holds c.mu and has already materialized doc, so the charge is final.
+// The fresh entry gets the next content version: Add and Swap both
+// change what the name serves.
 func (c *Corpus) insertLocked(name string, doc *core.Document) {
 	c.clock++
+	c.verClock++
 	b := doc.SizeBytes()
-	c.entries[name] = &entry{doc: doc, bytes: b, used: c.clock, nodes: doc.Len()}
+	c.entries[name] = &entry{doc: doc, bytes: b, used: c.clock, nodes: doc.Len(), ver: c.verClock}
 	c.total += b
 }
 
-// Remove deletes the named document, returning it (nil if absent). The
-// eviction hook is not called for explicit removals.
+// Remove deletes the named document, returning it (nil if absent).
+// Removal fires the same notification path as budget eviction — the
+// eviction hook (when a document was resident) and the invalidation
+// hook — so a subscriber sees every departure, explicit or not. It also
+// advances the version clock, keeping versions strictly increasing
+// across Remove followed by re-Add under the same name.
 func (c *Corpus) Remove(name string) *core.Document {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	e, ok := c.entries[name]
 	if !ok {
+		c.mu.Unlock()
 		return nil
 	}
 	delete(c.entries, name)
 	c.total -= e.bytes
+	c.verClock++
+	evictHook, invHook := c.onEvict, c.onInvalidate
+	c.mu.Unlock()
+	notify(evictHook, invHook, []victim{{name, e.doc}}, nil)
 	return e.doc
 }
+
+// Version returns the named document's content version without touching
+// the LRU clock. Versions are strictly increasing across every content
+// change of a name (Add, Swap, Remove + re-Add) and stable across
+// dehydrate/hydrate cycles — residency changes do not change content, so
+// results cached under a version stay valid for as long as the version
+// is current.
+func (c *Corpus) Version(name string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return 0, false
+	}
+	return e.ver, true
+}
+
+// Hydrations returns the cumulative count of stub hydrations (lazy
+// snapshot loads) since construction — an observability counter.
+func (c *Corpus) Hydrations() int64 { return c.hydrations.Load() }
 
 // Get returns the named document and touches its LRU clock. A stub
 // hydrates first: its snapshot file is loaded (outside the lock) and
@@ -276,10 +349,14 @@ func (c *Corpus) hydrate(name, path string) (*core.Document, bool) {
 	e.doc = doc
 	e.bytes = doc.SizeBytes()
 	c.total += e.bytes
+	// Residency changed, content did not: e.ver stays — results cached
+	// against this version remain servable across the dehydrate/hydrate
+	// cycle.
+	c.hydrations.Add(1)
 	victims := c.evictLocked(name)
-	hook := c.onEvict
+	evictHook, invHook := c.onEvict, c.onInvalidate
 	c.mu.Unlock()
-	notify(hook, victims)
+	notify(evictHook, invHook, victims, nil)
 	return doc, true
 }
 
@@ -306,6 +383,8 @@ type Stat struct {
 	Bytes int64
 	// Hydrated reports whether the document is resident in memory.
 	Hydrated bool
+	// Version is the entry's content version; see Corpus.Version.
+	Version uint64
 }
 
 // Stat returns the named entry's metadata without touching the LRU clock
@@ -318,7 +397,7 @@ func (c *Corpus) Stat(name string) (Stat, bool) {
 	if !ok {
 		return Stat{}, false
 	}
-	return Stat{Nodes: e.nodes, Bytes: e.bytes, Hydrated: e.doc != nil}, true
+	return Stat{Nodes: e.nodes, Bytes: e.bytes, Hydrated: e.doc != nil, Version: e.ver}, true
 }
 
 // Len returns the number of documents.

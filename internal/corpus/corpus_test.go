@@ -314,3 +314,186 @@ func TestRunCancelSkipsEval(t *testing.T) {
 		}
 	}
 }
+
+// TestVersionMonotonic: versions strictly increase across every content
+// change of a name — Add, Swap, Remove followed by re-Add — and Version
+// agrees with Stat.
+func TestVersionMonotonic(t *testing.T) {
+	c := New()
+	if _, ok := c.Version("x"); ok {
+		t.Fatal("Version of absent name reported ok")
+	}
+	if err := c.Add("x", doc("A(B)")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	v1, ok := c.Version("x")
+	if !ok || v1 == 0 {
+		t.Fatalf("Version after Add = %d, %v", v1, ok)
+	}
+	if st, ok := c.Stat("x"); !ok || st.Version != v1 {
+		t.Fatalf("Stat.Version = %d, want %d", st.Version, v1)
+	}
+	if _, err := c.Swap("x", doc("A(B,C)")); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	v2, _ := c.Version("x")
+	if v2 <= v1 {
+		t.Fatalf("Swap version %d not after Add version %d", v2, v1)
+	}
+	c.Remove("x")
+	if _, ok := c.Version("x"); ok {
+		t.Fatal("Version survived Remove")
+	}
+	if err := c.Add("x", doc("A(C)")); err != nil {
+		t.Fatalf("re-Add: %v", err)
+	}
+	v3, _ := c.Version("x")
+	if v3 <= v2 {
+		t.Fatalf("re-Add version %d not after Swap version %d", v3, v2)
+	}
+	// Distinct names never share a version: a cache key that (wrongly)
+	// dropped the name would still not collide.
+	if err := c.Add("y", doc("A(B)")); err != nil {
+		t.Fatalf("Add y: %v", err)
+	}
+	vy, _ := c.Version("y")
+	if vy <= v3 {
+		t.Fatalf("y version %d not after x version %d", vy, v3)
+	}
+}
+
+// TestVersionStableAcrossHydration: dehydrating a snapshot-backed entry
+// and hydrating it back changes residency only — the version (and so any
+// cached results keyed to it) survives the round trip unchanged.
+func TestVersionStableAcrossHydration(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.Add("x", doc("A(B(C),D)")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := c.PersistDoc(dir, "x"); err != nil {
+		t.Fatalf("PersistDoc: %v", err)
+	}
+	v0, _ := c.Version("x")
+
+	c.SetBudget(1, nil) // force dehydration of the (persisted) entry
+	st, ok := c.Stat("x")
+	if !ok || st.Hydrated {
+		t.Fatalf("after budget squeeze: Stat = %+v, %v (want dehydrated)", st, ok)
+	}
+	if st.Version != v0 {
+		t.Fatalf("dehydration changed version: %d -> %d", v0, st.Version)
+	}
+
+	c.SetBudget(0, nil) // lift the budget; hydration must not re-dehydrate
+	if _, ok := c.Get("x"); !ok {
+		t.Fatal("Get failed to hydrate")
+	}
+	if st, _ := c.Stat("x"); !st.Hydrated {
+		t.Fatal("entry not hydrated after Get")
+	}
+	if v, _ := c.Version("x"); v != v0 {
+		t.Fatalf("hydration changed version: %d -> %d", v0, v)
+	}
+	if n := c.Hydrations(); n != 1 {
+		t.Fatalf("Hydrations = %d, want 1", n)
+	}
+
+	// A fresh corpus opening the same directory assigns NEW versions:
+	// stub registration is a content-establishing event for that corpus.
+	c2 := New()
+	if n, err := c2.LoadDir(dir); err != nil || n != 1 {
+		t.Fatalf("LoadDir = %d, %v", n, err)
+	}
+	if v, ok := c2.Version("x"); !ok || v == 0 {
+		t.Fatalf("stub version = %d, %v", v, ok)
+	}
+}
+
+// TestInvalidationHook: the hook fires once per name on Swap replacement,
+// Remove, budget eviction, and dehydration — and does NOT fire on fresh
+// Add, fresh-name Swap, or hydration.
+func TestInvalidationHook(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	var fired []string
+	c.SetInvalidationHook(func(name string) { fired = append(fired, name) })
+	var evicted []string
+	take := func() []string { out := fired; fired = nil; return out }
+
+	if err := c.Add("a", doc("A(B)")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if got := take(); len(got) != 0 {
+		t.Fatalf("fresh Add fired %v", got)
+	}
+	if _, err := c.Swap("b", doc("A(B)")); err != nil {
+		t.Fatalf("Swap fresh: %v", err)
+	}
+	if got := take(); len(got) != 0 {
+		t.Fatalf("fresh-name Swap fired %v", got)
+	}
+	if _, err := c.Swap("a", doc("A(B,C)")); err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if got := take(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Swap replacement fired %v, want [a]", got)
+	}
+
+	// Remove fires both hooks — the same path as budget eviction.
+	c.SetBudget(0, func(name string, d *core.Document) {
+		if d == nil {
+			t.Errorf("eviction hook for %q: nil document", name)
+		}
+		evicted = append(evicted, name)
+	})
+	c.Remove("a")
+	if got := take(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Remove fired %v, want [a]", got)
+	}
+	if !reflect.DeepEqual(evicted, []string{"a"}) {
+		t.Fatalf("Remove eviction hook saw %v, want [a]", evicted)
+	}
+	evicted = nil
+
+	// Dehydration (snapshot-backed budget victim) fires both hooks too:
+	// the cached results stay correct in principle, but the cache entry's
+	// backing document left memory, so subscribers are told.
+	if err := c.PersistDoc(dir, "b"); err != nil {
+		t.Fatalf("PersistDoc: %v", err)
+	}
+	c.SetBudget(1, func(name string, d *core.Document) { evicted = append(evicted, name) })
+	if got := take(); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Fatalf("dehydration fired %v, want [b]", got)
+	}
+	if !reflect.DeepEqual(evicted, []string{"b"}) {
+		t.Fatalf("dehydration eviction hook saw %v, want [b]", evicted)
+	}
+
+	// Hydration is silent: residency returns, content never changed.
+	c.SetBudget(0, nil)
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("Get failed to hydrate")
+	}
+	if got := take(); len(got) != 0 {
+		t.Fatalf("hydration fired %v", got)
+	}
+
+	// Removing a stub fires invalidation but not eviction (no resident
+	// document to hand the eviction hook).
+	c2 := New()
+	if n, err := c2.LoadDir(dir); err != nil || n != 1 {
+		t.Fatalf("LoadDir = %d, %v", n, err)
+	}
+	var stubFired []string
+	c2.SetInvalidationHook(func(name string) { stubFired = append(stubFired, name) })
+	c2.SetBudget(0, func(name string, d *core.Document) {
+		t.Errorf("eviction hook fired for stub %q", name)
+	})
+	if d := c2.Remove("b"); d != nil {
+		t.Fatalf("Remove stub returned a document")
+	}
+	if !reflect.DeepEqual(stubFired, []string{"b"}) {
+		t.Fatalf("stub Remove fired %v, want [b]", stubFired)
+	}
+}

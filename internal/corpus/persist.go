@@ -74,7 +74,8 @@ func (c *Corpus) LoadDir(dir string) (int, error) {
 		c.mu.Lock()
 		if _, taken := c.entries[name]; !taken {
 			c.clock++
-			c.entries[name] = &entry{used: c.clock, path: path, nodes: nodes}
+			c.verClock++
+			c.entries[name] = &entry{used: c.clock, path: path, nodes: nodes, ver: c.verClock}
 			added++
 		}
 		c.mu.Unlock()

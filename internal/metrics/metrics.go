@@ -1,0 +1,407 @@
+// Package metrics is a dependency-free metrics registry with Prometheus
+// text exposition — the observability half of the serving tier.
+//
+// The engine's robustness machinery (admission control, the result
+// cache, corpus eviction) is only operable if its state is visible from
+// the outside, and the de-facto wire format for that is the Prometheus
+// text format. Pulling in a client library would break the module's
+// zero-dependency contract, so this package implements the small subset
+// the server needs:
+//
+//   - Counter / Gauge / Histogram, optionally labeled (the *Vec
+//     constructors), all safe for concurrent use and allocation-free on
+//     the hot path once a label combination has been interned.
+//   - CounterFunc / GaugeFunc for values owned elsewhere (corpus bytes,
+//     gate depth, cache stats): the callback runs at scrape time, so the
+//     metric is always current without double bookkeeping.
+//   - Registry.ServeHTTP / WriteTo rendering the text exposition format
+//     (# HELP, # TYPE, histogram _bucket/_sum/_count with cumulative le
+//     labels) with deterministic family and series ordering, so scrapes
+//     diff cleanly and tests can assert on exact lines.
+//
+// Histograms use fixed upper bounds chosen at construction (see
+// DefBuckets for the latency default); observation is a linear scan over
+// a handful of buckets plus three atomic adds — no locks on the hot path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets, in seconds: 100µs to 10s,
+// roughly logarithmic. Evaluations span from microsecond cache-adjacent
+// lookups to multi-second batch enumerations, so the range is wide.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// value is a float64 cell updated with compare-and-swap, so counters and
+// gauges never lock.
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) Add(delta float64) {
+	for {
+		old := v.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if v.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (v *value) Set(x float64) { v.bits.Store(math.Float64bits(x)) }
+func (v *value) Load() float64 { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v value }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta, which must be non-negative (counters only go up).
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		panic("metrics: counter decrease")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v value }
+
+// Set replaces the value.
+func (g *Gauge) Set(x float64) { g.v.Set(x) }
+
+// Add adds delta (negative deltas allowed).
+func (g *Gauge) Add(delta float64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds, +Inf excluded
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    value
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	for i, ub := range h.upper {
+		if x <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.Add(x)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// series is one label combination of a family: the interned label
+// values plus the instrument holding its state.
+type series struct {
+	labels string // rendered {k="v",...} block, "" when unlabeled
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+	fn     func() float64 // CounterFunc / GaugeFunc callback
+}
+
+// family is one named metric: a type, a help line, and its series.
+type family struct {
+	name, help, typ string
+	labelNames      []string
+	buckets         []float64
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []string // insertion-keyed; sorted at scrape
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register installs a family, panicking on duplicate names — metric
+// registration is program structure, and a collision is a bug worth
+// failing loudly on at startup rather than silently merging.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic("metrics: duplicate metric " + f.name)
+	}
+	f.series = make(map[string]*series)
+	r.families[f.name] = f
+	r.order = append(r.order, f.name)
+	return f
+}
+
+// seriesFor interns one label combination.
+func (f *family) seriesFor(labelValues []string, build func() *series) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := build()
+	s.labels = renderLabels(f.labelNames, labelValues)
+	f.series[key] = s
+	f.order = append(f.order, key)
+	return s
+}
+
+// renderLabels builds the {k="v",...} block, escaping values.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// ---- constructors ---------------------------------------------------------
+
+// NewCounter registers an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	f := r.register(&family{name: name, help: help, typ: "counter"})
+	return f.seriesFor(nil, func() *series { return &series{ctr: &Counter{}} }).ctr
+}
+
+// NewCounterVec registers a labeled counter family; With interns one
+// label combination.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(&family{
+		name: name, help: help, typ: "counter", labelNames: labelNames})}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (interned).
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return v.f.seriesFor(labelValues, func() *series { return &series{ctr: &Counter{}} }).ctr
+}
+
+// NewGauge registers an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	f := r.register(&family{name: name, help: help, typ: "gauge"})
+	return f.seriesFor(nil, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(&family{
+		name: name, help: help, typ: "gauge", labelNames: labelNames})}
+}
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values (interned).
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return v.f.seriesFor(labelValues, func() *series { return &series{gauge: &Gauge{}} }).gauge
+}
+
+// NewGaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	f := r.register(&family{name: name, help: help, typ: "gauge"})
+	f.seriesFor(nil, func() *series { return &series{fn: fn} })
+}
+
+// NewCounterFunc registers a counter whose value is read at scrape time;
+// fn must be monotonically non-decreasing (it typically reads an atomic
+// counter owned by another subsystem).
+func (r *Registry) NewCounterFunc(name, help string, fn func() float64) {
+	f := r.register(&family{name: name, help: help, typ: "counter"})
+	f.seriesFor(nil, func() *series { return &series{fn: fn} })
+}
+
+// NewHistogram registers an unlabeled histogram with the given upper
+// bounds (nil means DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(&family{name: name, help: help, typ: "histogram", buckets: normBuckets(buckets)})
+	return f.seriesFor(nil, func() *series { return &series{hist: newHistogram(f.buckets)} }).hist
+}
+
+// NewHistogramVec registers a labeled histogram family with the given
+// upper bounds (nil means DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(&family{
+		name: name, help: help, typ: "histogram",
+		buckets: normBuckets(buckets), labelNames: labelNames})}
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values (interned).
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return v.f.seriesFor(labelValues, func() *series {
+		return &series{hist: newHistogram(v.f.buckets)}
+	}).hist
+}
+
+func normBuckets(b []float64) []float64 {
+	if len(b) == 0 {
+		b = DefBuckets
+	}
+	out := append([]float64(nil), b...)
+	sort.Float64s(out)
+	return out
+}
+
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper))}
+}
+
+// ---- exposition -----------------------------------------------------------
+
+// WriteTo renders the registry in the text exposition format, families
+// in registration order and series in sorted-label order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.render(&sb)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// ServeHTTP renders the registry — mount it at GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = r.WriteTo(w)
+}
+
+func (f *family) render(sb *strings.Builder) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	rows := make([]*series, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		rows = append(rows, f.series[k])
+	}
+	f.mu.Unlock()
+	if len(rows) == 0 {
+		return
+	}
+
+	fmt.Fprintf(sb, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range rows {
+		switch {
+		case s.hist != nil:
+			s.renderHistogram(sb, f.name)
+		case s.fn != nil:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, s.labels, fmtFloat(s.fn()))
+		case s.ctr != nil:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, s.labels, fmtFloat(s.ctr.Value()))
+		default:
+			fmt.Fprintf(sb, "%s%s %s\n", f.name, s.labels, fmtFloat(s.gauge.Value()))
+		}
+	}
+}
+
+// renderHistogram emits the cumulative _bucket series plus _sum/_count.
+// The le label is appended to the series' own labels.
+func (s *series) renderHistogram(sb *strings.Builder, name string) {
+	h := s.hist
+	open := "{"
+	if s.labels != "" {
+		open = s.labels[:len(s.labels)-1] + ","
+	}
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket%sle=\"%s\"} %d\n", name, open, fmtFloat(ub), cum)
+	}
+	// The +Inf bucket equals the total count by construction.
+	fmt.Fprintf(sb, "%s_bucket%sle=\"+Inf\"} %d\n", name, open, h.count.Load())
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, s.labels, fmtFloat(h.sum.Load()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, s.labels, h.count.Load())
+}
+
+// fmtFloat renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else in shortest form.
+func fmtFloat(x float64) string {
+	if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+		return strconv.FormatInt(int64(x), 10)
+	}
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func scrape(t *testing.T, r *Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return sb.String()
+}
+
+func wantLine(t *testing.T, text, line string) {
+	t.Helper()
+	for _, l := range strings.Split(text, "\n") {
+		if l == line {
+			return
+		}
+	}
+	t.Fatalf("missing line %q in:\n%s", line, text)
+}
+
+// TestCounterGaugeExposition: HELP/TYPE headers, label rendering,
+// integer formatting, and Vec interning.
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("requests_total", "Total requests.")
+	c.Inc()
+	c.Add(2)
+
+	v := r.NewCounterVec("evals_total", "Evals by outcome.", "strategy", "outcome")
+	v.With("acyclic", "ok").Add(5)
+	v.With("acyclic", "error").Inc()
+	if v.With("acyclic", "ok") != v.With("acyclic", "ok") {
+		t.Fatal("With does not intern label combinations")
+	}
+
+	g := r.NewGauge("in_flight", "Current in-flight.")
+	g.Set(3)
+	g.Dec()
+
+	r.NewGaugeFunc("corpus_bytes", "Corpus bytes.", func() float64 { return 4096 })
+
+	out := scrape(t, r)
+	wantLine(t, out, "# HELP requests_total Total requests.")
+	wantLine(t, out, "# TYPE requests_total counter")
+	wantLine(t, out, "requests_total 3")
+	wantLine(t, out, `evals_total{strategy="acyclic",outcome="ok"} 5`)
+	wantLine(t, out, `evals_total{strategy="acyclic",outcome="error"} 1`)
+	wantLine(t, out, "in_flight 2")
+	wantLine(t, out, "corpus_bytes 4096")
+	wantLine(t, out, "# TYPE corpus_bytes gauge")
+}
+
+// TestHistogramExposition: cumulative buckets, the +Inf bucket equal to
+// the count, sum and count lines, and the le label merged into existing
+// label blocks.
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, x := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+
+	hv := r.NewHistogramVec("eval_seconds", "Eval latency.", []float64{1}, "mode")
+	hv.With("bool").Observe(0.5)
+
+	out := scrape(t, r)
+	wantLine(t, out, `latency_seconds_bucket{le="0.01"} 1`)
+	wantLine(t, out, `latency_seconds_bucket{le="0.1"} 3`)
+	wantLine(t, out, `latency_seconds_bucket{le="1"} 4`)
+	wantLine(t, out, `latency_seconds_bucket{le="+Inf"} 5`)
+	wantLine(t, out, "latency_seconds_count 5")
+	wantLine(t, out, `eval_seconds_bucket{mode="bool",le="1"} 1`)
+	wantLine(t, out, `eval_seconds_bucket{mode="bool",le="+Inf"} 1`)
+	wantLine(t, out, `eval_seconds_count{mode="bool"} 1`)
+	wantLine(t, out, `eval_seconds_sum{mode="bool"} 0.5`)
+}
+
+// TestLabelEscaping: backslashes, quotes, and newlines in label values
+// must render escaped, not break the line protocol.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewGaugeVec("g", "Help.", "path")
+	v.With("a\"b\\c\nd").Set(1)
+	out := scrape(t, r)
+	wantLine(t, out, `g{path="a\"b\\c\nd"} 1`)
+}
+
+// TestServeHTTP: the handler sets the exposition content type and the
+// body parses line-by-line (every non-comment line is "name[{labels}]
+// value").
+func TestServeHTTP(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "A.").Inc()
+	r.NewHistogram("h_seconds", "H.", nil).Observe(0.2)
+
+	rr := httptest.NewRecorder()
+	r.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(rr.Body.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestDuplicateRegistrationPanics: a metric name collision is a
+// programming error, reported at registration.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewGauge("x_total", "X again.")
+}
+
+// TestConcurrentUpdates: counters, gauges, and histograms tolerate
+// concurrent writers (run under -race) and land on exact totals.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "C.")
+	h := r.NewHistogram("h_seconds", "H.", []float64{0.5})
+	v := r.NewCounterVec("v_total", "V.", "w")
+
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				h.Observe(0.1)
+				v.With("a").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*each {
+		t.Fatalf("counter = %v, want %d", got, workers*each)
+	}
+	if got := h.Count(); got != workers*each {
+		t.Fatalf("histogram count = %d, want %d", got, workers*each)
+	}
+	if got := v.With("a").Value(); got != workers*each {
+		t.Fatalf("vec counter = %v, want %d", got, workers*each)
+	}
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkEvalCache measures what the result cache buys one repeated
+// /eval request: the <config>/cold leg runs a cache-disabled server (every
+// request pays full engine evaluation), the <config>/warm leg the same
+// request against a pre-warmed cache. scripts/bench.sh pairs the cold/warm
+// suffixes into a speedup row (like probe/kernel and parse/snapshot), and
+// scripts/perfgate.sh gates the geomean. Both servers' responses are
+// compared for byte equality before any timing — a parity failure is a
+// correctness bug, not a slow run.
+func BenchmarkEvalCache(b *testing.B) {
+	const docs, depth = 4, 200
+	for _, mode := range []string{"nodes", "tuples"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			cold := newBenchServer(b, Config{}, docs, depth)
+			warm := newBenchServer(b, Config{CacheBytes: 64 << 20}, docs, depth)
+			body := fmt.Sprintf(`{"query": "q", "mode": %q}`, mode)
+
+			// Parity self-check; the first warm request also fills the cache.
+			want := benchEval(b, cold, body)
+			if got := benchEval(b, warm, body); got != want {
+				b.Fatalf("cold/warm parity broken:\ncold: %s\nwarm: %s", want, got)
+			}
+			if got := benchEval(b, warm, body); got != want {
+				b.Fatalf("warm hit diverged from cold result")
+			}
+
+			b.Run("cold", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					benchEval(b, cold, body)
+				}
+			})
+			b.Run("warm", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					benchEval(b, warm, body)
+				}
+			})
+		})
+	}
+}
+
+// newBenchServer seeds a server with right-deep B-chain documents and one
+// registered monadic query matching every chain node.
+func newBenchServer(b *testing.B, cfg Config, docs, depth int) http.Handler {
+	b.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	h := s.Handler()
+	term := "A(" + strings.Repeat("B(", depth) + "B" + strings.Repeat(")", depth) + ")"
+	for i := 0; i < docs; i++ {
+		rr := httptest.NewRecorder()
+		req := httptest.NewRequest("PUT", fmt.Sprintf("/docs/d%03d", i),
+			strings.NewReader(fmt.Sprintf(`{"term": %q}`, term)))
+		h.ServeHTTP(rr, req)
+		if rr.Code != http.StatusCreated {
+			b.Fatalf("PUT doc: %d %s", rr.Code, rr.Body.String())
+		}
+	}
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("PUT", "/queries/q",
+		strings.NewReader(`{"query": "Q(x) <- B(x)"}`))
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusCreated {
+		b.Fatalf("PUT query: %d %s", rr.Code, rr.Body.String())
+	}
+	return h
+}
+
+// benchEval posts one /eval and returns the response body.
+func benchEval(b *testing.B, h http.Handler, body string) string {
+	b.Helper()
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/eval", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		b.Fatalf("POST /eval: %d %s", rr.Code, rr.Body.String())
+	}
+	return rr.Body.String()
+}

@@ -79,15 +79,22 @@ func (s *Server) answerCap(req int) int {
 	return cap
 }
 
-// admissionReject maps gate errors onto the overload tiers. Both carry
-// Retry-After: 429s tell the client to back off briefly and retry the
-// same server (the queue drains as in-flight evals finish); 503s tell it
-// this replica is going away — retry another one after a beat.
-func admissionReject(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrShutdown) {
+// admissionReject maps gate errors onto the overload tiers, counting the
+// rejection by reason. Both tiers carry Retry-After: 429s tell the client
+// to back off briefly and retry the same server (the queue drains as
+// in-flight evals finish); 503s tell it this replica is going away —
+// retry another one after a beat.
+func (s *Server) admissionReject(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrShutdown):
+		s.metrics.rejected.With("shutdown").Inc()
 		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusServiceUnavailable, "shutting down")
 		return
+	case errors.Is(err, ErrQueueFull):
+		s.metrics.rejected.With("queue_full").Inc()
+	default:
+		s.metrics.rejected.With("queue_wait").Inc()
 	}
 	w.Header().Set("Retry-After", "1")
 	httpError(w, http.StatusTooManyRequests, "%v", err)
@@ -117,6 +124,7 @@ func containsToken(header, mediaType string) bool {
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req evalRequest
 	if !s.decodeBody(w, r, &req) {
 		return
@@ -181,13 +189,22 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// The cached path manages admission itself: lookups happen before the
+	// gate, and only cache misses acquire a slot. Streaming responses
+	// bypass the cache — they exist for results too large to materialize,
+	// which are exactly the ones the cache's per-entry cap refuses.
+	if s.cache != nil && !wantsNDJSON(r) {
+		s.evalCached(ctx, w, r, req, pq, mode, start)
+		return
+	}
+
 	// Admission: evaluation is the expensive tier, so only it passes the
 	// gate (metadata endpoints stay responsive under saturation). The
 	// release is deferred, so even a panicking evaluation — converted to a
 	// 500 by the recovery middleware — frees its slot.
 	release, err := s.gate.Acquire(ctx)
 	if err != nil {
-		admissionReject(w, err)
+		s.admissionReject(w, err)
 		return
 	}
 	defer release()
@@ -196,16 +213,16 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if wantsNDJSON(r) {
-		s.evalNDJSON(ctx, w, req, pq, mode)
+		s.evalNDJSON(ctx, w, req, pq, mode, start)
 		return
 	}
-	s.evalBuffered(ctx, w, req, pq, mode)
+	s.evalBuffered(ctx, w, req, pq, mode, start)
 }
 
 // evalBuffered is the classic JSON response path: the whole batch fans
 // out across the worker pool and the response materializes in memory —
 // bounded by the answer cap when one is configured.
-func (s *Server) evalBuffered(ctx context.Context, w http.ResponseWriter, req evalRequest, pq *cqtrees.PreparedQuery, mode string) {
+func (s *Server) evalBuffered(ctx context.Context, w http.ResponseWriter, req evalRequest, pq *cqtrees.PreparedQuery, mode string, start time.Time) {
 	// The document list is frozen up front (an unrestricted request takes
 	// the current fleet): batch completeness is then decidable — a timed
 	// out batch may never dispatch some documents, and those produce no
@@ -236,6 +253,11 @@ func (s *Server) evalBuffered(ctx context.Context, w http.ResponseWriter, req ev
 		if err != nil && !explicit && errors.Is(err, cqtrees.ErrUnknownDocument) {
 			expected--
 			return
+		}
+		// Count rows that reached the engine under their strategy; an
+		// unknown document (explicitly named, hence an error row) did not.
+		if err == nil || !errors.Is(err, cqtrees.ErrUnknownDocument) {
+			s.metrics.evalsTotal.With(strategySlug(pq.Plan())).Inc()
 		}
 		row := evalResult{Doc: doc}
 		if err != nil {
@@ -284,8 +306,10 @@ func (s *Server) evalBuffered(ctx context.Context, w http.ResponseWriter, req ev
 	if errors.Is(ctx.Err(), context.DeadlineExceeded) &&
 		(cancelledRows > 0 || resp.Docs < expected) {
 		resp.TimedOut = true
+		s.metrics.observeEval(start, pq, "timeout")
 		writeJSON(w, http.StatusGatewayTimeout, resp)
 		return
 	}
+	s.metrics.observeEval(start, pq, "ok")
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	cqtrees "repro"
 )
@@ -62,7 +63,7 @@ type ndSummary struct {
 // bytes stay bounded even inside one enormous document.
 const flushEvery = 4096
 
-func (s *Server) evalNDJSON(ctx context.Context, w http.ResponseWriter, req evalRequest, pq *cqtrees.PreparedQuery, mode string) {
+func (s *Server) evalNDJSON(ctx context.Context, w http.ResponseWriter, req evalRequest, pq *cqtrees.PreparedQuery, mode string, start time.Time) {
 	explicit := len(req.Docs) > 0
 	docs := req.Docs
 	if !explicit {
@@ -90,7 +91,9 @@ func (s *Server) evalNDJSON(ctx context.Context, w http.ResponseWriter, req eval
 			break // summary reports timed_out below
 		}
 		doc, ok := s.corpus.Get(name)
-		if !ok {
+		if ok {
+			s.metrics.evalsTotal.With(strategySlug(pq.Plan())).Inc()
+		} else {
 			// Same contract as the buffered path: an explicitly named
 			// missing document is an error row; an implicitly selected one
 			// that vanished mid-batch is silently skipped.
@@ -153,6 +156,11 @@ func (s *Server) evalNDJSON(ctx context.Context, w http.ResponseWriter, req eval
 		flush()
 	}
 	sum.TimedOut = errors.Is(ctx.Err(), context.DeadlineExceeded)
+	outcome := "ok"
+	if sum.TimedOut {
+		outcome = "timeout"
+	}
+	s.metrics.observeEval(start, pq, outcome)
 	emit(sum)
 	flush()
 }

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	cqtrees "repro"
+	"repro/internal/cache"
 )
 
 // Config configures New. Zero values are permissive: no corpus budget, a
@@ -65,6 +66,16 @@ type Config struct {
 	// the cap and the row is marked "truncated": true. A request's
 	// max_answers may tighten the cap, never extend it. <= 0 is unlimited.
 	MaxAnswers int
+
+	// CacheBytes is the result cache's total byte budget: materialized
+	// /eval results are cached per (query, document, document version)
+	// and served without re-evaluating — or re-entering admission — until
+	// the document changes. <= 0 disables the cache.
+	CacheBytes int64
+	// CacheMaxEntry caps one cached result's size; results over it are
+	// never cached (a million-answer relation should stream, not evict
+	// the whole working set). <= 0 defaults to CacheBytes per shard.
+	CacheMaxEntry int64
 }
 
 // Server is the HTTP face of the corpus engine: a Corpus of named indexed
@@ -81,6 +92,8 @@ type Server struct {
 	dataDir     string
 	maxAnswers  int
 	gate        *Gate
+	cache       *cache.Cache // nil when disabled: always-miss, no-op puts
+	metrics     *serveMetrics
 
 	// hook, when non-nil, runs at the start of every admitted /eval
 	// evaluation — a test seam for saturating the gate deterministically
@@ -104,6 +117,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 16 << 20
 	}
+	// The cache exists before the corpus so the corpus's invalidation
+	// hook can close over it: every Swap, Remove, eviction, and
+	// dehydration drops that document's cached results eagerly (the
+	// version in the key already makes them unservable; the hook just
+	// reclaims the bytes).
+	resultCache := cache.New(cfg.CacheBytes, cfg.CacheMaxEntry)
+	if resultCache != nil {
+		opts = append(opts, cqtrees.WithInvalidationHook(func(name string) {
+			resultCache.InvalidateDoc(name)
+		}))
+	}
 	s := &Server{
 		corpus:      cqtrees.NewCorpus(opts...),
 		queries:     make(map[string]*storedQuery),
@@ -112,7 +136,9 @@ func New(cfg Config) (*Server, error) {
 		dataDir:     cfg.DataDir,
 		maxAnswers:  cfg.MaxAnswers,
 		gate:        NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		cache:       resultCache,
 	}
+	s.metrics = newServeMetrics(s)
 	if s.dataDir != "" {
 		if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
 			return nil, err
@@ -134,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.metrics.registry)
 	mux.HandleFunc("GET /docs", s.handleListDocs)
 	mux.HandleFunc("GET /docs/{name}", s.handleGetDoc)
 	mux.HandleFunc("PUT /docs/{name}", s.handlePutDoc)
@@ -143,7 +170,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /queries/{name}", s.handlePutQuery)
 	mux.HandleFunc("DELETE /queries/{name}", s.handleDeleteQuery)
 	mux.HandleFunc("POST /eval", s.handleEval)
-	return withRecover(withBodyLimit(s.maxBody, mux))
+	return s.metrics.withMetrics(withRecover(withBodyLimit(s.maxBody, mux)))
 }
 
 // BeginShutdown flips the server into draining mode: queued /eval
@@ -177,6 +204,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		// new traffic while in-flight work completes.
 		status, code = "draining", http.StatusServiceUnavailable
 	}
+	cs := s.cache.Stats() // all-zero for the disabled (nil) cache
 	writeJSON(w, code, map[string]any{
 		"status":    status,
 		"docs":      s.corpus.Len(),
@@ -184,5 +212,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"bytes":     s.corpus.Bytes(),
 		"in_flight": s.gate.InFlight(),
 		"queued":    s.gate.Queued(),
+		"cache": map[string]any{
+			"enabled": s.cache != nil,
+			"hits":    cs.Hits,
+			"misses":  cs.Misses,
+			"entries": cs.Entries,
+			"bytes":   cs.Bytes,
+		},
 	})
 }

@@ -11,14 +11,19 @@
 #
 #   scripts/bench.sh -b BenchmarkColdStart -p . -t 20x -o BENCH_pr6.json
 #
+# The result-cache trajectory (warm cache vs full evaluation; PR 8) is the
+# same script again, pointed at the serving package:
+#
+#   scripts/bench.sh -b BenchmarkEvalCache -p ./internal/serve -t 200x -o BENCH_pr8.json
+#
 # The JSON keeps the raw `go test -bench` lines under "raw" — that text is
 # what benchstat consumes, so `jq -r .raw BENCH_pr4.json > old.txt` followed
 # by `benchstat old.txt new.txt` compares any later run against this
 # baseline — alongside parsed per-benchmark entries and the derived
 # speedups: benchmark names ending in a slow/fast suffix pair
-# (…/probe vs …/kernel, …/parse vs …/snapshot) are matched per
-# configuration and the ratio recorded under "speedups", which is what
-# scripts/perfgate.sh gates on.
+# (…/probe vs …/kernel, …/parse vs …/snapshot, …/cold vs …/warm) are
+# matched per configuration and the ratio recorded under "speedups",
+# which is what scripts/perfgate.sh gates on.
 #
 # The script is CI-safe: no interactive assumptions, explicit -benchtime /
 # package / benchmark-regex flags, and a non-zero exit when `go test`
@@ -81,16 +86,21 @@ if [ "$loadmode" = 1 ]; then
 	# admission gate actually sheds (workers > max-inflight + max-queue).
 	# Full: the recorded baseline — longer run, million-tuple stream probe.
 	if [ $# -ge 1 ]; then out="$1"; fi
+	# Both shapes run with the result cache on and a -repeat fraction, so
+	# the report's cache section (scraped from /metrics) shows real hits —
+	# perfgate's load gate requires hits whenever repeat was set.
 	if [ "$quick" = 1 ]; then
 		: "${out:=BENCH_load_quick.json}"
 		go run ./cmd/cqload -self -duration 8s -docs 4 -depth 300 \
 			-workers 12 -max-inflight 4 -max-queue 4 -queue-wait 2s \
-			-retries 3 -stream-check -o "$out"
+			-retries 3 -repeat 0.5 -cache-bytes 67108864 \
+			-stream-check -o "$out"
 	else
 		: "${out:=BENCH_pr7.json}"
 		go run ./cmd/cqload -self -duration 20s -docs 8 -depth 1500 \
 			-workers 16 -max-inflight 8 -max-queue 16 -queue-wait 5s \
-			-retries 3 -stream-check -o "$out"
+			-retries 3 -repeat 0.5 -cache-bytes 268435456 \
+			-stream-check -o "$out"
 	fi
 	echo "wrote $out"
 	exit 0
@@ -132,7 +142,7 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
 END {
 	# Slow/fast suffix pairs: a benchmark …/<slow> matched with its
 	# sibling …/<fast> yields one speedup row per configuration.
-	npair = split("probe:kernel parse:snapshot", pairdefs, " ")
+	npair = split("probe:kernel parse:snapshot cold:warm", pairdefs, " ")
 	printf "{\n"
 	printf "  \"suite\": \"%s\",\n", jesc(suite)
 	printf "  \"benchtime\": \"%s\",\n", benchtime

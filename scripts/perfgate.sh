@@ -17,7 +17,11 @@
 #   - streaming stayed flat: the NDJSON heap probe saw the stream
 #     (tuples > 0) and its peak heap is under 64 MiB — an O(answers)
 #     buffering regression is hundreds of MiB at the probe's relation
-#     size, so the absolute tripwire is loose but decisive.
+#     size, so the absolute tripwire is loose but decisive;
+#   - the result cache worked: a run with -repeat set (PR 8) must show
+#     nonzero cache hits in the /metrics-scraped cache section — a cache
+#     that silently stopped hitting is a perf regression even though
+#     every response stays correct. Reports without repeat pass vacuously.
 #
 # Two comparisons run:
 #
@@ -72,7 +76,7 @@ if [ "$loadmode" = 1 ]; then
 		exit 2
 	fi
 	echo "== load gate: $loadfile =="
-	jq -r '"requests \(.requests)  rps \(.throughput_rps | floor)  p50 \(.latency.p50_ms)ms  p99 \(.latency.p99_ms)ms  status \(.status)  5xx \(.server_5xx)  leak \(.goroutine_leak)  stream_tuples \(.stream.tuples // 0)  stream_peak \((.stream.peak_heap_bytes // 0) / 1048576 | floor)MiB"' "$loadfile"
+	jq -r '"requests \(.requests)  rps \(.throughput_rps | floor)  p50 \(.latency.p50_ms)ms  p99 \(.latency.p99_ms)ms  status \(.status)  5xx \(.server_5xx)  leak \(.goroutine_leak)  stream_tuples \(.stream.tuples // 0)  stream_peak \((.stream.peak_heap_bytes // 0) / 1048576 | floor)MiB  cache_hit_rate \(.cache.hit_rate // 0)"' "$loadfile"
 	fail=0
 	check() { # check DESCRIPTION JQ_BOOL_EXPR
 		if [ "$(jq -r "$2" "$loadfile")" != "true" ]; then
@@ -88,6 +92,7 @@ if [ "$loadmode" = 1 ]; then
 	check "no goroutine leak across shutdown" '.goroutine_leak == false'
 	check "stream probe ran (tuples > 0)" '(.stream.tuples // 0) > 0'
 	check "stream heap flat (peak < 64 MiB)" '(.stream.peak_heap_bytes // 0) < 67108864'
+	check "cache hits when -repeat was set" '((.config.repeat // 0) == 0) or ((.cache.hits // 0) > 0)'
 	if [ "$fail" -ne 0 ]; then
 		echo "perfgate: load-gate violation in $loadfile" >&2
 		exit 1
