@@ -38,6 +38,13 @@
 // and reports cache hits, misses, and the hit rate in the JSON summary —
 // the knob that turns cqload into a cache-effectiveness harness.
 //
+// With -data DIR (-self only), the in-process server persists every
+// seeded document to DIR through the crash-durable snapshot path; the
+// same /metrics scrape then fills the report's "persistence" section
+// (hydration errors, quarantines, persist errors), which the load gate
+// asserts is all zeros — no snapshot may corrupt or fail while the
+// server is under pressure.
+//
 // The JSON report (stdout, or -o FILE) is consumed by scripts/bench.sh -l
 // and gated by scripts/perfgate.sh -l in CI's load-smoke job.
 package main
@@ -98,6 +105,8 @@ type loadConfig struct {
 	MaxAnswers  int     `json:"max_answers,omitempty"`
 	Repeat      float64 `json:"repeat,omitempty"`
 	CacheBytes  int64   `json:"cache_bytes,omitempty"`
+	Data        string  `json:"data,omitempty"`
+	NoFsync     bool    `json:"no_fsync,omitempty"`
 }
 
 // latencyStats are the sorted-percentile summaries, in milliseconds.
@@ -126,20 +135,32 @@ type cacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// persistenceStats is the persistence-health section of the report,
+// scraped from /metrics after the load. A clean run reads all zeros —
+// the load gate asserts no snapshot corrupted, no quarantine fired, and
+// no persist failed while the server was under pressure.
+type persistenceStats struct {
+	HydrationErrors int64 `json:"hydration_errors"`
+	Quarantines     int64 `json:"quarantines"`
+	PersistErrors   int64 `json:"persist_errors"`
+	QuarantinedDocs int64 `json:"quarantined_docs"`
+}
+
 // report is the full JSON output.
 type report struct {
-	Config        loadConfig     `json:"config"`
-	DurationS     float64        `json:"duration_s"`
-	Requests      int64          `json:"requests"`
-	ThroughputRPS float64        `json:"throughput_rps"`
-	Latency       latencyStats   `json:"latency"`
-	Status        map[string]int `json:"status"`
-	Retries       int64          `json:"retries"`
-	ClientErrors  int64          `json:"client_errors"`
-	Server5xx     int64          `json:"server_5xx"`
-	GoroutineLeak *bool          `json:"goroutine_leak,omitempty"`
-	Stream        *streamStats   `json:"stream,omitempty"`
-	Cache         *cacheStats    `json:"cache,omitempty"`
+	Config        loadConfig        `json:"config"`
+	DurationS     float64           `json:"duration_s"`
+	Requests      int64             `json:"requests"`
+	ThroughputRPS float64           `json:"throughput_rps"`
+	Latency       latencyStats      `json:"latency"`
+	Status        map[string]int    `json:"status"`
+	Retries       int64             `json:"retries"`
+	ClientErrors  int64             `json:"client_errors"`
+	Server5xx     int64             `json:"server_5xx"`
+	GoroutineLeak *bool             `json:"goroutine_leak,omitempty"`
+	Stream        *streamStats      `json:"stream,omitempty"`
+	Cache         *cacheStats       `json:"cache,omitempty"`
+	Persistence   *persistenceStats `json:"persistence,omitempty"`
 }
 
 // op is one entry of the query mix rotation. eval is the request template
@@ -207,6 +228,8 @@ func run(args []string, stdout io.Writer) error {
 	poolSize := fs.Int("repeat-pool", 64, "recent-key pool size -repeat replays from")
 	cacheBytes := fs.Int64("cache-bytes", 0, "-self server: result cache byte budget (0 = disabled)")
 	cacheMaxEntry := fs.Int64("cache-max-entry", 0, "-self server: per-result cache size cap")
+	dataDir := fs.String("data", "", "-self server: snapshot directory (every seeded PUT persists; exercises the crash-durable write path under load)")
+	noFsync := fs.Bool("no-fsync", false, "-self server: skip fsync in the persist path")
 	streamCheck := fs.Bool("stream-check", false, "after the run, probe NDJSON streaming heap flatness (-self only)")
 	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
@@ -230,6 +253,9 @@ func run(args []string, stdout io.Writer) error {
 	if *cacheBytes > 0 && !*self {
 		return fmt.Errorf("-cache-bytes configures the -self server; pass it to cqserve for -addr runs")
 	}
+	if (*dataDir != "" || *noFsync) && !*self {
+		return fmt.Errorf("-data and -no-fsync configure the -self server; pass them to cqserve for -addr runs")
+	}
 
 	rep := report{
 		Config: loadConfig{
@@ -237,6 +263,7 @@ func run(args []string, stdout io.Writer) error {
 			Duration: duration.String(), Mix: *mix, Timeout: timeout.String(),
 			Retries: *retries, MaxInFlight: *maxInFlight, MaxQueue: *maxQueue,
 			MaxAnswers: *maxAnswers, Repeat: *repeat, CacheBytes: *cacheBytes,
+			Data: *dataDir, NoFsync: *noFsync,
 		},
 		Status: map[string]int{},
 	}
@@ -251,6 +278,7 @@ func run(args []string, stdout io.Writer) error {
 		srv, err = serve.New(serve.Config{
 			MaxInFlight: *maxInFlight, MaxQueue: *maxQueue, QueueWait: *queueWait,
 			CacheBytes: *cacheBytes, CacheMaxEntry: *cacheMaxEntry,
+			DataDir: *dataDir, NoFsync: *noFsync,
 		})
 		if err != nil {
 			return fmt.Errorf("server: %w", err)
@@ -370,8 +398,9 @@ func run(args []string, stdout io.Writer) error {
 	// Cache effectiveness comes from the server's own accounting — a
 	// /metrics scrape after the load, before shutdown — not from guessing
 	// client-side. Servers without the endpoint just omit the section.
-	if cs, err := scrapeCache(client, *addr); err == nil {
+	if cs, ps, err := scrapeMetrics(client, *addr); err == nil {
 		rep.Cache = cs
+		rep.Persistence = ps
 	}
 
 	// The streaming probe runs after the load so the heap is quiet: idle
@@ -530,19 +559,20 @@ func doEval(ctx context.Context, client *http.Client, addr, body string, retries
 	}
 }
 
-// scrapeCache reads the server's result-cache counters from /metrics
-// (Prometheus text exposition: "name value" lines).
-func scrapeCache(client *http.Client, addr string) (*cacheStats, error) {
+// scrapeMetrics reads the server's result-cache and persistence counters
+// from /metrics (Prometheus text exposition: "name value" lines).
+func scrapeMetrics(client *http.Client, addr string) (*cacheStats, *persistenceStats, error) {
 	resp, err := client.Get(addr + "/metrics")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, resp.Body)
-		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+		return nil, nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
 	}
 	cs := &cacheStats{}
+	ps := &persistenceStats{}
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
@@ -558,15 +588,23 @@ func scrapeCache(client *http.Client, addr string) (*cacheStats, error) {
 			cs.Hits = int64(v)
 		case "cqtrees_cache_misses_total":
 			cs.Misses = int64(v)
+		case "cqtrees_corpus_hydration_errors_total":
+			ps.HydrationErrors = int64(v)
+		case "cqtrees_corpus_quarantines_total":
+			ps.Quarantines = int64(v)
+		case "cqtrees_corpus_persist_errors_total":
+			ps.PersistErrors = int64(v)
+		case "cqtrees_corpus_quarantined_docs":
+			ps.QuarantinedDocs = int64(v)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if total := cs.Hits + cs.Misses; total > 0 {
 		cs.HitRate = float64(cs.Hits) / float64(total)
 	}
-	return cs, nil
+	return cs, ps, nil
 }
 
 // percentiles summarizes latencies (ms) by sorted rank.

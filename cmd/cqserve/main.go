@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cqserve [-addr :8080] [-max-corpus-bytes N] [-eval-timeout 30s] [-data DIR]
-//	        [-max-inflight 64] [-max-queue 128] [-queue-wait 5s]
+//	        [-no-fsync] [-max-inflight 64] [-max-queue 128] [-queue-wait 5s]
 //	        [-max-answers N] [-drain-timeout 15s]
 //	        [-cache-bytes N] [-cache-max-entry N]
 //
@@ -24,6 +24,18 @@
 // pointer fixups — on first use, under the -max-corpus-bytes budget
 // (budget pressure dehydrates snapshot-backed documents back to disk
 // instead of dropping them).
+//
+// Persistence is crash-durable by default: snapshots are written to a
+// temp file, fsynced, renamed into place, and the directory fsynced, so
+// a crash at any instant leaves either the old or the new snapshot —
+// never a torn file. -no-fsync trades that durability for write speed
+// (bulk imports, benchmarks). Snapshot files that fail validation are
+// quarantined — renamed to <file>.corrupt, skipped, and counted on
+// /healthz ("persistence") and /metrics — while healthy documents keep
+// serving; transient read failures retry with exponential backoff.
+// /eval surfaces these states per row ("reason": "quarantined" |
+// "unavailable"), escalating to 404 or 503 + Retry-After when nothing
+// the request named can be served.
 //
 // The API is JSON over net/http (no dependencies):
 //
@@ -83,6 +95,7 @@ func main() {
 	maxBody := flag.Int64("max-body-bytes", 16<<20, "request body size limit (oversized bodies are 413)")
 	evalTimeout := flag.Duration("eval-timeout", 0, "hard cap on one /eval batch (0 = none; a request's timeout_ms may tighten it, not extend it)")
 	dataDir := flag.String("data", "", "snapshot directory: PUTs persist, restarts recover the corpus from it without re-parsing (empty = in-memory only)")
+	noFsync := flag.Bool("no-fsync", false, "skip fsync in the snapshot persist path: faster writes, but a crash may lose or tear the latest snapshots")
 	maxInFlight := flag.Int("max-inflight", 64, "max concurrent /eval evaluations (0 = unlimited)")
 	maxQueue := flag.Int("max-queue", 128, "max /eval requests waiting for a slot; beyond it 429 + Retry-After (0 = reject at saturation)")
 	queueWait := flag.Duration("queue-wait", 5*time.Second, "max time one /eval may wait queued, on top of its own deadline (0 = deadline only)")
@@ -97,6 +110,7 @@ func main() {
 		MaxBody:        *maxBody,
 		EvalTimeout:    *evalTimeout,
 		DataDir:        *dataDir,
+		NoFsync:        *noFsync,
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
 		QueueWait:      *queueWait,

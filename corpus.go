@@ -2,9 +2,11 @@ package cqtrees
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"iter"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -46,6 +48,18 @@ var ErrCorpusDuplicate = corpus.ErrExists
 // evaluation when WithDocs names a document the corpus does not hold.
 var ErrUnknownDocument = fmt.Errorf("unknown document")
 
+// ErrDocumentQuarantined is reported by GetErr and batch evaluation when
+// a document's snapshot file failed format validation and was renamed to
+// its quarantine name ("<file>.corrupt"): the document cannot be served
+// until it is re-persisted (Swap + PersistDoc) or its file replaced.
+var ErrDocumentQuarantined = corpus.ErrQuarantined
+
+// ErrDocumentUnavailable is reported by GetErr and batch evaluation when
+// a document's snapshot failed to load transiently (an I/O error): the
+// corpus retries with exponential backoff and the document may become
+// servable again without intervention.
+var ErrDocumentUnavailable = corpus.ErrUnavailable
+
 // CorpusOption configures NewCorpus.
 type CorpusOption func(*corpusConfig)
 
@@ -53,6 +67,9 @@ type corpusConfig struct {
 	maxBytes     int64
 	onEvict      func(name string, doc *Document)
 	onInvalidate func(name string)
+	noFsync      bool
+	retryBase    time.Duration
+	retryMax     time.Duration
 }
 
 // WithMaxBytes sets the corpus's byte budget: insertions beyond it evict
@@ -81,6 +98,24 @@ func WithInvalidationHook(fn func(name string)) CorpusOption {
 	return func(c *corpusConfig) { c.onInvalidate = fn }
 }
 
+// WithNoFsync disables the fsync calls in the persist path. Snapshot
+// writes stay atomic with respect to readers — the rename still lands
+// last — but lose power-loss durability: a crash shortly after
+// PersistDoc may leave the old file, no file, or (on adversarial
+// filesystems) a torn temp file that the next LoadDir sweeps. For tests
+// and re-runnable bulk imports; production keeps fsync on.
+func WithNoFsync() CorpusOption {
+	return func(c *corpusConfig) { c.noFsync = true }
+}
+
+// WithRetryPolicy configures the hydration retry backoff: after a
+// transient snapshot-load failure the document is retried no sooner than
+// base, doubling per consecutive failure up to max. Non-positive values
+// keep the defaults (250ms base, 30s max).
+func WithRetryPolicy(base, max time.Duration) CorpusOption {
+	return func(c *corpusConfig) { c.retryBase, c.retryMax = base, max }
+}
+
 // NewCorpus returns an empty corpus.
 func NewCorpus(opts ...CorpusOption) *Corpus {
 	var cfg corpusConfig
@@ -93,6 +128,12 @@ func NewCorpus(opts ...CorpusOption) *Corpus {
 	c.SetBudget(cfg.maxBytes, cfg.onEvict)
 	if cfg.onInvalidate != nil {
 		c.SetInvalidationHook(cfg.onInvalidate)
+	}
+	if cfg.noFsync {
+		c.SetNoSync(true)
+	}
+	if cfg.retryBase > 0 || cfg.retryMax > 0 {
+		c.SetRetryPolicy(cfg.retryBase, cfg.retryMax)
 	}
 	return &Corpus{c: c}
 }
@@ -122,6 +163,20 @@ func (c *Corpus) Remove(name string) *Document { return c.c.Remove(name) }
 
 // Get returns the named document, counting as a use for LRU eviction.
 func (c *Corpus) Get(name string) (*Document, bool) { return c.c.Get(name) }
+
+// GetErr is Get with the failure reason: nil error on success, an error
+// wrapping ErrUnknownDocument for names the corpus does not hold, and an
+// error wrapping ErrDocumentQuarantined or ErrDocumentUnavailable for
+// dehydrated entries whose snapshot cannot be loaded. A failing entry
+// fails fast from tracked state — the bad file is not re-read on every
+// call.
+func (c *Corpus) GetErr(name string) (*Document, error) {
+	doc, err := c.c.GetErr(name)
+	if errors.Is(err, corpus.ErrUnknown) {
+		return nil, fmt.Errorf("corpus: %q: %w", name, ErrUnknownDocument)
+	}
+	return doc, err
+}
 
 // Peek returns the named document and its accounted size — the
 // insertion-time charge budgeting uses, so summing it over Names agrees
@@ -169,6 +224,28 @@ func (c *Corpus) Unpersist(dir, name string) error { return c.c.Unpersist(dir, n
 // Returns the number of entries registered; unreadable snapshot files
 // are reported in the joined error while the rest still register.
 func (c *Corpus) LoadDir(dir string) (int, error) { return c.c.LoadDir(dir) }
+
+// CorpusLoadReport is the full accounting of a LoadDirReport pass:
+// stubs registered, quarantined files skipped (or newly quarantined),
+// and stale temp files swept.
+type CorpusLoadReport = corpus.LoadReport
+
+// LoadDirReport is LoadDir with the full accounting: besides registering
+// stubs it reports how many quarantined ("*.corrupt") files were
+// skipped — including files quarantined during this pass because their
+// header failed validation — and how many stale ".tmp-*" orphans from a
+// crashed atomic write were deleted.
+func (c *Corpus) LoadDirReport(dir string) (CorpusLoadReport, error) {
+	return c.c.LoadDirReport(dir)
+}
+
+// CorpusPersistence summarizes the persistence tier's health: current
+// stub / failing / quarantined entry counts plus cumulative hydration
+// error, quarantine, and persist error counters.
+type CorpusPersistence = corpus.PersistenceStats
+
+// Persistence reports the corpus's persistence health counters.
+func (c *Corpus) Persistence() CorpusPersistence { return c.c.PersistenceStats() }
 
 // Version returns the named entry's content version: a corpus-wide
 // monotonic counter stamped when the entry's content was established
@@ -308,15 +385,20 @@ func newBatchConfig(opts []BatchOption) batchConfig {
 
 // snapshot resolves the batch's documents and expands the job list; the
 // snapshot touches LRU clocks under the corpus lock exactly once.
-func (c *Corpus) snapshot(cfg batchConfig, queries int) (jobs []corpus.Job, missing []string) {
+func (c *Corpus) snapshot(cfg batchConfig, queries int) (jobs []corpus.Job, missing []corpus.Miss) {
 	docs, missing := c.c.Snapshot(cfg.names, cfg.filter)
 	return corpus.Jobs(docs, queries), missing
 }
 
-// missingErr is the per-result error for a WithDocs name the corpus does
-// not hold.
-func missingErr(name string) error {
-	return fmt.Errorf("corpus: %q: %w", name, ErrUnknownDocument)
+// missingErr is the per-result error for a WithDocs name the snapshot
+// could not resolve: names the corpus does not hold wrap
+// ErrUnknownDocument; stubs that failed to hydrate carry their typed
+// hydration error (wrapping ErrDocumentQuarantined / ErrDocumentUnavailable).
+func missingErr(m corpus.Miss) error {
+	if errors.Is(m.Err, corpus.ErrUnknown) {
+		return fmt.Errorf("corpus: %q: %w", m.Name, ErrUnknownDocument)
+	}
+	return m.Err
 }
 
 // batchSeq is the shared skeleton behind the *Set methods (methods
@@ -325,16 +407,16 @@ func missingErr(name string) error {
 // query, fan eval across the jobs with the bounded pool, and wrap each
 // raw result into the public row type.
 func batchSeq[T, R any](c *Corpus, queries int, opts []BatchOption,
-	missingRow func(name string, query int) R,
+	missingRow func(miss corpus.Miss, query int) R,
 	eval func(ctx context.Context, j corpus.Job) (T, error),
 	wrap func(corpus.Result[T]) R,
 ) iter.Seq[R] {
 	cfg := newBatchConfig(opts)
 	jobs, missing := c.snapshot(cfg, queries)
 	return func(yield func(R) bool) {
-		for _, name := range missing {
+		for _, m := range missing {
 			for q := 0; q < queries; q++ {
-				if !yield(missingRow(name, q)) {
+				if !yield(missingRow(m, q)) {
 					return
 				}
 			}
@@ -364,8 +446,8 @@ func (c *Corpus) Bool(pq *PreparedQuery, opts ...BatchOption) iter.Seq[BoolResul
 // pair is evaluated, and each result's Query field indexes pqs.
 func (c *Corpus) BoolSet(pqs []*PreparedQuery, opts ...BatchOption) iter.Seq[BoolResult] {
 	return batchSeq(c, len(pqs), opts,
-		func(name string, q int) BoolResult {
-			return BoolResult{Doc: name, Query: q, Err: missingErr(name)}
+		func(m corpus.Miss, q int) BoolResult {
+			return BoolResult{Doc: m.Name, Query: q, Err: missingErr(m)}
 		},
 		func(ctx context.Context, j corpus.Job) (bool, error) {
 			pq := pqs[j.Query]
@@ -386,8 +468,8 @@ func (c *Corpus) Nodes(pq *PreparedQuery, opts ...BatchOption) iter.Seq[NodesRes
 // NodesSet is Nodes over a set of prepared queries.
 func (c *Corpus) NodesSet(pqs []*PreparedQuery, opts ...BatchOption) iter.Seq[NodesResult] {
 	return batchSeq(c, len(pqs), opts,
-		func(name string, q int) NodesResult {
-			return NodesResult{Doc: name, Query: q, Err: missingErr(name)}
+		func(m corpus.Miss, q int) NodesResult {
+			return NodesResult{Doc: m.Name, Query: q, Err: missingErr(m)}
 		},
 		func(ctx context.Context, j corpus.Job) ([]NodeID, error) {
 			pq := pqs[j.Query]
@@ -415,8 +497,8 @@ type cappedTuples struct {
 func (c *Corpus) TuplesSet(pqs []*PreparedQuery, opts ...BatchOption) iter.Seq[TuplesResult] {
 	maxTuples := newBatchConfig(opts).maxTuples
 	return batchSeq(c, len(pqs), opts,
-		func(name string, q int) TuplesResult {
-			return TuplesResult{Doc: name, Query: q, Err: missingErr(name)}
+		func(m corpus.Miss, q int) TuplesResult {
+			return TuplesResult{Doc: m.Name, Query: q, Err: missingErr(m)}
 		},
 		func(ctx context.Context, j corpus.Job) (cappedTuples, error) {
 			pq := pqs[j.Query]

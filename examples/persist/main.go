@@ -4,12 +4,19 @@
 // re-parsing anything, and watch lazy hydration do its work — stubs
 // register from 48-byte headers, documents materialize on first use, and
 // the index build counter proves no index was ever rebuilt.
+//
+// The last act damages a snapshot at rest and restarts again: the
+// corrupt file is quarantined (renamed to <file>.corrupt, typed error,
+// counted) while every healthy document keeps serving, and re-adding +
+// re-persisting the document heals it.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"sort"
 
 	cqtrees "repro"
@@ -105,6 +112,52 @@ func main() {
 	// they do not rebuild.
 	fmt.Printf("\nindex builds during recovery and querying: %d (loads: %d)\n",
 		cqtrees.IndexBuildCount()-buildsBefore, cqtrees.IndexLoadCount())
+
+	// ---- Fault tolerance: a snapshot corrupted at rest. ----
+	// Flip one byte in the middle of "east"'s snapshot — past the header,
+	// so only the full-read checksum can catch it — and restart once more.
+	eastPath := filepath.Join(dir, "east.cqs")
+	blob, err := os.ReadFile(eastPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(eastPath, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	c3 := cqtrees.NewCorpus()
+	if _, err := c3.LoadDir(dir); err != nil {
+		log.Fatal(err) // headers are fine; the rot is in the body
+	}
+	_, err = c3.GetErr("east")
+	fmt.Printf("\nafter corrupting east.cqs, first use reports:\n  %v\n", err)
+	fmt.Printf("  quarantined (do not retry): %v\n",
+		errors.Is(err, cqtrees.ErrDocumentQuarantined))
+	if _, statErr := os.Stat(eastPath + ".corrupt"); statErr == nil {
+		fmt.Println("  corrupt bytes kept for forensics at east.cqs.corrupt")
+	}
+	healthy := 0
+	for _, name := range c3.Names() {
+		if _, err := c3.GetErr(name); err == nil {
+			healthy++
+		}
+	}
+	ps := c3.Persistence()
+	fmt.Printf("  healthy documents unaffected: %d/%d serve (quarantines: %d)\n",
+		healthy, c3.Len(), ps.Quarantines)
+
+	// Healing: swap a fresh document in over the quarantined stub and
+	// persist it — the entry serves again and the next restart is clean.
+	if _, err := c3.Swap("east", cqtrees.Index(cqtrees.MustParseTree(branches["east"]))); err != nil {
+		log.Fatal(err)
+	}
+	if err := c3.PersistDoc(dir, "east"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c3.GetErr("east"); err == nil {
+		fmt.Println("  healed: east re-added, re-persisted, serving again")
+	}
 }
 
 func mustGet(c *cqtrees.Corpus, name string) *cqtrees.Document {

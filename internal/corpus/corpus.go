@@ -21,11 +21,14 @@ package corpus
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/snapshot"
 )
 
@@ -35,6 +38,59 @@ var ErrExists = errors.New("document name already in corpus")
 
 // ErrEmptyName is returned by Add and Swap for the empty document name.
 var ErrEmptyName = errors.New("empty document name")
+
+// ErrUnknown is returned by GetErr for names not in the corpus.
+var ErrUnknown = errors.New("corpus: unknown document")
+
+// ErrQuarantined marks hydration failures whose snapshot file failed
+// format validation (bad magic, checksum, corrupt sections): the file
+// has been renamed aside (see QuarantineExt) and the document will not
+// be retried. Match with errors.Is; the concrete error is a
+// *HydrationError.
+var ErrQuarantined = errors.New("corpus: document quarantined")
+
+// ErrUnavailable marks transient hydration failures (I/O errors): the
+// stub stays registered and will be retried after a backoff. Match with
+// errors.Is; the concrete error is a *HydrationError carrying the
+// suggested RetryAfter.
+var ErrUnavailable = errors.New("corpus: document unavailable")
+
+// HydrationError is the structured failure GetErr returns when a stub's
+// snapshot cannot be loaded. It wraps ErrQuarantined or ErrUnavailable
+// (and the underlying cause), so callers can branch with errors.Is and
+// still read the details.
+type HydrationError struct {
+	// Name is the document name.
+	Name string
+	// Err is the underlying read/decode failure.
+	Err error
+	// Quarantined reports a permanent failure: the file was renamed to
+	// its quarantine name and the stub will not be retried.
+	Quarantined bool
+	// RetryAfter is the backoff remaining until the next hydration
+	// attempt (transient failures only).
+	RetryAfter time.Duration
+}
+
+func (e *HydrationError) Error() string {
+	if e.Quarantined {
+		return fmt.Sprintf("corpus: document %q quarantined: %v", e.Name, e.Err)
+	}
+	return fmt.Sprintf("corpus: document %q unavailable (retry in %v): %v", e.Name, e.RetryAfter.Round(time.Millisecond), e.Err)
+}
+
+func (e *HydrationError) Unwrap() []error {
+	if e.Quarantined {
+		return []error{ErrQuarantined, e.Err}
+	}
+	return []error{ErrUnavailable, e.Err}
+}
+
+// Default hydration retry policy; see SetRetryPolicy.
+const (
+	defaultRetryBase = 250 * time.Millisecond
+	defaultRetryMax  = 30 * time.Second
+)
 
 // entry is one named document plus its accounting state. An entry whose
 // doc is nil is a stub: the document lives in a snapshot file at path and
@@ -49,6 +105,16 @@ type entry struct {
 	path  string // backing snapshot file; "" = memory-only
 	nodes int    // tree size, known even while dehydrated
 	ver   uint64 // content version; see Version
+
+	// Hydration fault state. A stub whose load failed is tracked here so
+	// the bad file is not re-read on every request: transient failures
+	// back off exponentially (fails, nextTry), permanent ones set
+	// quarantined and stop retrying for good. All reset on Swap (a fresh
+	// entry) and on a later successful hydration.
+	fails       int       // consecutive hydration failures
+	nextTry     time.Time // no hydration attempt before this instant
+	lastErr     error     // most recent hydration failure
+	quarantined bool      // snapshot file renamed aside; never retried
 }
 
 // Corpus is a concurrency-safe collection of named, immutable documents.
@@ -84,6 +150,22 @@ type Corpus struct {
 	// hydrations counts stub hydrations (lazy snapshot loads) for
 	// observability; read via Hydrations without the lock.
 	hydrations atomic.Int64
+
+	// Persistence fault counters; read via PersistenceStats.
+	hydrationErrs atomic.Int64 // failed hydration attempts
+	quarantines   atomic.Int64 // files renamed to quarantine names
+	persistErrs   atomic.Int64 // failed snapshot writes
+
+	// fs is the filesystem seam for all persistence I/O (nil = real
+	// filesystem); see SetFS. noSync skips the crash-durability fsyncs;
+	// see SetNoSync.
+	fs     fault.FS
+	noSync bool
+
+	// Hydration retry policy; see SetRetryPolicy. Zero values mean the
+	// defaults.
+	retryBase time.Duration
+	retryMax  time.Duration
 
 	maxBytes     int64
 	onEvict      func(name string, doc *core.Document)
@@ -290,24 +372,73 @@ func (c *Corpus) Version(name string) (uint64, bool) {
 // snapshot loads) since construction — an observability counter.
 func (c *Corpus) Hydrations() int64 { return c.hydrations.Load() }
 
-// Get returns the named document and touches its LRU clock. A stub
+// SetRetryPolicy configures the exponential backoff applied to stubs
+// whose hydration failed transiently: the first retry is allowed after
+// base, each further failure doubles the wait, capped at max.
+// Non-positive arguments keep the corresponding default (250ms / 30s).
+func (c *Corpus) SetRetryPolicy(base, max time.Duration) {
+	c.mu.Lock()
+	c.retryBase, c.retryMax = base, max
+	c.mu.Unlock()
+}
+
+// backoffLocked returns the wait before retry number fails. Caller holds
+// c.mu.
+func (c *Corpus) backoffLocked(fails int) time.Duration {
+	base, max := c.retryBase, c.retryMax
+	if base <= 0 {
+		base = defaultRetryBase
+	}
+	if max <= 0 {
+		max = defaultRetryMax
+	}
+	d := base
+	for i := 1; i < fails && d < max; i++ {
+		d *= 2
+	}
+	return min(d, max)
+}
+
+// Get returns the named document and touches its LRU clock, hydrating a
+// stub first. It reports false for unknown names and for stubs whose
+// snapshot cannot be loaded; GetErr is the same lookup with the failure
+// reason.
+func (c *Corpus) Get(name string) (*core.Document, bool) {
+	doc, err := c.GetErr(name)
+	return doc, err == nil
+}
+
+// GetErr returns the named document and touches its LRU clock. A stub
 // hydrates first: its snapshot file is loaded (outside the lock) and
 // charged to the budget, which may in turn evict or dehydrate colder
-// entries. Get reports false for unknown names and for stubs whose
-// snapshot file can no longer be read or decoded.
-func (c *Corpus) Get(name string) (*core.Document, bool) {
+// entries. Failures are typed: ErrUnknown for names not in the corpus,
+// and a *HydrationError — wrapping ErrQuarantined or ErrUnavailable —
+// for stubs whose snapshot cannot be loaded. A stub in backoff or
+// quarantine fails fast from its tracked state without touching the
+// file.
+func (c *Corpus) GetErr(name string) (*core.Document, error) {
 	c.mu.Lock()
 	e, ok := c.entries[name]
 	if !ok {
 		c.mu.Unlock()
-		return nil, false
+		return nil, ErrUnknown
 	}
 	if e.doc != nil {
 		c.clock++
 		e.used = c.clock
 		d := e.doc
 		c.mu.Unlock()
-		return d, true
+		return d, nil
+	}
+	if e.quarantined {
+		herr := &HydrationError{Name: name, Err: e.lastErr, Quarantined: true}
+		c.mu.Unlock()
+		return nil, herr
+	}
+	if wait := time.Until(e.nextTry); wait > 0 {
+		herr := &HydrationError{Name: name, Err: e.lastErr, RetryAfter: wait}
+		c.mu.Unlock()
+		return nil, herr
 	}
 	path := e.path
 	c.mu.Unlock()
@@ -318,36 +449,39 @@ func (c *Corpus) Get(name string) (*core.Document, bool) {
 // re-checking the entry under the lock (it may have been removed,
 // re-pointed, or hydrated by a racer meanwhile — the first to publish
 // wins and the loser's load is dropped). The expensive part — read,
-// decode, materialize — runs outside the lock.
-func (c *Corpus) hydrate(name, path string) (*core.Document, bool) {
-	data, err := snapshot.ReadFile(path)
+// decode, materialize — runs outside the lock. Failures are recorded on
+// the entry (backoff or quarantine) via hydrateFailed.
+func (c *Corpus) hydrate(name, path string) (*core.Document, error) {
+	data, err := snapshot.ReadFileFS(c.fsys(), path)
 	if err != nil {
-		return nil, false
+		return nil, c.hydrateFailed(name, path, err)
 	}
 	doc, err := core.LoadDocument(data)
 	if err != nil {
-		return nil, false
+		return nil, c.hydrateFailed(name, path, err)
 	}
 	doc.Materialize()
 	c.mu.Lock()
 	e, ok := c.entries[name]
 	if !ok {
 		c.mu.Unlock()
-		return nil, false // removed while loading
+		return nil, ErrUnknown // removed while loading
 	}
 	c.clock++
 	e.used = c.clock
 	if e.doc != nil { // a racer hydrated (or Swap replaced) first
 		d := e.doc
 		c.mu.Unlock()
-		return d, true
+		return d, nil
 	}
 	if e.path != path {
+		// Re-pointed while loading; the caller can retry immediately.
 		c.mu.Unlock()
-		return nil, false // re-pointed while loading; let the caller retry
+		return nil, &HydrationError{Name: name, Err: errors.New("corpus: snapshot re-pointed during load")}
 	}
 	e.doc = doc
 	e.bytes = doc.SizeBytes()
+	e.fails, e.nextTry, e.lastErr = 0, time.Time{}, nil
 	c.total += e.bytes
 	// Residency changed, content did not: e.ver stays — results cached
 	// against this version remain servable across the dehydrate/hydrate
@@ -357,7 +491,55 @@ func (c *Corpus) hydrate(name, path string) (*core.Document, bool) {
 	evictHook, invHook := c.onEvict, c.onInvalidate
 	c.mu.Unlock()
 	notify(evictHook, invHook, victims, nil)
-	return doc, true
+	return doc, nil
+}
+
+// hydrateFailed records a hydration failure on the stub and returns the
+// typed error. Format violations (see permanentSnapshotErr) quarantine
+// the file — an atomic rename to its quarantine name, made durable with
+// a directory sync, counted once, and reported through the invalidation
+// hook — while transient I/O failures schedule a bounded-backoff retry.
+// Either way the entry keeps failing fast from its tracked state until
+// the backoff expires, so a bad file is never re-read per request.
+func (c *Corpus) hydrateFailed(name, path string, err error) error {
+	c.hydrationErrs.Add(1)
+	permanent := permanentSnapshotErr(err)
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	if !ok || e.doc != nil || e.path != path {
+		// The world moved on while we were reading (removed, re-pointed,
+		// or hydrated by a racer): report the failure without poisoning
+		// the entry's fresh state.
+		c.mu.Unlock()
+		return &HydrationError{Name: name, Err: err}
+	}
+	if e.quarantined {
+		// A racing hydration already quarantined this file.
+		herr := &HydrationError{Name: name, Err: e.lastErr, Quarantined: true}
+		c.mu.Unlock()
+		return herr
+	}
+	if permanent {
+		e.quarantined = true
+		e.lastErr = err
+		invHook := c.onInvalidate
+		fsys := c.fs
+		c.mu.Unlock()
+		if fsys == nil {
+			fsys = fault.OS{}
+		}
+		c.quarantineFile(fsys, path)
+		if invHook != nil {
+			invHook(name)
+		}
+		return &HydrationError{Name: name, Err: err, Quarantined: true}
+	}
+	e.fails++
+	wait := c.backoffLocked(e.fails)
+	e.nextTry = time.Now().Add(wait)
+	e.lastErr = err
+	c.mu.Unlock()
+	return &HydrationError{Name: name, Err: err, RetryAfter: wait}
 }
 
 // Peek returns the named document and its accounted size WITHOUT
@@ -385,6 +567,14 @@ type Stat struct {
 	Hydrated bool
 	// Version is the entry's content version; see Corpus.Version.
 	Version uint64
+	// Quarantined reports that the entry's snapshot file failed format
+	// validation and was renamed aside; the document cannot hydrate.
+	Quarantined bool
+	// Failing reports that the entry's last hydration attempt failed
+	// transiently and a backoff retry is pending.
+	Failing bool
+	// LastError is the most recent hydration failure ("" when healthy).
+	LastError string
 }
 
 // Stat returns the named entry's metadata without touching the LRU clock
@@ -397,7 +587,57 @@ func (c *Corpus) Stat(name string) (Stat, bool) {
 	if !ok {
 		return Stat{}, false
 	}
-	return Stat{Nodes: e.nodes, Bytes: e.bytes, Hydrated: e.doc != nil, Version: e.ver}, true
+	st := Stat{
+		Nodes: e.nodes, Bytes: e.bytes, Hydrated: e.doc != nil, Version: e.ver,
+		Quarantined: e.quarantined, Failing: e.fails > 0 && !e.quarantined,
+	}
+	if e.lastErr != nil {
+		st.LastError = e.lastErr.Error()
+	}
+	return st, true
+}
+
+// PersistenceStats is a point-in-time summary of the persistence tier's
+// health: current entry states plus cumulative fault counters.
+type PersistenceStats struct {
+	// Stubs is the number of dehydrated entries (healthy, failing, or
+	// quarantined — everything not resident).
+	Stubs int
+	// Failed is the number of stubs in transient-failure backoff.
+	Failed int
+	// Quarantined is the number of entries whose snapshot file was
+	// quarantined.
+	Quarantined int
+	// HydrationErrors counts failed hydration attempts since start.
+	HydrationErrors int64
+	// Quarantines counts files renamed to quarantine names since start
+	// (both at load time and at hydration time).
+	Quarantines int64
+	// PersistErrors counts failed snapshot writes since start.
+	PersistErrors int64
+}
+
+// PersistenceStats reports the persistence tier's health counters.
+func (c *Corpus) PersistenceStats() PersistenceStats {
+	c.mu.Lock()
+	st := PersistenceStats{}
+	for _, e := range c.entries {
+		if e.doc != nil {
+			continue
+		}
+		st.Stubs++
+		switch {
+		case e.quarantined:
+			st.Quarantined++
+		case e.fails > 0:
+			st.Failed++
+		}
+	}
+	c.mu.Unlock()
+	st.HydrationErrors = c.hydrationErrs.Load()
+	st.Quarantines = c.quarantines.Load()
+	st.PersistErrors = c.persistErrs.Load()
+	return st
 }
 
 // Len returns the number of documents.
@@ -433,16 +673,25 @@ type Doc struct {
 	Bytes int64
 }
 
+// Miss is one name a batch snapshot could not resolve, with the typed
+// reason: ErrUnknown for names not in the corpus, or a *HydrationError
+// (wrapping ErrQuarantined / ErrUnavailable) for stubs that failed to
+// load.
+type Miss struct {
+	Name string
+	Err  error
+}
+
 // Snapshot resolves a batch's document set, touching each selected
 // document's LRU clock and hydrating stubs on the way (so a batch over a
 // freshly opened directory pulls documents in as it reaches them, under
 // the byte budget). A non-nil names selects exactly those documents in
-// the given order (missing names — including stubs whose snapshot file
-// fails to load — are returned separately, in input order); a nil names
+// the given order (unresolvable names — unknown, quarantined, or failing
+// to hydrate — are returned as Misses, in input order); a nil names
 // selects every document in sorted-name order, restricted by filter when
 // non-nil. The returned documents stay valid — they are immutable — even
 // if the corpus mutates (or dehydrates them) afterwards.
-func (c *Corpus) Snapshot(names []string, filter func(string) bool) (docs []Doc, missing []string) {
+func (c *Corpus) Snapshot(names []string, filter func(string) bool) (docs []Doc, missing []Miss) {
 	if names == nil {
 		names = c.Names()
 	}
@@ -450,9 +699,9 @@ func (c *Corpus) Snapshot(names []string, filter func(string) bool) (docs []Doc,
 		if filter != nil && !filter(name) {
 			continue
 		}
-		doc, ok := c.Get(name)
-		if !ok {
-			missing = append(missing, name)
+		doc, err := c.GetErr(name)
+		if err != nil {
+			missing = append(missing, Miss{Name: name, Err: err})
 			continue
 		}
 		docs = append(docs, Doc{Name: name, Doc: doc, Bytes: doc.SizeBytes()})

@@ -142,7 +142,7 @@ func TestSnapshot(t *testing.T) {
 	if names := docNames(docs); !reflect.DeepEqual(names, []string{"z", "x"}) {
 		t.Fatalf("named snapshot = %v", names)
 	}
-	if !reflect.DeepEqual(missing, []string{"nope"}) {
+	if len(missing) != 1 || missing[0].Name != "nope" || !errors.Is(missing[0].Err, ErrUnknown) {
 		t.Fatalf("missing = %v", missing)
 	}
 	docs, _ = c.Snapshot(nil, func(name string) bool { return name != "y" })

@@ -1,0 +1,567 @@
+package corpus
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/snapshot"
+)
+
+// persistThree persists three small documents through fsys into dir,
+// returning the per-name node counts. The corpus content depends only on
+// round, so every crash-enumeration iteration replays the identical
+// operation sequence.
+func persistThree(t *testing.T, fsys fault.FS, dir string, round int) (map[string]int, error) {
+	t.Helper()
+	srcs := map[string]string{
+		"a": "A(B)",      // 2 nodes
+		"b": "A(B,C)",    // 3 nodes
+		"c": "A(B,C(D))", // 4 nodes
+	}
+	if round == 2 {
+		srcs = map[string]string{
+			"a": "A(B(C,D))",      // 4 nodes
+			"b": "A(B,C,D,E)",     // 5 nodes
+			"c": "A(B(C),D(E),F)", // 6 nodes
+		}
+	}
+	c := New()
+	c.SetFS(fsys)
+	nodes := make(map[string]int)
+	for name, src := range srcs {
+		d := doc(src)
+		if err := c.Add(name, d); err != nil {
+			t.Fatal(err)
+		}
+		nodes[name] = d.Len()
+	}
+	_, err := c.PersistDir(dir)
+	return nodes, err
+}
+
+// TestCrashRecoveryExhaustive simulates a power loss at EVERY operation
+// of a three-document persist — under each torn-write mode and both
+// rename-durability outcomes — then recovers with a fresh corpus over
+// the real filesystem and asserts the invariant the fsync protocol buys:
+// each document comes back as exactly the complete old version or the
+// complete new version, never torn, never an error.
+func TestCrashRecoveryExhaustive(t *testing.T) {
+	// Learn the op count of the workload once.
+	probeDir := t.TempDir()
+	v1, err := persistThree(t, fault.NewInjector(), probeDir, 1)
+	if err != nil {
+		t.Fatalf("probe v1 persist: %v", err)
+	}
+	probe := fault.NewInjector()
+	v2, err := persistThree(t, probe, probeDir, 2)
+	if err != nil {
+		t.Fatalf("probe v2 persist: %v", err)
+	}
+	total := probe.Ops()
+	if total < 15 { // 3 docs × (create, write, sync, close, chmod, rename, syncdir) minus shared ops
+		t.Fatalf("suspiciously few ops to enumerate: %d", total)
+	}
+
+	for _, torn := range []fault.TornMode{fault.TornTruncate, fault.TornZero, fault.TornFlip} {
+		for _, dropRenames := range []bool{false, true} {
+			for k := 1; k <= total; k++ {
+				dir := t.TempDir()
+				// Write the old version durably, then crash at op k of the
+				// new version's persist.
+				if _, err := persistThree(t, fault.OS{}, dir, 1); err != nil {
+					t.Fatal(err)
+				}
+				in := fault.NewInjector()
+				in.Torn = torn
+				in.DropUnsyncedRenames = dropRenames
+				in.CrashAfterOps(k)
+				persistThree(t, in, dir, 2) // error expected: the process died
+				if !in.Crashed() {
+					t.Fatalf("torn=%v drop=%v k=%d: workload finished without crashing", torn, dropRenames, k)
+				}
+
+				// Recover: a fresh process scans the directory.
+				rec := New()
+				rep, err := rec.LoadDirReport(dir)
+				if err != nil {
+					t.Fatalf("torn=%v drop=%v k=%d: recovery LoadDir: %v", torn, dropRenames, k, err)
+				}
+				if rep.Quarantined != 0 {
+					t.Fatalf("torn=%v drop=%v k=%d: %d files quarantined after clean crash (fsync protocol violated)",
+						torn, dropRenames, k, rep.Quarantined)
+				}
+				for _, name := range []string{"a", "b", "c"} {
+					d, gerr := rec.GetErr(name)
+					if gerr != nil {
+						t.Fatalf("torn=%v drop=%v k=%d: %s failed to hydrate: %v", torn, dropRenames, k, name, gerr)
+					}
+					if n := d.Len(); n != v1[name] && n != v2[name] {
+						t.Fatalf("torn=%v drop=%v k=%d: %s recovered %d nodes, want old %d or new %d",
+							torn, dropRenames, k, name, n, v1[name], v2[name])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCrashLeavesOnlyTmpOrphans checks the naming half of the durability
+// contract: after a mid-persist crash, anything torn on disk lives under
+// a ".tmp-*" name — final snapshot names are always complete files.
+func TestCrashLeavesOnlyTmpOrphans(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.NewInjector()
+	in.Torn = fault.TornFlip
+	// Crash between the temp-file write and its sync: ops are
+	// create(1), write(2), sync(3) for the first document.
+	in.CrashAfterOps(3)
+	persistThree(t, in, dir, 1)
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if !strings.HasPrefix(de.Name(), ".tmp-") {
+			t.Fatalf("unexpected non-temp survivor %q after pre-rename crash", de.Name())
+		}
+	}
+}
+
+// corruptBody flips one byte in the middle of the file's body so the
+// header still parses (PeekMeta passes) but the checksum fails at
+// hydration — on-disk bit rot.
+func corruptBody(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHydrationQuarantinesBitRot(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := persistThree(t, fault.OS{}, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	corruptBody(t, filepath.Join(dir, FileName("b")))
+
+	var invalidated []string
+	c := New()
+	c.SetInvalidationHook(func(name string) { invalidated = append(invalidated, name) })
+	in := fault.NewInjector() // counts reads so we can prove fail-fast
+	c.SetFS(in)
+	if n, err := c.LoadDir(dir); err != nil || n != 3 {
+		t.Fatalf("LoadDir = %d, %v (bit rot is invisible to the header peek)", n, err)
+	}
+
+	_, err := c.GetErr("b")
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("GetErr(b) = %v, want ErrQuarantined", err)
+	}
+	if !errors.Is(err, snapshot.ErrChecksum) {
+		t.Fatalf("GetErr(b) = %v, want underlying checksum error", err)
+	}
+	var herr *HydrationError
+	if !errors.As(err, &herr) || !herr.Quarantined || herr.Name != "b" {
+		t.Fatalf("GetErr(b) = %#v, want quarantined HydrationError for b", err)
+	}
+
+	// Quarantined exactly once: the file is renamed aside, the counter is
+	// 1, and the hook fired for the name.
+	qpath := filepath.Join(dir, FileName("b")+QuarantineExt)
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName("b"))); !os.IsNotExist(err) {
+		t.Fatalf("original snapshot still present after quarantine")
+	}
+	st := c.PersistenceStats()
+	if st.Quarantines != 1 || st.Quarantined != 1 || st.HydrationErrors != 1 {
+		t.Fatalf("stats = %+v, want exactly one quarantine", st)
+	}
+	if len(invalidated) != 1 || invalidated[0] != "b" {
+		t.Fatalf("invalidated = %v, want [b]", invalidated)
+	}
+
+	// Fail-fast: further requests never touch the filesystem again.
+	opens := in.Count(fault.OpOpen)
+	for i := 0; i < 5; i++ {
+		if _, err := c.GetErr("b"); !errors.Is(err, ErrQuarantined) {
+			t.Fatalf("repeat GetErr(b) = %v", err)
+		}
+	}
+	if got := in.Count(fault.OpOpen); got != opens {
+		t.Fatalf("quarantined stub re-read the file: opens %d -> %d", opens, got)
+	}
+	if st := c.PersistenceStats(); st.Quarantines != 1 {
+		t.Fatalf("quarantine counter moved on repeat requests: %+v", st)
+	}
+
+	// Healthy neighbors are unaffected.
+	for _, name := range []string{"a", "c"} {
+		if _, err := c.GetErr(name); err != nil {
+			t.Fatalf("GetErr(%s) = %v after b's quarantine", name, err)
+		}
+	}
+
+	// Stat surfaces the quarantine without hydrating.
+	if s, ok := c.Stat("b"); !ok || !s.Quarantined || s.LastError == "" {
+		t.Fatalf("Stat(b) = %+v, %v", s, ok)
+	}
+
+	// A re-persist under the same name heals: Swap installs fresh content
+	// and PersistDoc writes a clean file.
+	if _, err := c.Swap("b", doc("A(B,C)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PersistDoc(dir, "b"); err != nil {
+		t.Fatalf("re-persist after quarantine: %v", err)
+	}
+	if _, err := c.GetErr("b"); err != nil {
+		t.Fatalf("GetErr(b) after heal = %v", err)
+	}
+}
+
+// TestLoadDirQuarantinesBadHeader covers load-time quarantine: a file
+// whose header fails validation is renamed aside during the scan, and a
+// later scan counts the quarantined file without re-quarantining.
+func TestLoadDirQuarantinesBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := persistThree(t, fault.OS{}, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy c's magic.
+	path := filepath.Join(dir, FileName("c"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "JUNK")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	rep, err := c.LoadDirReport(dir)
+	if err == nil || !errors.Is(err, snapshot.ErrBadMagic) {
+		t.Fatalf("LoadDirReport err = %v, want bad-magic report", err)
+	}
+	if rep.Registered != 2 || rep.Quarantined != 1 {
+		t.Fatalf("report = %+v, want 2 registered / 1 quarantined", rep)
+	}
+	if _, err := os.Stat(path + QuarantineExt); err != nil {
+		t.Fatalf("quarantine file: %v", err)
+	}
+	if st := c.PersistenceStats(); st.Quarantines != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Second scan: the quarantined file is skipped-and-counted, nothing
+	// new happens.
+	c2 := New()
+	rep2, err := c2.LoadDirReport(dir)
+	if err != nil {
+		t.Fatalf("second scan err = %v", err)
+	}
+	if rep2.Registered != 2 || rep2.Quarantined != 1 {
+		t.Fatalf("second report = %+v", rep2)
+	}
+	if st := c2.PersistenceStats(); st.Quarantines != 0 {
+		t.Fatalf("second scan re-quarantined: %+v", st)
+	}
+}
+
+func TestHydrationTransientBackoff(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := persistThree(t, fault.OS{}, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	c.SetRetryPolicy(time.Hour, time.Hour) // no retry within this test
+	in := fault.NewInjector()
+	c.SetFS(in)
+	if _, err := c.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// First hydration of "a" hits a transient I/O error.
+	boom := errors.New("disk hiccup")
+	in.FailAt(fault.OpOpen, in.Count(fault.OpOpen)+1, boom)
+	_, err := c.GetErr("a")
+	if !errors.Is(err, ErrUnavailable) || !errors.Is(err, boom) {
+		t.Fatalf("GetErr(a) = %v, want ErrUnavailable wrapping the cause", err)
+	}
+	var herr *HydrationError
+	if !errors.As(err, &herr) || herr.RetryAfter <= 0 || herr.Quarantined {
+		t.Fatalf("GetErr(a) = %#v, want transient HydrationError with RetryAfter", err)
+	}
+
+	// In backoff: requests fail fast without re-reading the file, and the
+	// file is NOT quarantined — the bytes were never judged.
+	opens := in.Count(fault.OpOpen)
+	for i := 0; i < 5; i++ {
+		if _, err := c.GetErr("a"); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("backoff GetErr(a) = %v", err)
+		}
+	}
+	if got := in.Count(fault.OpOpen); got != opens {
+		t.Fatalf("backing-off stub re-read the file: opens %d -> %d", opens, got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName("a"))); err != nil {
+		t.Fatalf("transient failure moved the file: %v", err)
+	}
+	st := c.PersistenceStats()
+	if st.HydrationErrors != 1 || st.Quarantines != 0 || st.Failed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if s, ok := c.Stat("a"); !ok || !s.Failing || s.Quarantined {
+		t.Fatalf("Stat(a) = %+v, %v", s, ok)
+	}
+
+	// Once the backoff expires the next attempt succeeds and the failure
+	// state resets.
+	c.SetRetryPolicy(time.Nanosecond, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	// The hour-long nextTry was stamped under the old policy; re-stamp by
+	// driving one more failure cycle is unnecessary — instead verify the
+	// policy floor via a fresh corpus.
+	c2 := New()
+	c2.SetRetryPolicy(time.Nanosecond, time.Nanosecond)
+	in2 := fault.NewInjector()
+	c2.SetFS(in2)
+	if _, err := c2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	in2.FailAt(fault.OpOpen, in2.Count(fault.OpOpen)+1, boom)
+	if _, err := c2.GetErr("a"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("first GetErr = %v", err)
+	}
+	time.Sleep(time.Millisecond) // past the nanosecond backoff
+	d, err := c2.GetErr("a")
+	if err != nil || d == nil {
+		t.Fatalf("post-backoff GetErr = %v", err)
+	}
+	if s, ok := c2.Stat("a"); !ok || s.Failing || s.LastError != "" {
+		t.Fatalf("failure state not reset: %+v", s)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	c := New()
+	c.SetRetryPolicy(100*time.Millisecond, 400*time.Millisecond)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, tc := range []struct {
+		fails int
+		want  time.Duration
+	}{{1, 100 * time.Millisecond}, {2, 200 * time.Millisecond}, {3, 400 * time.Millisecond}, {10, 400 * time.Millisecond}} {
+		if got := c.backoffLocked(tc.fails); got != tc.want {
+			t.Fatalf("backoff(%d) = %v, want %v", tc.fails, got, tc.want)
+		}
+	}
+}
+
+func TestLoadDirSweepsStaleTmp(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := persistThree(t, fault.OS{}, dir, 1); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, ".tmp-stale123")
+	fresh := filepath.Join(dir, ".tmp-fresh456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("torn"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpSweepAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	rep, err := c.LoadDirReport(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Registered != 3 || rep.SweptTmp != 1 {
+		t.Fatalf("report = %+v, want 3 registered / 1 swept", rep)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived the sweep")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp file was swept: %v", err)
+	}
+}
+
+// TestPersistErrorPaths covers the write-side failures: no such
+// document, dehydrated-elsewhere, and an unwritable directory (injected,
+// since the tests may run as root where permission bits do not bite).
+func TestPersistErrorPaths(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	c := New()
+	if err := c.Add("x", doc("A(B)")); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.PersistDoc(dirA, "nope"); err == nil {
+		t.Fatal("PersistDoc of unknown name succeeded")
+	}
+
+	// Dehydrate x into dirA, then ask for it in dirB: the bytes are not
+	// in memory and not at the target path.
+	if err := c.PersistDoc(dirA, "x"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetBudget(1, nil) // force dehydration
+	c.SetBudget(0, nil)
+	if d, _, _ := c.Peek("x"); d != nil {
+		t.Fatal("x still resident; dehydration failed")
+	}
+	if err := c.PersistDoc(dirB, "x"); err == nil || !strings.Contains(err.Error(), "dehydrated elsewhere") {
+		t.Fatalf("PersistDoc to other dir = %v, want dehydrated-elsewhere", err)
+	}
+	// Same dir is the documented no-op.
+	if err := c.PersistDoc(dirA, "x"); err != nil {
+		t.Fatalf("PersistDoc same dir = %v, want nil", err)
+	}
+
+	// Unwritable directory: CreateTemp fails, the persist-error counter
+	// moves, and no partial file appears.
+	c2 := New()
+	if err := c2.Add("y", doc("A(B)")); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector()
+	in.FailAt(fault.OpCreateTemp, 1, fs.ErrPermission)
+	c2.SetFS(in)
+	if err := c2.PersistDoc(dirB, "y"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("PersistDoc = %v, want permission error", err)
+	}
+	if st := c2.PersistenceStats(); st.PersistErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 persist error", st)
+	}
+	if des, _ := os.ReadDir(dirB); len(des) != 0 {
+		t.Fatalf("failed persist left files: %v", des)
+	}
+
+	// A mid-write failure cleans up its temp file.
+	in2 := fault.NewInjector()
+	in2.FailAt(fault.OpWrite, 1, errors.New("enospc"))
+	c2.SetFS(in2)
+	if err := c2.PersistDoc(dirB, "y"); err == nil {
+		t.Fatal("PersistDoc with failing write succeeded")
+	}
+	if des, _ := os.ReadDir(dirB); len(des) != 0 {
+		t.Fatalf("failed persist left temp files: %v", des)
+	}
+	if st := c2.PersistenceStats(); st.PersistErrors != 2 {
+		t.Fatalf("stats = %+v, want 2 persist errors", st)
+	}
+}
+
+func TestUnpersistErrorPathsAndQuarantineTwin(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.Add("x", doc("A(B)")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Missing file: idempotent, no error, entry untouched.
+	if err := c.Unpersist(dir, "x"); err != nil {
+		t.Fatalf("Unpersist of never-persisted doc = %v", err)
+	}
+	if _, ok := c.Get("x"); !ok {
+		t.Fatal("Unpersist dropped a memory-only document")
+	}
+
+	// Unpersist of a quarantined stub removes both the entry and the
+	// quarantine file.
+	if err := c.PersistDoc(dir, "x"); err != nil {
+		t.Fatal(err)
+	}
+	corruptBody(t, filepath.Join(dir, FileName("x")))
+	c2 := New()
+	if _, err := c2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.GetErr("x"); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("GetErr = %v, want quarantine", err)
+	}
+	if err := c2.Unpersist(dir, "x"); err != nil {
+		t.Fatalf("Unpersist of quarantined stub = %v", err)
+	}
+	if _, ok := c2.Get("x"); ok {
+		t.Fatal("quarantined stub still in corpus after Unpersist")
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 0 {
+		t.Fatalf("quarantine twin survived Unpersist: %v", des)
+	}
+
+	// Remove failure (other than not-exist) surfaces.
+	c3 := New()
+	if err := c3.Add("z", doc("A(B)")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.PersistDoc(dir, "z"); err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector()
+	in.FailAt(fault.OpRemove, 2, fs.ErrPermission) // 1st Remove is the .corrupt twin probe
+	c3.SetFS(in)
+	if err := c3.Unpersist(dir, "z"); !errors.Is(err, fs.ErrPermission) {
+		t.Fatalf("Unpersist with failing remove = %v", err)
+	}
+}
+
+func TestHydrationErrorString(t *testing.T) {
+	q := &HydrationError{Name: "d", Err: errors.New("bit rot"), Quarantined: true}
+	if got := q.Error(); !strings.Contains(got, `"d"`) || !strings.Contains(got, "quarantined") || !strings.Contains(got, "bit rot") {
+		t.Errorf("quarantined Error() = %q", got)
+	}
+	tr := &HydrationError{Name: "d", Err: errors.New("io"), RetryAfter: 1500 * time.Millisecond}
+	if got := tr.Error(); !strings.Contains(got, "unavailable") || !strings.Contains(got, "1.5s") {
+		t.Errorf("transient Error() = %q", got)
+	}
+}
+
+// TestSetNoSyncSkipsFsync persists with syncs disabled and checks both
+// that no sync ops reach the filesystem and that the output still loads.
+func TestSetNoSyncSkipsFsync(t *testing.T) {
+	dir := t.TempDir()
+	in := fault.NewInjector()
+	c := New()
+	c.SetFS(in)
+	c.SetNoSync(true)
+	if err := c.Add("a", doc("A(B,C)")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.PersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if n := in.Count(fault.OpSync) + in.Count(fault.OpSyncDir); n != 0 {
+		t.Fatalf("sync ops with SetNoSync(true): %d, want 0", n)
+	}
+	c2 := New()
+	if _, err := c2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if d, err := c2.GetErr("a"); err != nil || d.Len() != 3 {
+		t.Fatalf("reload after no-sync persist: %v, %v", d, err)
+	}
+}

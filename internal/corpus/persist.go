@@ -7,7 +7,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/snapshot"
 )
 
@@ -17,9 +19,33 @@ import (
 // snapshot is read on first use — so opening a million-document corpus
 // costs a directory listing plus one small header read per file, not a
 // million decodes.
+//
+// Durability contract: writeFileAtomic fsyncs the temp file before the
+// rename and the parent directory after it, so after PersistDoc returns,
+// a crash at any point leaves either the complete old snapshot or the
+// complete new one at the final name — never a torn file. Torn data can
+// only ever exist under a ".tmp-*" name, which LoadDir sweeps. A file at
+// a final name that still fails validation (bit rot, external damage) is
+// quarantined: renamed to "<file>.corrupt", counted, and skipped.
 
 // SnapshotExt is the filename extension of document snapshot files.
 const SnapshotExt = ".cqs"
+
+// QuarantineExt is the suffix appended to a snapshot file's name when it
+// is quarantined: "<name>.cqs" becomes "<name>.cqs.corrupt". Quarantined
+// files are never loaded or retried; they are kept (not deleted) so the
+// corrupt bytes remain available for forensics.
+const QuarantineExt = ".corrupt"
+
+// tmpPrefix names in-flight atomic-write temp files. A crash can orphan
+// one; LoadDir deletes orphans older than tmpSweepAge.
+const tmpPrefix = ".tmp-"
+
+// tmpSweepAge is how old an orphaned temp file must be before LoadDir
+// deletes it — generous enough that a concurrent writer's in-flight temp
+// file is never swept. Package variable so tests can age files with
+// os.Chtimes instead of sleeping.
+var tmpSweepAge = time.Hour
 
 // FileName returns the snapshot filename for a document name: the name
 // percent-escaped (so any name is a safe single path component) plus
@@ -42,33 +68,110 @@ func nameOfFile(file string) (string, bool) {
 	return name, true
 }
 
-// LoadDir registers every snapshot file in dir as a dehydrated stub:
-// only each file's meta header is read (for the node count), and the
-// document itself hydrates on first Get or batch use, under the byte
-// budget. Names already present in the corpus are skipped — memory wins
-// over disk. Files that are not snapshots (wrong extension) are ignored;
-// files with a snapshot extension but an unreadable header are reported
-// in the joined error while the rest still register. Returns the number
-// of stubs registered.
+// SetFS replaces the filesystem the persistence paths go through. The
+// default is the real filesystem (fault.OS); tests install a
+// fault.Injector to exercise crash and error paths deterministically.
+// Must be called before the corpus touches disk.
+func (c *Corpus) SetFS(fsys fault.FS) {
+	c.mu.Lock()
+	c.fs = fsys
+	c.mu.Unlock()
+}
+
+// SetNoSync disables the fsync calls in the persist path (temp-file sync
+// and parent-directory sync). Writes remain atomic with respect to
+// concurrent readers — the rename still happens last — but lose crash
+// durability: after a power loss a freshly persisted snapshot may be
+// torn or missing. For tests and bulk imports that will re-persist on
+// failure; production keeps syncs on.
+func (c *Corpus) SetNoSync(noSync bool) {
+	c.mu.Lock()
+	c.noSync = noSync
+	c.mu.Unlock()
+}
+
+// fsys returns the corpus's filesystem seam (the real one by default).
+func (c *Corpus) fsys() fault.FS {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fs == nil {
+		return fault.OS{}
+	}
+	return c.fs
+}
+
+// LoadReport is the outcome of a LoadDir pass.
+type LoadReport struct {
+	// Registered is the number of stubs registered.
+	Registered int
+	// Quarantined counts snapshot files skipped because they are (or were
+	// just) quarantined: pre-existing "*.cqs.corrupt" files plus files
+	// whose header failed validation during this pass.
+	Quarantined int
+	// SweptTmp is the number of stale orphaned ".tmp-*" files deleted.
+	SweptTmp int
+}
+
+// LoadDir registers every snapshot file in dir as a dehydrated stub; see
+// LoadDirReport for the full accounting. Returns the number of stubs
+// registered.
 func (c *Corpus) LoadDir(dir string) (int, error) {
-	des, err := os.ReadDir(dir)
+	rep, err := c.LoadDirReport(dir)
+	return rep.Registered, err
+}
+
+// LoadDirReport registers every snapshot file in dir as a dehydrated
+// stub: only each file's meta header is read (for the node count), and
+// the document itself hydrates on first Get or batch use, under the byte
+// budget. Names already present in the corpus are skipped — memory wins
+// over disk.
+//
+// Fault handling: files that are not snapshots (wrong extension) are
+// ignored; quarantined files ("*.cqs.corrupt") are skipped and counted;
+// files with a snapshot extension whose header fails format validation
+// are quarantined on the spot (renamed, counted, reported in the joined
+// error); header reads that fail with transient I/O errors are reported
+// but the file is left in place for the next pass. Orphaned ".tmp-*"
+// files from a crashed atomic write are deleted once older than
+// tmpSweepAge. The rest of the directory still registers.
+func (c *Corpus) LoadDirReport(dir string) (LoadReport, error) {
+	fsys := c.fsys()
+	var rep LoadReport
+	des, err := fsys.ReadDir(dir)
 	if err != nil {
-		return 0, err
+		return rep, err
 	}
 	var errs []error
-	added := 0
 	for _, de := range des {
 		if de.IsDir() {
 			continue
 		}
-		name, ok := nameOfFile(de.Name())
+		file := de.Name()
+		if strings.HasSuffix(file, QuarantineExt) {
+			rep.Quarantined++
+			continue
+		}
+		if strings.HasPrefix(file, tmpPrefix) {
+			if swept := sweepTmp(fsys, filepath.Join(dir, file)); swept {
+				rep.SweptTmp++
+			}
+			continue
+		}
+		name, ok := nameOfFile(file)
 		if !ok {
 			continue
 		}
-		path := filepath.Join(dir, de.Name())
-		nodes, err := snapshot.PeekMeta(path)
+		path := filepath.Join(dir, file)
+		nodes, err := snapshot.PeekMetaFS(fsys, path)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("%s: %w", de.Name(), err))
+			if permanentSnapshotErr(err) {
+				if c.quarantineFile(fsys, path) {
+					rep.Quarantined++
+				}
+				errs = append(errs, fmt.Errorf("%s: quarantined: %w", file, err))
+			} else {
+				errs = append(errs, fmt.Errorf("%s: %w", file, err))
+			}
 			continue
 		}
 		c.mu.Lock()
@@ -76,11 +179,50 @@ func (c *Corpus) LoadDir(dir string) (int, error) {
 			c.clock++
 			c.verClock++
 			c.entries[name] = &entry{used: c.clock, path: path, nodes: nodes, ver: c.verClock}
-			added++
+			rep.Registered++
 		}
 		c.mu.Unlock()
 	}
-	return added, errors.Join(errs...)
+	return rep, errors.Join(errs...)
+}
+
+// sweepTmp deletes one orphaned temp file if it is older than
+// tmpSweepAge; reports whether it was deleted.
+func sweepTmp(fsys fault.FS, path string) bool {
+	st, err := os.Stat(path)
+	if err != nil || time.Since(st.ModTime()) < tmpSweepAge {
+		return false
+	}
+	return fsys.Remove(path) == nil
+}
+
+// permanentSnapshotErr reports whether a read/decode failure is a format
+// violation — the file's bytes are wrong and rereading cannot help — as
+// opposed to a transient I/O error worth retrying.
+func permanentSnapshotErr(err error) bool {
+	return errors.Is(err, snapshot.ErrBadMagic) ||
+		errors.Is(err, snapshot.ErrVersion) ||
+		errors.Is(err, snapshot.ErrChecksum) ||
+		errors.Is(err, snapshot.ErrCorrupt) ||
+		errors.Is(err, snapshot.ErrTruncated)
+}
+
+// quarantineFile renames path out of the load path by appending
+// QuarantineExt and counts the quarantine. Reports whether the rename
+// succeeded (a false return means the file vanished or the rename
+// failed; either way it will not be loaded this pass).
+func (c *Corpus) quarantineFile(fsys fault.FS, path string) bool {
+	if err := fsys.Rename(path, path+QuarantineExt); err != nil {
+		return false
+	}
+	c.mu.Lock()
+	noSync := c.noSync
+	c.mu.Unlock()
+	if !noSync {
+		_ = fsys.SyncDir(filepath.Dir(path))
+	}
+	c.quarantines.Add(1)
+	return true
 }
 
 // PersistDoc writes the named document's snapshot to dir and marks the
@@ -109,8 +251,9 @@ func (c *Corpus) PersistDoc(dir, name string) error {
 
 	// Encode and write outside the lock; documents are immutable, so the
 	// bytes are right even if the corpus mutates meanwhile.
-	if err := writeFileAtomic(path, doc.Snapshot()); err != nil {
-		return err
+	if err := c.writeFileAtomic(path, doc.Snapshot()); err != nil {
+		c.persistErrs.Add(1)
+		return fmt.Errorf("corpus: persist %q: %w", name, err)
 	}
 	c.mu.Lock()
 	if e2, ok := c.entries[name]; ok && e2.doc == doc {
@@ -142,10 +285,12 @@ func (c *Corpus) PersistDir(dir string) (int, error) {
 
 // Unpersist deletes the named document's snapshot file from dir and
 // detaches the entry from it (a resident document stays resident but
-// becomes memory-only; a stub backed by that file is removed from the
-// corpus entirely, since its bytes are gone). Missing files are fine —
-// removal is idempotent.
+// becomes memory-only; a stub backed by that file — including a
+// quarantined one — is removed from the corpus entirely, since its bytes
+// are gone). The file's quarantined twin, if any, is deleted too.
+// Missing files are fine — removal is idempotent.
 func (c *Corpus) Unpersist(dir, name string) error {
+	fsys := c.fsys()
 	path := filepath.Join(dir, FileName(name))
 	c.mu.Lock()
 	if e, ok := c.entries[name]; ok && e.path == path {
@@ -155,7 +300,10 @@ func (c *Corpus) Unpersist(dir, name string) error {
 		}
 	}
 	c.mu.Unlock()
-	err := os.Remove(path)
+	if err := fsys.Remove(path + QuarantineExt); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	err := fsys.Remove(path)
 	if err != nil && !os.IsNotExist(err) {
 		return err
 	}
@@ -163,15 +311,27 @@ func (c *Corpus) Unpersist(dir, name string) error {
 }
 
 // writeFileAtomic writes data to path via a same-directory temp file and
-// rename, so a crash mid-write never leaves a torn snapshot where LoadDir
-// would find it.
-func writeFileAtomic(path string, data []byte) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+// rename. The sequence is the full crash-safe one: write the temp file,
+// fsync it, rename over the target, fsync the parent directory. A crash
+// at any step leaves either the old file or the new file at path — the
+// fsync-before-rename rules out the rename landing with unflushed data
+// behind it, and the directory fsync makes the rename itself durable.
+// With SetNoSync both fsyncs are skipped (atomic, not crash-durable).
+func (c *Corpus) writeFileAtomic(path string, data []byte) error {
+	fsys := c.fsys()
+	c.mu.Lock()
+	noSync := c.noSync
+	c.mu.Unlock()
+	dir := filepath.Dir(path)
+	f, err := fsys.CreateTemp(dir, tmpPrefix+"*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	_, werr := f.Write(data)
+	if werr == nil && !noSync {
+		werr = f.Sync()
+	}
 	cerr := f.Close()
 	if werr == nil {
 		werr = cerr
@@ -179,14 +339,19 @@ func writeFileAtomic(path string, data []byte) error {
 	if werr == nil {
 		// CreateTemp's 0600 is for secrets; snapshots match the usual
 		// file mode (and SaveDocumentFile).
-		werr = os.Chmod(tmp, 0o644)
+		werr = fsys.Chmod(tmp, 0o644)
 	}
 	if werr == nil {
-		werr = os.Rename(tmp, path)
+		werr = fsys.Rename(tmp, path)
 	}
 	if werr != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return werr
+	}
+	if !noSync {
+		if err := fsys.SyncDir(dir); err != nil {
+			return err
+		}
 	}
 	return nil
 }

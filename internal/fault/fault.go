@@ -1,0 +1,486 @@
+// Package fault is the failpoint layer under the persistence tier: a
+// small filesystem interface (FS/File) that the snapshot reader and the
+// corpus persist path are threaded through, plus an Injector that wraps
+// the real filesystem with deterministic failures — error out the Nth
+// write/sync/rename, cut a write short, or simulate a whole-process
+// power loss whose surviving on-disk state is adversarially torn.
+//
+// The crash model is the standard POSIX one the durability code is
+// written against:
+//
+//   - Data written to a file is durable only once the file has been
+//     fsynced; at a crash, everything written after the last Sync may
+//     come back truncated, zeroed, or bit-flipped (TornMode).
+//   - A rename is durable only once the parent directory has been
+//     fsynced; at a crash, renames after the last SyncDir may be rolled
+//     back wholesale — the old name reappears with its old content.
+//
+// An Injector enforces exactly that model: Crash (or CrashAfterOps)
+// freezes the filesystem — every later operation fails with ErrCrashed —
+// and rewrites the on-disk state to the worst legal post-crash image, so
+// a recovery test that passes against the Injector passes against real
+// power loss. The zero-dependency OS implementation is the production
+// path; code never pays for the seam beyond one interface call.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Typed injected failures; match with errors.Is.
+var (
+	// ErrInjected is the default error returned by a FailAt failpoint.
+	ErrInjected = errors.New("fault: injected error")
+	// ErrCrashed is returned by every operation after a simulated crash:
+	// the process this FS belonged to is "dead", and a recovery test must
+	// reopen the directory through a fresh (real) FS.
+	ErrCrashed = errors.New("fault: filesystem crashed")
+)
+
+// Op identifies one intercepted filesystem operation kind.
+type Op uint8
+
+const (
+	OpOpen Op = iota
+	OpRead
+	OpCreateTemp
+	OpWrite
+	OpSync
+	OpClose
+	OpChmod
+	OpRename
+	OpRemove
+	OpReadDir
+	OpSyncDir
+	opCount
+)
+
+var opNames = [...]string{
+	OpOpen: "open", OpRead: "read", OpCreateTemp: "create-temp", OpWrite: "write",
+	OpSync: "sync", OpClose: "close", OpChmod: "chmod", OpRename: "rename",
+	OpRemove: "remove", OpReadDir: "readdir", OpSyncDir: "syncdir",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// File is the open-file surface the persistence tier needs: sequential
+// read/write, Sync (fsync), Stat for the size, and the name for
+// temp-file bookkeeping.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+}
+
+// FS is the filesystem seam. OS is the production implementation; an
+// Injector wraps any FS with failpoints and crash simulation.
+type FS interface {
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Chmod(name string, mode os.FileMode) error
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs the directory itself, making renames and removals of
+	// its entries durable.
+	SyncDir(dir string) error
+}
+
+// OS is the passthrough FS over the real filesystem.
+type OS struct{}
+
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Chmod(name string, mode os.FileMode) error { return os.Chmod(name, mode) }
+
+func (OS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+// SyncDir opens the directory and fsyncs it. On platforms where fsync on
+// a directory is unsupported the error is swallowed — the rename is then
+// as durable as the platform can make it, which is the pre-existing
+// contract of os.Rename there.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, errInvalidSync) || os.IsPermission(err)) {
+		return nil
+	}
+	return err
+}
+
+// errInvalidSync matches the EINVAL/ENOTSUP class some filesystems
+// return for fsync on a directory handle.
+var errInvalidSync = fs.ErrInvalid
+
+// ---- injector -------------------------------------------------------------
+
+// TornMode selects how the unsynced suffix of a file is mangled at a
+// simulated crash — the three real-world flavors of a torn write.
+type TornMode uint8
+
+const (
+	// TornTruncate cuts the file at its last-synced length (data simply
+	// never reached the disk).
+	TornTruncate TornMode = iota
+	// TornZero keeps the file length but zeroes the unsynced suffix
+	// (blocks allocated, data not written).
+	TornZero
+	// TornFlip keeps the unsynced bytes but flips one bit in them (a
+	// partially written sector / bit rot on the unflushed tail) — the
+	// case only a checksum can catch.
+	TornFlip
+)
+
+// failpoint is one scheduled failure: the nth occurrence of op returns
+// err instead of (fully) executing.
+type failpoint struct {
+	op  Op
+	nth int
+	err error
+}
+
+// renameRec remembers one not-yet-dir-synced rename so a crash can roll
+// it back: the old path, the new path, and the new path's previous
+// content (nil if it did not exist).
+type renameRec struct {
+	dir, from, to string
+	prev          []byte
+	prevExisted   bool
+}
+
+// Injector wraps an FS with deterministic failpoints and crash
+// simulation. All methods are safe for concurrent use. The zero value is
+// not ready; use NewInjector.
+type Injector struct {
+	under FS
+
+	// Torn selects how unsynced file data is mangled at a crash.
+	Torn TornMode
+	// DropUnsyncedRenames makes a crash roll back renames performed since
+	// the last SyncDir of their directory — the adversarial reading of
+	// rename durability. When false, renames survive the crash (the other
+	// legal outcome); exercise both.
+	DropUnsyncedRenames bool
+
+	mu       sync.Mutex
+	counts   [opCount]int
+	totalOps int
+	fails    []failpoint
+	crashAt  int // simulate a crash at the nth overall op; 0 = never
+	crashed  bool
+
+	// unsynced tracks, per path, the length up to which the file's data
+	// has been fsynced; absent = file not written through this FS.
+	synced  map[string]int64
+	renames []renameRec
+}
+
+// NewInjector returns an Injector over the real filesystem.
+func NewInjector() *Injector {
+	return &Injector{under: OS{}, synced: make(map[string]int64)}
+}
+
+// FailAt schedules the nth occurrence (1-based) of op to fail with err
+// (ErrInjected if err is nil). The failed operation is not performed —
+// except OpWrite, which performs a short write of half the data first,
+// modeling a write cut partway through.
+func (in *Injector) FailAt(op Op, nth int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fails = append(in.fails, failpoint{op, nth, err})
+}
+
+// CrashAfterOps schedules a simulated power loss at the nth intercepted
+// operation (1-based, counted across all kinds): that operation and every
+// later one fail with ErrCrashed, and the on-disk state is rewritten to
+// the adversarial post-crash image (torn unsynced files; rolled-back
+// renames when DropUnsyncedRenames is set).
+func (in *Injector) CrashAfterOps(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashAt = n
+}
+
+// Crash simulates the power loss immediately.
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.crashLocked()
+}
+
+// Crashed reports whether the simulated crash has happened.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Ops returns the total number of intercepted operations so far — run a
+// workload once against a clean Injector to learn its op count, then
+// enumerate CrashAfterOps(1..Ops()) for exhaustive crash-point coverage.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.totalOps
+}
+
+// Count returns how many operations of one kind have been intercepted.
+func (in *Injector) Count(op Op) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.counts[op]
+}
+
+// step accounts one operation and decides its fate: proceed (nil), fail
+// with an injected error, or crash. Caller does not hold the lock.
+func (in *Injector) step(op Op) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.crashed {
+		return ErrCrashed
+	}
+	in.totalOps++
+	in.counts[op]++
+	if in.crashAt > 0 && in.totalOps >= in.crashAt {
+		in.crashLocked()
+		return ErrCrashed
+	}
+	for i, fp := range in.fails {
+		if fp.op == op && fp.nth == in.counts[op] {
+			in.fails = append(in.fails[:i], in.fails[i+1:]...)
+			return fp.err
+		}
+	}
+	return nil
+}
+
+// crashLocked applies the post-crash disk image and freezes the FS.
+// Renames are rolled back FIRST (restoring each file to the path its
+// unsynced data is tracked under), then unsynced suffixes are torn.
+func (in *Injector) crashLocked() {
+	if in.crashed {
+		return
+	}
+	in.crashed = true
+	if in.DropUnsyncedRenames {
+		// Undo in reverse order so chained renames unwind correctly.
+		for i := len(in.renames) - 1; i >= 0; i-- {
+			r := in.renames[i]
+			_ = os.Rename(r.to, r.from)
+			if r.prevExisted {
+				_ = os.WriteFile(r.to, r.prev, 0o644)
+			}
+			if s, ok := in.synced[r.to]; ok {
+				delete(in.synced, r.to)
+				in.synced[r.from] = s
+			}
+		}
+	}
+	in.renames = nil
+	for path, synced := range in.synced {
+		tearFile(path, synced, in.Torn)
+	}
+	in.synced = make(map[string]int64)
+}
+
+// tearFile mangles path's bytes beyond the synced watermark per mode.
+func tearFile(path string, synced int64, mode TornMode) {
+	st, err := os.Stat(path)
+	if err != nil || st.Size() <= synced {
+		return // nothing unsynced survives to tear
+	}
+	switch mode {
+	case TornTruncate:
+		_ = os.Truncate(path, synced)
+	case TornZero:
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			return
+		}
+		zeros := make([]byte, st.Size()-synced)
+		_, _ = f.WriteAt(zeros, synced)
+		_ = f.Close()
+	case TornFlip:
+		f, err := os.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return
+		}
+		var b [1]byte
+		if _, err := f.ReadAt(b[:], synced); err == nil {
+			b[0] ^= 0x40
+			_, _ = f.WriteAt(b[:], synced)
+		}
+		_ = f.Close()
+	}
+}
+
+// ---- FS implementation ----------------------------------------------------
+
+func (in *Injector) Open(name string) (File, error) {
+	if err := in.step(OpOpen); err != nil {
+		return nil, err
+	}
+	f, err := in.under.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.step(OpCreateTemp); err != nil {
+		return nil, err
+	}
+	f, err := in.under.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	in.mu.Lock()
+	in.synced[f.Name()] = 0 // a brand-new file has nothing durable
+	in.mu.Unlock()
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.step(OpRename); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	rec := renameRec{dir: filepath.Dir(newpath), from: oldpath, to: newpath}
+	if prev, err := os.ReadFile(newpath); err == nil {
+		rec.prev, rec.prevExisted = prev, true
+	}
+	in.mu.Unlock()
+	if err := in.under.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	in.renames = append(in.renames, rec)
+	if s, ok := in.synced[oldpath]; ok {
+		delete(in.synced, oldpath)
+		in.synced[newpath] = s
+	}
+	in.mu.Unlock()
+	return nil
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.step(OpRemove); err != nil {
+		return err
+	}
+	return in.under.Remove(name)
+}
+
+func (in *Injector) Chmod(name string, mode os.FileMode) error {
+	if err := in.step(OpChmod); err != nil {
+		return err
+	}
+	return in.under.Chmod(name, mode)
+}
+
+func (in *Injector) ReadDir(dir string) ([]fs.DirEntry, error) {
+	if err := in.step(OpReadDir); err != nil {
+		return nil, err
+	}
+	return in.under.ReadDir(dir)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.step(OpSyncDir); err != nil {
+		return err
+	}
+	if err := in.under.SyncDir(dir); err != nil {
+		return err
+	}
+	in.mu.Lock()
+	kept := in.renames[:0]
+	for _, r := range in.renames {
+		if r.dir != dir {
+			kept = append(kept, r)
+		}
+	}
+	in.renames = kept
+	in.mu.Unlock()
+	return nil
+}
+
+// injFile wraps a File with the injector's accounting.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+func (w *injFile) Name() string               { return w.f.Name() }
+func (w *injFile) Stat() (os.FileInfo, error) { return w.f.Stat() }
+
+func (w *injFile) Read(p []byte) (int, error) {
+	if err := w.in.step(OpRead); err != nil {
+		return 0, err
+	}
+	return w.f.Read(p)
+}
+
+func (w *injFile) Write(p []byte) (int, error) {
+	if err := w.in.step(OpWrite); err != nil {
+		// A failing write is cut short, not atomic: half the payload lands
+		// in the file before the error surfaces (it is unsynced, so a
+		// subsequent crash tears it further).
+		n, _ := w.f.Write(p[:len(p)/2])
+		return n, err
+	}
+	return w.f.Write(p)
+}
+
+func (w *injFile) Sync() error {
+	if err := w.in.step(OpSync); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if st, err := w.f.Stat(); err == nil {
+		w.in.mu.Lock()
+		w.in.synced[w.f.Name()] = st.Size()
+		w.in.mu.Unlock()
+	}
+	return nil
+}
+
+func (w *injFile) Close() error {
+	if err := w.in.step(OpClose); err != nil {
+		// Power loss at close time still closes the real descriptor —
+		// leaking it would fail later test cleanup, not model anything.
+		_ = w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,368 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write pushes data through the injected file API the way the persist
+// path does: create temp, write, optionally sync, close.
+func write(t *testing.T, fs FS, dir string, data []byte, sync bool) string {
+	t.Helper()
+	f, err := fs.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return f.Name()
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	var fs OS
+	name := write(t, fs, dir, []byte("hello"), true)
+	if err := fs.Rename(name, filepath.Join(dir, "final")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	f, err := fs.Open(filepath.Join(dir, "final"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	f.Close()
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("read back %q", buf[:n])
+	}
+	des, err := fs.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		t.Fatalf("ReadDir = %v, %v", des, err)
+	}
+}
+
+func TestInjectorFailAt(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector()
+	boom := errors.New("boom")
+	in.FailAt(OpWrite, 2, boom)
+
+	// First write passes untouched.
+	f, err := in.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	// Second write fails AND lands half its payload — a genuine short
+	// write, not an atomic no-op.
+	if _, err := f.Write([]byte("bbbb")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	f.Close()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "aaaabb" {
+		t.Fatalf("file content %q, want aaaabb (short second write)", data)
+	}
+	if in.Count(OpWrite) != 2 {
+		t.Fatalf("write count %d", in.Count(OpWrite))
+	}
+}
+
+func TestCrashTearsUnsyncedFile(t *testing.T) {
+	for _, tc := range []struct {
+		mode TornMode
+		name string
+	}{{TornTruncate, "truncate"}, {TornZero, "zero"}, {TornFlip, "flip"}} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			in := NewInjector()
+			in.Torn = tc.mode
+
+			f, err := in.CreateTemp(dir, ".tmp-*")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("durable!")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("volatile")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			in.Crash()
+
+			data, err := os.ReadFile(f.Name())
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch tc.mode {
+			case TornTruncate:
+				if string(data) != "durable!" {
+					t.Fatalf("post-crash %q, want synced prefix only", data)
+				}
+			case TornZero:
+				if len(data) != 16 || string(data[:8]) != "durable!" || string(data[8:]) == "volatile" {
+					t.Fatalf("post-crash %q, want zeroed suffix", data)
+				}
+			case TornFlip:
+				if len(data) != 16 || string(data[:8]) != "durable!" || string(data[8:]) == "volatile" {
+					t.Fatalf("post-crash %q, want flipped suffix", data)
+				}
+			}
+			// The dead filesystem refuses everything.
+			if _, err := in.Open(f.Name()); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("post-crash Open err = %v", err)
+			}
+			if err := in.Remove(f.Name()); !errors.Is(err, ErrCrashed) {
+				t.Fatalf("post-crash Remove err = %v", err)
+			}
+		})
+	}
+}
+
+func TestCrashRollsBackUnsyncedRename(t *testing.T) {
+	dir := t.TempDir()
+	final := filepath.Join(dir, "doc.cqs")
+	if err := os.WriteFile(final, []byte("old version"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	in := NewInjector()
+	in.DropUnsyncedRenames = true
+	tmp := write(t, in, dir, []byte("new version"), true)
+	if err := in.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	// No SyncDir: the rename is not durable. Crash rolls it back.
+	in.Crash()
+
+	data, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "old version" {
+		t.Fatalf("final = %q, want the old version restored", data)
+	}
+	back, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatalf("temp file should reappear: %v", err)
+	}
+	if string(back) != "new version" {
+		t.Fatalf("tmp = %q, want the synced new bytes", back)
+	}
+}
+
+func TestSyncDirMakesRenameDurable(t *testing.T) {
+	dir := t.TempDir()
+	final := filepath.Join(dir, "doc.cqs")
+	if err := os.WriteFile(final, []byte("old version"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	in := NewInjector()
+	in.DropUnsyncedRenames = true
+	tmp := write(t, in, dir, []byte("new version"), true)
+	if err := in.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	in.Crash()
+
+	data, err := os.ReadFile(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "new version" {
+		t.Fatalf("final = %q, want the new version (rename was dir-synced)", data)
+	}
+}
+
+func TestCrashAfterOpsCountsDeterministically(t *testing.T) {
+	// Learn the op count of a workload, then crash at the last op and
+	// check the count is where the crash fired.
+	dir := t.TempDir()
+	probe := NewInjector()
+	write(t, probe, dir, []byte("x"), true)
+	n := probe.Ops()
+	if n != 4 { // create, write, sync, close
+		t.Fatalf("probe ops = %d, want 4", n)
+	}
+
+	in := NewInjector()
+	in.CrashAfterOps(n)
+	f, err := in.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("close err = %v, want crash at op %d", err, n)
+	}
+	if !in.Crashed() {
+		t.Fatal("injector should report crashed")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpOpen: "open", OpRead: "read", OpCreateTemp: "create-temp",
+		OpWrite: "write", OpSync: "sync", OpClose: "close", OpChmod: "chmod",
+		OpRename: "rename", OpRemove: "remove", OpReadDir: "readdir",
+		OpSyncDir: "syncdir",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func TestOSRemoveChmod(t *testing.T) {
+	dir := t.TempDir()
+	var fs OS
+	path := filepath.Join(dir, "victim")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chmod(path, 0o600); err != nil {
+		t.Fatalf("Chmod: %v", err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Mode().Perm() != 0o600 {
+		t.Fatalf("mode = %v, %v", st.Mode(), err)
+	}
+	if err := fs.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("file survived Remove: %v", err)
+	}
+}
+
+// TestInjectorPassthrough drives every FS method through a healthy
+// injector: with no failpoints armed the wrapped calls must behave exactly
+// like the OS ones, and reads/stats must flow through the wrapper file.
+func TestInjectorPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector()
+	path := filepath.Join(dir, "doc")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != path {
+		t.Errorf("Name = %q", f.Name())
+	}
+	st, err := f.Stat()
+	if err != nil || st.Size() != int64(len("payload")) {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	f.Close()
+	if string(buf[:n]) != "payload" {
+		t.Fatalf("Read = %q", buf[:n])
+	}
+
+	if err := in.Chmod(path, 0o600); err != nil {
+		t.Fatalf("Chmod: %v", err)
+	}
+	des, err := in.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		t.Fatalf("ReadDir = %v, %v", des, err)
+	}
+	if err := in.Remove(path); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if in.Count(OpRead) != 1 || in.Count(OpChmod) != 1 || in.Count(OpReadDir) != 1 || in.Count(OpRemove) != 1 {
+		t.Fatalf("op counts: read=%d chmod=%d readdir=%d remove=%d",
+			in.Count(OpRead), in.Count(OpChmod), in.Count(OpReadDir), in.Count(OpRemove))
+	}
+}
+
+// TestInjectorFailpoints arms one failpoint per metadata op and checks the
+// injected error surfaces without touching the real filesystem state.
+func TestInjectorFailpoints(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc")
+	if err := os.WriteFile(path, []byte("payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+
+	in := NewInjector()
+	in.FailAt(OpOpen, 1, boom)
+	if _, err := in.Open(path); !errors.Is(err, boom) {
+		t.Errorf("Open err = %v", err)
+	}
+	if _, err := in.Open(filepath.Join(dir, "absent")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("Open absent err = %v", err)
+	}
+
+	in = NewInjector()
+	in.FailAt(OpRead, 1, boom)
+	f, err := in.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(make([]byte, 4)); !errors.Is(err, boom) {
+		t.Errorf("Read err = %v", err)
+	}
+	f.Close()
+
+	in = NewInjector()
+	in.FailAt(OpChmod, 1, boom)
+	if err := in.Chmod(path, 0o600); !errors.Is(err, boom) {
+		t.Errorf("Chmod err = %v", err)
+	}
+	in = NewInjector()
+	in.FailAt(OpReadDir, 1, boom)
+	if _, err := in.ReadDir(dir); !errors.Is(err, boom) {
+		t.Errorf("ReadDir err = %v", err)
+	}
+	in = NewInjector()
+	in.FailAt(OpRemove, 1, boom)
+	if err := in.Remove(path); !errors.Is(err, boom) {
+		t.Errorf("Remove err = %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("failed Remove must not delete: %v", err)
+	}
+}

@@ -60,6 +60,7 @@ func (s *Server) evalCached(ctx context.Context, w http.ResponseWriter, r *http.
 
 	resp := evalResponse{Mode: mode, Plan: pq.Plan().String(), Results: make([]evalResult, 0, len(docs))}
 	cancelledRows := 0
+	var tally hydraTally
 	add := func(doc string, err error, v any) {
 		// Same contract as evalBuffered: an implicitly selected document
 		// that vanished between Names() and evaluation is not an error row.
@@ -74,6 +75,9 @@ func (s *Server) evalCached(ctx context.Context, w http.ResponseWriter, r *http.
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				cancelledRows++
 			}
+			reason, retryAfter := reasonOf(err)
+			row.Reason = reason
+			tally.count(reason, retryAfter)
 		} else {
 			renderCached(&row, mode, v, capN)
 			if row.Truncated {
@@ -163,6 +167,14 @@ func (s *Server) evalCached(ctx context.Context, w http.ResponseWriter, r *http.
 		writeJSON(w, http.StatusGatewayTimeout, resp)
 		return
 	}
+	// Same persistence escalation as evalBuffered: an all-failed batch
+	// with the persistence layer involved becomes 503 (transient) or 404
+	// (all quarantined).
+	if status := tally.status(w, resp.Docs, resp.Errors); status != http.StatusOK {
+		s.metrics.observeEval(start, pq, "failed")
+		writeJSON(w, status, resp)
+		return
+	}
 	out := "ok"
 	if len(misses) == 0 {
 		out = "cached" // never acquired a slot, never ran the engine
@@ -191,9 +203,12 @@ func missingDocErr(name string) error {
 // response prefix (cap plus the one-past-cap truncation witness) is in
 // hand, it stops: the remaining work could benefit no one.
 func (s *Server) computeDoc(ctx context.Context, pq *cqtrees.PreparedQuery, mode, name string, capN int) (any, int64, error) {
-	doc, ok := s.corpus.Get(name)
-	if !ok {
-		return nil, 0, missingDocErr(name)
+	doc, err := s.corpus.GetErr(name)
+	if err != nil {
+		// Hydration failures keep their classification (quarantined vs
+		// transient) so the row and status mapping can distinguish them
+		// from a plain unknown document.
+		return nil, 0, err
 	}
 	s.metrics.evalsTotal.With(strategySlug(pq.Plan())).Inc()
 	switch mode {

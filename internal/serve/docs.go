@@ -17,6 +17,14 @@ type docInfo struct {
 	Nodes    int    `json:"nodes"`
 	Bytes    int64  `json:"bytes"`
 	Hydrated bool   `json:"hydrated"`
+	// Persistence fault state, omitted while healthy: Quarantined means
+	// the snapshot file failed validation and was set aside (the document
+	// cannot be served until re-persisted); Failing means the last
+	// hydration attempt failed transiently and the entry is in retry
+	// backoff. LastError carries the failure text for either.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Failing     bool   `json:"failing,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
 }
 
 // docRow builds a listing row from Stat's accounted figures, so the rows
@@ -24,7 +32,10 @@ type docInfo struct {
 // bytes, and dehydrated documents list without being pulled back into
 // memory.
 func docRow(name string, st cqtrees.CorpusStat) docInfo {
-	return docInfo{Name: name, Nodes: st.Nodes, Bytes: st.Bytes, Hydrated: st.Hydrated}
+	return docInfo{
+		Name: name, Nodes: st.Nodes, Bytes: st.Bytes, Hydrated: st.Hydrated,
+		Quarantined: st.Quarantined, Failing: st.Failing, LastError: st.LastError,
+	}
 }
 
 // The metadata endpoints use Stat, not Get: a monitoring poll of /docs

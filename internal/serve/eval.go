@@ -48,6 +48,11 @@ type evalResult struct {
 	Tuples    [][]cqtrees.NodeID `json:"tuples,omitempty"`
 	Truncated bool               `json:"truncated,omitempty"`
 	Error     string             `json:"error,omitempty"`
+	// Reason classifies persistence-layer failures: "quarantined" (the
+	// document's snapshot file failed validation and was set aside — do
+	// not retry) or "unavailable" (a transient snapshot I/O failure —
+	// retry after a backoff). Empty for all other errors.
+	Reason string `json:"reason,omitempty"`
 }
 
 type evalResponse struct {
@@ -245,6 +250,7 @@ func (s *Server) evalBuffered(ctx context.Context, w http.ResponseWriter, req ev
 
 	resp := evalResponse{Mode: mode, Plan: pq.Plan().String(), Results: make([]evalResult, 0, len(docs))}
 	cancelledRows := 0
+	var tally hydraTally
 	add := func(doc string, err error, fill func(*evalResult)) {
 		// An implicit fleet selection can race a concurrent Remove or
 		// LRU eviction between Names() and the batch snapshot; the
@@ -266,6 +272,9 @@ func (s *Server) evalBuffered(ctx context.Context, w http.ResponseWriter, req ev
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				cancelledRows++
 			}
+			reason, retryAfter := reasonOf(err)
+			row.Reason = reason
+			tally.count(reason, retryAfter)
 		} else {
 			fill(&row)
 		}
@@ -308,6 +317,15 @@ func (s *Server) evalBuffered(ctx context.Context, w http.ResponseWriter, req ev
 		resp.TimedOut = true
 		s.metrics.observeEval(start, pq, "timeout")
 		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return
+	}
+	// Persistence escalation: when every row failed and the persistence
+	// layer was involved, the batch as a whole is undeliverable — 503 +
+	// Retry-After (transient, retry here later) or 404 (everything asked
+	// for is quarantined; retrying cannot help).
+	if status := tally.status(w, resp.Docs, resp.Errors); status != http.StatusOK {
+		s.metrics.observeEval(start, pq, "failed")
+		writeJSON(w, status, resp)
 		return
 	}
 	s.metrics.observeEval(start, pq, "ok")

@@ -84,6 +84,30 @@ func newServeMetrics(s *Server) *serveMetrics {
 		"Documents hydrated back from snapshot stubs on demand.",
 		func() float64 { return float64(s.corpus.Hydrations()) })
 
+	// Persistence fault counters and fault-state gauges; all read from one
+	// PersistenceStats snapshot per series, live at scrape time.
+	persistStat := func(pick func(cqtrees.CorpusPersistence) int64) func() float64 {
+		return func() float64 { return float64(pick(s.corpus.Persistence())) }
+	}
+	r.NewCounterFunc("cqtrees_corpus_hydration_errors_total",
+		"Snapshot hydration attempts that failed (transient and permanent).",
+		persistStat(func(p cqtrees.CorpusPersistence) int64 { return p.HydrationErrors }))
+	r.NewCounterFunc("cqtrees_corpus_quarantines_total",
+		"Snapshot files quarantined after failing format validation.",
+		persistStat(func(p cqtrees.CorpusPersistence) int64 { return p.Quarantines }))
+	r.NewCounterFunc("cqtrees_corpus_persist_errors_total",
+		"PersistDoc calls that failed before the snapshot became durable.",
+		persistStat(func(p cqtrees.CorpusPersistence) int64 { return p.PersistErrors }))
+	r.NewGaugeFunc("cqtrees_corpus_stubs",
+		"Dehydrated documents currently backed only by their snapshot file.",
+		persistStat(func(p cqtrees.CorpusPersistence) int64 { return int64(p.Stubs) }))
+	r.NewGaugeFunc("cqtrees_corpus_failed_docs",
+		"Dehydrated documents whose last hydration failed and are in retry backoff.",
+		persistStat(func(p cqtrees.CorpusPersistence) int64 { return int64(p.Failed) }))
+	r.NewGaugeFunc("cqtrees_corpus_quarantined_docs",
+		"Documents whose snapshot file is quarantined and cannot be served.",
+		persistStat(func(p cqtrees.CorpusPersistence) int64 { return int64(p.Quarantined) }))
+
 	// Result cache counters; all read from one Stats snapshot per series.
 	// On the nil (disabled) cache every series reads zero.
 	cacheStat := func(pick func(cache.Stats) int64) func() float64 {

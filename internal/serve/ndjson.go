@@ -45,6 +45,9 @@ type ndRow struct {
 	Count     *int             `json:"count,omitempty"`
 	Truncated bool             `json:"truncated,omitempty"`
 	Error     string           `json:"error,omitempty"`
+	// Reason mirrors evalResult.Reason: "quarantined" or "unavailable"
+	// when the error came from the persistence layer, empty otherwise.
+	Reason string `json:"reason,omitempty"`
 }
 
 // ndSummary is the final stream line.
@@ -90,15 +93,20 @@ func (s *Server) evalNDJSON(ctx context.Context, w http.ResponseWriter, req eval
 		if ctx.Err() != nil {
 			break // summary reports timed_out below
 		}
-		doc, ok := s.corpus.Get(name)
-		if ok {
+		doc, err := s.corpus.GetErr(name)
+		if err == nil {
 			s.metrics.evalsTotal.With(strategySlug(pq.Plan())).Inc()
 		} else {
 			// Same contract as the buffered path: an explicitly named
 			// missing document is an error row; an implicitly selected one
-			// that vanished mid-batch is silently skipped.
-			if explicit {
-				emit(ndRow{Doc: name, Error: "unknown document"})
+			// that vanished mid-batch is silently skipped. Hydration
+			// failures produce rows either way — the document exists, the
+			// persistence layer just cannot deliver it — with the same
+			// reason classification as the buffered path. The status is
+			// already committed 200, so the reason is the whole signal here.
+			reason, _ := reasonOf(err)
+			if explicit || reason != "" {
+				emit(ndRow{Doc: name, Error: err.Error(), Reason: reason})
 				sum.Docs++
 				sum.Errors++
 			}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	cqtrees "repro"
+	"repro/internal/corpus"
+)
+
+// Persistence-failure surfacing for /eval. Hydration failures are not
+// ordinary per-row errors: they mean the serving tier itself cannot
+// produce the document right now, and the client needs to know whether
+// retrying can help. Each affected row carries a "reason" —
+// "quarantined" (the snapshot file failed validation and was set aside;
+// retrying cannot help) or "unavailable" (transient I/O; retry after the
+// backoff) — and a batch in which EVERY row failed with at least one
+// persistence failure escalates to a structured status: 503 +
+// Retry-After when any failure is transient, 404 when everything the
+// client asked for is quarantined.
+
+// reasonQuarantined / reasonUnavailable are the evalResult.Reason values.
+const (
+	reasonQuarantined = "quarantined"
+	reasonUnavailable = "unavailable"
+)
+
+// hydraTally accumulates persistence failures across one /eval batch.
+type hydraTally struct {
+	quarantined int
+	unavailable int
+	maxRetry    time.Duration
+}
+
+// reasonOf classifies one row error: "quarantined", "unavailable", or ""
+// for errors that did not come from the persistence layer. The
+// transient case also reports the hydration backoff remaining.
+func reasonOf(err error) (reason string, retryAfter time.Duration) {
+	switch {
+	case errors.Is(err, cqtrees.ErrDocumentQuarantined):
+		return reasonQuarantined, 0
+	case errors.Is(err, cqtrees.ErrDocumentUnavailable):
+		var herr *corpus.HydrationError
+		if errors.As(err, &herr) {
+			retryAfter = herr.RetryAfter
+		}
+		return reasonUnavailable, retryAfter
+	}
+	return "", 0
+}
+
+// count folds one classified failure into the tally.
+func (h *hydraTally) count(reason string, retryAfter time.Duration) {
+	switch reason {
+	case reasonQuarantined:
+		h.quarantined++
+	case reasonUnavailable:
+		h.unavailable++
+		if retryAfter > h.maxRetry {
+			h.maxRetry = retryAfter
+		}
+	}
+}
+
+// status maps the finished batch onto its response status. docs and
+// errCount are the response's row and error-row totals: only a batch in
+// which every row failed AND the persistence layer was involved
+// escalates; any successful row keeps the 200-with-reasons contract.
+func (h *hydraTally) status(w http.ResponseWriter, docs, errCount int) int {
+	if docs == 0 || errCount < docs || h.quarantined+h.unavailable == 0 {
+		return http.StatusOK
+	}
+	if h.unavailable > 0 {
+		secs := int(math.Ceil(h.maxRetry.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusNotFound
+}

@@ -53,6 +53,11 @@ type Config struct {
 	// DELETEs unpersist, and startup recovers the corpus from it without
 	// re-parsing any XML (documents hydrate lazily from their snapshots).
 	DataDir string
+	// NoFsync disables the fsync calls in the persist path. Writes stay
+	// atomic for concurrent readers but lose crash durability — after a
+	// power loss a freshly persisted snapshot may be torn or missing. For
+	// benchmarks and bulk imports only; production keeps syncs on.
+	NoFsync bool
 
 	// MaxInFlight bounds concurrent /eval evaluations; <= 0 is unlimited.
 	MaxInFlight int
@@ -94,6 +99,7 @@ type Server struct {
 	gate        *Gate
 	cache       *cache.Cache // nil when disabled: always-miss, no-op puts
 	metrics     *serveMetrics
+	loadReport  cqtrees.CorpusLoadReport // startup LoadDir accounting
 
 	// hook, when non-nil, runs at the start of every admitted /eval
 	// evaluation — a test seam for saturating the gate deterministically
@@ -116,6 +122,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 16 << 20
+	}
+	if cfg.NoFsync {
+		opts = append(opts, cqtrees.WithNoFsync())
 	}
 	// The cache exists before the corpus so the corpus's invalidation
 	// hook can close over it: every Swap, Remove, eviction, and
@@ -146,7 +155,15 @@ func New(cfg Config) (*Server, error) {
 		// Restart recovery: every snapshot in the directory registers as a
 		// dehydrated entry (header read only) and hydrates on first use —
 		// no XML parse, no index build, cold start at read speed.
-		if _, err := s.corpus.LoadDir(s.dataDir); err != nil {
+		//
+		// Per-file faults do not abort startup: corrupt files were already
+		// quarantined (renamed aside, counted — visible on /healthz and
+		// /metrics) and transiently unreadable ones stay for the next pass,
+		// while every healthy snapshot serves. Only a scan that produced
+		// nothing at all — the directory itself unreadable — is fatal.
+		rep, err := s.corpus.LoadDirReport(s.dataDir)
+		s.loadReport = rep
+		if err != nil && rep == (cqtrees.CorpusLoadReport{}) {
 			return nil, fmt.Errorf("load %s: %w", s.dataDir, err)
 		}
 	}
@@ -205,6 +222,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
 	cs := s.cache.Stats() // all-zero for the disabled (nil) cache
+	ps := s.corpus.Persistence()
 	writeJSON(w, code, map[string]any{
 		"status":    status,
 		"docs":      s.corpus.Len(),
@@ -218,6 +236,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			"misses":  cs.Misses,
 			"entries": cs.Entries,
 			"bytes":   cs.Bytes,
+		},
+		// The persistence block is the health view of the fault-tolerant
+		// snapshot layer: stubs awaiting hydration, entries in retry
+		// backoff, quarantined documents, and the lifetime fault counters.
+		// load_quarantined / swept_tmp are the startup scan's accounting.
+		"persistence": map[string]any{
+			"stubs":            ps.Stubs,
+			"failed":           ps.Failed,
+			"quarantined":      ps.Quarantined,
+			"hydration_errors": ps.HydrationErrors,
+			"quarantines":      ps.Quarantines,
+			"persist_errors":   ps.PersistErrors,
+			"load_quarantined": s.loadReport.Quarantined,
+			"swept_tmp":        s.loadReport.SweptTmp,
 		},
 	})
 }

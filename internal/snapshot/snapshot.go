@@ -31,8 +31,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"unsafe"
+
+	"repro/internal/fault"
 )
 
 // Version is the current snapshot format version. Any change to the
@@ -309,7 +310,13 @@ func (r *Reader) Uint64s(tag uint32) ([]uint64, error) {
 // result takes the zero-copy path on little-endian hosts. (os.ReadFile
 // gives no alignment guarantee; the buffer here is backed by a []uint64.)
 func ReadFile(path string) ([]byte, error) {
-	f, err := os.Open(path)
+	return ReadFileFS(fault.OS{}, path)
+}
+
+// ReadFileFS is ReadFile through an explicit filesystem — the seam the
+// fault-injection suite uses to exercise read-time I/O failures.
+func ReadFileFS(fsys fault.FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +346,12 @@ func ReadFile(path string) ([]byte, error) {
 // shape check directory loading uses to register lazy stubs without
 // reading (or checksumming) whole files.
 func PeekMeta(path string) (nodes int, err error) {
-	f, err := os.Open(path)
+	return PeekMetaFS(fault.OS{}, path)
+}
+
+// PeekMetaFS is PeekMeta through an explicit filesystem (see ReadFileFS).
+func PeekMetaFS(fsys fault.FS, path string) (nodes int, err error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,253 @@
+package snapshot
+
+import (
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// buildSnap writes a small snapshot with one section of each payload kind.
+func buildSnap() []byte {
+	w := NewWriter()
+	w.WriteMeta(Meta{Nodes: 7, Labels: 3, Structure: 21})
+	w.Bytes(TagTreeNames, []byte("abc"))
+	w.Int32s(TagTreeParent, []int32{-1, 0, 0, 1, 2, 3, 4})
+	w.Uint64s(TagIxInternal, []uint64{0x0102030405060708, 42})
+	w.Int32s(TagTreePre, nil) // empty section: accessor returns nil, nil
+	return w.Finish()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := buildSnap()
+	r, err := Open(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Meta()
+	if err != nil || m != (Meta{Nodes: 7, Labels: 3, Structure: 21}) {
+		t.Fatalf("Meta = %+v, %v", m, err)
+	}
+	b, err := r.Bytes(TagTreeNames)
+	if err != nil || string(b) != "abc" {
+		t.Fatalf("Bytes = %q, %v", b, err)
+	}
+	ints, err := r.Int32s(TagTreeParent)
+	if err != nil || len(ints) != 7 || ints[0] != -1 || ints[6] != 4 {
+		t.Fatalf("Int32s = %v, %v", ints, err)
+	}
+	u, err := r.Uint64s(TagIxInternal)
+	if err != nil || len(u) != 2 || u[0] != 0x0102030405060708 || u[1] != 42 {
+		t.Fatalf("Uint64s = %v, %v", u, err)
+	}
+	if empty, err := r.Int32s(TagTreePre); err != nil || empty != nil {
+		t.Fatalf("empty Int32s = %v, %v", empty, err)
+	}
+	if _, ok := r.Section(TagTreeNames); !ok {
+		t.Fatal("Section(TagTreeNames) missing")
+	}
+	if _, ok := r.Section(0xdead); ok {
+		t.Fatal("Section(0xdead) present")
+	}
+}
+
+// TestCopyFallback forces the misaligned path: the same bytes at an odd
+// offset must decode to identical values through element-wise copies.
+func TestCopyFallback(t *testing.T) {
+	data := buildSnap()
+	shifted := make([]byte, len(data)+1)
+	copy(shifted[1:], data)
+	r, err := Open(shifted[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ZeroCopy() {
+		t.Skip("odd-offset slice still 8-aligned on this platform")
+	}
+	ints, err := r.Int32s(TagTreeParent)
+	if err != nil || len(ints) != 7 || ints[0] != -1 {
+		t.Fatalf("Int32s = %v, %v", ints, err)
+	}
+	u, err := r.Uint64s(TagIxInternal)
+	if err != nil || u[0] != 0x0102030405060708 {
+		t.Fatalf("Uint64s = %v, %v", u, err)
+	}
+}
+
+func TestOpenRejectsDamage(t *testing.T) {
+	valid := buildSnap()
+	mangle := func(fn func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return fn(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"truncated", valid[:minSize-1], ErrTruncated},
+		{"bad magic", mangle(func(b []byte) []byte { b[0] = 'X'; return b }), ErrBadMagic},
+		{"bad version", mangle(func(b []byte) []byte {
+			putLE32(b[4:], 99)
+			putLE32(b[len(b)-trailerSize:], recrc(b))
+			return b
+		}), ErrVersion},
+		{"checksum", mangle(func(b []byte) []byte { b[len(b)-trailerSize-1] ^= 0x40; return b }), ErrChecksum},
+		{"impossible count", mangle(func(b []byte) []byte {
+			putLE32(b[8:], 1<<30)
+			putLE32(b[len(b)-trailerSize:], recrc(b))
+			return b
+		}), ErrCorrupt},
+		{"section past end", mangle(func(b []byte) []byte {
+			putLE32(b[8:], le32(b[8:])+1) // one more section than the body holds
+			putLE32(b[len(b)-trailerSize:], recrc(b))
+			return b
+		}), ErrTruncated},
+		{"payload past end", mangle(func(b []byte) []byte {
+			putLE64(b[headerSize+8:], 1<<40) // first section claims absurd size
+			putLE32(b[len(b)-trailerSize:], recrc(b))
+			return b
+		}), ErrTruncated},
+		{"trailing bytes", mangle(func(b []byte) []byte {
+			putLE32(b[8:], 0) // sections present but count says none
+			putLE32(b[len(b)-trailerSize:], recrc(b))
+			return b
+		}), ErrCorrupt},
+	}
+	for _, tc := range cases {
+		if _, err := Open(tc.data); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Duplicate section tag.
+	w := NewWriter()
+	w.WriteMeta(Meta{Nodes: 1})
+	w.Bytes(TagTreeNames, []byte("x"))
+	w.Bytes(TagTreeNames, []byte("y"))
+	if _, err := Open(w.Finish()); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("duplicate section: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// recrc recomputes the trailer checksum after a deliberate header edit, so
+// the test reaches the validation step after the checksum gate.
+func recrc(b []byte) uint32 {
+	return crc32.Checksum(b[:len(b)-trailerSize], castagnoli)
+}
+
+func TestAccessorErrors(t *testing.T) {
+	r, err := Open(buildSnap())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Bytes(0xbeef); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing Bytes err = %v", err)
+	}
+	if _, err := r.Int32s(0xbeef); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing Int32s err = %v", err)
+	}
+	if _, err := r.Uint64s(0xbeef); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("missing Uint64s err = %v", err)
+	}
+	// Misshapen lengths: a 3-byte payload is neither []int32 nor []uint64.
+	if _, err := r.Int32s(TagTreeNames); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("odd-length Int32s err = %v", err)
+	}
+	if _, err := r.Uint64s(TagTreeNames); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("odd-length Uint64s err = %v", err)
+	}
+	// Meta decoding guards: short and negative meta sections.
+	if _, err := decodeMeta(make([]byte, metaSize-1)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short meta err = %v", err)
+	}
+	neg := make([]byte, metaSize)
+	putLE32(neg, uint32(0x80000000)) // Nodes < 0
+	if _, err := decodeMeta(neg); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("negative meta err = %v", err)
+	}
+	w := NewWriter()
+	w.Bytes(TagTreeNames, []byte("no meta"))
+	r2, err := Open(w.Finish())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Meta(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("absent meta err = %v", err)
+	}
+}
+
+func TestReadFileAndPeekMeta(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.cqs")
+	data := buildSnap()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ZeroCopy() {
+		t.Error("ReadFile buffer did not take the zero-copy path")
+	}
+	nodes, err := PeekMeta(path)
+	if err != nil || nodes != 7 {
+		t.Fatalf("PeekMeta = %d, %v", nodes, err)
+	}
+
+	if _, err := ReadFile(filepath.Join(dir, "absent.cqs")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("ReadFile absent err = %v", err)
+	}
+	if _, err := PeekMeta(filepath.Join(dir, "absent.cqs")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("PeekMeta absent err = %v", err)
+	}
+
+	// Injected read failure surfaces through ReadFileFS.
+	in := fault.NewInjector()
+	boom := errors.New("io boom")
+	in.FailAt(fault.OpRead, 1, boom)
+	if _, err := ReadFileFS(in, path); !errors.Is(err, boom) {
+		t.Errorf("ReadFileFS injected err = %v, want boom", err)
+	}
+
+	writeVariant := func(name string, mutate func(b []byte)) string {
+		b := append([]byte(nil), data...)
+		mutate(b)
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	short := filepath.Join(dir, "short.cqs")
+	if err := os.WriteFile(short, data[:headerSize], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	peekCases := []struct {
+		path string
+		want error
+	}{
+		{short, ErrTruncated},
+		{writeVariant("magic.cqs", func(b []byte) { b[0] = 'X' }), ErrBadMagic},
+		{writeVariant("version.cqs", func(b []byte) { putLE32(b[4:], 9) }), ErrVersion},
+		{writeVariant("firsttag.cqs", func(b []byte) { putLE32(b[headerSize:], TagTreeNames) }), ErrCorrupt},
+		{writeVariant("metasize.cqs", func(b []byte) { putLE64(b[headerSize+8:], metaSize+8) }), ErrCorrupt},
+		{writeVariant("negnodes.cqs", func(b []byte) {
+			putLE32(b[headerSize+sectionHdrSize:], uint32(0x80000000))
+		}), ErrCorrupt},
+	}
+	for _, tc := range peekCases {
+		if _, err := PeekMeta(tc.path); !errors.Is(err, tc.want) {
+			t.Errorf("PeekMeta(%s) err = %v, want %v", filepath.Base(tc.path), err, tc.want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/consistency"
 	"repro/internal/snapshot"
@@ -433,6 +434,12 @@ func FuzzLoadDocument(f *testing.F) {
 	mut := append([]byte(nil), tiny...)
 	mut[20] ^= 0xff
 	f.Add(mut)
+	// Truncated mid-section: the header parses, a payload table does not.
+	f.Add(valid[:48+(len(valid)-48)/2])
+	// Flipped CRC trailer: every byte of payload intact, checksum wrong.
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-1] ^= 0x01
+	f.Add(crcFlip)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		doc, err := LoadDocument(data)
@@ -453,4 +460,159 @@ func FuzzLoadDocument(f *testing.F) {
 		doc.Materialize()
 		_ = doc.SizeBytes()
 	})
+}
+
+// FuzzCorpusHydration drives arbitrary bytes through the corpus's lazy
+// hydration path: the bytes land on disk as a snapshot file, LoadDir
+// registers (or rejects) it from the header alone, and Get forces the
+// full read. Whatever the bytes, the corpus must either serve a working
+// document or return a typed persistence error — never panic — and a
+// file it calls quarantined must actually be at its quarantine name.
+func FuzzCorpusHydration(f *testing.F) {
+	valid := Index(MustParseTree("A(B,C(D))")).Snapshot()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-9])
+	f.Add(valid[:48+(len(valid)-48)/2]) // truncated mid-section
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-1] ^= 0x01 // payload intact, checksum wrong
+	f.Add(crcFlip)
+	headerFlip := append([]byte(nil), valid...)
+	headerFlip[30] ^= 0xff // header damage: caught at registration
+	f.Add(headerFlip)
+	f.Add([]byte{})
+	f.Add([]byte("CQSN"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "doc.cqs")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c := NewCorpus()
+		// Registration may reject the file outright (bad header —
+		// quarantined during the scan) or register a stub whose corruption
+		// only surfaces on hydration; both are fine, panics are not.
+		_, _ = c.LoadDirReport(dir)
+		doc, err := c.GetErr("doc")
+		switch {
+		case err == nil:
+			doc.Materialize()
+			_ = doc.SizeBytes()
+		case errors.Is(err, ErrDocumentQuarantined):
+			if _, serr := os.Stat(path + ".corrupt"); serr != nil {
+				t.Fatalf("quarantined but no quarantine file: %v", serr)
+			}
+		case errors.Is(err, ErrUnknownDocument), errors.Is(err, ErrDocumentUnavailable):
+			// Rejected at registration, or a transient read failure.
+		default:
+			t.Fatalf("untyped hydration error: %v", err)
+		}
+	})
+}
+
+// TestCorpusPersistenceOptions drives the public option and health-counter
+// surface end to end: fsync-free persistence, a custom retry policy, the
+// invalidation hook, Peek/Version/Hydrations, and the typed quarantine
+// error both from GetErr and from a batch WithDocs row.
+func TestCorpusPersistenceOptions(t *testing.T) {
+	dir := t.TempDir()
+	var invalidated []string
+	c := NewCorpus(
+		WithNoFsync(),
+		WithRetryPolicy(time.Millisecond, 10*time.Millisecond),
+		WithInvalidationHook(func(name string) { invalidated = append(invalidated, name) }),
+	)
+	doc, err := c.AddTree("d", MustParseTree("A(B,C)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PersistDoc(dir, "d"); err != nil {
+		t.Fatal(err)
+	}
+	got, size, ok := c.Peek("d")
+	if !ok || got != doc || size <= 0 {
+		t.Fatalf("Peek = %v, %d, %v", got, size, ok)
+	}
+	v1, ok := c.Version("d")
+	if !ok || v1 == 0 {
+		t.Fatalf("Version = %d, %v", v1, ok)
+	}
+	if _, err := c.Swap("d", Index(MustParseTree("A(B,C,D)"))); err != nil {
+		t.Fatal(err)
+	}
+	if v2, _ := c.Version("d"); v2 <= v1 {
+		t.Fatalf("version after Swap = %d, want > %d", v2, v1)
+	}
+	if len(invalidated) != 1 || invalidated[0] != "d" {
+		t.Fatalf("invalidation hook calls = %v, want [d]", invalidated)
+	}
+
+	// Fresh corpus over the directory: a stub until first use.
+	c2 := NewCorpus()
+	if _, err := c2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Hydrations() != 0 {
+		t.Fatalf("hydrations before use = %d", c2.Hydrations())
+	}
+	if _, err := c2.GetErr("d"); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Hydrations() != 1 {
+		t.Fatalf("hydrations after use = %d", c2.Hydrations())
+	}
+	if _, err := c2.GetErr("ghost"); !errors.Is(err, ErrUnknownDocument) {
+		t.Fatalf("GetErr(ghost) = %v", err)
+	}
+
+	// Corrupt the snapshot body and restart once more: the stub
+	// quarantines on first use and the counters say so.
+	path := filepath.Join(dir, "d.cqs")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-5] ^= 0x40
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3 := NewCorpus()
+	if _, err := c3.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.GetErr("d"); !errors.Is(err, ErrDocumentQuarantined) {
+		t.Fatalf("GetErr on corrupt = %v", err)
+	}
+	ps := c3.Persistence()
+	if ps.Quarantines != 1 || ps.Quarantined != 1 || ps.HydrationErrors != 1 {
+		t.Fatalf("Persistence() = %+v", ps)
+	}
+
+	// A batch pinned to the quarantined doc reports the typed hydration
+	// error on its result row, not an unknown-document error.
+	q := MustCompile("Q() <- A(x)")
+	for r := range c3.Bool(q, WithDocs("d")) {
+		if !errors.Is(r.Err, ErrDocumentQuarantined) {
+			t.Fatalf("batch row err = %v, want quarantined", r.Err)
+		}
+	}
+}
+
+// TestIndexCounters pins the "no hidden rebuilds" observability contract:
+// indexing moves the build counter, snapshot loading moves the load one.
+func TestIndexCounters(t *testing.T) {
+	builds, loads := IndexBuildCount(), IndexLoadCount()
+	doc := Index(MustParseTree("A(B)"))
+	if got := IndexBuildCount(); got != builds+1 {
+		t.Fatalf("IndexBuildCount after Index: %d, want %d", got, builds+1)
+	}
+	if _, err := LoadDocument(doc.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := IndexLoadCount(); got != loads+1 {
+		t.Fatalf("IndexLoadCount after LoadDocument: %d, want %d", got, loads+1)
+	}
+	if got := IndexBuildCount(); got != builds+1 {
+		t.Fatalf("LoadDocument must not rebuild: builds %d -> %d", builds+1, got)
+	}
 }

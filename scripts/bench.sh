@@ -88,19 +88,24 @@ if [ "$loadmode" = 1 ]; then
 	if [ $# -ge 1 ]; then out="$1"; fi
 	# Both shapes run with the result cache on and a -repeat fraction, so
 	# the report's cache section (scraped from /metrics) shows real hits —
-	# perfgate's load gate requires hits whenever repeat was set.
+	# perfgate's load gate requires hits whenever repeat was set. Both also
+	# run with -data on a scratch snapshot directory, so every seeded PUT
+	# exercises the crash-durable persist path and the report's persistence
+	# section (quarantines, persist errors) gates on zero corruption.
+	datadir="$(mktemp -d)"
+	trap 'rm -rf "$datadir"' EXIT
 	if [ "$quick" = 1 ]; then
 		: "${out:=BENCH_load_quick.json}"
 		go run ./cmd/cqload -self -duration 8s -docs 4 -depth 300 \
 			-workers 12 -max-inflight 4 -max-queue 4 -queue-wait 2s \
 			-retries 3 -repeat 0.5 -cache-bytes 67108864 \
-			-stream-check -o "$out"
+			-data "$datadir" -stream-check -o "$out"
 	else
 		: "${out:=BENCH_pr7.json}"
 		go run ./cmd/cqload -self -duration 20s -docs 8 -depth 1500 \
 			-workers 16 -max-inflight 8 -max-queue 16 -queue-wait 5s \
 			-retries 3 -repeat 0.5 -cache-bytes 268435456 \
-			-stream-check -o "$out"
+			-data "$datadir" -stream-check -o "$out"
 	fi
 	echo "wrote $out"
 	exit 0

@@ -22,6 +22,11 @@
 #     nonzero cache hits in the /metrics-scraped cache section — a cache
 #     that silently stopped hitting is a perf regression even though
 #     every response stays correct. Reports without repeat pass vacuously.
+#   - persistence stayed clean (PR 9): the /metrics-scraped persistence
+#     section must show zero quarantines, zero quarantined documents, and
+#     zero persist errors — a snapshot corrupted or lost while the server
+#     was under load is a durability bug no matter what the client saw.
+#     Old reports without the section pass vacuously.
 #
 # Two comparisons run:
 #
@@ -62,7 +67,7 @@ while getopts 'lm:f:h' opt; do
 	m) maxdrop="$OPTARG" ;;
 	f) minmean="$OPTARG" ;;
 	h | *)
-		sed -n '2,45p' "$0"
+		sed -n '2,50p' "$0"
 		exit 2
 		;;
 	esac
@@ -93,6 +98,8 @@ if [ "$loadmode" = 1 ]; then
 	check "stream probe ran (tuples > 0)" '(.stream.tuples // 0) > 0'
 	check "stream heap flat (peak < 64 MiB)" '(.stream.peak_heap_bytes // 0) < 67108864'
 	check "cache hits when -repeat was set" '((.config.repeat // 0) == 0) or ((.cache.hits // 0) > 0)'
+	check "no snapshot quarantined under load" '((.persistence.quarantines // 0) == 0) and ((.persistence.quarantined_docs // 0) == 0)'
+	check "no persist errors under load" '(.persistence.persist_errors // 0) == 0'
 	if [ "$fail" -ne 0 ]; then
 		echo "perfgate: load-gate violation in $loadfile" >&2
 		exit 1
