@@ -107,6 +107,7 @@ type loadConfig struct {
 	CacheBytes  int64   `json:"cache_bytes,omitempty"`
 	Data        string  `json:"data,omitempty"`
 	NoFsync     bool    `json:"no_fsync,omitempty"`
+	Paginate    int     `json:"paginate,omitempty"`
 }
 
 // latencyStats are the sorted-percentile summaries, in milliseconds.
@@ -135,6 +136,19 @@ type cacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// paginateStats is the -paginate self-check section of the report: a
+// full cursor walk over a dedicated >= 100k-answer document, page by
+// page, with the reassembled union compared byte-for-byte against a
+// second walk at jumbo page size. ParityOK false or any 5xx along the
+// walk means resumable pagination is broken, whatever the latencies say.
+type paginateStats struct {
+	PageSize int  `json:"page_size"`
+	Pages    int  `json:"pages"`
+	Answers  int  `json:"answers"`
+	ParityOK bool `json:"parity_ok"`
+	HTTP5xx  int  `json:"http_5xx"`
+}
+
 // persistenceStats is the persistence-health section of the report,
 // scraped from /metrics after the load. A clean run reads all zeros —
 // the load gate asserts no snapshot corrupted, no quarantine fired, and
@@ -161,6 +175,7 @@ type report struct {
 	Stream        *streamStats      `json:"stream,omitempty"`
 	Cache         *cacheStats       `json:"cache,omitempty"`
 	Persistence   *persistenceStats `json:"persistence,omitempty"`
+	Paginate      *paginateStats    `json:"paginate,omitempty"`
 }
 
 // op is one entry of the query mix rotation. eval is the request template
@@ -231,6 +246,7 @@ func run(args []string, stdout io.Writer) error {
 	dataDir := fs.String("data", "", "-self server: snapshot directory (every seeded PUT persists; exercises the crash-durable write path under load)")
 	noFsync := fs.Bool("no-fsync", false, "-self server: skip fsync in the persist path")
 	streamCheck := fs.Bool("stream-check", false, "after the run, probe NDJSON streaming heap flatness (-self only)")
+	paginate := fs.Int("paginate", 0, "after the run, cursor-walk a >= 100k-answer document at this page size and parity-check the union against a one-shot walk (0 = off)")
 	out := fs.String("o", "", "write the JSON report to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -246,6 +262,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *repeat < 0 || *repeat > 1 {
 		return fmt.Errorf("-repeat %v out of range [0, 1]", *repeat)
+	}
+	if *paginate < 0 {
+		return fmt.Errorf("-paginate must be >= 0")
 	}
 	if *poolSize <= 0 {
 		return fmt.Errorf("-repeat-pool must be positive")
@@ -263,7 +282,7 @@ func run(args []string, stdout io.Writer) error {
 			Duration: duration.String(), Mix: *mix, Timeout: timeout.String(),
 			Retries: *retries, MaxInFlight: *maxInFlight, MaxQueue: *maxQueue,
 			MaxAnswers: *maxAnswers, Repeat: *repeat, CacheBytes: *cacheBytes,
-			Data: *dataDir, NoFsync: *noFsync,
+			Data: *dataDir, NoFsync: *noFsync, Paginate: *paginate,
 		},
 		Status: map[string]int{},
 	}
@@ -415,6 +434,17 @@ func run(args []string, stdout io.Writer) error {
 		rep.Stream = &st
 	}
 
+	// The pagination probe also runs after the load: a full cursor walk
+	// over a dedicated large document, self-checked against a jumbo-page
+	// walk of the same relation.
+	if *paginate > 0 {
+		ps, err := paginateProbe(client, *addr, *depth, *paginate)
+		if err != nil {
+			return fmt.Errorf("paginate probe: %w", err)
+		}
+		rep.Paginate = &ps
+	}
+
 	// Drain the self server and verify goroutine hygiene.
 	if *self {
 		srv.BeginShutdown()
@@ -443,31 +473,9 @@ func run(args []string, stdout io.Writer) error {
 // -depth nodes, so "Q(x, y) <- B(x), Child+(x, y), B(y)" has ~depth^2/2
 // answers per document and monadic descendant queries have depth answers.
 func seed(client *http.Client, addr string, docs, depth int) error {
-	var b strings.Builder
-	b.Grow(depth*2 + 16)
-	for i := 0; i < depth; i++ {
-		b.WriteString("B(")
-	}
-	b.WriteString("B")
-	for i := 0; i < depth; i++ {
-		b.WriteString(")")
-	}
-	term := "A(" + b.String() + ")"
 	for i := 0; i < docs; i++ {
-		body, _ := json.Marshal(map[string]string{"term": term})
-		req, err := http.NewRequest("PUT", fmt.Sprintf("%s/docs/load%03d", addr, i), bytes.NewReader(body))
-		if err != nil {
+		if err := seedOne(client, addr, fmt.Sprintf("load%03d", i), depth); err != nil {
 			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := client.Do(req)
-		if err != nil {
-			return err
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
-			return fmt.Errorf("PUT doc %d: status %d", i, resp.StatusCode)
 		}
 	}
 	return nil
@@ -693,6 +701,133 @@ func streamProbe(client *http.Client, addr string, depth int) (streamStats, erro
 		st.PeakOverIdle = float64(peak) / float64(idle.HeapAlloc)
 	}
 	return st, nil
+}
+
+// paginateMinDepth makes the probe's dedicated document carry >= 100k
+// answers (~depth²/2 for the B-chain relation) regardless of the load
+// run's -depth, so the walk exercises genuinely deep pagination.
+const paginateMinDepth = 450
+
+// paginateProbe seeds one dedicated deep document and cursor-walks its
+// whole ~depth²/2-tuple answer relation twice — once at the requested
+// page size, once at jumbo pages — checking that both unions are
+// byte-identical and that no page request ever 5xx'd. Cursor resume cost
+// is O(depth + page), so the paged walk's total work stays linear in the
+// answer count; a quadratic blowup here surfaces as a hung probe.
+func paginateProbe(client *http.Client, addr string, depth, pageSize int) (paginateStats, error) {
+	if depth < paginateMinDepth {
+		depth = paginateMinDepth
+	}
+	if err := seedOne(client, addr, "paginate0", depth); err != nil {
+		return paginateStats{}, err
+	}
+	st := paginateStats{PageSize: pageSize, ParityOK: true}
+	// walk follows next_cursor to exhaustion, returning the union as raw
+	// tuple JSON (byte-level comparison needs no decoding).
+	walk := func(limit int) ([]string, int, error) {
+		var union []string
+		cursor := ""
+		pages := 0
+		for {
+			req := map[string]any{
+				"source": "Q(x, y) <- B(x), Child+(x, y), B(y)",
+				"mode":   "tuples",
+				"docs":   []string{"paginate0"},
+				"order":  []string{"asc", "asc"},
+				"limit":  limit,
+			}
+			if cursor != "" {
+				req["cursor"] = cursor
+			}
+			blob, _ := json.Marshal(req)
+			resp, err := client.Post(addr+"/eval", "application/json", bytes.NewReader(blob))
+			if err != nil {
+				return nil, pages, err
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return nil, pages, err
+			}
+			if resp.StatusCode >= 500 {
+				st.HTTP5xx++
+			}
+			if resp.StatusCode != http.StatusOK {
+				return nil, pages, fmt.Errorf("page %d: status %d: %s", pages, resp.StatusCode, body)
+			}
+			var page struct {
+				Results []struct {
+					Tuples []json.RawMessage `json:"tuples"`
+					Error  string            `json:"error"`
+				} `json:"results"`
+				NextCursor string `json:"next_cursor"`
+			}
+			if err := json.Unmarshal(body, &page); err != nil {
+				return nil, pages, err
+			}
+			if len(page.Results) != 1 || page.Results[0].Error != "" {
+				return nil, pages, fmt.Errorf("page %d: bad result rows: %s", pages, body)
+			}
+			for _, t := range page.Results[0].Tuples {
+				union = append(union, string(t))
+			}
+			pages++
+			if page.NextCursor == "" {
+				return union, pages, nil
+			}
+			cursor = page.NextCursor
+		}
+	}
+	paged, pages, err := walk(pageSize)
+	if err != nil {
+		return st, err
+	}
+	oneShot, _, err := walk(1 << 30)
+	if err != nil {
+		return st, err
+	}
+	st.Pages = pages
+	st.Answers = len(paged)
+	if len(paged) != len(oneShot) {
+		st.ParityOK = false
+	} else {
+		for i := range paged {
+			if paged[i] != oneShot[i] {
+				st.ParityOK = false
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+// seedOne PUTs a single named B-chain document of the given depth.
+func seedOne(client *http.Client, addr, name string, depth int) error {
+	var b strings.Builder
+	b.Grow(depth*2 + 16)
+	for i := 0; i < depth; i++ {
+		b.WriteString("B(")
+	}
+	b.WriteString("B")
+	for i := 0; i < depth; i++ {
+		b.WriteString(")")
+	}
+	body, _ := json.Marshal(map[string]string{"term": "A(" + b.String() + ")"})
+	req, err := http.NewRequest("PUT", addr+"/docs/"+name, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("PUT %s: status %d", name, resp.StatusCode)
+	}
+	return nil
 }
 
 // goroutinesSettle polls until the goroutine count returns to (near) the

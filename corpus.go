@@ -258,6 +258,24 @@ func (c *Corpus) Persistence() CorpusPersistence { return c.c.PersistenceStats()
 // It does not touch the LRU clock.
 func (c *Corpus) Version(name string) (uint64, bool) { return c.c.Version(name) }
 
+// Page evaluates one page of pq's answers on the named document — see
+// PreparedQuery.Paginate for the pagination contract — with the cursor
+// automatically bound to the entry's content version: Page appends
+// WithDocVersion(Version(name)) after the caller's options, so a cursor
+// minted here is rejected with ErrCursorStale after the document is
+// swapped or re-added, and stays valid across dehydrate/hydrate cycles
+// (residency does not change content). Counts as a use for LRU eviction;
+// unknown or unloadable documents fail like GetErr.
+func (c *Corpus) Page(pq *PreparedQuery, name string, opts ...EvalOption) (Page, error) {
+	doc, err := c.GetErr(name)
+	if err != nil {
+		return Page{}, err
+	}
+	ver, _ := c.Version(name)
+	opts = append(append([]EvalOption{}, opts...), WithDocVersion(ver))
+	return pq.Paginate(doc, opts...)
+}
+
 // Hydrations returns the cumulative count of stub hydrations — documents
 // loaded back from their snapshot files on demand — since construction.
 func (c *Corpus) Hydrations() int64 { return c.c.Hydrations() }

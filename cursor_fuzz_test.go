@@ -1,0 +1,35 @@
+package cqtrees
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzCursorDecode: hostile cursor tokens must never panic — every input
+// either decodes to a shape-valid cursor or fails wrapping
+// ErrCursorMalformed — and valid decodes must re-encode to the identical
+// token (the format has no redundant encodings).
+func FuzzCursorDecode(f *testing.F) {
+	f.Add("")
+	f.Add("AQ")
+	f.Add("!!!not base64!!!")
+	// A genuine token, to seed structure-aware mutation.
+	f.Add(encodeCursor(cursor{qhash: 0xdeadbeef, version: 42, dirs: []Dir{Asc, Desc}, ranks: []int32{7, 3}}))
+	// Arity 255 with no payload: exercises the truncation checks.
+	f.Add(encodeCursor(cursor{dirs: make([]Dir, 255), ranks: make([]int32, 255)})[:20])
+	f.Fuzz(func(t *testing.T, token string) {
+		c, err := decodeCursor(token)
+		if err != nil {
+			if !errors.Is(err, ErrCursorMalformed) {
+				t.Fatalf("decode error %v does not wrap ErrCursorMalformed", err)
+			}
+			return
+		}
+		if len(c.dirs) != len(c.ranks) {
+			t.Fatalf("decoded dirs/ranks length mismatch: %d vs %d", len(c.dirs), len(c.ranks))
+		}
+		if re := encodeCursor(c); re != token {
+			t.Fatalf("re-encode drift: %q -> %q", token, re)
+		}
+	})
+}

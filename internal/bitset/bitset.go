@@ -114,6 +114,70 @@ func ForEach(w []uint64, fn func(i int32) bool) bool {
 	return true
 }
 
+// ForEachFrom calls fn on every set bit with index >= from, in ascending
+// index order; stops early (returning false) if fn returns false. from <= 0
+// is equivalent to ForEach.
+func ForEachFrom(w []uint64, from int32, fn func(i int32) bool) bool {
+	if from < 0 {
+		from = 0
+	}
+	wi := int(from >> 6)
+	if wi >= len(w) {
+		return true
+	}
+	x := w[wi] &^ ((1 << (uint(from) & 63)) - 1)
+	for {
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			if !fn(int32(wi*64 + b)) {
+				return false
+			}
+			x &^= 1 << uint(b)
+		}
+		wi++
+		if wi >= len(w) {
+			return true
+		}
+		x = w[wi]
+	}
+}
+
+// ForEachDescFrom calls fn on every set bit with index <= from, in
+// descending index order; stops early (returning false) if fn returns
+// false. from beyond the addressable range clamps to the last bit, so
+// passing the universe size (or larger) iterates the whole set backwards;
+// from < 0 visits nothing.
+func ForEachDescFrom(w []uint64, from int32, fn func(i int32) bool) bool {
+	if from < 0 {
+		return true
+	}
+	if max := int32(len(w))*64 - 1; from > max {
+		from = max
+	}
+	if from < 0 { // empty word slice
+		return true
+	}
+	wi := int(from >> 6)
+	x := w[wi]
+	if shift := 63 - (uint(from) & 63); shift > 0 {
+		x &= ^uint64(0) >> shift
+	}
+	for {
+		for x != 0 {
+			b := 63 - bits.LeadingZeros64(x)
+			if !fn(int32(wi*64 + b)) {
+				return false
+			}
+			x &^= 1 << uint(b)
+		}
+		wi--
+		if wi < 0 {
+			return true
+		}
+		x = w[wi]
+	}
+}
+
 // Count returns the number of set bits.
 func Count(w []uint64) int {
 	c := 0

@@ -170,3 +170,84 @@ func TestShifts(t *testing.T) {
 		}
 	}
 }
+
+// TestForEachFromDirections: the seekable scans agree with a bool-slice
+// oracle for every start point, in both directions, including starts
+// before, inside, and past the populated range — and early exit stops
+// exactly where the callback says.
+func TestForEachFromDirections(t *testing.T) {
+	const n = 300
+	rng := rand.New(rand.NewSource(8))
+	w := make([]uint64, Words(n))
+	ref := make(refSet, n)
+	for i := int32(0); i < n; i++ {
+		if rng.Intn(3) == 0 {
+			Set(w, i)
+			ref[i] = true
+		}
+	}
+	collectAsc := func(from int32) []int32 {
+		var got []int32
+		ForEachFrom(w, from, func(i int32) bool { got = append(got, i); return true })
+		return got
+	}
+	collectDesc := func(from int32) []int32 {
+		var got []int32
+		ForEachDescFrom(w, from, func(i int32) bool { got = append(got, i); return true })
+		return got
+	}
+	for _, from := range []int32{-5, -1, 0, 1, 63, 64, 65, 127, 128, n / 2, n - 1, n, n + 100} {
+		var wantAsc, wantDesc []int32
+		for i := int32(0); i < n; i++ {
+			if ref[i] && i >= from {
+				wantAsc = append(wantAsc, i)
+			}
+		}
+		hi := from
+		if hi >= n {
+			hi = n - 1
+		}
+		if from < 0 {
+			hi = -1 // ForEachDescFrom with negative from visits nothing
+		}
+		for i := hi; i >= 0; i-- {
+			if ref[i] && i <= hi {
+				wantDesc = append(wantDesc, i)
+			}
+		}
+		gotAsc := collectAsc(from)
+		if len(gotAsc) != len(wantAsc) {
+			t.Fatalf("ForEachFrom(%d): %v want %v", from, gotAsc, wantAsc)
+		}
+		for k := range gotAsc {
+			if gotAsc[k] != wantAsc[k] {
+				t.Fatalf("ForEachFrom(%d): %v want %v", from, gotAsc, wantAsc)
+			}
+		}
+		gotDesc := collectDesc(from)
+		if len(gotDesc) != len(wantDesc) {
+			t.Fatalf("ForEachDescFrom(%d): %v want %v", from, gotDesc, wantDesc)
+		}
+		for k := range gotDesc {
+			if gotDesc[k] != wantDesc[k] {
+				t.Fatalf("ForEachDescFrom(%d): %v want %v", from, gotDesc, wantDesc)
+			}
+		}
+	}
+	// Early exit: stop after 3 visits, confirm both the count and the
+	// false return.
+	calls := 0
+	if ForEachFrom(w, 0, func(int32) bool { calls++; return calls < 3 }) {
+		t.Fatal("ForEachFrom: early exit reported full scan")
+	}
+	if calls != 3 {
+		t.Fatalf("ForEachFrom early exit ran %d callbacks", calls)
+	}
+	calls = 0
+	if ForEachDescFrom(w, n-1, func(int32) bool { calls++; return calls < 3 }) {
+		t.Fatal("ForEachDescFrom: early exit reported full scan")
+	}
+	if calls != 3 {
+		t.Fatalf("ForEachDescFrom early exit ran %d callbacks", calls)
+	}
+}

@@ -458,5 +458,29 @@ func (r *PinRun) ForEachCurrent(x cq.Var, fn func(v tree.NodeID) bool) {
 	bitset.ForEach(pre, func(pr int32) bool { return fn(r.b.t.ByPre(pr)) })
 }
 
+// ForEachCurrentDir is ForEachCurrent with an explicit direction and seek
+// position, for ordered (and cursor-resumed) enumeration: it iterates x's
+// current (post-pin) domain over pre-order ranks — ascending when desc is
+// false, descending otherwise — passing each node together with its pre
+// rank. A non-negative from seeks in O(1): ascending iteration starts at
+// the smallest alive rank >= from, descending at the largest alive rank
+// <= from; from < 0 iterates the whole domain from its extreme end. fn
+// returns false to stop.
+func (r *PinRun) ForEachCurrentDir(x cq.Var, desc bool, from int32, fn func(v tree.NodeID, pr int32) bool) {
+	pre, _, _ := r.words(r.depth, x)
+	emit := func(pr int32) bool { return fn(r.b.t.ByPre(pr), pr) }
+	if desc {
+		if from < 0 {
+			from = int32(len(pre))*64 - 1
+		}
+		bitset.ForEachDescFrom(pre, from, emit)
+		return
+	}
+	if from < 0 {
+		from = 0
+	}
+	bitset.ForEachFrom(pre, from, emit)
+}
+
 // CurrentLen returns the size of x's current domain.
 func (r *PinRun) CurrentLen(x cq.Var) int { return int(r.countAt(r.depth, x)) }

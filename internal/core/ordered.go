@@ -1,0 +1,163 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/consistency"
+	"repro/internal/cq"
+	"repro/internal/tree"
+)
+
+// Ordered enumeration: answers stream in lexicographic document order
+// over the head tuple — position i ascending or descending over pre-order
+// ranks per EnumOptions.Order[i] — with no sort and no buffering, and a
+// resume point (EnumOptions.After) re-descends directly to the recorded
+// pin prefix instead of re-enumerating skipped answers.
+//
+// The engine is the pinned-AC descent of enumerate.go with each level's
+// candidate bitset iterated in the requested direction. That descent is
+// sound and complete for BOTH tractable strategies:
+//
+//   - X-property signatures: pinned arc consistency decides satisfiability
+//     exactly (Theorem 3.5), so a fully pinned consistent state IS an
+//     answer and every answer survives pinning.
+//   - Acyclic queries: the query graph's shadow is a forest, and arc
+//     consistency with nonempty domains is decision-complete on
+//     forest-structured constraint graphs (Freuder) — pinning head
+//     variables keeps the graph a forest, so the same invariant holds.
+//
+// Head tuples are enumerated directly (one pin path per distinct tuple),
+// so no dedup set is needed and the stream is memory-flat. Only the
+// backtracking strategy lacks an order-aware search; it materializes,
+// sorts by the requested key, and replays — order and limit are honored,
+// but a cursor restart there costs O(answers), not O(depth).
+
+// orderedForEachTuple streams the distinct answer tuples of p on d in the
+// requested document order, resuming strictly after o.After when set.
+// o.Order must have exactly one direction per head variable (callers
+// validate); the head must be non-empty. The tuple passed to fn is reused.
+func (p *Prepared) orderedForEachTuple(d *Document, s *evalScratch, o EnumOptions, stop func() bool, fn func(tuple []tree.NodeID) bool) {
+	q := p.q
+	if p.plan.Strategy == StrategyBacktrack {
+		p.orderedBacktrack(d, s, o, stop, fn)
+		return
+	}
+	pre, ok := runAC(p.alg, d, q, s.ac)
+	if !ok {
+		return
+	}
+	e := orderedEnum{
+		run:   s.ac.PinRunFor(s.ac.PinBaseForIx(d.ix, q, pre)),
+		head:  q.Head,
+		dirs:  o.Order,
+		after: o.After,
+		stop:  stop,
+		fn:    fn,
+		tuple: make([]tree.NodeID, len(q.Head)),
+	}
+	e.rec(0, e.after != nil)
+}
+
+// orderedEnum is the state of one ordered pinned-AC descent.
+type orderedEnum struct {
+	run   *consistency.PinRun
+	head  []cq.Var
+	dirs  []OrderDir
+	after []int32 // resume point (pre ranks per head position), or nil
+	stop  func() bool
+	fn    func([]tree.NodeID) bool
+	tuple []tree.NodeID
+}
+
+// rec enumerates dimension d of the head tuple from the current pin state
+// in the requested direction. onPrefix tracks whether every pin so far
+// equals the resume point's — only then does level d seek to after[d]
+// (O(1) into the bitset) instead of starting from the extreme end, and
+// only the exact resume tuple itself is skipped, giving strictly-after
+// resume semantics. Returns false when enumeration should stop.
+func (e *orderedEnum) rec(d int, onPrefix bool) bool {
+	if d == len(e.head) {
+		return e.fn(e.tuple)
+	}
+	desc := e.dirs[d] == OrderDesc
+	from := int32(-1)
+	if onPrefix {
+		from = e.after[d]
+	}
+	last := d == len(e.head)-1
+	cont := true
+	e.run.ForEachCurrentDir(e.head[d], desc, from, func(v tree.NodeID, pr int32) bool {
+		if d == 0 && e.stop != nil && e.stop() {
+			cont = false
+			return false
+		}
+		childOnPrefix := onPrefix && pr == e.after[d]
+		if childOnPrefix && last {
+			return true // the resume tuple itself: already delivered
+		}
+		e.tuple[d] = v
+		if e.run.Push(e.head[d], v) {
+			cont = e.rec(d+1, childOnPrefix)
+			e.run.Pop()
+		}
+		return cont
+	})
+	return cont
+}
+
+// orderedBacktrack is the ordered fallback for the NP-hard strategy:
+// materialize the distinct answer tuples (discovery order, deduped),
+// sort them by the requested document-order key, and replay from the
+// resume point. Document-order-optimal only — a resume costs O(answers).
+func (p *Prepared) orderedBacktrack(d *Document, s *evalScratch, o EnumOptions, stop func() bool, fn func(tuple []tree.NodeID) bool) {
+	var out [][]tree.NodeID
+	s.backtracker().forEachTuple(d, p.q, stop, func(tuple []tree.NodeID) bool {
+		out = append(out, copyTuple(tuple))
+		return true
+	})
+	t := d.t
+	sort.Slice(out, func(i, j int) bool {
+		return orderedKeyLess(t, o.Order, out[i], out[j])
+	})
+	for _, tuple := range out {
+		if o.After != nil && !afterResume(t, o.Order, o.After, tuple) {
+			continue
+		}
+		if !fn(tuple) {
+			return
+		}
+	}
+}
+
+// orderedKeyLess compares two tuples under the per-position document-order
+// key: position k orders by pre rank, ascending or descending per dirs[k].
+func orderedKeyLess(t *tree.Tree, dirs []OrderDir, a, b []tree.NodeID) bool {
+	for k := range a {
+		ra, rb := t.Pre(a[k]), t.Pre(b[k])
+		if ra == rb {
+			continue
+		}
+		if dirs[k] == OrderDesc {
+			return ra > rb
+		}
+		return ra < rb
+	}
+	return false
+}
+
+// afterResume reports whether tuple sorts strictly after the resume
+// point's pre ranks under the per-position key — i.e. belongs to the
+// resumed stream.
+func afterResume(t *tree.Tree, dirs []OrderDir, after []int32, tuple []tree.NodeID) bool {
+	for k := range tuple {
+		r := t.Pre(tuple[k])
+		if r == after[k] {
+			continue
+		}
+		if dirs[k] == OrderDesc {
+			return r < after[k]
+		}
+		return r > after[k]
+	}
+	return false // the resume tuple itself: already delivered
+}

@@ -135,6 +135,17 @@ func (p *Prepared) release(s *evalScratch) { p.pool.Put(s) }
 // subsequent calls (from any Prepared sharing the cache) reuse them.
 func (p *Prepared) document(t *tree.Tree) *Document { return p.docs.get(t) }
 
+// OrderDir is one head position's enumeration direction over pre-order
+// ranks (document order); see EnumOptions.Order.
+type OrderDir int8
+
+const (
+	// OrderAsc enumerates the position in increasing document order.
+	OrderAsc OrderDir = iota
+	// OrderDesc enumerates the position in decreasing document order.
+	OrderDesc
+)
+
 // EnumOptions tunes answer evaluation and enumeration.
 type EnumOptions struct {
 	// Parallel is the number of worker goroutines sharding the outer
@@ -152,6 +163,69 @@ type EnumOptions struct {
 	// iteration of the cancel. The error-returning entry points report
 	// ctx.Err(); streaming entry points just stop.
 	Ctx context.Context
+	// Order, when non-nil, requests ordered enumeration: answer tuples
+	// stream in lexicographic document order — head position i ascending
+	// or descending over pre-order ranks per Order[i]. It must hold
+	// exactly one direction per head variable (callers validate arity; a
+	// mismatch panics). Ordered enumeration is sequential (Parallel is
+	// ignored), streams with no sort or buffering under the acyclic and
+	// X-property strategies, and materializes + sorts under backtracking.
+	// AllDoc returns the requested order instead of lexicographic NodeID
+	// order. Ignored for queries with an empty head.
+	Order []OrderDir
+	// Limit > 0 stops enumeration after that many answers have been
+	// delivered to fn (after Offset skipping); the engine does no further
+	// descent work past the limit.
+	Limit int
+	// Offset > 0 skips the first n answers of the stream before any are
+	// delivered. The skipped answers are still enumerated (cost O(Offset));
+	// cursor resume (After) is the O(depth) restart.
+	Offset int
+	// After, when non-nil, resumes ordered enumeration strictly after the
+	// answer whose head nodes have these pre-order ranks (one per head
+	// position, under the same Order). The engine re-descends directly to
+	// the recorded pin prefix — an O(depth) restart, no re-enumeration of
+	// skipped answers. Requires Order to be set; under the backtracking
+	// strategy the restart is by replay (O(answers)).
+	After []int32
+}
+
+// ordered reports whether the options request the ordered enumeration
+// path for a query with the given head arity.
+func (o EnumOptions) ordered(arity int) bool {
+	return o.Order != nil && arity > 0
+}
+
+// validateOrdered panics on internal misuse: the public tiers validate
+// order/cursor shapes and return typed errors before reaching core.
+func (o EnumOptions) validateOrdered(arity int) {
+	if len(o.Order) != arity {
+		panic(fmt.Sprintf("core: %d order directions for %d-ary query", len(o.Order), arity))
+	}
+	if o.After != nil && len(o.After) != arity {
+		panic(fmt.Sprintf("core: %d resume ranks for %d-ary query", len(o.After), arity))
+	}
+}
+
+// limitWrap applies Offset/Limit to a tuple stream by wrapping its sink:
+// the first Offset answers are dropped, delivery stops the moment the
+// Limit-th answer has been passed to fn.
+func (o EnumOptions) limitWrap(fn func([]tree.NodeID) bool) func([]tree.NodeID) bool {
+	if o.Limit <= 0 && o.Offset <= 0 {
+		return fn
+	}
+	skip, taken := o.Offset, 0
+	return func(tuple []tree.NodeID) bool {
+		if skip > 0 {
+			skip--
+			return true
+		}
+		taken++
+		if !fn(tuple) {
+			return false
+		}
+		return o.Limit <= 0 || taken < o.Limit
+	}
 }
 
 // stop returns the cancellation probe for the options: nil when no
@@ -234,6 +308,12 @@ func (p *Prepared) ForEachTupleDoc(d *Document, o EnumOptions, fn func(tuple []t
 	s := p.scratch()
 	defer p.release(s)
 	stop := o.stop()
+	fn = o.limitWrap(fn)
+	if o.ordered(len(p.q.Head)) {
+		o.validateOrdered(len(p.q.Head))
+		p.orderedForEachTuple(d, s, o, stop, fn)
+		return o.err()
+	}
 	switch p.plan.Strategy {
 	case StrategyAcyclic:
 		acyclicForEachTuple(d, p.q, p.forest, s, stop, fn)
@@ -263,6 +343,27 @@ func (p *Prepared) ForEachNodeDoc(d *Document, o EnumOptions, fn func(v tree.Nod
 	s := p.scratch()
 	defer p.release(s)
 	stop := o.stop()
+	if o.ordered(1) {
+		o.validateOrdered(1)
+		p.orderedForEachTuple(d, s, o, stop,
+			o.limitWrap(func(tuple []tree.NodeID) bool { return fn(tuple[0]) }))
+		return o.err()
+	}
+	if o.Limit > 0 || o.Offset > 0 {
+		inner := fn
+		skip, taken := o.Offset, 0
+		fn = func(v tree.NodeID) bool {
+			if skip > 0 {
+				skip--
+				return true
+			}
+			taken++
+			if !inner(v) {
+				return false
+			}
+			return o.Limit <= 0 || taken < o.Limit
+		}
+	}
 	switch p.plan.Strategy {
 	case StrategyAcyclic:
 		acyclicForEachNode(d, p.q, p.forest, s, stop, fn)
@@ -284,6 +385,25 @@ func (p *Prepared) ForEachNodeDoc(d *Document, o EnumOptions, fn func(v tree.Nod
 func (p *Prepared) AllDoc(d *Document, o EnumOptions) ([][]tree.NodeID, error) {
 	if err := o.err(); err != nil {
 		return nil, err
+	}
+	// Ordered, limited, or offset enumeration is inherently sequential and
+	// must keep the stream's own order (ordered) or the stream-prefix
+	// semantics (limit/offset), so it bypasses the parallel sharding.
+	if ordered := o.ordered(len(p.q.Head)); ordered || o.Limit > 0 || o.Offset > 0 {
+		var out [][]tree.NodeID
+		p.ForEachTupleDoc(d, o, func(tuple []tree.NodeID) bool {
+			out = append(out, copyTuple(tuple))
+			return true
+		})
+		if !ordered {
+			// An unordered limit prefix keeps the sorted-relation shape
+			// (sorted among themselves, like the batch tuple cap).
+			sortTupleSlice(out)
+		}
+		if err := o.err(); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	out, parallel := p.allParallel(d, o)
 	if !parallel {
@@ -307,17 +427,24 @@ func (p *Prepared) MonadicDoc(d *Document, o EnumOptions) ([]tree.NodeID, error)
 	if err := o.err(); err != nil {
 		return nil, err
 	}
-	out, parallel := p.monadicParallel(d, o)
+	ordered := o.ordered(1)
+	out, parallel := []tree.NodeID(nil), false
+	if !ordered && o.Limit <= 0 && o.Offset <= 0 {
+		out, parallel = p.monadicParallel(d, o)
+	}
 	if !parallel {
 		out = []tree.NodeID{}
 		p.ForEachNodeDoc(d, o, func(v tree.NodeID) bool {
 			out = append(out, v)
 			return true
 		})
-		// Acyclic and X-property emission is already sorted; backtracking is
-		// discovery-ordered. Sorting unconditionally keeps the contract
-		// simple and costs O(answer log answer).
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		if !ordered {
+			// Acyclic and X-property emission is already sorted; backtracking
+			// is discovery-ordered. Sorting unconditionally keeps the contract
+			// simple and costs O(answer log answer). Ordered enumeration keeps
+			// the requested document order instead.
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		}
 	}
 	if err := o.err(); err != nil {
 		return nil, err

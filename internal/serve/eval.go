@@ -33,6 +33,15 @@ type evalRequest struct {
 	Workers    int      `json:"workers,omitempty"`
 	TimeoutMS  int      `json:"timeout_ms,omitempty"`
 	MaxAnswers int      `json:"max_answers,omitempty"`
+	// Pagination (any of these present selects the paginated path, which
+	// requires mode "tuples", exactly one named doc, and a JSON — not
+	// NDJSON — response): order is the per-head-position direction list
+	// ("asc"/"desc", shorter lists pad ascending), limit the page size
+	// (capped by the server's -max-answers), cursor an opaque resume token
+	// from a previous response's next_cursor. See docs/pagination.md.
+	Order  []string `json:"order,omitempty"`
+	Limit  int      `json:"limit,omitempty"`
+	Cursor string   `json:"cursor,omitempty"`
 }
 
 // evalResult is one per-document result row. The mode's field (Sat,
@@ -66,6 +75,10 @@ type evalResponse struct {
 	// TimedOut marks a batch cut short by its deadline (status 504; the
 	// rows completed before the deadline are included).
 	TimedOut bool `json:"timed_out,omitempty"`
+	// NextCursor is the paginated path's resume token: present exactly
+	// when the page was cut short of the full result set — pass it back
+	// as cursor (with the same order) to fetch the next page.
+	NextCursor string `json:"next_cursor,omitempty"`
 }
 
 // validModes is the /eval mode tier.
@@ -177,6 +190,25 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Pagination is a distinct shape, not a batch option: one document,
+	// tuples mode, buffered JSON. Reject the incompatible combinations up
+	// front — silently ignoring an order or a cursor would return pages
+	// the client cannot resume.
+	paginated := req.Order != nil || req.Cursor != "" || req.Limit > 0
+	if paginated {
+		switch {
+		case mode != "tuples":
+			httpError(w, http.StatusBadRequest, "order/limit/cursor require mode tuples, not %q", mode)
+			return
+		case len(req.Docs) != 1:
+			httpError(w, http.StatusBadRequest, "order/limit/cursor require exactly one doc, got %d", len(req.Docs))
+			return
+		case wantsNDJSON(r):
+			httpError(w, http.StatusBadRequest, "pagination is incompatible with NDJSON streaming")
+			return
+		}
+	}
+
 	// The operator's -eval-timeout is a hard cap: a client timeout_ms may
 	// only tighten it, never extend it past the server bound. The deadline
 	// starts BEFORE admission, so time spent queued counts against the
@@ -192,6 +224,24 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
+	}
+
+	// Paginated requests bypass the result cache by design: a page is a
+	// cursor-dependent slice, so caching it would key on the cursor token
+	// and never be re-hit — while the underlying O(depth + page) resume
+	// already makes recomputation cheap. They do pass the admission gate.
+	if paginated {
+		release, err := s.gate.Acquire(ctx)
+		if err != nil {
+			s.admissionReject(w, err)
+			return
+		}
+		defer release()
+		if s.hook != nil {
+			s.hook(r)
+		}
+		s.evalPaginated(ctx, w, req, pq, start)
+		return
 	}
 
 	// The cached path manages admission itself: lookups happen before the
@@ -222,6 +272,80 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.evalBuffered(ctx, w, req, pq, mode, start)
+}
+
+// evalPaginated answers one page of one document's ordered answer
+// relation (see the pagination contract on evalRequest). Cursor failures
+// map onto the REST tiers — 400 for tokens that do not decode (and order
+// specs that do not fit the query), 409 for cursors minted by a different
+// query or order, 410 for cursors whose document has changed content —
+// so clients can distinguish "fix the request" from "restart the walk".
+func (s *Server) evalPaginated(ctx context.Context, w http.ResponseWriter, req evalRequest, pq *cqtrees.PreparedQuery, start time.Time) {
+	doc := req.Docs[0]
+	opts := []cqtrees.EvalOption{cqtrees.WithContext(ctx)}
+	if req.Order != nil {
+		dirs := make([]cqtrees.Dir, len(req.Order))
+		for i, o := range req.Order {
+			d, err := cqtrees.ParseDir(o)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "order[%d]: %v", i, err)
+				return
+			}
+			dirs[i] = d
+		}
+		opts = append(opts, cqtrees.WithOrder(dirs...))
+	}
+	// The server's -max-answers caps the page size exactly as it caps
+	// buffered tuples rows; a client limit may only tighten it.
+	if page := s.answerCap(req.Limit); page > 0 {
+		opts = append(opts, cqtrees.WithLimit(page))
+	}
+	if req.Cursor != "" {
+		opts = append(opts, cqtrees.WithCursor(req.Cursor))
+	}
+
+	resp := evalResponse{Mode: "tuples", Plan: pq.Plan().String(), Docs: 1}
+	page, err := s.corpus.Page(pq, doc, opts...)
+	switch {
+	case err == nil:
+	case errors.Is(err, cqtrees.ErrCursorMalformed), errors.Is(err, cqtrees.ErrOrderArity):
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, cqtrees.ErrCursorMismatch):
+		httpError(w, http.StatusConflict, "%v", err)
+		return
+	case errors.Is(err, cqtrees.ErrCursorStale):
+		httpError(w, http.StatusGone, "%v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.TimedOut = true
+		resp.Results = []evalResult{{Doc: doc, Error: err.Error()}}
+		resp.Errors = 1
+		s.metrics.observeEval(start, pq, "timeout")
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return
+	default:
+		// Document-tier failure: an error row plus the same persistence
+		// escalation the batch path applies — with one document, an
+		// all-rows failure is just this row's failure.
+		var tally hydraTally
+		reason, retryAfter := reasonOf(err)
+		tally.count(reason, retryAfter)
+		resp.Results = []evalResult{{Doc: doc, Error: err.Error(), Reason: reason}}
+		resp.Errors = 1
+		status := tally.status(w, 1, 1)
+		s.metrics.observeEval(start, pq, "failed")
+		writeJSON(w, status, resp)
+		return
+	}
+	s.metrics.evalsTotal.With(strategySlug(pq.Plan())).Inc()
+	resp.Results = []evalResult{{Doc: doc, Tuples: page.Tuples, Truncated: page.Next != ""}}
+	if page.Next != "" {
+		resp.Truncated = 1
+		resp.NextCursor = page.Next
+	}
+	s.metrics.observeEval(start, pq, "ok")
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // evalBuffered is the classic JSON response path: the whole batch fans

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// chainTerm builds the nested term A(B(B(...))) with depth B nodes — the
+// same shape cqload seeds, giving ~depth²/2 answers for the chain query.
+func chainTerm(depth int) string {
+	var b strings.Builder
+	b.WriteString("A(")
+	for i := 0; i < depth; i++ {
+		b.WriteString("B")
+		if i < depth-1 {
+			b.WriteString("(")
+		}
+	}
+	b.WriteString(strings.Repeat(")", depth))
+	return b.String()
+}
+
+const chainQuery = "Q(x, y) <- B(x), Child+(x, y), B(y)"
+
+// pageReq is the paginated /eval request shape.
+func pageReq(doc string, limit int, cursor string) string {
+	req := fmt.Sprintf(`{"source": %q, "mode": "tuples", "docs": [%q], "order": ["asc", "asc"], "limit": %d`, chainQuery, doc, limit)
+	if cursor != "" {
+		req += fmt.Sprintf(`, "cursor": %q`, cursor)
+	}
+	return req + "}"
+}
+
+// TestEvalPaginated: a cursor walk over /eval reassembles exactly the
+// one-shot ordered result, each page full except possibly the last, and
+// the final page carries no next_cursor.
+func TestEvalPaginated(t *testing.T) {
+	h := testServer(t)
+	wantStatus(t, do(t, h, "PUT", "/docs/chain", fmt.Sprintf(`{"term": %q}`, chainTerm(30)), nil), http.StatusCreated)
+
+	var oneShot evalResponse
+	rr := do(t, h, "POST", "/eval", pageReq("chain", 1<<20, ""), &oneShot)
+	wantStatus(t, rr, http.StatusOK)
+	if oneShot.NextCursor != "" {
+		t.Fatalf("jumbo page still truncated (total %d)", len(oneShot.Results[0].Tuples))
+	}
+	want := oneShot.Results[0].Tuples
+	if len(want) != 30*29/2 {
+		t.Fatalf("chain(30) answer count = %d, want %d", len(want), 30*29/2)
+	}
+
+	var got [][]int32
+	cursor := ""
+	pages := 0
+	for {
+		var resp evalResponse
+		rr := do(t, h, "POST", "/eval", pageReq("chain", 100, cursor), &resp)
+		wantStatus(t, rr, http.StatusOK)
+		if len(resp.Results) != 1 || resp.Results[0].Error != "" {
+			t.Fatalf("page %d: bad results %+v", pages, resp.Results)
+		}
+		for _, tup := range resp.Results[0].Tuples {
+			got = append(got, []int32{int32(tup[0]), int32(tup[1])})
+		}
+		pages++
+		if resp.NextCursor == "" {
+			if resp.Results[0].Truncated || resp.Truncated != 0 {
+				t.Fatalf("final page marked truncated")
+			}
+			break
+		}
+		if len(resp.Results[0].Tuples) != 100 || !resp.Results[0].Truncated {
+			t.Fatalf("page %d: %d tuples, truncated=%v", pages, len(resp.Results[0].Tuples), resp.Results[0].Truncated)
+		}
+		cursor = resp.NextCursor
+	}
+	if wantPages := (len(want) + 99) / 100; pages != wantPages {
+		t.Fatalf("walked %d pages, want %d", pages, wantPages)
+	}
+	flat := make([][]int32, len(want))
+	for i, tup := range want {
+		flat[i] = []int32{int32(tup[0]), int32(tup[1])}
+	}
+	if !reflect.DeepEqual(got, flat) {
+		t.Fatalf("paged union != one-shot (%d vs %d tuples)", len(got), len(flat))
+	}
+}
+
+// TestEvalPaginatedValidation: the 400 tier — wrong mode, wrong doc
+// count, NDJSON, bad direction, malformed cursor — plus 409 for foreign
+// cursors and 410 for stale ones.
+func TestEvalPaginatedValidation(t *testing.T) {
+	h := testServer(t)
+	wantStatus(t, do(t, h, "PUT", "/docs/chain", fmt.Sprintf(`{"term": %q}`, chainTerm(20)), nil), http.StatusCreated)
+	wantStatus(t, do(t, h, "PUT", "/docs/other", `{"term": "A(B(B))"}`, nil), http.StatusCreated)
+
+	body := func(extra string) string {
+		return fmt.Sprintf(`{"source": %q, "docs": ["chain"], %s}`, chainQuery, extra)
+	}
+	// Wrong mode.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		body(`"mode": "bool", "limit": 5`), nil), http.StatusBadRequest)
+	// Zero or many docs.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		fmt.Sprintf(`{"source": %q, "mode": "tuples", "limit": 5}`, chainQuery), nil), http.StatusBadRequest)
+	wantStatus(t, do(t, h, "POST", "/eval",
+		fmt.Sprintf(`{"source": %q, "mode": "tuples", "docs": ["chain", "other"], "limit": 5}`, chainQuery), nil), http.StatusBadRequest)
+	// NDJSON + pagination.
+	req := httptest.NewRequest("POST", "/eval", strings.NewReader(body(`"mode": "tuples", "limit": 5`)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	wantStatus(t, rr, http.StatusBadRequest)
+	// Unknown direction.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		body(`"mode": "tuples", "order": ["upward"]`), nil), http.StatusBadRequest)
+	// Order longer than the query's arity.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		body(`"mode": "tuples", "order": ["asc", "asc", "asc"]`), nil), http.StatusBadRequest)
+	// Malformed cursor.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		body(`"mode": "tuples", "cursor": "!!!not-a-cursor"`), nil), http.StatusBadRequest)
+
+	// Mint a real cursor for the mismatch/stale tiers.
+	var first evalResponse
+	wantStatus(t, do(t, h, "POST", "/eval", pageReq("chain", 3, ""), &first), http.StatusOK)
+	if first.NextCursor == "" {
+		t.Fatal("first page not truncated")
+	}
+	// 409: same cursor, different query.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		fmt.Sprintf(`{"source": "Q(x, y) <- A(x), Child+(x, y), B(y)", "mode": "tuples", "docs": ["chain"], "cursor": %q}`, first.NextCursor),
+		nil), http.StatusConflict)
+	// 409: same cursor, different order.
+	wantStatus(t, do(t, h, "POST", "/eval",
+		fmt.Sprintf(`{"source": %q, "mode": "tuples", "docs": ["chain"], "order": ["desc", "asc"], "cursor": %q}`, chainQuery, first.NextCursor),
+		nil), http.StatusConflict)
+	// 410: document replaced under the cursor.
+	wantStatus(t, do(t, h, "PUT", "/docs/chain", fmt.Sprintf(`{"term": %q}`, chainTerm(21)), nil), http.StatusOK)
+	wantStatus(t, do(t, h, "POST", "/eval", pageReq("chain", 3, first.NextCursor), nil), http.StatusGone)
+	// Unknown doc: an error row, not a cursor-tier failure.
+	var resp evalResponse
+	rr = do(t, h, "POST", "/eval",
+		fmt.Sprintf(`{"source": %q, "mode": "tuples", "docs": ["ghost"], "limit": 5}`, chainQuery), &resp)
+	wantStatus(t, rr, http.StatusOK)
+	if resp.Errors != 1 || len(resp.Results) != 1 || resp.Results[0].Error == "" {
+		t.Fatalf("unknown doc: %+v", resp)
+	}
+}
+
+// TestEvalPaginatedServerCap: the server's -max-answers caps the page
+// size — a client asking for more gets the capped page with a cursor.
+func TestEvalPaginatedServerCap(t *testing.T) {
+	h := mustServer(t, Config{MaxAnswers: 7}).Handler()
+	wantStatus(t, do(t, h, "PUT", "/docs/chain", fmt.Sprintf(`{"term": %q}`, chainTerm(20)), nil), http.StatusCreated)
+	var resp evalResponse
+	wantStatus(t, do(t, h, "POST", "/eval", pageReq("chain", 1000, ""), &resp), http.StatusOK)
+	if len(resp.Results[0].Tuples) != 7 || resp.NextCursor == "" {
+		t.Fatalf("cap: %d tuples, next %q", len(resp.Results[0].Tuples), resp.NextCursor)
+	}
+	// And the cursor resumes exactly after the capped page.
+	var next evalResponse
+	wantStatus(t, do(t, h, "POST", "/eval", pageReq("chain", 1000, resp.NextCursor), &next), http.StatusOK)
+	if len(next.Results[0].Tuples) != 7 {
+		t.Fatalf("resumed page: %d tuples, want 7", len(next.Results[0].Tuples))
+	}
+	if reflect.DeepEqual(next.Results[0].Tuples[0], resp.Results[0].Tuples[6]) {
+		t.Fatal("resumed page repeats the boundary tuple")
+	}
+}

@@ -111,12 +111,21 @@ func (pq *PreparedQuery) WithParallelism(workers int) *PreparedQuery {
 }
 
 // EvalOption tunes one evaluation call of the Document-based tiers
-// (Tuples, NodeSeq, BoolErr, AllErr, NodesErr).
+// (Tuples, NodeSeq, BoolErr, AllErr, NodesErr, Paginate).
 type EvalOption func(*evalConfig)
 
 type evalConfig struct {
 	ctx     context.Context
 	workers int
+	// order is the WithOrder spec: nil means no order requested; resolve
+	// pads it to one direction per head position when ordering is active.
+	order      []Dir
+	limit      int
+	offset     int
+	cursorTok  string
+	hasCursor  bool
+	version    uint64
+	hasVersion bool
 }
 
 // WithContext attaches a context to the evaluation. Cancellation is
@@ -142,14 +151,125 @@ func WithWorkers(workers int) EvalOption {
 	}
 }
 
-// docOpts folds the handle defaults and per-call options into the core
-// enumeration options.
-func (pq *PreparedQuery) docOpts(opts []EvalOption) core.EnumOptions {
+// WithOrder requests ordered enumeration: answer tuples stream in
+// lexicographic document order over the head tuple, position i ascending
+// or descending over pre-order ranks per dirs[i]. A spec shorter than the
+// query's arity pads with Asc (so WithOrder() alone means "document
+// order, all ascending"); a longer spec is an error wrapping
+// ErrOrderArity. Ordered enumeration streams with no sort or buffering
+// under the acyclic and X-property strategies — each pinned-descent level
+// iterates its candidate bitset in the requested direction — and
+// materializes + sorts under backtracking (order honored, document-order-
+// optimal only). Ordered calls are sequential: parallelism is ignored.
+//
+// With an order in force, AllErr returns the requested order instead of
+// lexicographic NodeID order, and Tuples/NodeSeq yield it directly.
+func WithOrder(dirs ...Dir) EvalOption {
+	if dirs == nil {
+		dirs = []Dir{}
+	}
+	return func(c *evalConfig) { c.order = dirs }
+}
+
+// WithLimit stops enumeration after n answers have been delivered —
+// inside the engine's descent, not by post-filtering — so a page costs
+// only the answers on it. n <= 0 means unlimited. Paginate uses it as the
+// page size (default DefaultPageSize).
+func WithLimit(n int) EvalOption {
+	return func(c *evalConfig) { c.limit = n }
+}
+
+// WithOffset skips the first n answers of the stream before any are
+// delivered. The skipped answers are still enumerated (cost O(n)) —
+// cursors are the O(depth) restart; use them for deep pagination.
+func WithOffset(n int) EvalOption {
+	return func(c *evalConfig) { c.offset = n }
+}
+
+// WithCursor resumes enumeration strictly after the answer a previous
+// Paginate call recorded in its Page.Next token. The cursor carries its
+// own order (an explicit WithOrder must agree or the call fails with
+// ErrCursorMismatch), the query's fingerprint hash, and the document
+// version it was minted against (checked against WithDocVersion when one
+// is in force: ErrCursorStale on mismatch). Malformed tokens fail with
+// ErrCursorMalformed. The error-returning tiers report these; the plain
+// iterators (Tuples, NodeSeq) end the sequence immediately instead —
+// they never panic on a hostile token.
+func WithCursor(token string) EvalOption {
+	return func(c *evalConfig) { c.cursorTok, c.hasCursor = token, true }
+}
+
+// WithDocVersion binds the evaluation to a document content version (see
+// Corpus.Version): cursors minted by Paginate embed it, and an incoming
+// WithCursor token whose version differs fails with ErrCursorStale.
+// Corpus.Page injects the corpus version automatically; without one,
+// version 0 is used and the staleness check is vacuous.
+func WithDocVersion(v uint64) EvalOption {
+	return func(c *evalConfig) { c.version, c.hasVersion = v, true }
+}
+
+// resolve folds the handle defaults and per-call options into the core
+// enumeration options, validating order and cursor against the compiled
+// query. The returned config carries the fully padded direction spec and
+// document version for cursor minting.
+func (pq *PreparedQuery) resolve(opts []EvalOption) (evalConfig, core.EnumOptions, error) {
 	c := evalConfig{workers: pq.parallel}
 	for _, o := range opts {
 		o(&c)
 	}
-	return core.EnumOptions{Parallel: c.workers, Ctx: c.ctx}
+	o := core.EnumOptions{Parallel: c.workers, Ctx: c.ctx, Limit: c.limit, Offset: c.offset}
+	k := pq.arity()
+	ordered := c.order != nil || c.hasCursor
+	if !ordered {
+		return c, o, nil
+	}
+	if len(c.order) > k {
+		return c, o, fmt.Errorf("cqtrees: %d order directions for %d-ary query: %w", len(c.order), k, ErrOrderArity)
+	}
+	if k > cursorMaxArity {
+		return c, o, fmt.Errorf("cqtrees: ordered enumeration supports arity <= %d: %w", cursorMaxArity, ErrOrderArity)
+	}
+	dirs := make([]Dir, k)
+	copy(dirs, c.order)
+	if c.hasCursor {
+		cur, err := decodeCursor(c.cursorTok)
+		if err != nil {
+			return c, o, err
+		}
+		if cur.qhash != fingerprintHash(pq.p.Query().Fingerprint()) {
+			return c, o, fmt.Errorf("cqtrees: cursor minted by a different query: %w", ErrCursorMismatch)
+		}
+		if len(cur.ranks) != k {
+			return c, o, fmt.Errorf("cqtrees: cursor arity %d, query arity %d: %w", len(cur.ranks), k, ErrCursorMismatch)
+		}
+		if c.order != nil {
+			for i := range dirs {
+				if dirs[i] != cur.dirs[i] {
+					return c, o, fmt.Errorf("cqtrees: cursor minted under a different order: %w", ErrCursorMismatch)
+				}
+			}
+		}
+		copy(dirs, cur.dirs)
+		if c.hasVersion && cur.version != c.version {
+			return c, o, fmt.Errorf("cqtrees: cursor version %d, document version %d: %w", cur.version, c.version, ErrCursorStale)
+		}
+		o.After = cur.ranks
+	}
+	c.order = dirs
+	if k > 0 {
+		o.Order = make([]core.OrderDir, k)
+		for i, d := range dirs {
+			o.Order[i] = core.OrderDir(d)
+		}
+	}
+	return c, o, nil
+}
+
+// docOpts folds the handle defaults and per-call options into the core
+// enumeration options, reporting invalid order/cursor combinations.
+func (pq *PreparedQuery) docOpts(opts []EvalOption) (core.EnumOptions, error) {
+	_, o, err := pq.resolve(opts)
+	return o, err
 }
 
 func (pq *PreparedQuery) opts() core.EnumOptions {
@@ -178,9 +298,14 @@ func (pq *PreparedQuery) arity() int { return len(pq.p.Query().Head) }
 // does not). For Boolean queries one empty tuple is yielded if the query is
 // satisfiable. If a WithContext context is cancelled mid-iteration the
 // sequence just stops — use AllErr to observe the cancellation error.
+// Invalid order/cursor options likewise end the sequence before the first
+// element (never a panic); use AllErr or Paginate to observe those errors.
 func (pq *PreparedQuery) Tuples(doc *Document, opts ...EvalOption) iter.Seq[[]NodeID] {
-	o := pq.docOpts(opts)
+	o, err := pq.docOpts(opts)
 	return func(yield func([]NodeID) bool) {
+		if err != nil {
+			return
+		}
 		pq.p.ForEachTupleDoc(doc, o, func(tuple []NodeID) bool {
 			cp := make([]NodeID, len(tuple))
 			copy(cp, tuple)
@@ -195,13 +320,17 @@ func (pq *PreparedQuery) Tuples(doc *Document, opts ...EvalOption) iter.Seq[[]No
 // with an error wrapping ErrNotMonadic if the query is not monadic —
 // NodesErr is the non-panicking variant. Breaking out of the loop stops
 // the engine immediately; a cancelled WithContext context stops the
-// sequence silently.
+// sequence silently, and so do invalid order/cursor options (observe
+// those through NodesErr or Paginate — hostile cursor tokens never panic).
 func (pq *PreparedQuery) NodeSeq(doc *Document, opts ...EvalOption) iter.Seq[NodeID] {
 	if pq.arity() != 1 {
 		panic(fmt.Errorf("cqtrees: NodeSeq on %d-ary query: %w", pq.arity(), ErrNotMonadic))
 	}
-	o := pq.docOpts(opts)
+	o, err := pq.docOpts(opts)
 	return func(yield func(NodeID) bool) {
+		if err != nil {
+			return
+		}
 		pq.p.ForEachNodeDoc(doc, o, yield)
 	}
 }
@@ -209,25 +338,119 @@ func (pq *PreparedQuery) NodeSeq(doc *Document, opts ...EvalOption) iter.Seq[Nod
 // ---- Document tier: error-returning evaluation ---------------------------
 
 // BoolErr decides Boolean satisfaction of the compiled query on doc. A
-// non-nil error is only ever the WithContext context's cancellation error.
+// non-nil error is the WithContext context's cancellation error or an
+// invalid order/cursor option.
 func (pq *PreparedQuery) BoolErr(doc *Document, opts ...EvalOption) (bool, error) {
-	return pq.p.BoolDoc(doc, pq.docOpts(opts))
+	o, err := pq.docOpts(opts)
+	if err != nil {
+		return false, err
+	}
+	return pq.p.BoolDoc(doc, o)
 }
 
 // AllErr enumerates the distinct answer tuples of the compiled query on
 // doc in lexicographic NodeID order (for Boolean queries: one empty tuple
-// if satisfiable). On cancellation the partial result is discarded and the
-// context's error returned.
+// if satisfiable) — or, under WithOrder/WithCursor, in the requested
+// document order. On cancellation the partial result is discarded and the
+// context's error returned; invalid order/cursor options return their
+// typed errors (ErrOrderArity, ErrCursorMalformed/Mismatch/Stale).
 func (pq *PreparedQuery) AllErr(doc *Document, opts ...EvalOption) ([][]NodeID, error) {
-	return pq.p.AllDoc(doc, pq.docOpts(opts))
+	o, err := pq.docOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pq.p.AllDoc(doc, o)
 }
 
 // NodesErr answers a monadic (unary) compiled query on doc with the sorted
-// answer node set. It returns an error wrapping ErrNotMonadic if the query
-// is not monadic — replacing the legacy "panics if not monadic" contract —
-// and the context's error on cancellation.
+// answer node set (or the WithOrder order). It returns an error wrapping
+// ErrNotMonadic if the query is not monadic — replacing the legacy "panics
+// if not monadic" contract — the context's error on cancellation, and the
+// typed cursor/order errors for invalid options.
 func (pq *PreparedQuery) NodesErr(doc *Document, opts ...EvalOption) ([]NodeID, error) {
-	return pq.p.MonadicDoc(doc, pq.docOpts(opts))
+	o, err := pq.docOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	return pq.p.MonadicDoc(doc, o)
+}
+
+// ---- pagination -----------------------------------------------------------
+
+// DefaultPageSize is Paginate's page size when no WithLimit is given.
+const DefaultPageSize = 100
+
+// Page is one page of a paginated enumeration.
+type Page struct {
+	// Tuples holds up to the page size answer tuples, in the requested
+	// order (each freshly allocated and owned by the caller).
+	Tuples [][]NodeID
+	// Next is the opaque resume cursor for the following page, or "" when
+	// this page ends the result set. Pass it back via WithCursor.
+	Next string
+}
+
+// Paginate evaluates one page of the compiled query's answers on doc, in
+// document order (WithOrder; all-ascending when absent or when resuming —
+// the cursor carries its order). The page size is WithLimit (default
+// DefaultPageSize); when more answers remain past the page, Page.Next
+// holds a cursor that resumes strictly after the page's last tuple in
+// O(depth + page) — no re-enumeration of earlier pages. Bind the cursor
+// to document content with WithDocVersion (Corpus.Page does this
+// automatically); a later call with a cursor from another version fails
+// with ErrCursorStale, from another query or order with ErrCursorMismatch,
+// and hostile tokens with ErrCursorMalformed — never a panic.
+//
+// WithOffset composes (applied once, before the page); Boolean queries
+// have nothing to order and return an error.
+func (pq *PreparedQuery) Paginate(doc *Document, opts ...EvalOption) (Page, error) {
+	if pq.arity() == 0 {
+		return Page{}, fmt.Errorf("cqtrees: Paginate on 0-ary query %q: %w", pq.p.Query().String(), ErrOrderArity)
+	}
+	cfg, o, err := pq.resolve(opts)
+	if err != nil {
+		return Page{}, err
+	}
+	if cfg.order == nil {
+		// No explicit order and no cursor: document order, all ascending.
+		cfg, o, err = pq.resolve(append(append([]EvalOption{}, opts...), WithOrder()))
+		if err != nil {
+			return Page{}, err
+		}
+	}
+	limit := o.Limit
+	if limit <= 0 {
+		limit = DefaultPageSize
+	}
+	// Probe one answer past the page: an exactly-full final page is
+	// complete, not truncated, and mints no cursor.
+	o.Limit = limit + 1
+	rows := make([][]NodeID, 0, min(limit, 1024))
+	if err := pq.p.ForEachTupleDoc(doc, o, func(tuple []NodeID) bool {
+		cp := make([]NodeID, len(tuple))
+		copy(cp, tuple)
+		rows = append(rows, cp)
+		return true
+	}); err != nil {
+		return Page{}, err
+	}
+	page := Page{Tuples: rows}
+	if len(rows) > limit {
+		page.Tuples = rows[:limit]
+		last := rows[limit-1]
+		t := doc.Tree()
+		c := cursor{
+			qhash:   fingerprintHash(pq.p.Query().Fingerprint()),
+			version: cfg.version,
+			dirs:    cfg.order,
+			ranks:   make([]int32, len(last)),
+		}
+		for i, v := range last {
+			c.ranks[i] = t.Pre(v)
+		}
+		page.Next = encodeCursor(c)
+	}
+	return page, nil
 }
 
 // ---- legacy *Tree tier ----------------------------------------------------

@@ -16,12 +16,17 @@
 #
 #   scripts/bench.sh -b BenchmarkEvalCache -p ./internal/serve -t 200x -o BENCH_pr8.json
 #
+# The pagination trajectory (cursor resume vs offset scan; PR 10) is:
+#
+#   scripts/bench.sh -b BenchmarkPaginate -p . -t 20x -o BENCH_pr10.json
+#
 # The JSON keeps the raw `go test -bench` lines under "raw" — that text is
 # what benchstat consumes, so `jq -r .raw BENCH_pr4.json > old.txt` followed
 # by `benchstat old.txt new.txt` compares any later run against this
 # baseline — alongside parsed per-benchmark entries and the derived
 # speedups: benchmark names ending in a slow/fast suffix pair
-# (…/probe vs …/kernel, …/parse vs …/snapshot, …/cold vs …/warm) are
+# (…/probe vs …/kernel, …/parse vs …/snapshot, …/cold vs …/warm,
+# …/scan vs …/resume) are
 # matched per configuration and the ratio recorded under "speedups",
 # which is what scripts/perfgate.sh gates on.
 #
@@ -99,13 +104,13 @@ if [ "$loadmode" = 1 ]; then
 		go run ./cmd/cqload -self -duration 8s -docs 4 -depth 300 \
 			-workers 12 -max-inflight 4 -max-queue 4 -queue-wait 2s \
 			-retries 3 -repeat 0.5 -cache-bytes 67108864 \
-			-data "$datadir" -stream-check -o "$out"
+			-data "$datadir" -stream-check -paginate 2000 -o "$out"
 	else
 		: "${out:=BENCH_pr7.json}"
 		go run ./cmd/cqload -self -duration 20s -docs 8 -depth 1500 \
 			-workers 16 -max-inflight 8 -max-queue 16 -queue-wait 5s \
 			-retries 3 -repeat 0.5 -cache-bytes 268435456 \
-			-data "$datadir" -stream-check -o "$out"
+			-data "$datadir" -stream-check -paginate 500 -o "$out"
 	fi
 	echo "wrote $out"
 	exit 0
@@ -147,7 +152,7 @@ $1 ~ /^Benchmark/ && $4 == "ns/op" {
 END {
 	# Slow/fast suffix pairs: a benchmark …/<slow> matched with its
 	# sibling …/<fast> yields one speedup row per configuration.
-	npair = split("probe:kernel parse:snapshot cold:warm", pairdefs, " ")
+	npair = split("probe:kernel parse:snapshot cold:warm scan:resume", pairdefs, " ")
 	printf "{\n"
 	printf "  \"suite\": \"%s\",\n", jesc(suite)
 	printf "  \"benchtime\": \"%s\",\n", benchtime

@@ -27,6 +27,10 @@
 #     zero persist errors — a snapshot corrupted or lost while the server
 #     was under load is a durability bug no matter what the client saw.
 #     Old reports without the section pass vacuously.
+#   - resumable pagination held (PR 10): a report carrying the -paginate
+#     section must show parity_ok (the cursor walk's reassembled union is
+#     byte-identical to a one-shot walk), >= 100k answers covered, and
+#     zero 5xx along the walk. Reports without the section pass vacuously.
 #
 # Two comparisons run:
 #
@@ -100,6 +104,9 @@ if [ "$loadmode" = 1 ]; then
 	check "cache hits when -repeat was set" '((.config.repeat // 0) == 0) or ((.cache.hits // 0) > 0)'
 	check "no snapshot quarantined under load" '((.persistence.quarantines // 0) == 0) and ((.persistence.quarantined_docs // 0) == 0)'
 	check "no persist errors under load" '(.persistence.persist_errors // 0) == 0'
+	check "paginate walk parity (PR 10)" '(.paginate == null) or .paginate.parity_ok'
+	check "paginate walk covered >= 100k answers" '(.paginate == null) or (.paginate.answers >= 100000)'
+	check "paginate walk saw no 5xx" '(.paginate == null) or (.paginate.http_5xx == 0)'
 	if [ "$fail" -ne 0 ]; then
 		echo "perfgate: load-gate violation in $loadfile" >&2
 		exit 1
